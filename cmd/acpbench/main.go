@@ -1,0 +1,55 @@
+// Command acpbench regenerates the paper's tables and figures on the
+// calibrated testbed simulator (and, for Figs. 6-7, the real training
+// substrate). Run a single experiment by id or everything at once:
+//
+//	acpbench -exp table3
+//	acpbench -exp fig10
+//	acpbench -exp all -epochs 20
+//
+// The experiment ids mirror the paper: table1, table2, table3, fig2, fig3,
+// fig5, fig6, fig7, fig8, fig9, fig10, fig11a, fig11b, fig12, fig13, micro.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"acpsgd/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("acpbench", flag.ContinueOnError)
+	expID := fs.String("exp", "all", "experiment id or 'all' ("+strings.Join(exp.Names(), ", ")+")")
+	epochs := fs.Int("epochs", 0, "epochs for the convergence experiments (fig6/fig7); 0 = default")
+	workers := fs.Int("workers", 0, "workers for the convergence experiments; 0 = default (4)")
+	seed := fs.Int64("seed", 0, "random seed for the convergence experiments; 0 = default")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		fmt.Println(strings.Join(exp.Names(), "\n"))
+		return 0
+	}
+	opts := exp.ConvOptions{Epochs: *epochs, Workers: *workers, Seed: *seed}
+
+	ids := exp.Names()
+	if *expID != "all" {
+		ids = strings.Split(*expID, ",")
+	}
+	for _, id := range ids {
+		table, err := exp.Run(strings.TrimSpace(id), opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acpbench: %v\n", err)
+			return 1
+		}
+		fmt.Println(table)
+	}
+	return 0
+}

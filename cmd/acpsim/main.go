@@ -1,0 +1,66 @@
+// Command acpsim runs one-off testbed simulations: pick a model, method,
+// execution mode and cluster configuration, get the paper-style iteration
+// breakdown.
+//
+//	acpsim -model bert-large -method acp -workers 64 -network 1gbe
+//	acpsim -model resnet152 -method power -mode wfbp          # Fig. 9 cell
+//	acpsim -model bert-large -method acp -rank 256 -buffer 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acpsgd/internal/core"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("acpsim", flag.ContinueOnError)
+	model := fs.String("model", "resnet50", "resnet50 | resnet152 | bert-base | bert-large | vgg16 | resnet18")
+	method := fs.String("method", "acp", "ssgd | sign | topk | power | power* | acp")
+	mode := fs.String("mode", "", "naive | wfbp | wfbp+tf (default: the paper's setting per method)")
+	workers := fs.Int("workers", 32, "number of GPUs")
+	batch := fs.Int("batch", 0, "per-GPU batch size (0 = paper default)")
+	rank := fs.Int("rank", 0, "low-rank rank (0 = paper default)")
+	network := fs.String("network", "10gbe", "1gbe | 10gbe | 100gbib")
+	bufferMB := fs.Int("buffer", 0, "fusion buffer MB (0 = 25MB default)")
+	noFusion := fs.Bool("no-fusion", false, "disable tensor fusion")
+	slowOrth := fs.Bool("slow-orth", false, "original Power-SGD orthogonalization cost")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	r, err := core.SimulateIteration(core.IterationConfig{
+		Model:       *model,
+		Method:      *method,
+		Mode:        *mode,
+		Workers:     *workers,
+		Batch:       *batch,
+		Rank:        *rank,
+		Network:     *network,
+		BufferBytes: *bufferMB * 1024 * 1024,
+		NoFusion:    *noFusion,
+		SlowOrth:    *slowOrth,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acpsim: %v\n", err)
+		return 1
+	}
+	if r.OOM {
+		fmt.Printf("OOM: estimated %.1fGB exceeds GPU memory\n", r.MemoryBytes/1e9)
+		return 0
+	}
+	fmt.Printf("model=%s method=%s workers=%d network=%s\n", *model, *method, *workers, *network)
+	fmt.Printf("iteration        %8.1f ms\n", r.TotalSec*1e3)
+	fmt.Printf("  ff&bp          %8.1f ms\n", r.FFBPSec*1e3)
+	fmt.Printf("  compression    %8.1f ms\n", r.CompressSec*1e3)
+	fmt.Printf("  comm (exposed) %8.1f ms\n", r.CommSec*1e3)
+	fmt.Printf("payload          %8.1f MB/iter (%.0fx compression)\n", r.PayloadBytes/1e6, r.CompressionRat)
+	fmt.Printf("gpu memory est.  %8.1f GB\n", r.MemoryBytes/1e9)
+	return 0
+}

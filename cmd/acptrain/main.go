@@ -1,0 +1,78 @@
+// Command acptrain runs real distributed data-parallel training with a
+// chosen gradient aggregation method over in-process (or loopback TCP)
+// workers — the convergence half of the reproduction (paper §V-B):
+//
+//	acptrain -method acp -model minivgg -workers 4 -epochs 24
+//	acptrain -method power -model miniresnet -rank 4
+//	acptrain -method acp -no-ef          # Fig. 7 ablation
+//	acptrain -method ssgd -tcp           # collectives over real sockets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acpsgd/internal/core"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("acptrain", flag.ContinueOnError)
+	method := fs.String("method", "acp", "ssgd | sign | topk | randomk | power | acp")
+	model := fs.String("model", "minivgg", "mlp | minivgg | miniresnet")
+	workers := fs.Int("workers", 4, "number of data-parallel workers")
+	batch := fs.Int("batch", 32, "per-worker batch size")
+	epochs := fs.Int("epochs", 16, "training epochs")
+	lr := fs.Float64("lr", 0.01, "base learning rate (warmup + step decays applied)")
+	rank := fs.Int("rank", 2, "low-rank rank for power/acp")
+	topk := fs.Float64("topk-ratio", 0.001, "density for topk/randomk")
+	noEF := fs.Bool("no-ef", false, "disable error feedback (ablation)")
+	noReuse := fs.Bool("no-reuse", false, "disable query reuse (ablation)")
+	seed := fs.Int64("seed", 42, "random seed")
+	tcp := fs.Bool("tcp", false, "run collectives over loopback TCP instead of channels")
+	examples := fs.Int("examples", 2048, "training examples (synthetic dataset)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	hist, err := core.Train(core.TrainConfig{
+		Method:         *method,
+		Model:          *model,
+		Workers:        *workers,
+		BatchPerWorker: *batch,
+		Epochs:         *epochs,
+		LR:             *lr,
+		Momentum:       0.9,
+		WarmupEpochs:   maxInt(1, *epochs/8),
+		DecayEpochs:    []int{*epochs / 2, *epochs * 3 / 4},
+		Rank:           *rank,
+		TopKRatio:      *topk,
+		DisableEF:      *noEF,
+		DisableReuse:   *noReuse,
+		TrainExamples:  *examples,
+		TestExamples:   *examples / 4,
+		Seed:           *seed,
+		UseTCP:         *tcp,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acptrain: %v\n", err)
+		return 1
+	}
+	fmt.Printf("%-6s  %-8s  %-10s  %s\n", "epoch", "lr", "train-loss", "test-acc")
+	for _, s := range hist.Stats {
+		fmt.Printf("%-6d  %-8.5f  %-10.4f  %.2f%%\n", s.Epoch, s.LR, s.TrainLoss, 100*s.TestAcc)
+	}
+	fmt.Printf("final test accuracy: %.2f%% (best %.2f%%)\n", 100*hist.FinalTestAcc, 100*hist.BestTestAcc())
+	return 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

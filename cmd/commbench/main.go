@@ -1,0 +1,127 @@
+// Command commbench micro-benchmarks the real collective implementations
+// (ring all-reduce, all-gather) over the in-process and loopback-TCP
+// transports — the §II-A motivation measured on this machine instead of the
+// paper's 10GbE cluster:
+//
+//	commbench -workers 4 -sizes 1024,65536,1048576 -iters 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"acpsgd/internal/comm"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("commbench", flag.ContinueOnError)
+	workers := fs.Int("workers", 4, "group size")
+	sizesArg := fs.String("sizes", "1024,16384,262144,1048576", "comma-separated element counts")
+	iters := fs.Int("iters", 10, "iterations per size (after 2 warmups)")
+	tcp := fs.Bool("tcp", false, "use loopback TCP instead of in-process channels")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var sizes []int
+	for _, s := range strings.Split(*sizesArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "commbench: bad size %q\n", s)
+			return 2
+		}
+		sizes = append(sizes, n)
+	}
+
+	transport := "inproc"
+	if *tcp {
+		transport = "tcp"
+	}
+	fmt.Printf("transport=%s workers=%d iters=%d\n", transport, *workers, *iters)
+	fmt.Printf("%-10s  %-14s  %-14s\n", "elements", "allreduce", "allgather")
+	for _, n := range sizes {
+		ar, ag, err := benchOnce(*workers, n, *iters, *tcp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "commbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%-10d  %-14s  %-14s\n", n, ar, ag)
+	}
+	return 0
+}
+
+// benchOnce measures mean wall time of all-reduce and all-gather at one
+// payload size.
+func benchOnce(workers, elems, iters int, tcp bool) (time.Duration, time.Duration, error) {
+	var transports []comm.Transport
+	var err error
+	if tcp {
+		transports, err = comm.NewTCPGroup(workers)
+	} else {
+		transports, err = comm.NewInprocGroup(workers, 0)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		for _, t := range transports {
+			t.Close()
+		}
+	}()
+
+	run := func(op func(c *comm.Communicator, buf []float64, blob []byte) error) (time.Duration, error) {
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		start := time.Now()
+		for r := 0; r < workers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				c := comm.NewCommunicator(transports[r])
+				rng := rand.New(rand.NewSource(int64(r)))
+				buf := make([]float64, elems)
+				for i := range buf {
+					buf[i] = rng.NormFloat64()
+				}
+				blob := make([]byte, elems)
+				for it := 0; it < iters+2; it++ {
+					if err := op(c, buf, blob); err != nil {
+						errs[r] = err
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return 0, e
+			}
+		}
+		return time.Since(start) / time.Duration(iters+2), nil
+	}
+
+	ar, err := run(func(c *comm.Communicator, buf []float64, _ []byte) error {
+		return c.AllReduceSum(buf)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	ag, err := run(func(c *comm.Communicator, _ []float64, blob []byte) error {
+		_, err := c.AllGather(blob)
+		return err
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return ar, ag, nil
+}

@@ -1,0 +1,17 @@
+// Package acpsgd reproduces "Evaluation and Optimization of Gradient
+// Compression for Distributed Deep Learning" (Zhang et al., ICDCS 2023):
+// the ACP-SGD algorithm (alternate compressed Power-SGD with error feedback
+// and query reuse), the baselines it is evaluated against (S-SGD, Sign-SGD
+// with majority vote, Top-k SGD, Power-SGD), the system optimizations the
+// paper studies (ring all-reduce, wait-free back-propagation, tensor
+// fusion), and the full experiment harness that regenerates every table and
+// figure of the paper's evaluation.
+//
+// The user-facing API lives in internal/core (see the examples/ directory
+// and the cmd/ tools); DESIGN.md maps each paper experiment to the modules
+// and benchmarks that reproduce it, and EXPERIMENTS.md records measured
+// results against the paper's numbers.
+package acpsgd
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"

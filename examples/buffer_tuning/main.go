@@ -1,0 +1,48 @@
+// Buffer-size tuning study (paper Fig. 10 and §IV-B): sweep the tensor
+// fusion buffer size for Power-SGD* and ACP-SGD on BERT-Large and show why
+// ACP-SGD's compression-rate-scaled buffers make the 25MB default robust
+// across ranks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"acpsgd/internal/core"
+)
+
+func main() {
+	model := flag.String("model", "bert-large", "benchmark model")
+	flag.Parse()
+
+	sizesMB := []int{0, 5, 25, 50, 100, 500, 1000, 1500}
+	for _, rank := range []int{32, 256} {
+		fmt.Printf("%s, rank %d (32 GPUs, 10GbE):\n", *model, rank)
+		fmt.Printf("%-12s %-14s %-10s\n", "buffer(MB)", "Power-SGD*", "ACP-SGD")
+		for _, mb := range sizesMB {
+			row := make([]string, 0, 2)
+			for _, method := range []string{"power*", "acp"} {
+				cfg := core.IterationConfig{
+					Model:  *model,
+					Method: method,
+					Rank:   rank,
+				}
+				if mb == 0 {
+					cfg.NoFusion = true
+				} else {
+					cfg.BufferBytes = mb * 1024 * 1024
+				}
+				r, err := core.SimulateIteration(cfg)
+				if err != nil {
+					log.Fatalf("simulate: %v", err)
+				}
+				row = append(row, fmt.Sprintf("%.0fms", r.TotalSec*1e3))
+			}
+			fmt.Printf("%-12d %-14s %-10s\n", mb, row[0], row[1])
+		}
+		fmt.Println()
+	}
+	fmt.Println("ACP-SGD stays near its optimum across buffer sizes because the")
+	fmt.Println("compressed buffer budget is scaled by the compression rate (§IV-B).")
+}

@@ -1,0 +1,47 @@
+// Cluster scaling study (paper Figs. 12-13): sweep worker counts and
+// network fabrics on the testbed simulator and print iteration times for
+// S-SGD, Power-SGD* and ACP-SGD.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"acpsgd/internal/core"
+)
+
+func main() {
+	model := flag.String("model", "bert-base", "resnet50 | resnet152 | bert-base | bert-large")
+	flag.Parse()
+
+	cell := func(method, network string, workers int) string {
+		r, err := core.SimulateIteration(core.IterationConfig{
+			Model:   *model,
+			Method:  method,
+			Workers: workers,
+			Network: network,
+		})
+		if err != nil {
+			log.Fatalf("simulate: %v", err)
+		}
+		if r.OOM {
+			return "OOM"
+		}
+		return fmt.Sprintf("%.0fms", r.TotalSec*1e3)
+	}
+
+	fmt.Printf("Worker scaling on 10GbE (%s):\n", *model)
+	fmt.Printf("%-8s %-10s %-12s %-10s\n", "GPUs", "S-SGD", "Power-SGD*", "ACP-SGD")
+	for _, workers := range []int{8, 16, 32, 64, 128} {
+		fmt.Printf("%-8d %-10s %-12s %-10s\n",
+			workers, cell("ssgd", "10gbe", workers), cell("power*", "10gbe", workers), cell("acp", "10gbe", workers))
+	}
+
+	fmt.Printf("\nBandwidth sweep on 32 GPUs (%s):\n", *model)
+	fmt.Printf("%-8s %-10s %-12s %-10s\n", "Net", "S-SGD", "Power-SGD*", "ACP-SGD")
+	for _, network := range []string{"1gbe", "10gbe", "100gbib"} {
+		fmt.Printf("%-8s %-10s %-12s %-10s\n",
+			network, cell("ssgd", network, 32), cell("power*", network, 32), cell("acp", network, 32))
+	}
+}

@@ -1,0 +1,282 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Communicator layers collective operations over a Transport. Collectives
+// must be invoked by all ranks of the group in the same order (standard
+// SPMD semantics); within one rank a Communicator is not safe for concurrent
+// collective calls — callers such as the trainer serialize collectives on a
+// dedicated communication goroutine, exactly as the paper serializes NCCL
+// launches on a communication stream.
+type Communicator struct {
+	t Transport
+
+	// scratch buffers reused across calls to keep steady-state allocation low.
+	sendBuf []byte
+	recvFl  []float64
+}
+
+// NewCommunicator wraps a Transport.
+func NewCommunicator(t Transport) *Communicator { return &Communicator{t: t} }
+
+// Rank returns this rank.
+func (c *Communicator) Rank() int { return c.t.Rank() }
+
+// Size returns the group size.
+func (c *Communicator) Size() int { return c.t.Size() }
+
+// chunkRange returns the half-open element range of ring chunk i for a
+// vector of length n split across p chunks. Chunks differ in size by at most
+// one element and may be empty when n < p.
+func chunkRange(n, p, i int) (lo, hi int) {
+	return i * n / p, (i + 1) * n / p
+}
+
+func encodeFloats(dst []byte, src []float64) []byte {
+	need := 8 * len(src)
+	if cap(dst) < need {
+		dst = make([]byte, need)
+	}
+	dst = dst[:need]
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(v))
+	}
+	return dst
+}
+
+func decodeFloats(dst []float64, src []byte) ([]float64, error) {
+	if len(src)%8 != 0 {
+		return nil, fmt.Errorf("comm: float payload length %d not a multiple of 8", len(src))
+	}
+	n := len(src) / 8
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+	return dst, nil
+}
+
+// AllReduceSum sums buf element-wise across all ranks in place using the
+// ring algorithm: p-1 reduce-scatter steps followed by p-1 all-gather steps.
+// Total bytes moved per rank: 2*(p-1)/p * len(buf) * 8, matching the
+// bandwidth-optimal complexity in the paper's Table II.
+func (c *Communicator) AllReduceSum(buf []float64) error {
+	p := c.t.Size()
+	if p == 1 || len(buf) == 0 {
+		return nil
+	}
+	rank := c.t.Rank()
+	next := (rank + 1) % p
+	prev := (rank - 1 + p) % p
+
+	// Phase 1: reduce-scatter. After step s, the chunk (rank-s-1 mod p) on
+	// this rank holds partial sums of s+2 ranks. After p-1 steps, chunk
+	// (rank+1 mod p) is fully reduced here.
+	for s := 0; s < p-1; s++ {
+		sendChunk := ((rank-s)%p + p) % p
+		recvChunk := ((rank-s-1)%p + p) % p
+		slo, shi := chunkRange(len(buf), p, sendChunk)
+		c.sendBuf = encodeFloats(c.sendBuf, buf[slo:shi])
+		msg := make([]byte, len(c.sendBuf))
+		copy(msg, c.sendBuf)
+		if err := c.t.Send(next, msg); err != nil {
+			return fmt.Errorf("comm: all-reduce rs send step %d: %w", s, err)
+		}
+		data, err := c.t.Recv(prev)
+		if err != nil {
+			return fmt.Errorf("comm: all-reduce rs recv step %d: %w", s, err)
+		}
+		rlo, rhi := chunkRange(len(buf), p, recvChunk)
+		var vals []float64
+		vals, err = decodeFloats(c.recvFl, data)
+		if err != nil {
+			return err
+		}
+		c.recvFl = vals
+		if len(vals) != rhi-rlo {
+			return fmt.Errorf("comm: all-reduce rs chunk size %d, want %d", len(vals), rhi-rlo)
+		}
+		for i, v := range vals {
+			buf[rlo+i] += v
+		}
+	}
+
+	// Phase 2: all-gather the reduced chunks around the ring.
+	for s := 0; s < p-1; s++ {
+		sendChunk := ((rank+1-s)%p + p) % p
+		recvChunk := ((rank-s)%p + p) % p
+		slo, shi := chunkRange(len(buf), p, sendChunk)
+		c.sendBuf = encodeFloats(c.sendBuf, buf[slo:shi])
+		msg := make([]byte, len(c.sendBuf))
+		copy(msg, c.sendBuf)
+		if err := c.t.Send(next, msg); err != nil {
+			return fmt.Errorf("comm: all-reduce ag send step %d: %w", s, err)
+		}
+		data, err := c.t.Recv(prev)
+		if err != nil {
+			return fmt.Errorf("comm: all-reduce ag recv step %d: %w", s, err)
+		}
+		rlo, rhi := chunkRange(len(buf), p, recvChunk)
+		vals, err := decodeFloats(c.recvFl, data)
+		if err != nil {
+			return err
+		}
+		c.recvFl = vals
+		if len(vals) != rhi-rlo {
+			return fmt.Errorf("comm: all-reduce ag chunk size %d, want %d", len(vals), rhi-rlo)
+		}
+		copy(buf[rlo:rhi], vals)
+	}
+	return nil
+}
+
+// AllReduceMean is AllReduceSum followed by division by the group size.
+func (c *Communicator) AllReduceMean(buf []float64) error {
+	if err := c.AllReduceSum(buf); err != nil {
+		return err
+	}
+	inv := 1 / float64(c.t.Size())
+	for i := range buf {
+		buf[i] *= inv
+	}
+	return nil
+}
+
+// NaiveAllReduceSum is the gather-to-root + broadcast baseline (no ring).
+// Its root-link traffic is linear in p; it exists for tests and to contrast
+// with the ring implementation, as the paper contrasts naive aggregation
+// with ring all-reduce.
+func (c *Communicator) NaiveAllReduceSum(buf []float64) error {
+	p := c.t.Size()
+	if p == 1 || len(buf) == 0 {
+		return nil
+	}
+	rank := c.t.Rank()
+	if rank == 0 {
+		for src := 1; src < p; src++ {
+			data, err := c.t.Recv(src)
+			if err != nil {
+				return fmt.Errorf("comm: naive recv from %d: %w", src, err)
+			}
+			vals, err := decodeFloats(c.recvFl, data)
+			if err != nil {
+				return err
+			}
+			c.recvFl = vals
+			if len(vals) != len(buf) {
+				return fmt.Errorf("comm: naive length %d, want %d", len(vals), len(buf))
+			}
+			for i, v := range vals {
+				buf[i] += v
+			}
+		}
+		for dst := 1; dst < p; dst++ {
+			msg := encodeFloats(nil, buf)
+			if err := c.t.Send(dst, msg); err != nil {
+				return fmt.Errorf("comm: naive send to %d: %w", dst, err)
+			}
+		}
+		return nil
+	}
+	msg := encodeFloats(nil, buf)
+	if err := c.t.Send(0, msg); err != nil {
+		return fmt.Errorf("comm: naive send to root: %w", err)
+	}
+	data, err := c.t.Recv(0)
+	if err != nil {
+		return fmt.Errorf("comm: naive recv from root: %w", err)
+	}
+	vals, err := decodeFloats(nil, data)
+	if err != nil {
+		return err
+	}
+	if len(vals) != len(buf) {
+		return fmt.Errorf("comm: naive bcast length %d, want %d", len(vals), len(buf))
+	}
+	copy(buf, vals)
+	return nil
+}
+
+// AllGather collects every rank's byte payload; result[r] is rank r's
+// payload (result[self] aliases local). Payload sizes may differ per rank —
+// this is what Sign-SGD and Top-k SGD need, and its per-rank traffic is
+// (p-1)*N as in Table II.
+func (c *Communicator) AllGather(local []byte) ([][]byte, error) {
+	p := c.t.Size()
+	rank := c.t.Rank()
+	out := make([][]byte, p)
+	out[rank] = local
+	if p == 1 {
+		return out, nil
+	}
+	// Pairwise exchange: at offset d, send to rank+d, receive from rank-d.
+	for d := 1; d < p; d++ {
+		to := (rank + d) % p
+		from := (rank - d + p) % p
+		msg := make([]byte, len(local))
+		copy(msg, local)
+		if err := c.t.Send(to, msg); err != nil {
+			return nil, fmt.Errorf("comm: all-gather send to %d: %w", to, err)
+		}
+		data, err := c.t.Recv(from)
+		if err != nil {
+			return nil, fmt.Errorf("comm: all-gather recv from %d: %w", from, err)
+		}
+		out[from] = data
+	}
+	return out, nil
+}
+
+// Broadcast copies buf from root to every rank in place (flat tree: root
+// sends to each peer directly).
+func (c *Communicator) Broadcast(buf []float64, root int) error {
+	p := c.t.Size()
+	if root < 0 || root >= p {
+		return fmt.Errorf("comm: broadcast root %d out of range", root)
+	}
+	if p == 1 {
+		return nil
+	}
+	if c.t.Rank() == root {
+		for dst := 0; dst < p; dst++ {
+			if dst == root {
+				continue
+			}
+			msg := encodeFloats(nil, buf)
+			if err := c.t.Send(dst, msg); err != nil {
+				return fmt.Errorf("comm: broadcast send to %d: %w", dst, err)
+			}
+		}
+		return nil
+	}
+	data, err := c.t.Recv(root)
+	if err != nil {
+		return fmt.Errorf("comm: broadcast recv: %w", err)
+	}
+	vals, err := decodeFloats(nil, data)
+	if err != nil {
+		return err
+	}
+	if len(vals) != len(buf) {
+		return fmt.Errorf("comm: broadcast length %d, want %d", len(vals), len(buf))
+	}
+	copy(buf, vals)
+	return nil
+}
+
+// Barrier blocks until all ranks have entered it (all-gather of empty
+// payloads).
+func (c *Communicator) Barrier() error {
+	_, err := c.AllGather(nil)
+	if err != nil {
+		return fmt.Errorf("comm: barrier: %w", err)
+	}
+	return nil
+}

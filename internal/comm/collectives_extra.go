@@ -1,0 +1,153 @@
+package comm
+
+import (
+	"fmt"
+)
+
+// ReduceScatterSum runs the reduce-scatter half of the ring algorithm: on
+// return, every rank's own chunk (chunk index == (rank+1) mod p, matching
+// the ring schedule) holds the element-wise sum across ranks, and the
+// function returns that chunk's bounds. Only the owned chunk of buf is
+// meaningful afterwards. This is the primitive sparse-sum designs build on
+// (paper [22,33]).
+func (c *Communicator) ReduceScatterSum(buf []float64) (lo, hi int, err error) {
+	p := c.t.Size()
+	rank := c.t.Rank()
+	owned := (rank + 1) % p
+	lo, hi = chunkRange(len(buf), p, owned)
+	if p == 1 || len(buf) == 0 {
+		return lo, hi, nil
+	}
+	next := (rank + 1) % p
+	prev := (rank - 1 + p) % p
+	for s := 0; s < p-1; s++ {
+		sendChunk := ((rank-s)%p + p) % p
+		recvChunk := ((rank-s-1)%p + p) % p
+		slo, shi := chunkRange(len(buf), p, sendChunk)
+		c.sendBuf = encodeFloats(c.sendBuf, buf[slo:shi])
+		msg := make([]byte, len(c.sendBuf))
+		copy(msg, c.sendBuf)
+		if err := c.t.Send(next, msg); err != nil {
+			return 0, 0, fmt.Errorf("comm: reduce-scatter send step %d: %w", s, err)
+		}
+		data, err := c.t.Recv(prev)
+		if err != nil {
+			return 0, 0, fmt.Errorf("comm: reduce-scatter recv step %d: %w", s, err)
+		}
+		rlo, rhi := chunkRange(len(buf), p, recvChunk)
+		vals, err := decodeFloats(c.recvFl, data)
+		if err != nil {
+			return 0, 0, err
+		}
+		c.recvFl = vals
+		if len(vals) != rhi-rlo {
+			return 0, 0, fmt.Errorf("comm: reduce-scatter chunk size %d, want %d", len(vals), rhi-rlo)
+		}
+		for i, v := range vals {
+			buf[rlo+i] += v
+		}
+	}
+	return lo, hi, nil
+}
+
+// RingAllGatherFloats distributes equal-length per-rank float chunks around
+// the ring (bandwidth-optimal all-gather: (p-1)/p * total volume per link).
+// local is this rank's contribution; the result has rank r's chunk at
+// index r.
+func (c *Communicator) RingAllGatherFloats(local []float64) ([][]float64, error) {
+	p := c.t.Size()
+	rank := c.t.Rank()
+	out := make([][]float64, p)
+	out[rank] = append([]float64(nil), local...)
+	if p == 1 {
+		return out, nil
+	}
+	next := (rank + 1) % p
+	prev := (rank - 1 + p) % p
+	// At step s, forward the chunk originally owned by (rank - s) mod p.
+	for s := 0; s < p-1; s++ {
+		sendOwner := ((rank-s)%p + p) % p
+		msg := encodeFloats(nil, out[sendOwner])
+		if err := c.t.Send(next, msg); err != nil {
+			return nil, fmt.Errorf("comm: ring all-gather send step %d: %w", s, err)
+		}
+		data, err := c.t.Recv(prev)
+		if err != nil {
+			return nil, fmt.Errorf("comm: ring all-gather recv step %d: %w", s, err)
+		}
+		recvOwner := ((rank-s-1)%p + p) % p
+		vals, err := decodeFloats(nil, data)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != len(local) {
+			return nil, fmt.Errorf("comm: ring all-gather chunk length %d, want %d", len(vals), len(local))
+		}
+		out[recvOwner] = vals
+	}
+	return out, nil
+}
+
+// ExchangeWith sends data to peer and receives peer's payload (a symmetric
+// pairwise exchange — both ranks must call it with each other as peer).
+// This is the building block of hypercube patterns such as gTop-k's
+// merge-and-truncate reduction.
+func (c *Communicator) ExchangeWith(peer int, data []byte) ([]byte, error) {
+	msg := make([]byte, len(data))
+	copy(msg, data)
+	if err := c.t.Send(peer, msg); err != nil {
+		return nil, fmt.Errorf("comm: exchange send to %d: %w", peer, err)
+	}
+	got, err := c.t.Recv(peer)
+	if err != nil {
+		return nil, fmt.Errorf("comm: exchange recv from %d: %w", peer, err)
+	}
+	return got, nil
+}
+
+// TreeBroadcast distributes buf from root along a binomial tree:
+// ceil(log2 p) rounds instead of the flat broadcast's p-1 sends from the
+// root, the latency-optimal shape for small payloads.
+func (c *Communicator) TreeBroadcast(buf []float64, root int) error {
+	p := c.t.Size()
+	if root < 0 || root >= p {
+		return fmt.Errorf("comm: tree broadcast root %d out of range", root)
+	}
+	if p == 1 {
+		return nil
+	}
+	// Work in a rotated space where root is rank 0.
+	vrank := (c.t.Rank() - root + p) % p
+
+	// Receive phase: a non-root vrank receives from vrank - lowestSetBit.
+	if vrank != 0 {
+		from := (vrank&(vrank-1) + root) % p
+		data, err := c.t.Recv(from)
+		if err != nil {
+			return fmt.Errorf("comm: tree broadcast recv: %w", err)
+		}
+		vals, err := decodeFloats(nil, data)
+		if err != nil {
+			return err
+		}
+		if len(vals) != len(buf) {
+			return fmt.Errorf("comm: tree broadcast length %d, want %d", len(vals), len(buf))
+		}
+		copy(buf, vals)
+	}
+
+	// Send phase: forward to vrank + 2^k for every k above our lowest set
+	// bit (root forwards to 1, 2, 4, ...).
+	low := vrank & (-vrank)
+	if vrank == 0 {
+		low = 1 << 30
+	}
+	for bit := 1; bit < low && vrank+bit < p; bit <<= 1 {
+		to := (vrank + bit + root) % p
+		msg := encodeFloats(nil, buf)
+		if err := c.t.Send(to, msg); err != nil {
+			return fmt.Errorf("comm: tree broadcast send: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// tcpTransport is a full-mesh TCP transport: every pair of ranks shares one
+// TCP connection (dialed by the lower rank). Each connection has a reader
+// goroutine that demultiplexes incoming frames into a per-peer inbox and a
+// writer goroutine draining a per-peer outbox, so Send never blocks on the
+// peer's Recv (the non-blocking guarantee collectives need).
+//
+// Frames are length-prefixed: 4-byte big-endian length followed by payload.
+type tcpTransport struct {
+	rank, size int
+
+	conns   []net.Conn
+	inbox   []chan []byte
+	outbox  []chan []byte
+	closeMu sync.Mutex
+	closed  chan struct{}
+	wg      sync.WaitGroup
+}
+
+const tcpInboxDepth = 256
+
+// NewTCPGroup starts a TCP transport group of p ranks on the loopback
+// interface and returns one Transport per rank. It is intended for tests and
+// examples that want real sockets; multi-machine deployment would construct
+// transports from explicit address lists via newTCPTransport-style wiring.
+func NewTCPGroup(p int) ([]Transport, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("comm: group size must be positive, got %d", p)
+	}
+	// One listener per rank on an ephemeral port.
+	listeners := make([]net.Listener, p)
+	addrs := make([]string, p)
+	for i := 0; i < p; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				listeners[j].Close()
+			}
+			return nil, fmt.Errorf("comm: listen rank %d: %w", i, err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+
+	transports := make([]*tcpTransport, p)
+	for r := 0; r < p; r++ {
+		transports[r] = &tcpTransport{
+			rank:   r,
+			size:   p,
+			conns:  make([]net.Conn, p),
+			inbox:  make([]chan []byte, p),
+			outbox: make([]chan []byte, p),
+			closed: make(chan struct{}),
+		}
+		for q := 0; q < p; q++ {
+			if q != r {
+				transports[r].inbox[q] = make(chan []byte, tcpInboxDepth)
+				transports[r].outbox[q] = make(chan []byte, tcpInboxDepth)
+			}
+		}
+	}
+
+	// Accept loop per rank: expect a hello frame carrying the dialer's rank.
+	var acceptWG sync.WaitGroup
+	acceptErr := make([]error, p)
+	for r := 0; r < p; r++ {
+		expected := r // ranks below r dial us
+		acceptWG.Add(1)
+		go func(r int) {
+			defer acceptWG.Done()
+			for n := 0; n < expected; n++ {
+				conn, err := listeners[r].Accept()
+				if err != nil {
+					acceptErr[r] = fmt.Errorf("comm: accept rank %d: %w", r, err)
+					return
+				}
+				var hdr [4]byte
+				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+					acceptErr[r] = fmt.Errorf("comm: hello rank %d: %w", r, err)
+					return
+				}
+				peer := int(binary.BigEndian.Uint32(hdr[:]))
+				if peer < 0 || peer >= p || peer == r {
+					acceptErr[r] = fmt.Errorf("comm: bad hello rank %d from peer %d", r, peer)
+					return
+				}
+				transports[r].conns[peer] = conn
+			}
+		}(r)
+	}
+
+	// Dial: rank i dials every rank j > i.
+	var dialErrMu sync.Mutex
+	var dialErr error
+	var dialWG sync.WaitGroup
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			dialWG.Add(1)
+			go func(i, j int) {
+				defer dialWG.Done()
+				conn, err := net.Dial("tcp", addrs[j])
+				if err == nil {
+					var hdr [4]byte
+					binary.BigEndian.PutUint32(hdr[:], uint32(i))
+					_, err = conn.Write(hdr[:])
+				}
+				if err != nil {
+					dialErrMu.Lock()
+					if dialErr == nil {
+						dialErr = fmt.Errorf("comm: dial %d->%d: %w", i, j, err)
+					}
+					dialErrMu.Unlock()
+					return
+				}
+				transports[i].conns[j] = conn
+			}(i, j)
+		}
+	}
+	dialWG.Wait()
+	acceptWG.Wait()
+	for i := 0; i < p; i++ {
+		listeners[i].Close()
+		if acceptErr[i] != nil && dialErr == nil {
+			dialErr = acceptErr[i]
+		}
+	}
+	if dialErr != nil {
+		for _, t := range transports {
+			t.Close()
+		}
+		return nil, dialErr
+	}
+
+	out := make([]Transport, p)
+	for r, t := range transports {
+		t.startIO()
+		out[r] = t
+	}
+	return out, nil
+}
+
+// startIO launches the reader and writer goroutines for every peer link.
+func (t *tcpTransport) startIO() {
+	for q := 0; q < t.size; q++ {
+		if q == t.rank || t.conns[q] == nil {
+			continue
+		}
+		conn := t.conns[q]
+		in := t.inbox[q]
+		out := t.outbox[q]
+		t.wg.Add(2)
+		go func() { // reader
+			defer t.wg.Done()
+			for {
+				var hdr [4]byte
+				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+					return
+				}
+				n := binary.BigEndian.Uint32(hdr[:])
+				buf := make([]byte, n)
+				if _, err := io.ReadFull(conn, buf); err != nil {
+					return
+				}
+				select {
+				case in <- buf:
+				case <-t.closed:
+					return
+				}
+			}
+		}()
+		go func() { // writer
+			defer t.wg.Done()
+			var hdr [4]byte
+			for {
+				select {
+				case msg := <-out:
+					binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+					if _, err := conn.Write(hdr[:]); err != nil {
+						return
+					}
+					if _, err := conn.Write(msg); err != nil {
+						return
+					}
+				case <-t.closed:
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (t *tcpTransport) Rank() int { return t.rank }
+func (t *tcpTransport) Size() int { return t.size }
+
+func (t *tcpTransport) Send(to int, data []byte) error {
+	if to < 0 || to >= t.size || to == t.rank {
+		return fmt.Errorf("comm: bad peer %d", to)
+	}
+	select {
+	case t.outbox[to] <- data:
+		return nil
+	case <-t.closed:
+		return ErrClosed
+	}
+}
+
+func (t *tcpTransport) Recv(from int) ([]byte, error) {
+	if from < 0 || from >= t.size || from == t.rank {
+		return nil, fmt.Errorf("comm: bad peer %d", from)
+	}
+	select {
+	case msg := <-t.inbox[from]:
+		return msg, nil
+	case <-t.closed:
+		select {
+		case msg := <-t.inbox[from]:
+			return msg, nil
+		default:
+		}
+		return nil, ErrClosed
+	}
+}
+
+func (t *tcpTransport) Close() error {
+	t.closeMu.Lock()
+	select {
+	case <-t.closed:
+		t.closeMu.Unlock()
+		return nil
+	default:
+		close(t.closed)
+	}
+	t.closeMu.Unlock()
+	for _, c := range t.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,137 @@
+// Package comm implements the communication substrate the paper's methods
+// run on: point-to-point transports (in-process channels and TCP via the
+// stdlib net package) and the collective operations distributed S-SGD and
+// gradient compression rely on — ring all-reduce (reduce-scatter +
+// all-gather phases, the bandwidth-optimal algorithm NCCL uses), all-gather
+// for non-additive compressed payloads (Sign-SGD, Top-k), broadcast, and
+// barrier.
+package comm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is returned by transport operations after Close.
+var ErrClosed = errors.New("comm: transport closed")
+
+// Transport provides FIFO point-to-point messaging between the ranks of a
+// fixed-size group. Implementations must guarantee that Send does not block
+// waiting for the peer to call Recv (internal buffering), so that collective
+// schedules may post all sends of a step before receiving. A Transport value
+// is owned by a single rank; methods are not safe for concurrent use except
+// where documented.
+type Transport interface {
+	// Rank returns this participant's rank in [0, Size).
+	Rank() int
+	// Size returns the number of participants.
+	Size() int
+	// Send enqueues data for delivery to rank `to`. The slice is owned by
+	// the transport after the call returns.
+	Send(to int, data []byte) error
+	// Recv blocks until the next message from rank `from` arrives and
+	// returns it.
+	Recv(from int) ([]byte, error)
+	// Close releases transport resources. Pending Recv calls fail.
+	Close() error
+}
+
+// inprocGroup is the shared state of an in-process transport group: a full
+// mesh of buffered channels.
+type inprocGroup struct {
+	size  int
+	chans [][]chan []byte // chans[from][to]
+	done  chan struct{}
+}
+
+// inprocTransport is one rank's endpoint of an inprocGroup.
+type inprocTransport struct {
+	g    *inprocGroup
+	rank int
+}
+
+// NewInprocGroup creates an in-process transport group of p ranks backed by
+// buffered Go channels. It returns one Transport per rank. buffering is the
+// per-pair channel capacity; values <= 0 default to 64 messages, ample for
+// ring schedules where at most one message per pair per step is in flight.
+func NewInprocGroup(p, buffering int) ([]Transport, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("comm: group size must be positive, got %d", p)
+	}
+	if buffering <= 0 {
+		buffering = 64
+	}
+	g := &inprocGroup{
+		size:  p,
+		chans: make([][]chan []byte, p),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < p; i++ {
+		g.chans[i] = make([]chan []byte, p)
+		for j := 0; j < p; j++ {
+			if i != j {
+				g.chans[i][j] = make(chan []byte, buffering)
+			}
+		}
+	}
+	out := make([]Transport, p)
+	for r := 0; r < p; r++ {
+		out[r] = &inprocTransport{g: g, rank: r}
+	}
+	return out, nil
+}
+
+func (t *inprocTransport) Rank() int { return t.rank }
+func (t *inprocTransport) Size() int { return t.g.size }
+
+func (t *inprocTransport) Send(to int, data []byte) error {
+	if err := t.checkPeer(to); err != nil {
+		return err
+	}
+	select {
+	case t.g.chans[t.rank][to] <- data:
+		return nil
+	case <-t.g.done:
+		return ErrClosed
+	}
+}
+
+func (t *inprocTransport) Recv(from int) ([]byte, error) {
+	if err := t.checkPeer(from); err != nil {
+		return nil, err
+	}
+	select {
+	case data := <-t.g.chans[from][t.rank]:
+		return data, nil
+	case <-t.g.done:
+		// Drain any message that raced with close.
+		select {
+		case data := <-t.g.chans[from][t.rank]:
+			return data, nil
+		default:
+		}
+		return nil, ErrClosed
+	}
+}
+
+func (t *inprocTransport) checkPeer(peer int) error {
+	if peer < 0 || peer >= t.g.size {
+		return fmt.Errorf("comm: peer rank %d out of range [0,%d)", peer, t.g.size)
+	}
+	if peer == t.rank {
+		return fmt.Errorf("comm: rank %d cannot message itself", t.rank)
+	}
+	return nil
+}
+
+// Close shuts the whole group down. Closing any endpoint closes the group;
+// this mirrors collective job semantics where one failed rank aborts all.
+func (t *inprocTransport) Close() error {
+	select {
+	case <-t.g.done:
+		return nil
+	default:
+		close(t.g.done)
+		return nil
+	}
+}

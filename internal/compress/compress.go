@@ -1,0 +1,169 @@
+// Package compress implements the gradient compression methods the paper
+// evaluates and the one it contributes:
+//
+//   - Sign-SGD with majority vote (quantization; §II-B.1)
+//   - Top-k SGD with multi-sampling threshold selection (sparsification;
+//     §II-B.2, footnote 2), plus the Random-k contrast baseline
+//   - Power-SGD (low-rank power iteration; §II-B.3, Algorithm 1)
+//   - ACP-SGD (alternate compressed Power-SGD with error feedback and query
+//     reuse; §IV, Algorithms 1–2) — the paper's contribution
+//
+// Compressors are per-tensor, per-worker state machines. They are split along
+// the communication-pattern boundary the paper's §III-C analysis draws:
+// additive compressors produce float payloads that can be summed by ring
+// all-reduce (S-SGD identity, ACP-SGD), gather compressors produce opaque
+// byte payloads that must be all-gathered (Sign-SGD, Top-k), and blocking
+// compressors interleave computation with two all-reduce rounds in a single
+// step (Power-SGD).
+package compress
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Method identifies a gradient aggregation method.
+type Method int
+
+// Methods, in the order the paper introduces them.
+const (
+	SSGD Method = iota + 1
+	SignSGD
+	TopKSGD
+	RandomKSGD
+	PowerSGDMethod
+	ACPSGDMethod
+	QSGDMethod
+	TernGradMethod
+	GTopKSGD
+)
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	switch m {
+	case SSGD:
+		return "S-SGD"
+	case SignSGD:
+		return "Sign-SGD"
+	case TopKSGD:
+		return "Top-k SGD"
+	case RandomKSGD:
+		return "Random-k SGD"
+	case PowerSGDMethod:
+		return "Power-SGD"
+	case ACPSGDMethod:
+		return "ACP-SGD"
+	case QSGDMethod:
+		return "QSGD"
+	case TernGradMethod:
+		return "TernGrad"
+	case GTopKSGD:
+		return "gTop-k SGD"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod maps a CLI-friendly name to a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "ssgd", "sgd", "s-sgd":
+		return SSGD, nil
+	case "sign", "signsgd", "sign-sgd":
+		return SignSGD, nil
+	case "topk", "top-k":
+		return TopKSGD, nil
+	case "randomk", "random-k":
+		return RandomKSGD, nil
+	case "power", "powersgd", "power-sgd":
+		return PowerSGDMethod, nil
+	case "acp", "acpsgd", "acp-sgd":
+		return ACPSGDMethod, nil
+	case "qsgd":
+		return QSGDMethod, nil
+	case "terngrad", "tern":
+		return TernGradMethod, nil
+	case "gtopk", "g-topk", "gtop-k":
+		return GTopKSGD, nil
+	default:
+		return 0, fmt.Errorf("compress: unknown method %q", s)
+	}
+}
+
+// AdditiveCompressor produces summable float payloads, the property (§III-C
+// "additive communication") that enables ring all-reduce. Implementations
+// are stateful per tensor and per worker.
+type AdditiveCompressor interface {
+	// Compress consumes the local gradient for this step and returns the
+	// payload to be summed across workers. The returned slice is owned by
+	// the compressor and valid until the next call.
+	Compress(step int, grad []float64) []float64
+	// Finalize consumes the aggregated (summed) payload and writes the
+	// decompressed global mean gradient over grad. p is the worker count.
+	Finalize(step int, aggregated []float64, p int, grad []float64)
+	// PayloadLen reports the payload length for this step (constant for
+	// S-SGD, alternating |P| / |Q| for ACP-SGD).
+	PayloadLen(step int) int
+}
+
+// GatherCompressor produces opaque byte payloads that are all-gathered
+// (Sign-SGD, Top-k): compressed values from different workers cannot be
+// summed in transit (§III-C).
+type GatherCompressor interface {
+	// Encode compresses the local gradient for this step.
+	Encode(step int, grad []float64) []byte
+	// Decode merges every worker's payload into the global mean gradient,
+	// written over grad.
+	Decode(step int, blobs [][]byte, grad []float64) error
+}
+
+// Collectives is the slice of communicator functionality compressors and the
+// trainer need; *comm.Communicator satisfies it.
+type Collectives interface {
+	AllReduceSum(buf []float64) error
+	AllGather(local []byte) ([][]byte, error)
+	Size() int
+}
+
+// BlockingCompressor runs a whole compress→aggregate→decompress step with
+// interleaved communication (Power-SGD's compute P → all-reduce P →
+// compute Q → all-reduce Q chain, which is what blocks WFBP; §III-C).
+type BlockingCompressor interface {
+	// CompressStep replaces grad with the aggregated mean gradient.
+	CompressStep(step int, grad []float64, c Collectives) error
+}
+
+// Identity is the S-SGD "compressor": the payload is the gradient itself.
+type Identity struct {
+	buf []float64
+}
+
+var _ AdditiveCompressor = (*Identity)(nil)
+
+// NewIdentity returns the S-SGD pass-through for a tensor of n elements.
+func NewIdentity(n int) *Identity { return &Identity{buf: make([]float64, n)} }
+
+// Compress copies the gradient into the payload buffer.
+func (id *Identity) Compress(_ int, grad []float64) []float64 {
+	copy(id.buf, grad)
+	return id.buf
+}
+
+// Finalize writes the aggregated mean into grad.
+func (id *Identity) Finalize(_ int, aggregated []float64, p int, grad []float64) {
+	inv := 1 / float64(p)
+	for i, v := range aggregated {
+		grad[i] = v * inv
+	}
+}
+
+// PayloadLen returns the tensor size.
+func (id *Identity) PayloadLen(int) int { return len(id.buf) }
+
+// newSeededRNG derives a deterministic RNG shared by all workers for a given
+// tensor, so randomized initializations (Power-SGD/ACP Q₀, P₀) agree across
+// ranks without communication — the paper's implementations achieve the same
+// with a shared seed.
+func newSeededRNG(tensorID int64) *rand.Rand {
+	return rand.New(rand.NewSource(0x5eed<<32 ^ tensorID))
+}

@@ -1,0 +1,186 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PairwiseCollectives extends Collectives with the symmetric exchange
+// primitive hypercube reductions need; *comm.Communicator satisfies it.
+type PairwiseCollectives interface {
+	Collectives
+	Rank() int
+	ExchangeWith(peer int, data []byte) ([]byte, error)
+}
+
+// GTopK implements global Top-k SGD (Shi et al., the paper's reference
+// [33]): instead of all-gathering every worker's local top-k (whose union
+// grows with the worker count), workers run a hypercube merge-and-truncate
+// reduction — log2(p) rounds of pairwise sparse exchange, summing
+// coincident coordinates and keeping only the k largest — so the final
+// update has exactly k global coordinates and the per-round traffic stays
+// O(k). The paper's related-work section contrasts this family with
+// statistical local selection; implementing it lets the repository compare
+// both. Requires a power-of-two worker count; other sizes fall back to the
+// all-gather path.
+type GTopK struct {
+	n, k     int
+	inner    *TopK // local selection + EF storage
+	adjusted []float64
+}
+
+// NewGTopK builds a gTop-k compressor selecting k coordinates globally.
+func NewGTopK(n, k int, useEF bool, tensorID int64) *GTopK {
+	return &GTopK{
+		n:        n,
+		k:        k,
+		inner:    NewTopK(n, k, SelectExact, useEF, tensorID),
+		adjusted: make([]float64, n),
+	}
+}
+
+// K returns the global coordinate budget.
+func (g *GTopK) K() int { return g.inner.K() }
+
+// sparsePair mirrors the Top-k wire format.
+type sparsePair struct {
+	idx int
+	val float64
+}
+
+func encodePairs(pairs []sparsePair) []byte {
+	out := make([]byte, len(pairs)*topkPairBytes)
+	for i, p := range pairs {
+		binary.LittleEndian.PutUint32(out[i*topkPairBytes:], uint32(p.idx))
+		binary.LittleEndian.PutUint64(out[i*topkPairBytes+4:], math.Float64bits(p.val))
+	}
+	return out
+}
+
+func decodePairs(b []byte, n int) ([]sparsePair, error) {
+	if len(b)%topkPairBytes != 0 {
+		return nil, fmt.Errorf("compress: gtopk payload length %d not a pair multiple", len(b))
+	}
+	out := make([]sparsePair, len(b)/topkPairBytes)
+	for i := range out {
+		idx := int(binary.LittleEndian.Uint32(b[i*topkPairBytes:]))
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("compress: gtopk index %d out of range [0,%d)", idx, n)
+		}
+		out[i] = sparsePair{
+			idx: idx,
+			val: math.Float64frombits(binary.LittleEndian.Uint64(b[i*topkPairBytes+4:])),
+		}
+	}
+	return out, nil
+}
+
+// mergeTruncate sums coincident coordinates of a and b and keeps the k
+// largest magnitudes, deterministically (ties broken by index) so both
+// sides of an exchange compute identical results.
+func mergeTruncate(a, b []sparsePair, k int) []sparsePair {
+	sum := make(map[int]float64, len(a)+len(b))
+	for _, p := range a {
+		sum[p.idx] += p.val
+	}
+	for _, p := range b {
+		sum[p.idx] += p.val
+	}
+	merged := make([]sparsePair, 0, len(sum))
+	for idx, val := range sum {
+		merged = append(merged, sparsePair{idx: idx, val: val})
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		ai, aj := math.Abs(merged[i].val), math.Abs(merged[j].val)
+		if ai != aj {
+			return ai > aj
+		}
+		return merged[i].idx < merged[j].idx
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	// Canonical index order for deterministic wire bytes.
+	sort.Slice(merged, func(i, j int) bool { return merged[i].idx < merged[j].idx })
+	return merged
+}
+
+// CompressStep replaces grad with the global mean restricted to the global
+// top-k coordinate set.
+func (g *GTopK) CompressStep(step int, grad []float64, c PairwiseCollectives) error {
+	if len(grad) != g.n {
+		return fmt.Errorf("compress: gtopk grad length %d, want %d", len(grad), g.n)
+	}
+	p := c.Size()
+
+	// Local selection via the inner Top-k (handles EF accumulation). The
+	// inner encoder consumed the selected mass from its error memory; any
+	// coordinate that loses the global tournament is re-credited below.
+	blob := g.inner.Encode(step, grad)
+	local, err := decodePairs(blob, g.n)
+	if err != nil {
+		return err
+	}
+
+	var global []sparsePair
+	if p&(p-1) == 0 && p > 1 {
+		// Hypercube merge-and-truncate: after log2(p) symmetric rounds all
+		// ranks hold the same k global coordinates.
+		cur := local
+		for dist := 1; dist < p; dist <<= 1 {
+			peer := c.Rank() ^ dist
+			theirs, err := c.ExchangeWith(peer, encodePairs(cur))
+			if err != nil {
+				return fmt.Errorf("compress: gtopk exchange: %w", err)
+			}
+			theirPairs, err := decodePairs(theirs, g.n)
+			if err != nil {
+				return err
+			}
+			cur = mergeTruncate(cur, theirPairs, g.inner.K())
+		}
+		global = cur
+	} else {
+		// Fallback for non-power-of-two sizes: all-gather then one global
+		// merge-truncate (everyone computes the same deterministic result).
+		blobs, err := c.AllGather(blob)
+		if err != nil {
+			return fmt.Errorf("compress: gtopk all-gather: %w", err)
+		}
+		for _, b := range blobs {
+			pairs, err := decodePairs(b, g.n)
+			if err != nil {
+				return err
+			}
+			global = mergeTruncate(global, pairs, g.inner.K())
+		}
+	}
+
+	// Re-credit the error memory with local mass whose coordinate lost the
+	// tournament (it was consumed by the inner encoder but never shipped).
+	if g.inner.useEF {
+		kept := make(map[int]struct{}, len(global))
+		for _, pr := range global {
+			kept[pr.idx] = struct{}{}
+		}
+		for _, pr := range local {
+			if _, ok := kept[pr.idx]; !ok {
+				g.inner.err[pr.idx] += pr.val
+			}
+		}
+	}
+
+	for i := range grad {
+		grad[i] = 0
+	}
+	inv := 1 / float64(p)
+	for _, pr := range global {
+		grad[pr.idx] = pr.val * inv
+	}
+	return nil
+}
+
+// ErrorNorm exposes the inner EF diagnostics.
+func (g *GTopK) ErrorNorm() float64 { return g.inner.ErrorNorm() }

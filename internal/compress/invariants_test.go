@@ -1,0 +1,138 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// These property tests pin the error-feedback conservation law shared by the
+// biased compressors: transmitted mass plus residual memory always equals
+// the adjusted input (gradient + previous residual). EF convergence theory
+// rests on exactly this bookkeeping.
+
+func TestTopKEFConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(60)
+		k := 1 + rng.Intn(n)
+		tk := NewTopK(n, k, SelectExact, true, seed)
+		// Run a few steps with fresh gradients, checking conservation at
+		// each: decoded(local) + err == grad + prevErr.
+		prevErr := make([]float64, n)
+		for step := 0; step < 3; step++ {
+			grad := make([]float64, n)
+			adj := make([]float64, n)
+			for i := range grad {
+				grad[i] = rng.NormFloat64()
+				adj[i] = grad[i] + prevErr[i]
+			}
+			blob := tk.Encode(step, grad)
+			dec := make([]float64, n)
+			if err := tk.Decode(step, [][]byte{blob}, dec); err != nil {
+				return false
+			}
+			for i := range adj {
+				if math.Abs(dec[i]+tk.err[i]-adj[i]) > 1e-9 {
+					return false
+				}
+			}
+			copy(prevErr, tk.err)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignEFConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		s := NewSign(n, true)
+		prevErr := make([]float64, n)
+		for step := 0; step < 3; step++ {
+			grad := make([]float64, n)
+			adj := make([]float64, n)
+			for i := range grad {
+				grad[i] = rng.NormFloat64()
+				adj[i] = grad[i] + prevErr[i]
+			}
+			blob := s.Encode(step, grad)
+			dec := make([]float64, n)
+			if err := s.Decode(step, [][]byte{blob}, dec); err != nil {
+				return false
+			}
+			// Single worker: decode reproduces the local compressed value,
+			// so dec + err == adj exactly.
+			for i := range adj {
+				if math.Abs(dec[i]+s.err[i]-adj[i]) > 1e-9 {
+					return false
+				}
+			}
+			copy(prevErr, s.err)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestACPEFConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		m := 2 + rng.Intn(10)
+		r := 1 + rng.Intn(3)
+		a := NewACP(n, m, r, true, true, seed)
+		prevErr := make([]float64, n*m)
+		for step := 0; step < 4; step++ {
+			grad := make([]float64, n*m)
+			adj := make([]float64, n*m)
+			for i := range grad {
+				grad[i] = rng.NormFloat64()
+				adj[i] = grad[i] + prevErr[i]
+			}
+			payload := a.Compress(step, grad)
+			dec := make([]float64, n*m)
+			copy(dec, grad) // grad untouched by Compress; Finalize writes dec
+			a.Finalize(step, append([]float64(nil), payload...), 1, dec)
+			for i := range adj {
+				if math.Abs(dec[i]+a.err.Data[i]-adj[i]) > 1e-8 {
+					return false
+				}
+			}
+			copy(prevErr, a.err.Data)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignAndTopKPayloadsStableAcrossWorkers(t *testing.T) {
+	// Determinism: identical inputs and state yield identical payloads —
+	// the property the trainer's lockstep collectives rely on.
+	rng := rand.New(rand.NewSource(60))
+	n := 48
+	grad := make([]float64, n)
+	for i := range grad {
+		grad[i] = rng.NormFloat64()
+	}
+	s1 := NewSign(n, true)
+	s2 := NewSign(n, true)
+	b1 := s1.Encode(0, grad)
+	b2 := s2.Encode(0, grad)
+	if string(b1) != string(b2) {
+		t.Fatal("sign payloads must be deterministic")
+	}
+	t1 := NewTopK(n, 5, SelectExact, true, 7)
+	t2 := NewTopK(n, 5, SelectExact, true, 7)
+	if string(t1.Encode(0, grad)) != string(t2.Encode(0, grad)) {
+		t.Fatal("topk payloads must be deterministic for equal seeds")
+	}
+}

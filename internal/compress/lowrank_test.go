@@ -1,0 +1,399 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acpsgd/internal/tensor"
+)
+
+// makeLowRank builds an exactly rank-r n x m matrix A·Bᵀ.
+func makeLowRank(rng *rand.Rand, n, m, r int) *tensor.Matrix {
+	a := tensor.New(n, r)
+	b := tensor.New(m, r)
+	a.Randomize(rng, 1)
+	b.Randomize(rng, 1)
+	out := tensor.New(n, m)
+	tensor.MatMulTB(out, a, b)
+	return out
+}
+
+func relErr(got []float64, want *tensor.Matrix) float64 {
+	var num, den float64
+	for i, v := range want.Data {
+		d := got[i] - v
+		num += d * d
+		den += v * v
+	}
+	return math.Sqrt(num / (den + 1e-30))
+}
+
+func TestLowRankShapeCapsRank(t *testing.T) {
+	s := newLowRankShape(10, 3, 8)
+	if s.r != 3 {
+		t.Fatalf("rank=%d want 3", s.r)
+	}
+	s = newLowRankShape(2, 5, 0)
+	if s.r != 1 {
+		t.Fatalf("rank=%d want 1", s.r)
+	}
+	if s.PCount() != 2 || s.QCount() != 5 {
+		t.Fatalf("counts %d %d", s.PCount(), s.QCount())
+	}
+}
+
+func TestPowerSGDConvergesOnFixedLowRankMatrix(t *testing.T) {
+	// Power iteration on a constant exactly-rank-r matrix must recover it.
+	rng := rand.New(rand.NewSource(30))
+	const n, m, r = 12, 9, 3
+	target := makeLowRank(rng, n, m, r)
+	ps := NewPowerSGD(n, m, r, true, 1)
+	c := &fakeCollectives{p: 1}
+	grad := make([]float64, n*m)
+	var e float64
+	for step := 0; step < 12; step++ {
+		copy(grad, target.Data)
+		if err := ps.CompressStep(step, grad, c); err != nil {
+			t.Fatal(err)
+		}
+		e = relErr(grad, target)
+	}
+	if e > 1e-6 {
+		t.Fatalf("power iteration did not converge: rel err %v", e)
+	}
+	if ps.ErrorNorm() > 1e-5 {
+		t.Fatalf("error memory should vanish on exact low-rank input: %v", ps.ErrorNorm())
+	}
+}
+
+func TestPowerSGDErrorFeedbackIdentity(t *testing.T) {
+	// With p=1: decompressed + error == adjusted input (exact EF identity):
+	// M̂ = P·Q_aggᵀ and for a single worker Q_agg == Q_local, so
+	// E = M_adj − P·Q_localᵀ = M_adj − M̂.
+	rng := rand.New(rand.NewSource(31))
+	const n, m, r = 8, 6, 2
+	ps := NewPowerSGD(n, m, r, true, 2)
+	grad := make([]float64, n*m)
+	for i := range grad {
+		grad[i] = rng.NormFloat64()
+	}
+	orig := make([]float64, len(grad))
+	copy(orig, grad)
+	if err := ps.CompressStep(0, grad, &fakeCollectives{p: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range grad {
+		if math.Abs(grad[i]+ps.err.Data[i]-orig[i]) > 1e-9 {
+			t.Fatalf("EF identity violated at %d", i)
+		}
+	}
+}
+
+func TestPowerSGDRejectsBadLength(t *testing.T) {
+	ps := NewPowerSGD(4, 4, 2, true, 3)
+	if err := ps.CompressStep(0, make([]float64, 7), &fakeCollectives{p: 1}); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestPowerSGDMultiWorkerAgreement(t *testing.T) {
+	// Two workers with different gradients must end with identical
+	// decompressed results, approximating the mean gradient.
+	rng := rand.New(rand.NewSource(32))
+	const n, m, r = 10, 8, 8 // full-rank compression: exact recovery of mean
+	g1 := make([]float64, n*m)
+	g2 := make([]float64, n*m)
+	for i := range g1 {
+		g1[i] = rng.NormFloat64()
+		g2[i] = rng.NormFloat64()
+	}
+	// Worker 1's view: peers contribute worker 2's P then Q. Simulate by
+	// running both workers lockstep manually.
+	w1 := NewPowerSGD(n, m, r, true, 7)
+	w2 := NewPowerSGD(n, m, r, true, 7)
+
+	// Manual lockstep all-reduce: run both compress halves with a recorded
+	// exchange. We run worker2 first with zero peers to capture payloads,
+	// then replay. Since CompressStep is monolithic we instead exchange via
+	// precomputed peer contributions: compute worker2's P with same Q0
+	// (same tensorID seed => same Q0).
+	madj2 := tensor.FromSlice(n, m, append([]float64(nil), g2...))
+	p2 := tensor.New(n, r)
+	tensor.MatMul(p2, madj2, w2.q)
+
+	// Worker 1 sees p2's data in its first all-reduce. For the second
+	// all-reduce we need worker 2's Q computed from the aggregated,
+	// orthogonalized P — identical on both workers, so compute it after.
+	// Instead of duplicating the algorithm here, run worker 1 fully with a
+	// callback that emulates worker 2 inline.
+	c1 := &lockstepCollectives{peerGrad: g2, peer: w2}
+	grad := append([]float64(nil), g1...)
+	if err := w1.CompressStep(0, grad, c1); err != nil {
+		t.Fatal(err)
+	}
+	// With full rank r = min(n,m)=8, P spans the column space of the sum, so
+	// the decompression should recover the mean gradient almost exactly.
+	mean := tensor.New(n, m)
+	for i := range g1 {
+		mean.Data[i] = (g1[i] + g2[i]) / 2
+	}
+	if e := relErr(grad, mean); e > 1e-6 {
+		t.Fatalf("full-rank power-sgd should recover mean: rel err %v", e)
+	}
+}
+
+// lockstepCollectives emulates a 2-worker group: the peer's contribution to
+// the first all-reduce is P = (g2+E2)·Q2, to the second Q = (g2+E2)ᵀ·P̂ where
+// P̂ is the aggregated orthogonalized P (identical across workers).
+type lockstepCollectives struct {
+	peerGrad []float64
+	peer     *PowerSGD
+	call     int
+	aggP     *tensor.Matrix
+}
+
+func (l *lockstepCollectives) AllReduceSum(buf []float64) error {
+	s := l.peer.shape
+	madj := tensor.FromSlice(s.n, s.m, append([]float64(nil), l.peerGrad...))
+	if l.call == 0 {
+		p2 := tensor.New(s.n, s.r)
+		tensor.MatMul(p2, madj, l.peer.q)
+		for i := range buf {
+			buf[i] += p2.Data[i]
+		}
+		// Record aggregated P for the Q round: caller orthogonalizes its
+		// copy; we replicate by storing the summed P and orthogonalizing
+		// the same way.
+		l.aggP = tensor.FromSlice(s.n, s.r, append([]float64(nil), buf...))
+		tensor.Orthogonalize(l.aggP)
+	} else {
+		q2 := tensor.New(s.m, s.r)
+		tensor.MatMulTA(q2, madj, l.aggP)
+		for i := range buf {
+			buf[i] += q2.Data[i]
+		}
+	}
+	l.call++
+	return nil
+}
+
+func (l *lockstepCollectives) AllGather(local []byte) ([][]byte, error) {
+	return [][]byte{local}, nil
+}
+func (l *lockstepCollectives) Size() int { return 2 }
+
+func TestACPPayloadAlternates(t *testing.T) {
+	a := NewACP(6, 4, 2, true, true, 11)
+	if got := a.PayloadLen(0); got != 12 { // odd step: P is 6x2
+		t.Fatalf("step0 payload %d, want 12", got)
+	}
+	if got := a.PayloadLen(1); got != 8 { // even step: Q is 4x2
+		t.Fatalf("step1 payload %d, want 8", got)
+	}
+}
+
+func TestACPErrorFeedbackIdentityPerStep(t *testing.T) {
+	// After Compress, M_adj == P_local·Qᵀ + E exactly (Algorithm 2 line 6).
+	rng := rand.New(rand.NewSource(33))
+	const n, m, r = 7, 5, 2
+	a := NewACP(n, m, r, true, true, 12)
+	for step := 0; step < 4; step++ {
+		grad := make([]float64, n*m)
+		for i := range grad {
+			grad[i] = rng.NormFloat64()
+		}
+		adjWant := tensor.FromSlice(n, m, append([]float64(nil), grad...))
+		adjWant.Add(a.err) // capture M+E before Compress mutates state? err is updated in Compress.
+		// NOTE: a.err is overwritten inside Compress; we add the *previous*
+		// error first, which is exactly M_adj.
+		payload := a.Compress(step, grad)
+		// Reconstruct local approximation P·Qᵀ.
+		prod := tensor.New(n, m)
+		if oddStep(step) {
+			p := tensor.FromSlice(n, r, payload)
+			tensor.MatMulTB(prod, p, a.q)
+		} else {
+			q := tensor.FromSlice(m, r, payload)
+			tensor.MatMulTB(prod, a.p, q)
+		}
+		for i := range prod.Data {
+			if math.Abs(prod.Data[i]+a.err.Data[i]-adjWant.Data[i]) > 1e-9 {
+				t.Fatalf("step %d: EF identity violated at %d", step, i)
+			}
+		}
+		// Finalize with p=1 (aggregated == local payload).
+		agg := append([]float64(nil), payload...)
+		a.Finalize(step, agg, 1, grad)
+	}
+}
+
+func TestACPConvergesOnFixedLowRankMatrixNoEF(t *testing.T) {
+	// Without error feedback, alternate compression is exactly subspace
+	// iteration across step pairs (§IV-A): on a constant rank-r matrix the
+	// per-step approximation converges to the matrix itself.
+	rng := rand.New(rand.NewSource(34))
+	const n, m, r = 12, 9, 3
+	target := makeLowRank(rng, n, m, r)
+	a := NewACP(n, m, r, false, true, 13)
+	grad := make([]float64, n*m)
+	var e float64
+	for step := 0; step < 40; step++ {
+		copy(grad, target.Data)
+		payload := a.Compress(step, grad)
+		agg := append([]float64(nil), payload...)
+		a.Finalize(step, agg, 1, grad)
+		e = relErr(grad, target)
+	}
+	if e > 1e-6 {
+		t.Fatalf("ACP did not converge on fixed low-rank matrix: rel err %v", e)
+	}
+}
+
+func TestACPErrorFeedbackCumulativeInvariant(t *testing.T) {
+	// With EF the guarantee is cumulative, not per-step: the emitted
+	// approximations satisfy Σ out_t = T·M + E_0 − E_T, so their running
+	// mean converges to M as long as the error memory stays bounded.
+	rng := rand.New(rand.NewSource(38))
+	const n, m, r, steps = 12, 9, 3, 60
+	target := makeLowRank(rng, n, m, 6) // true rank above r: lossy regime
+	a := NewACP(n, m, r, true, true, 15)
+	sum := tensor.New(n, m)
+	grad := make([]float64, n*m)
+	targetNorm := target.FrobeniusNorm()
+	for step := 0; step < steps; step++ {
+		copy(grad, target.Data)
+		payload := a.Compress(step, grad)
+		agg := append([]float64(nil), payload...)
+		a.Finalize(step, agg, 1, grad)
+		sum.Add(tensor.FromSlice(n, m, grad))
+		if a.ErrorNorm() > 4*targetNorm {
+			t.Fatalf("step %d: error memory diverged: %v", step, a.ErrorNorm())
+		}
+	}
+	sum.Scale(1.0 / steps)
+	if e := relErr(sum.Data, target); e > 0.05 {
+		t.Fatalf("running mean of EF outputs should approach target: rel err %v", e)
+	}
+}
+
+func TestACPWithoutReuseStillApproximates(t *testing.T) {
+	// Without query reuse the factor restarts from noise each step: on a
+	// fixed low-rank matrix the approximation should be clearly worse than
+	// with reuse (this is the Fig. 7 mechanism).
+	rng := rand.New(rand.NewSource(35))
+	const n, m, r = 16, 12, 2
+	target := makeLowRank(rng, n, m, 6) // higher true rank than r
+	run := func(reuse bool) float64 {
+		a := NewACP(n, m, r, true, reuse, 14)
+		grad := make([]float64, n*m)
+		var e float64
+		for step := 0; step < 30; step++ {
+			copy(grad, target.Data)
+			payload := a.Compress(step, grad)
+			agg := append([]float64(nil), payload...)
+			a.Finalize(step, agg, 1, grad)
+			if step >= 20 { // average the tail
+				e += relErr(grad, target)
+			}
+		}
+		return e / 10
+	}
+	withReuse := run(true)
+	withoutReuse := run(false)
+	if withReuse >= withoutReuse {
+		t.Fatalf("reuse should improve approximation: with=%v without=%v", withReuse, withoutReuse)
+	}
+}
+
+func TestACPMultiWorkerAgreement(t *testing.T) {
+	// Two ACP workers exchanging summed payloads step in lockstep and must
+	// produce identical decompressed gradients.
+	rng := rand.New(rand.NewSource(36))
+	const n, m, r = 6, 5, 2
+	w1 := NewACP(n, m, r, true, true, 21)
+	w2 := NewACP(n, m, r, true, true, 21) // same tensorID → same init
+	for step := 0; step < 6; step++ {
+		g1 := make([]float64, n*m)
+		g2 := make([]float64, n*m)
+		for i := range g1 {
+			g1[i] = rng.NormFloat64()
+			g2[i] = rng.NormFloat64()
+		}
+		p1 := w1.Compress(step, g1)
+		p2 := w2.Compress(step, g2)
+		agg := make([]float64, len(p1))
+		for i := range agg {
+			agg[i] = p1[i] + p2[i]
+		}
+		w1.Finalize(step, append([]float64(nil), agg...), 2, g1)
+		w2.Finalize(step, append([]float64(nil), agg...), 2, g2)
+		for i := range g1 {
+			if math.Abs(g1[i]-g2[i]) > 1e-9 {
+				t.Fatalf("step %d: workers disagree at %d: %v vs %v", step, i, g1[i], g2[i])
+			}
+		}
+	}
+}
+
+func TestACPCompressPanicsOnBadLength(t *testing.T) {
+	a := NewACP(4, 4, 2, true, true, 22)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Compress(0, make([]float64, 3))
+}
+
+func TestACPFinalizePanicsOnBadLength(t *testing.T) {
+	a := NewACP(4, 4, 2, true, true, 23)
+	grad := make([]float64, 16)
+	a.Compress(0, grad)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Finalize(0, make([]float64, 3), 1, grad)
+}
+
+func TestACPvsPowerApproximationQuality(t *testing.T) {
+	// On a slowly-drifting gradient sequence (the paper's small-stepsize
+	// argument, §IV-A), ACP's alternate iteration should track the matrix
+	// about as well as full Power-SGD after a few steps.
+	rng := rand.New(rand.NewSource(37))
+	const n, m, r, steps = 14, 10, 4, 40
+	base := makeLowRank(rng, n, m, r)
+	drift := func(step int) *tensor.Matrix {
+		out := base.Clone()
+		noise := tensor.New(n, m)
+		noise.Randomize(rand.New(rand.NewSource(int64(step))), 0.02)
+		out.Add(noise)
+		return out
+	}
+	// Compare the no-EF variants: with EF the per-step output compensates
+	// past residuals and is not meant to track the instantaneous matrix.
+	power := NewPowerSGD(n, m, r, false, 31)
+	acp := NewACP(n, m, r, false, true, 31)
+	var powerErr, acpErr float64
+	for step := 0; step < steps; step++ {
+		target := drift(step)
+		gp := append([]float64(nil), target.Data...)
+		if err := power.CompressStep(step, gp, &fakeCollectives{p: 1}); err != nil {
+			t.Fatal(err)
+		}
+		ga := append([]float64(nil), target.Data...)
+		payload := acp.Compress(step, ga)
+		acp.Finalize(step, append([]float64(nil), payload...), 1, ga)
+		if step >= steps/2 {
+			powerErr += relErr(gp, target)
+			acpErr += relErr(ga, target)
+		}
+	}
+	// ACP must be within 3x of Power's approximation error (it halves the
+	// work per step; quality parity is the paper's empirical claim).
+	if acpErr > 3*powerErr+1e-6 {
+		t.Fatalf("ACP approximation too weak: acp=%v power=%v", acpErr, powerErr)
+	}
+}

@@ -1,0 +1,203 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// QSGD implements stochastic quantization (Alistarh et al., paper [16]):
+// each element is randomly rounded to one of s+1 magnitude levels of the
+// vector's L2 norm, giving an unbiased estimator whose wire format is one
+// byte per element (sign + 7-bit level, s <= 127) plus the norm. Like
+// Sign-SGD it is non-additive and all-gathered (§III-C).
+type QSGD struct {
+	n      int
+	levels int
+	rng    randSource
+}
+
+// randSource is the minimal random interface quantizers need; it allows
+// deterministic tests.
+type randSource interface {
+	Float64() float64
+}
+
+var _ GatherCompressor = (*QSGD)(nil)
+
+// NewQSGD returns a QSGD compressor with the given number of quantization
+// levels (clamped to [1, 127]).
+func NewQSGD(n, levels int, tensorID int64) *QSGD {
+	if levels < 1 {
+		levels = 1
+	}
+	if levels > 127 {
+		levels = 127
+	}
+	return &QSGD{n: n, levels: levels, rng: newSeededRNG(tensorID)}
+}
+
+// qsgdPayloadLen is 8 bytes of norm plus one byte per element.
+func qsgdPayloadLen(n int) int { return 8 + n }
+
+// Encode stochastically quantizes grad. The encoding of element i is
+// sign(g_i) * round_stochastic(|g_i|/norm * s) packed as sign bit + level.
+func (q *QSGD) Encode(_ int, grad []float64) []byte {
+	if len(grad) != q.n {
+		panic(fmt.Sprintf("compress: QSGD.Encode length %d, want %d", len(grad), q.n))
+	}
+	var norm float64
+	for _, v := range grad {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	out := make([]byte, qsgdPayloadLen(q.n))
+	binary.LittleEndian.PutUint64(out, math.Float64bits(norm))
+	if norm == 0 {
+		return out
+	}
+	s := float64(q.levels)
+	for i, v := range grad {
+		l := math.Abs(v) / norm * s
+		lower := math.Floor(l)
+		if q.rng.Float64() < l-lower {
+			lower++
+		}
+		if lower > 127 {
+			lower = 127
+		}
+		b := byte(lower)
+		if v < 0 {
+			b |= 0x80
+		}
+		out[8+i] = b
+	}
+	return out
+}
+
+// Decode averages every worker's dequantized vector into grad. Because each
+// worker's quantization is unbiased, the average is an unbiased estimate of
+// the mean gradient.
+func (q *QSGD) Decode(_ int, blobs [][]byte, grad []float64) error {
+	if len(grad) != q.n {
+		return fmt.Errorf("compress: QSGD.Decode length %d, want %d", len(grad), q.n)
+	}
+	p := len(blobs)
+	if p == 0 {
+		return fmt.Errorf("compress: QSGD.Decode got no payloads")
+	}
+	want := qsgdPayloadLen(q.n)
+	for i := range grad {
+		grad[i] = 0
+	}
+	s := float64(q.levels)
+	for r, b := range blobs {
+		if len(b) != want {
+			return fmt.Errorf("compress: QSGD.Decode payload %d has %d bytes, want %d", r, len(b), want)
+		}
+		norm := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		for i := 0; i < q.n; i++ {
+			raw := b[8+i]
+			mag := float64(raw&0x7f) / s * norm
+			if raw&0x80 != 0 {
+				mag = -mag
+			}
+			grad[i] += mag
+		}
+	}
+	inv := 1 / float64(p)
+	for i := range grad {
+		grad[i] *= inv
+	}
+	return nil
+}
+
+// TernGrad implements ternary quantization (Wen et al., paper [15]): each
+// element becomes -1, 0 or +1 scaled by the vector's max magnitude, with
+// P(±1) = |g_i| / max|g| — an unbiased estimator at 2 bits per element.
+type TernGrad struct {
+	n   int
+	rng randSource
+}
+
+var _ GatherCompressor = (*TernGrad)(nil)
+
+// NewTernGrad returns a TernGrad compressor for n elements.
+func NewTernGrad(n int, tensorID int64) *TernGrad {
+	return &TernGrad{n: n, rng: newSeededRNG(tensorID)}
+}
+
+// ternPayloadLen is 8 bytes of scale plus 2 bits per element.
+func ternPayloadLen(n int) int { return 8 + (2*n+7)/8 }
+
+// ternary codes: 0 = zero, 1 = +1, 2 = -1.
+const (
+	ternZero = 0
+	ternPos  = 1
+	ternNeg  = 2
+)
+
+// Encode ternarizes grad.
+func (t *TernGrad) Encode(_ int, grad []float64) []byte {
+	if len(grad) != t.n {
+		panic(fmt.Sprintf("compress: TernGrad.Encode length %d, want %d", len(grad), t.n))
+	}
+	var scale float64
+	for _, v := range grad {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	out := make([]byte, ternPayloadLen(t.n))
+	binary.LittleEndian.PutUint64(out, math.Float64bits(scale))
+	if scale == 0 {
+		return out
+	}
+	for i, v := range grad {
+		code := byte(ternZero)
+		if t.rng.Float64() < math.Abs(v)/scale {
+			if v >= 0 {
+				code = ternPos
+			} else {
+				code = ternNeg
+			}
+		}
+		out[8+i/4] |= code << ((i % 4) * 2)
+	}
+	return out
+}
+
+// Decode averages every worker's ternary vector into grad.
+func (t *TernGrad) Decode(_ int, blobs [][]byte, grad []float64) error {
+	if len(grad) != t.n {
+		return fmt.Errorf("compress: TernGrad.Decode length %d, want %d", len(grad), t.n)
+	}
+	p := len(blobs)
+	if p == 0 {
+		return fmt.Errorf("compress: TernGrad.Decode got no payloads")
+	}
+	want := ternPayloadLen(t.n)
+	for i := range grad {
+		grad[i] = 0
+	}
+	for r, b := range blobs {
+		if len(b) != want {
+			return fmt.Errorf("compress: TernGrad.Decode payload %d has %d bytes, want %d", r, len(b), want)
+		}
+		scale := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		for i := 0; i < t.n; i++ {
+			code := (b[8+i/4] >> ((i % 4) * 2)) & 0x3
+			switch code {
+			case ternPos:
+				grad[i] += scale
+			case ternNeg:
+				grad[i] -= scale
+			}
+		}
+	}
+	inv := 1 / float64(p)
+	for i := range grad {
+		grad[i] *= inv
+	}
+	return nil
+}

@@ -1,0 +1,301 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Selection chooses how Top-k coordinates are found.
+type Selection int
+
+const (
+	// SelectExact finds the exact k largest-magnitude coordinates
+	// (quickselect). This is the paper's "very computationally inefficient
+	// on GPUs" reference point.
+	SelectExact Selection = iota + 1
+	// SelectSampled is the multiple-sampling scheme of footnote 2: estimate
+	// a magnitude threshold from a random sample, then refine it with a
+	// bounded binary search until the selected count is close to k.
+	SelectSampled
+)
+
+// TopK implements Top-k sparsification with error feedback: each worker
+// transmits its k largest-magnitude coordinates of gradient+error as
+// (index, value) pairs; workers all-gather the sparse payloads and
+// scatter-add them (different workers select different coordinates, which is
+// why the payloads are not additive in transit; §III-C). The Random-k
+// baseline shares the wire format but picks coordinates uniformly.
+type TopK struct {
+	n, k     int
+	sel      Selection
+	random   bool // Random-k instead of Top-k
+	err      []float64
+	adjusted []float64
+	useEF    bool
+	rng      *rand.Rand
+
+	// scratch
+	idx  []int
+	mags []float64
+}
+
+var _ GatherCompressor = (*TopK)(nil)
+
+// NewTopK returns a Top-k compressor for a tensor of n elements selecting k
+// coordinates per step.
+func NewTopK(n, k int, sel Selection, useEF bool, tensorID int64) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	if k > n && n > 0 {
+		k = n
+	}
+	return &TopK{
+		n:        n,
+		k:        k,
+		sel:      sel,
+		err:      make([]float64, n),
+		adjusted: make([]float64, n),
+		useEF:    useEF,
+		rng:      newSeededRNG(tensorID),
+	}
+}
+
+// NewRandomK returns the Random-k contrast baseline.
+func NewRandomK(n, k int, useEF bool, tensorID int64) *TopK {
+	t := NewTopK(n, k, SelectExact, useEF, tensorID)
+	t.random = true
+	return t
+}
+
+// K returns the per-step coordinate budget.
+func (t *TopK) K() int { return t.k }
+
+const topkPairBytes = 4 + 8 // uint32 index + float64 value
+
+// Encode selects coordinates of grad+err and serializes (index, value)
+// pairs. Error memory keeps the unselected mass.
+func (t *TopK) Encode(_ int, grad []float64) []byte {
+	if len(grad) != t.n {
+		panic(fmt.Sprintf("compress: TopK.Encode length %d, want %d", len(grad), t.n))
+	}
+	adj := t.adjusted
+	if t.useEF {
+		for i, g := range grad {
+			adj[i] = g + t.err[i]
+		}
+	} else {
+		copy(adj, grad)
+	}
+
+	var selected []int
+	switch {
+	case t.random:
+		selected = t.selectRandom()
+	case t.sel == SelectSampled:
+		selected = t.selectSampled(adj)
+	default:
+		selected = t.selectExact(adj)
+	}
+
+	out := make([]byte, len(selected)*topkPairBytes)
+	if t.useEF {
+		copy(t.err, adj)
+	}
+	for i, ix := range selected {
+		binary.LittleEndian.PutUint32(out[i*topkPairBytes:], uint32(ix))
+		binary.LittleEndian.PutUint64(out[i*topkPairBytes+4:], math.Float64bits(adj[ix]))
+		if t.useEF {
+			t.err[ix] = 0 // transmitted mass leaves the memory
+		}
+	}
+	return out
+}
+
+// selectExact returns the indices of the k largest |adj| via quickselect.
+func (t *TopK) selectExact(adj []float64) []int {
+	n := len(adj)
+	if t.k >= n {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	if cap(t.idx) < n {
+		t.idx = make([]int, n)
+		t.mags = make([]float64, n)
+	}
+	idx := t.idx[:n]
+	mags := t.mags[:n]
+	for i := range idx {
+		idx[i] = i
+		mags[i] = math.Abs(adj[i])
+	}
+	quickselectTopK(idx, mags, t.k, t.rng)
+	return idx[:t.k]
+}
+
+// quickselectTopK partitions idx so the first k entries have the largest
+// mags values (unordered). Average O(n).
+func quickselectTopK(idx []int, mags []float64, k int, rng *rand.Rand) {
+	lo, hi := 0, len(idx)-1
+	for lo < hi {
+		// Median-of-random pivot keeps adversarial inputs at bay.
+		p := lo + rng.Intn(hi-lo+1)
+		pivot := mags[idx[p]]
+		idx[p], idx[hi] = idx[hi], idx[p]
+		store := lo
+		for i := lo; i < hi; i++ {
+			if mags[idx[i]] > pivot {
+				idx[store], idx[i] = idx[i], idx[store]
+				store++
+			}
+		}
+		idx[store], idx[hi] = idx[hi], idx[store]
+		switch {
+		case store == k || store == k-1:
+			// Positions [0,store) hold values > pivot and position store holds
+			// the pivot itself, so the first k entries are a valid top-k set.
+			return
+		case store > k:
+			hi = store - 1
+		default:
+			lo = store + 1
+		}
+	}
+}
+
+// selectSampled implements the multiple-sampling threshold estimate: sample
+// magnitudes, pick the (1-k/n) quantile as threshold, then binary-search the
+// threshold until the number of selected coordinates lands in [k, 2k] (or the
+// iteration budget runs out), finally truncating to at most 2k coordinates.
+func (t *TopK) selectSampled(adj []float64) []int {
+	n := len(adj)
+	if t.k >= n {
+		return t.selectExact(adj)
+	}
+	sampleSize := 4 * t.k
+	if sampleSize < 512 {
+		sampleSize = 512
+	}
+	if sampleSize > n {
+		sampleSize = n
+	}
+	sample := make([]float64, sampleSize)
+	for i := range sample {
+		sample[i] = math.Abs(adj[t.rng.Intn(n)])
+	}
+	sort.Float64s(sample)
+	q := float64(t.k) / float64(n)
+	pos := int(float64(sampleSize) * (1 - q))
+	if pos >= sampleSize {
+		pos = sampleSize - 1
+	}
+	if pos < 0 {
+		pos = 0
+	}
+	thr := sample[pos]
+
+	count := countAbove(adj, thr)
+	loThr, hiThr := 0.0, sample[sampleSize-1]
+	for iter := 0; iter < 16 && (count < t.k || count > 2*t.k); iter++ {
+		if count < t.k {
+			hiThr = thr
+		} else {
+			loThr = thr
+		}
+		thr = (loThr + hiThr) / 2
+		count = countAbove(adj, thr)
+	}
+	if count < t.k {
+		// Fallback: the threshold overshot (e.g. heavy ties); relax to the
+		// exact selection so we never under-deliver badly.
+		return t.selectExact(adj)
+	}
+	limit := 2 * t.k
+	out := make([]int, 0, min(count, limit))
+	for i, v := range adj {
+		if math.Abs(v) >= thr {
+			out = append(out, i)
+			if len(out) == limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func countAbove(adj []float64, thr float64) int {
+	c := 0
+	for _, v := range adj {
+		if math.Abs(v) >= thr {
+			c++
+		}
+	}
+	return c
+}
+
+// selectRandom picks k distinct coordinates uniformly (Random-k). All
+// workers share the tensor RNG seed but advance it independently, so
+// selections differ across steps; coordinate overlap across workers is not
+// required for correctness because payloads carry explicit indices.
+func (t *TopK) selectRandom() []int {
+	n := t.n
+	out := make([]int, 0, t.k)
+	seen := make(map[int]struct{}, t.k)
+	for len(out) < t.k && len(out) < n {
+		i := t.rng.Intn(n)
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		out = append(out, i)
+	}
+	return out
+}
+
+// Decode scatter-adds every worker's sparse payload and divides by the
+// worker count, producing the global mean of the sparsified gradients.
+func (t *TopK) Decode(_ int, blobs [][]byte, grad []float64) error {
+	if len(grad) != t.n {
+		return fmt.Errorf("compress: TopK.Decode length %d, want %d", len(grad), t.n)
+	}
+	p := len(blobs)
+	if p == 0 {
+		return fmt.Errorf("compress: TopK.Decode got no payloads")
+	}
+	for i := range grad {
+		grad[i] = 0
+	}
+	for r, b := range blobs {
+		if len(b)%topkPairBytes != 0 {
+			return fmt.Errorf("compress: TopK.Decode payload %d has odd length %d", r, len(b))
+		}
+		for off := 0; off < len(b); off += topkPairBytes {
+			ix := int(binary.LittleEndian.Uint32(b[off:]))
+			if ix < 0 || ix >= t.n {
+				return fmt.Errorf("compress: TopK.Decode index %d out of range [0,%d)", ix, t.n)
+			}
+			v := math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:]))
+			grad[ix] += v
+		}
+	}
+	inv := 1 / float64(p)
+	for i := range grad {
+		grad[i] *= inv
+	}
+	return nil
+}
+
+// ErrorNorm returns the L2 norm of the error-feedback memory (diagnostics).
+func (t *TopK) ErrorNorm() float64 {
+	var sum float64
+	for _, v := range t.err {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}

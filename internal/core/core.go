@@ -1,0 +1,319 @@
+// Package core is the user-facing facade of the ACP-SGD reproduction: a
+// string-keyed, validated API over the two halves of the system —
+//
+//   - real distributed training (Train): multi-worker data-parallel SGD
+//     with gradient compression over real collectives, for convergence
+//     studies (paper §V-B);
+//   - testbed simulation (SimulateIteration): the discrete-event performance
+//     model of the 32-GPU/10GbE cluster, for throughput studies (§III, §V-C
+//     onward).
+//
+// Examples and the cmd/ tools are written against this package.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"acpsgd/internal/compress"
+	"acpsgd/internal/data"
+	"acpsgd/internal/models"
+	"acpsgd/internal/nn"
+	"acpsgd/internal/sim"
+	"acpsgd/internal/train"
+)
+
+// TrainConfig configures a real distributed training run.
+type TrainConfig struct {
+	// Method is one of "ssgd", "sign", "topk", "randomk", "power", "acp".
+	Method string
+	// Model is one of "mlp", "minivgg", "miniresnet".
+	Model string
+	// Dataset is "gaussian" (vector task) or "images" (synthetic CIFAR
+	// stand-in). Image models require "images".
+	Dataset string
+
+	Workers        int
+	BatchPerWorker int
+	Epochs         int
+
+	LR           float64
+	Momentum     float64
+	WarmupEpochs int
+	DecayEpochs  []int
+
+	Rank         int
+	TopKRatio    float64
+	DisableEF    bool
+	DisableReuse bool
+
+	TrainExamples int
+	TestExamples  int
+	Classes       int
+
+	Seed   int64
+	UseTCP bool
+}
+
+func (c *TrainConfig) withDefaults() TrainConfig {
+	out := *c
+	if out.Method == "" {
+		out.Method = "acp"
+	}
+	if out.Model == "" {
+		out.Model = "mlp"
+	}
+	if out.Dataset == "" {
+		switch out.Model {
+		case "mlp":
+			out.Dataset = "gaussian"
+		case "minitransformer":
+			out.Dataset = "sequences"
+		default:
+			out.Dataset = "images"
+		}
+	}
+	if out.Workers == 0 {
+		out.Workers = 4
+	}
+	if out.BatchPerWorker == 0 {
+		out.BatchPerWorker = 32
+	}
+	if out.Epochs == 0 {
+		out.Epochs = 20
+	}
+	if out.LR == 0 {
+		out.LR = 0.05
+	}
+	if out.Momentum == 0 {
+		out.Momentum = 0.9
+	}
+	if out.WarmupEpochs == 0 {
+		out.WarmupEpochs = out.Epochs / 10
+	}
+	if out.DecayEpochs == nil {
+		out.DecayEpochs = []int{out.Epochs / 2, out.Epochs * 3 / 4}
+	}
+	if out.Rank == 0 {
+		out.Rank = 4
+	}
+	if out.TrainExamples == 0 {
+		out.TrainExamples = 2048
+	}
+	if out.TestExamples == 0 {
+		out.TestExamples = 512
+	}
+	if out.Classes == 0 {
+		out.Classes = 10
+	}
+	if out.Seed == 0 {
+		out.Seed = 42
+	}
+	return out
+}
+
+// buildDatasets generates the train/test pair for a config.
+func buildDatasets(cfg *TrainConfig) (*data.Dataset, *data.Dataset, error) {
+	total := cfg.TrainExamples + cfg.TestExamples
+	var all *data.Dataset
+	switch cfg.Dataset {
+	case "gaussian":
+		all = data.GaussianMixture(cfg.Seed, total, 32, cfg.Classes, 1.2)
+	case "images":
+		all = data.SynthImages(cfg.Seed, total, cfg.Classes, 3, 8, 8, 0.6)
+	case "sequences":
+		all = data.SynthSequences(cfg.Seed, total, cfg.Classes, seqVocab, seqLen, 0.35)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown dataset %q", cfg.Dataset)
+	}
+	return splitOrErr(all, cfg.TrainExamples)
+}
+
+func splitOrErr(all *data.Dataset, nTrain int) (*data.Dataset, *data.Dataset, error) {
+	tr, te, err := all.Split(nTrain)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	return tr, te, nil
+}
+
+// modelBuilder returns the factory for a named trainable model.
+func modelBuilder(name, dataset string, classes int) (func(rng *rand.Rand) *nn.Model, error) {
+	switch name {
+	case "mlp":
+		if dataset != "gaussian" {
+			return nil, fmt.Errorf("core: mlp requires the gaussian dataset")
+		}
+		return func(rng *rand.Rand) *nn.Model {
+			return models.MLP(rng, 32, 64, 64, classes)
+		}, nil
+	case "minivgg":
+		if dataset != "images" {
+			return nil, fmt.Errorf("core: minivgg requires the images dataset")
+		}
+		return func(rng *rand.Rand) *nn.Model {
+			return models.MiniVGG(rng, 3, 8, 8, classes)
+		}, nil
+	case "miniresnet":
+		if dataset != "images" {
+			return nil, fmt.Errorf("core: miniresnet requires the images dataset")
+		}
+		return func(rng *rand.Rand) *nn.Model {
+			return models.MiniResNet(rng, 3, 8, 8, classes)
+		}, nil
+	case "minitransformer":
+		if dataset != "sequences" {
+			return nil, fmt.Errorf("core: minitransformer requires the sequences dataset")
+		}
+		return func(rng *rand.Rand) *nn.Model {
+			return models.MiniTransformer(rng, seqVocab, seqLen, 16, classes)
+		}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown model %q", name)
+	}
+}
+
+// Sequence-task geometry shared by the sequences dataset and the
+// MiniTransformer builder.
+const (
+	seqVocab = 40
+	seqLen   = 12
+)
+
+// Train runs a real multi-worker training job and returns its history.
+func Train(cfg TrainConfig) (*train.History, error) {
+	c := cfg.withDefaults()
+	method, err := compress.ParseMethod(c.Method)
+	if err != nil {
+		return nil, err
+	}
+	trainSet, testSet, err := buildDatasets(&c)
+	if err != nil {
+		return nil, err
+	}
+	build, err := modelBuilder(c.Model, c.Dataset, c.Classes)
+	if err != nil {
+		return nil, err
+	}
+	return train.Run(train.Config{
+		Method:         method,
+		Workers:        c.Workers,
+		BatchPerWorker: c.BatchPerWorker,
+		Epochs:         c.Epochs,
+		Momentum:       c.Momentum,
+		Schedule: train.Schedule{
+			BaseLR:       c.LR,
+			WarmupEpochs: c.WarmupEpochs,
+			DecayEpochs:  c.DecayEpochs,
+		},
+		RankR:        c.Rank,
+		TopKRatio:    c.TopKRatio,
+		DisableEF:    c.DisableEF,
+		DisableReuse: c.DisableReuse,
+		Seed:         c.Seed,
+		UseTCP:       c.UseTCP,
+	}, build, trainSet, testSet)
+}
+
+// IterationConfig configures one simulated testbed iteration.
+type IterationConfig struct {
+	// Model is "resnet50", "resnet152", "bert-base", "bert-large",
+	// "vgg16" or "resnet18".
+	Model string
+	// Method is "ssgd", "sign", "topk", "power", "power*" or "acp";
+	// "power" is the original post-BP implementation, "power*" the
+	// WFBP+TF-optimized one (Table III).
+	Method string
+	// Mode overrides the execution mode: "naive", "wfbp", "wfbp+tf".
+	// Empty picks the paper's default for the method.
+	Mode string
+
+	Workers   int
+	Batch     int
+	Rank      int
+	TopKRatio float64
+	// Network is "1gbe", "10gbe" or "100gbib" (default "10gbe").
+	Network string
+
+	BufferBytes int
+	NoFusion    bool
+	SlowOrth    bool
+}
+
+// SimulateIteration runs the performance model for one training iteration.
+func SimulateIteration(cfg IterationConfig) (sim.Result, error) {
+	spec, err := models.ByName(cfg.Model)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	method, mode, err := parseSimMethod(cfg.Method, cfg.Mode)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	netName := cfg.Network
+	if netName == "" {
+		netName = "10gbe"
+	}
+	net, ok := sim.NetByName(netName)
+	if !ok {
+		return sim.Result{}, fmt.Errorf("core: unknown network %q", cfg.Network)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 32
+	}
+	return sim.Simulate(sim.Config{
+		Model:       spec,
+		Method:      method,
+		Mode:        mode,
+		Workers:     workers,
+		Batch:       cfg.Batch,
+		Rank:        cfg.Rank,
+		TopKRatio:   cfg.TopKRatio,
+		Net:         net,
+		GPU:         sim.DefaultGPU(),
+		BufferBytes: cfg.BufferBytes,
+		NoFusion:    cfg.NoFusion,
+		SlowOrth:    cfg.SlowOrth,
+	})
+}
+
+// parseSimMethod maps CLI method/mode names to simulator enums with the
+// paper's default execution mode per method.
+func parseSimMethod(method, mode string) (sim.Method, sim.Mode, error) {
+	var m sim.Method
+	defMode := sim.ModeWFBPTF
+	switch strings.ToLower(method) {
+	case "", "ssgd", "s-sgd", "sgd":
+		m = sim.MethodSSGD
+	case "sign", "signsgd", "sign-sgd":
+		m = sim.MethodSign
+		defMode = sim.ModeNaive
+	case "topk", "top-k":
+		m = sim.MethodTopK
+		defMode = sim.ModeNaive
+	case "power", "powersgd", "power-sgd":
+		m = sim.MethodPower
+		defMode = sim.ModeNaive
+	case "power*", "powerstar", "power-sgd*":
+		m = sim.MethodPower
+		defMode = sim.ModeWFBPTF
+	case "acp", "acpsgd", "acp-sgd":
+		m = sim.MethodACP
+	default:
+		return 0, 0, fmt.Errorf("core: unknown method %q", method)
+	}
+	switch strings.ToLower(mode) {
+	case "":
+		return m, defMode, nil
+	case "naive":
+		return m, sim.ModeNaive, nil
+	case "wfbp":
+		return m, sim.ModeWFBP, nil
+	case "wfbp+tf", "wfbptf", "tf":
+		return m, sim.ModeWFBPTF, nil
+	default:
+		return 0, 0, fmt.Errorf("core: unknown mode %q", mode)
+	}
+}

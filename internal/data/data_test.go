@@ -1,0 +1,210 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestGaussianMixtureShapes(t *testing.T) {
+	d := GaussianMixture(1, 100, 8, 4, 0.5)
+	if d.Len() != 100 || d.Features() != 8 || d.Classes != 4 {
+		t.Fatalf("unexpected dataset: len=%d feat=%d classes=%d", d.Len(), d.Features(), d.Classes)
+	}
+	counts := make([]int, 4)
+	for _, l := range d.Labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d out of range", l)
+		}
+		counts[l]++
+	}
+	for cls, c := range counts {
+		if c != 25 {
+			t.Fatalf("class %d has %d examples, want 25", cls, c)
+		}
+	}
+}
+
+func TestGaussianMixtureDeterministic(t *testing.T) {
+	a := GaussianMixture(7, 50, 4, 2, 0.5)
+	b := GaussianMixture(7, 50, 4, 2, 0.5)
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("same seed must give same data")
+		}
+	}
+	c := GaussianMixture(8, 50, 4, 2, 0.5)
+	same := true
+	for i := range a.X.Data {
+		if a.X.Data[i] != c.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different data")
+	}
+}
+
+func TestSynthImagesGeometry(t *testing.T) {
+	d := SynthImages(2, 40, 10, 3, 8, 8, 0.3)
+	if d.C != 3 || d.H != 8 || d.W != 8 {
+		t.Fatalf("geometry %d %d %d", d.C, d.H, d.W)
+	}
+	if d.Features() != 3*8*8 {
+		t.Fatalf("features %d", d.Features())
+	}
+}
+
+func TestShardPartitionsExactly(t *testing.T) {
+	d := GaussianMixture(3, 103, 4, 2, 0.5)
+	total := 0
+	seen := map[float64]int{}
+	for r := 0; r < 4; r++ {
+		s, err := d.Shard(r, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += s.Len()
+		for i := 0; i < s.Len(); i++ {
+			seen[s.X.At(i, 0)]++
+		}
+	}
+	if total != 103 {
+		t.Fatalf("shards cover %d, want 103", total)
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("value %v appears %d times across shards", v, c)
+		}
+	}
+}
+
+func TestShardRejectsBadRank(t *testing.T) {
+	d := GaussianMixture(4, 10, 2, 2, 0.5)
+	if _, err := d.Shard(4, 4); err == nil {
+		t.Fatal("expected error for rank==p")
+	}
+	if _, err := d.Shard(0, 0); err == nil {
+		t.Fatal("expected error for p==0")
+	}
+}
+
+func TestBatcherCoversEpoch(t *testing.T) {
+	d := GaussianMixture(5, 32, 4, 2, 0.5)
+	b := NewBatcher(d, 8, 1)
+	if b.StepsPerEpoch() != 4 {
+		t.Fatalf("steps per epoch %d", b.StepsPerEpoch())
+	}
+	seen := map[float64]bool{}
+	for s := 0; s < 4; s++ {
+		x, labels := b.Next()
+		if x.Rows != 8 || len(labels) != 8 {
+			t.Fatalf("batch shape %dx%d labels %d", x.Rows, x.Cols, len(labels))
+		}
+		for i := 0; i < 8; i++ {
+			seen[x.At(i, 0)] = true
+		}
+	}
+	if len(seen) != 32 {
+		t.Fatalf("one epoch visited %d distinct examples, want 32", len(seen))
+	}
+}
+
+func TestBatcherWrapsAndReshuffles(t *testing.T) {
+	d := GaussianMixture(6, 8, 2, 2, 0.5)
+	b := NewBatcher(d, 8, 2)
+	x1, _ := b.Next()
+	first := append([]float64(nil), x1.Data...)
+	x2, _ := b.Next() // second epoch: reshuffled
+	same := true
+	for i := range first {
+		if first[i] != x2.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("expected a different order after reshuffle")
+	}
+}
+
+func TestBatcherClampsSize(t *testing.T) {
+	d := GaussianMixture(7, 4, 2, 2, 0.5)
+	b := NewBatcher(d, 100, 3)
+	x, _ := b.Next()
+	if x.Rows != 4 {
+		t.Fatalf("batch rows %d, want clamped 4", x.Rows)
+	}
+}
+
+func TestSynthSequencesTokensInRange(t *testing.T) {
+	d := SynthSequences(9, 100, 4, 32, 12, 0.4)
+	if d.Features() != 12 || d.Classes != 4 {
+		t.Fatalf("geometry: feat=%d classes=%d", d.Features(), d.Classes)
+	}
+	for _, v := range d.X.Data {
+		id := int(v)
+		if id < 0 || id >= 32 || float64(id) != v {
+			t.Fatalf("token %v not an in-range integer id", v)
+		}
+	}
+}
+
+func TestSynthSequencesClassSignal(t *testing.T) {
+	// Signal tokens of class 0 (ids < vocab/(2*classes)) must appear far
+	// more often in class-0 sequences than in class-1 sequences.
+	d := SynthSequences(10, 400, 2, 32, 16, 0.5)
+	signalMax := 32 / (2 * 2) // per-class signal band width
+	count := [2]int{}
+	total := [2]int{}
+	for i := 0; i < d.Len(); i++ {
+		cls := d.Labels[i]
+		for j := 0; j < d.Features(); j++ {
+			total[cls]++
+			if int(d.X.At(i, j)) < signalMax {
+				count[cls]++
+			}
+		}
+	}
+	f0 := float64(count[0]) / float64(total[0])
+	f1 := float64(count[1]) / float64(total[1])
+	if f0 < 2*f1 {
+		t.Fatalf("class signal too weak: %.3f vs %.3f", f0, f1)
+	}
+}
+
+func TestSynthSequencesVocabExpanded(t *testing.T) {
+	// vocab smaller than 2*classes is expanded so every class gets a band.
+	d := SynthSequences(11, 10, 5, 3, 4, 0.5)
+	if d.Classes != 5 {
+		t.Fatal("classes lost")
+	}
+}
+
+func TestSynthImagesLearnableSignal(t *testing.T) {
+	// Examples of the same class must correlate more with their prototype
+	// than with other classes' examples on average: check the class means
+	// are distinguishable.
+	d := SynthImages(8, 200, 2, 1, 4, 4, 0.2)
+	feat := d.Features()
+	means := make([][]float64, 2)
+	counts := make([]int, 2)
+	for cls := range means {
+		means[cls] = make([]float64, feat)
+	}
+	for i := 0; i < d.Len(); i++ {
+		cls := d.Labels[i]
+		counts[cls]++
+		for j := 0; j < feat; j++ {
+			means[cls][j] += d.X.At(i, j)
+		}
+	}
+	var dist float64
+	for j := 0; j < feat; j++ {
+		a := means[0][j] / float64(counts[0])
+		b := means[1][j] / float64(counts[1])
+		dist += (a - b) * (a - b)
+	}
+	if dist < 1 {
+		t.Fatalf("class means too close (%v): dataset not learnable", dist)
+	}
+}

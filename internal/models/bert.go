@@ -1,0 +1,78 @@
+package models
+
+import "fmt"
+
+// bertSpec builds a BERT encoder table: embeddings, L transformer layers,
+// and the pooler. Attention-score FLOPs (the S²·d matmuls that have no
+// parameters of their own) are attributed to the attention output tensor so
+// layer time shares stay realistic.
+func bertSpec(name string, layers, hidden, ffn, seqLen, defaultBatch int, refComputeSec, actBytes float64) *ModelSpec {
+	const vocab = 30522
+	const maxPos = 512
+	const typeVocab = 2
+	s := float64(seqLen)
+	d := float64(hidden)
+
+	var tensors []TensorSpec
+	// Embeddings: lookups are cheap compute but their gradients are full
+	// dense tensors for aggregation purposes (the paper's BERT traffic
+	// includes them).
+	tensors = append(tensors,
+		TensorSpec{Name: "embeddings.word", Rows: vocab, Cols: hidden, FwdFLOPs: s * d},
+		TensorSpec{Name: "embeddings.position", Rows: maxPos, Cols: hidden, FwdFLOPs: s * d},
+		TensorSpec{Name: "embeddings.token_type", Rows: typeVocab, Cols: hidden, FwdFLOPs: s * d},
+		TensorSpec{Name: "embeddings.layernorm", Rows: 1, Cols: 2 * hidden, FwdFLOPs: 5 * s * d},
+	)
+
+	projFLOPs := 2 * s * d * d      // one dxd matmul over the sequence
+	scoreFLOPs := 2 * 2 * s * s * d // QKᵀ and attn·V
+	ffnFLOPs := 2 * s * d * float64(ffn)
+
+	for l := 0; l < layers; l++ {
+		p := fmt.Sprintf("encoder.%d.", l)
+		tensors = append(tensors,
+			TensorSpec{Name: p + "attn.q.weight", Rows: hidden, Cols: hidden, FwdFLOPs: projFLOPs},
+			TensorSpec{Name: p + "attn.q.bias", Rows: 1, Cols: hidden, FwdFLOPs: s * d},
+			TensorSpec{Name: p + "attn.k.weight", Rows: hidden, Cols: hidden, FwdFLOPs: projFLOPs},
+			TensorSpec{Name: p + "attn.k.bias", Rows: 1, Cols: hidden, FwdFLOPs: s * d},
+			TensorSpec{Name: p + "attn.v.weight", Rows: hidden, Cols: hidden, FwdFLOPs: projFLOPs},
+			TensorSpec{Name: p + "attn.v.bias", Rows: 1, Cols: hidden, FwdFLOPs: s * d},
+			TensorSpec{Name: p + "attn.out.weight", Rows: hidden, Cols: hidden, FwdFLOPs: projFLOPs + scoreFLOPs},
+			TensorSpec{Name: p + "attn.out.bias", Rows: 1, Cols: hidden, FwdFLOPs: s * d},
+			TensorSpec{Name: p + "attn.layernorm", Rows: 1, Cols: 2 * hidden, FwdFLOPs: 5 * s * d},
+			TensorSpec{Name: p + "ffn.up.weight", Rows: ffn, Cols: hidden, FwdFLOPs: ffnFLOPs},
+			TensorSpec{Name: p + "ffn.up.bias", Rows: 1, Cols: ffn, FwdFLOPs: s * float64(ffn)},
+			TensorSpec{Name: p + "ffn.down.weight", Rows: hidden, Cols: ffn, FwdFLOPs: ffnFLOPs},
+			TensorSpec{Name: p + "ffn.down.bias", Rows: 1, Cols: hidden, FwdFLOPs: s * d},
+			TensorSpec{Name: p + "ffn.layernorm", Rows: 1, Cols: 2 * hidden, FwdFLOPs: 5 * s * d},
+		)
+	}
+	tensors = append(tensors,
+		TensorSpec{Name: "pooler.weight", Rows: hidden, Cols: hidden, FwdFLOPs: 2 * d * d},
+		TensorSpec{Name: "pooler.bias", Rows: 1, Cols: hidden, FwdFLOPs: d},
+	)
+	return &ModelSpec{
+		Name:               name,
+		Tensors:            tensors,
+		DefaultBatch:       defaultBatch,
+		SeqLen:             seqLen,
+		RefComputeSec:      refComputeSec,
+		DefaultRank:        32,
+		ActBytesPerExample: actBytes,
+	}
+}
+
+// BERTBase returns the BERT-Base table (110.1M params in Table I): 12
+// layers, hidden 768, FFN 3072, sequence length 64, batch 32; calibrated
+// compute 0.185s (consistent with Table III's ACP-SGD at 193ms, which is
+// nearly pure compute).
+func BERTBase() *ModelSpec {
+	return bertSpec("BERT-Base", 12, 768, 3072, 64, 32, 0.185, 20e6)
+}
+
+// BERTLarge returns the BERT-Large table (336.2M params): 24 layers, hidden
+// 1024, FFN 4096, sequence length 64, batch 8; calibrated compute 0.230s
+// (Table III's ACP-SGD time is nearly pure compute: 245ms).
+func BERTLarge() *ModelSpec {
+	return bertSpec("BERT-Large", 24, 1024, 4096, 64, 8, 0.230, 55e6)
+}

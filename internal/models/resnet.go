@@ -1,0 +1,156 @@
+package models
+
+import "fmt"
+
+// convSpec builds the TensorSpec pair (weight + batch-norm vector) of a
+// convolution followed by batch normalization. The weight is matricized as
+// (outCh, inCh*k*k); FLOPs are 2*k*k*inCh*outCh per output pixel.
+func convSpec(name string, inCh, outCh, k, outH, outW int, withBN bool) []TensorSpec {
+	flops := 2 * float64(k*k*inCh*outCh) * float64(outH*outW)
+	out := []TensorSpec{{Name: name + ".weight", Rows: outCh, Cols: inCh * k * k, FwdFLOPs: flops}}
+	if withBN {
+		// gamma + beta, modeled as one 2*outCh vector with negligible FLOPs.
+		out = append(out, TensorSpec{Name: name + ".bn", Rows: 1, Cols: 2 * outCh, FwdFLOPs: float64(2 * outCh * outH * outW)})
+	}
+	return out
+}
+
+// fcSpec builds a fully connected layer: weight (out, in) + bias.
+func fcSpec(name string, in, out int) []TensorSpec {
+	return []TensorSpec{
+		{Name: name + ".weight", Rows: out, Cols: in, FwdFLOPs: 2 * float64(in*out)},
+		{Name: name + ".bias", Rows: 1, Cols: out, FwdFLOPs: float64(out)},
+	}
+}
+
+// resnetBottleneck emits the three convolutions (1x1 reduce, 3x3, 1x1
+// expand) of a bottleneck block plus the optional 1x1 downsample projection.
+func resnetBottleneck(name string, inCh, midCh, outH, outW int, downsample bool, dsInH, dsInW int) []TensorSpec {
+	outCh := 4 * midCh
+	var out []TensorSpec
+	out = append(out, convSpec(name+".conv1", inCh, midCh, 1, outH, outW, true)...)
+	out = append(out, convSpec(name+".conv2", midCh, midCh, 3, outH, outW, true)...)
+	out = append(out, convSpec(name+".conv3", midCh, outCh, 1, outH, outW, true)...)
+	if downsample {
+		_ = dsInH
+		_ = dsInW
+		out = append(out, convSpec(name+".downsample", inCh, outCh, 1, outH, outW, true)...)
+	}
+	return out
+}
+
+// resnetBottleneckSpec builds an ImageNet bottleneck ResNet (50/101/152
+// style) for 224x224 inputs. blocks lists the block count per stage.
+func resnetBottleneckSpec(name string, blocks [4]int, refComputeSec float64, defaultBatch int, actBytes float64) *ModelSpec {
+	var tensors []TensorSpec
+	// Stem: 7x7/2 conv, 64 channels, output 112x112, then 3x3/2 max pool
+	// to 56x56.
+	tensors = append(tensors, convSpec("conv1", 3, 64, 7, 112, 112, true)...)
+
+	stageMid := [4]int{64, 128, 256, 512}
+	stageHW := [4]int{56, 28, 14, 7}
+	inCh := 64
+	for s := 0; s < 4; s++ {
+		mid := stageMid[s]
+		hw := stageHW[s]
+		for b := 0; b < blocks[s]; b++ {
+			bname := fmt.Sprintf("layer%d.%d", s+1, b)
+			down := b == 0 // first block of each stage projects (and strides for s>0)
+			tensors = append(tensors, resnetBottleneck(bname, inCh, mid, hw, hw, down, hw, hw)...)
+			inCh = 4 * mid
+		}
+	}
+	tensors = append(tensors, fcSpec("fc", 512*4, 1000)...)
+	return &ModelSpec{
+		Name:               name,
+		Tensors:            tensors,
+		DefaultBatch:       defaultBatch,
+		RefComputeSec:      refComputeSec,
+		DefaultRank:        4,
+		ActBytesPerExample: actBytes,
+	}
+}
+
+// ResNet50 returns the ResNet-50 table (25.6M params in the paper's
+// Table I), batch 64, calibrated compute 0.250s (Fig. 3's FF&BP bar).
+func ResNet50() *ModelSpec {
+	return resnetBottleneckSpec("ResNet-50", [4]int{3, 4, 6, 3}, 0.250, 64, 40e6)
+}
+
+// ResNet152 returns the ResNet-152 table (60.2M params), batch 32,
+// calibrated compute 0.350s (consistent with Table III's ACP-SGD time of
+// 316ms, which is nearly pure compute).
+func ResNet152() *ModelSpec {
+	return resnetBottleneckSpec("ResNet-152", [4]int{3, 8, 36, 3}, 0.350, 32, 90e6)
+}
+
+// resnetBasicSpec builds a CIFAR-style basic-block ResNet (ResNet-18 family,
+// 32x32 inputs) — used by the convergence experiments' full-scale reference
+// and by extension benchmarks.
+func resnetBasicSpec(name string, blocks [4]int, refComputeSec float64, defaultBatch int, actBytes float64) *ModelSpec {
+	var tensors []TensorSpec
+	tensors = append(tensors, convSpec("conv1", 3, 64, 3, 32, 32, true)...)
+	stageCh := [4]int{64, 128, 256, 512}
+	stageHW := [4]int{32, 16, 8, 4}
+	inCh := 64
+	for s := 0; s < 4; s++ {
+		ch := stageCh[s]
+		hw := stageHW[s]
+		for b := 0; b < blocks[s]; b++ {
+			bname := fmt.Sprintf("layer%d.%d", s+1, b)
+			tensors = append(tensors, convSpec(bname+".conv1", inCh, ch, 3, hw, hw, true)...)
+			tensors = append(tensors, convSpec(bname+".conv2", ch, ch, 3, hw, hw, true)...)
+			if b == 0 && inCh != ch {
+				tensors = append(tensors, convSpec(bname+".downsample", inCh, ch, 1, hw, hw, true)...)
+			}
+			inCh = ch
+		}
+	}
+	tensors = append(tensors, fcSpec("fc", 512, 10)...)
+	return &ModelSpec{
+		Name:               name,
+		Tensors:            tensors,
+		DefaultBatch:       defaultBatch,
+		RefComputeSec:      refComputeSec,
+		DefaultRank:        4,
+		ActBytesPerExample: actBytes,
+	}
+}
+
+// ResNet18 returns the CIFAR-10 ResNet-18 table (≈11.2M params) the paper
+// uses for convergence experiments (batch 128, §V-A).
+func ResNet18() *ModelSpec {
+	return resnetBasicSpec("ResNet-18", [4]int{2, 2, 2, 2}, 0.110, 128, 15e6)
+}
+
+// VGG16 returns a CIFAR-10 VGG-16 table (13 conv layers + 1 classifier
+// head, ≈14.7M params — the common CIFAR variant the paper trains in §V-A),
+// batch 128.
+func VGG16() *ModelSpec {
+	cfg := []struct {
+		ch   int
+		hw   int
+		pool bool
+	}{
+		{64, 32, false}, {64, 32, true},
+		{128, 16, false}, {128, 16, true},
+		{256, 8, false}, {256, 8, false}, {256, 8, true},
+		{512, 4, false}, {512, 4, false}, {512, 4, true},
+		{512, 2, false}, {512, 2, false}, {512, 2, true},
+	}
+	var tensors []TensorSpec
+	inCh := 3
+	for i, c := range cfg {
+		tensors = append(tensors, convSpec(fmt.Sprintf("features.%d", i), inCh, c.ch, 3, c.hw, c.hw, true)...)
+		inCh = c.ch
+	}
+	tensors = append(tensors, fcSpec("classifier", 512, 10)...)
+	return &ModelSpec{
+		Name:               "VGG-16",
+		Tensors:            tensors,
+		DefaultBatch:       128,
+		RefComputeSec:      0.130,
+		DefaultRank:        4,
+		ActBytesPerExample: 10e6,
+	}
+}

@@ -1,0 +1,257 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"acpsgd/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution (stride 1, configurable zero padding) over
+// channel-major images flattened into the feature axis. Its kernel is stored
+// as an (F, C*kh*kw) matrix — the natural matricization the paper applies
+// before low-rank compression of convolutional gradients (§IV-C).
+type Conv2D struct {
+	name            string
+	inC, inH, inW   int
+	filters, kh, kw int
+	pad             int
+	outH, outW      int
+
+	w *Param
+	b *Param
+
+	col   *tensor.Matrix // cached im2col of the last input
+	y     *tensor.Matrix
+	y2    *tensor.Matrix
+	dout2 *tensor.Matrix
+	dcol  *tensor.Matrix
+	dx    *tensor.Matrix
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D builds a convolution layer. Input images are (inC, inH, inW);
+// the layer produces (filters, outH, outW) with outH = inH + 2*pad - kh + 1.
+func NewConv2D(name string, inC, inH, inW, filters, kh, kw, pad int, rng *rand.Rand) *Conv2D {
+	outH := inH + 2*pad - kh + 1
+	outW := inW + 2*pad - kw + 1
+	if outH < 1 || outW < 1 {
+		panic(fmt.Sprintf("nn: %s output shape %dx%d invalid", name, outH, outW))
+	}
+	w := tensor.New(filters, inC*kh*kw)
+	heInit(w, inC*kh*kw, rng)
+	return &Conv2D{
+		name: name, inC: inC, inH: inH, inW: inW,
+		filters: filters, kh: kh, kw: kw, pad: pad,
+		outH: outH, outW: outW,
+		w: &Param{Name: name + ".weight", W: w, Grad: tensor.New(filters, inC*kh*kw)},
+		b: &Param{Name: name + ".bias", W: tensor.New(1, filters), Grad: tensor.New(1, filters), IsVector: true},
+	}
+}
+
+// Name returns the layer name.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params returns weight then bias.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// OutShape returns (channels, height, width) of the output feature map.
+func (c *Conv2D) OutShape() (int, int, int) { return c.filters, c.outH, c.outW }
+
+// OutFeatures returns filters*outH*outW.
+func (c *Conv2D) OutFeatures() int { return c.filters * c.outH * c.outW }
+
+// Forward computes the convolution via im2col + one matmul.
+func (c *Conv2D) Forward(x *tensor.Matrix) *tensor.Matrix {
+	batch := x.Rows
+	if x.Cols != c.inC*c.inH*c.inW {
+		panic(fmt.Sprintf("nn: %s input width %d, want %d", c.name, x.Cols, c.inC*c.inH*c.inW))
+	}
+	rows := batch * c.outH * c.outW
+	ckk := c.inC * c.kh * c.kw
+	if c.col == nil || c.col.Rows != rows {
+		c.col = tensor.New(rows, ckk)
+		c.y2 = tensor.New(rows, c.filters)
+		c.y = tensor.New(batch, c.OutFeatures())
+		c.dout2 = tensor.New(rows, c.filters)
+		c.dcol = tensor.New(rows, ckk)
+		c.dx = tensor.New(batch, x.Cols)
+	}
+
+	// im2col: row (b, oh, ow), column (ch, i, j) → input pixel (ch, oh+i-p, ow+j-p).
+	for b := 0; b < batch; b++ {
+		xrow := x.Data[b*x.Cols : (b+1)*x.Cols]
+		for oh := 0; oh < c.outH; oh++ {
+			for ow := 0; ow < c.outW; ow++ {
+				crow := c.col.Data[((b*c.outH+oh)*c.outW+ow)*ckk : ((b*c.outH+oh)*c.outW+ow+1)*ckk]
+				ci := 0
+				for ch := 0; ch < c.inC; ch++ {
+					for i := 0; i < c.kh; i++ {
+						ih := oh + i - c.pad
+						for j := 0; j < c.kw; j++ {
+							iw := ow + j - c.pad
+							if ih >= 0 && ih < c.inH && iw >= 0 && iw < c.inW {
+								crow[ci] = xrow[ch*c.inH*c.inW+ih*c.inW+iw]
+							} else {
+								crow[ci] = 0
+							}
+							ci++
+						}
+					}
+				}
+			}
+		}
+	}
+
+	tensor.MatMulTB(c.y2, c.col, c.w.W) // [rows, F]
+	// Reorder [b*OH*OW, F] → [b, F*OH*OW] and add bias.
+	hw := c.outH * c.outW
+	for b := 0; b < batch; b++ {
+		yrow := c.y.Data[b*c.y.Cols : (b+1)*c.y.Cols]
+		for pos := 0; pos < hw; pos++ {
+			y2row := c.y2.Data[(b*hw+pos)*c.filters : (b*hw+pos+1)*c.filters]
+			for f := 0; f < c.filters; f++ {
+				yrow[f*hw+pos] = y2row[f] + c.b.W.Data[f]
+			}
+		}
+	}
+	return c.y
+}
+
+// Backward computes dW, db and dx from the upstream gradient.
+func (c *Conv2D) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	batch := dout.Rows
+	hw := c.outH * c.outW
+	// Reorder dout [b, F*OH*OW] → dout2 [b*OH*OW, F].
+	for b := 0; b < batch; b++ {
+		drow := dout.Data[b*dout.Cols : (b+1)*dout.Cols]
+		for pos := 0; pos < hw; pos++ {
+			d2row := c.dout2.Data[(b*hw+pos)*c.filters : (b*hw+pos+1)*c.filters]
+			for f := 0; f < c.filters; f++ {
+				d2row[f] = drow[f*hw+pos]
+			}
+		}
+	}
+
+	// dW = dout2ᵀ · col; db = column sums of dout2.
+	tensor.MatMulTA(c.w.Grad, c.dout2, c.col)
+	c.b.Grad.Zero()
+	for r := 0; r < c.dout2.Rows; r++ {
+		row := c.dout2.Data[r*c.filters : (r+1)*c.filters]
+		for f, v := range row {
+			c.b.Grad.Data[f] += v
+		}
+	}
+
+	// dcol = dout2 · W, scattered back through the im2col map.
+	tensor.MatMul(c.dcol, c.dout2, c.w.W)
+	c.dx.Zero()
+	ckk := c.inC * c.kh * c.kw
+	for b := 0; b < batch; b++ {
+		dxrow := c.dx.Data[b*c.dx.Cols : (b+1)*c.dx.Cols]
+		for oh := 0; oh < c.outH; oh++ {
+			for ow := 0; ow < c.outW; ow++ {
+				crow := c.dcol.Data[((b*c.outH+oh)*c.outW+ow)*ckk : ((b*c.outH+oh)*c.outW+ow+1)*ckk]
+				ci := 0
+				for ch := 0; ch < c.inC; ch++ {
+					for i := 0; i < c.kh; i++ {
+						ih := oh + i - c.pad
+						for j := 0; j < c.kw; j++ {
+							iw := ow + j - c.pad
+							if ih >= 0 && ih < c.inH && iw >= 0 && iw < c.inW {
+								dxrow[ch*c.inH*c.inW+ih*c.inW+iw] += crow[ci]
+							}
+							ci++
+						}
+					}
+				}
+			}
+		}
+	}
+	return c.dx
+}
+
+// MaxPool2 is a 2x2, stride-2 max pooling layer over channel-major images.
+type MaxPool2 struct {
+	name          string
+	inC, inH, inW int
+	outH, outW    int
+	argmax        []int
+	y             *tensor.Matrix
+	dx            *tensor.Matrix
+}
+
+var _ Layer = (*MaxPool2)(nil)
+
+// NewMaxPool2 builds a 2x2/stride-2 max-pool for (inC, inH, inW) inputs.
+// Input height and width must be even.
+func NewMaxPool2(name string, inC, inH, inW int) *MaxPool2 {
+	if inH%2 != 0 || inW%2 != 0 {
+		panic(fmt.Sprintf("nn: %s input %dx%d must be even", name, inH, inW))
+	}
+	return &MaxPool2{name: name, inC: inC, inH: inH, inW: inW, outH: inH / 2, outW: inW / 2}
+}
+
+// Name returns the layer name.
+func (m *MaxPool2) Name() string { return m.name }
+
+// Params returns nil.
+func (m *MaxPool2) Params() []*Param { return nil }
+
+// OutShape returns (channels, height, width) of the output.
+func (m *MaxPool2) OutShape() (int, int, int) { return m.inC, m.outH, m.outW }
+
+// OutFeatures returns channels*outH*outW.
+func (m *MaxPool2) OutFeatures() int { return m.inC * m.outH * m.outW }
+
+// Forward takes the max of each 2x2 window, remembering the winner.
+func (m *MaxPool2) Forward(x *tensor.Matrix) *tensor.Matrix {
+	batch := x.Rows
+	outFeat := m.OutFeatures()
+	if m.y == nil || m.y.Rows != batch {
+		m.y = tensor.New(batch, outFeat)
+		m.dx = tensor.New(batch, x.Cols)
+		m.argmax = make([]int, batch*outFeat)
+	}
+	for b := 0; b < batch; b++ {
+		xrow := x.Data[b*x.Cols : (b+1)*x.Cols]
+		yrow := m.y.Data[b*outFeat : (b+1)*outFeat]
+		for ch := 0; ch < m.inC; ch++ {
+			for oh := 0; oh < m.outH; oh++ {
+				for ow := 0; ow < m.outW; ow++ {
+					best := -1
+					bestV := 0.0
+					for i := 0; i < 2; i++ {
+						for j := 0; j < 2; j++ {
+							idx := ch*m.inH*m.inW + (2*oh+i)*m.inW + (2*ow + j)
+							if best == -1 || xrow[idx] > bestV {
+								best = idx
+								bestV = xrow[idx]
+							}
+						}
+					}
+					o := ch*m.outH*m.outW + oh*m.outW + ow
+					yrow[o] = bestV
+					m.argmax[b*outFeat+o] = best
+				}
+			}
+		}
+	}
+	return m.y
+}
+
+// Backward routes gradients to the argmax positions.
+func (m *MaxPool2) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	batch := dout.Rows
+	outFeat := m.OutFeatures()
+	m.dx.Zero()
+	for b := 0; b < batch; b++ {
+		drow := dout.Data[b*outFeat : (b+1)*outFeat]
+		dxrow := m.dx.Data[b*m.dx.Cols : (b+1)*m.dx.Cols]
+		for o, v := range drow {
+			dxrow[m.argmax[b*outFeat+o]] += v
+		}
+	}
+	return m.dx
+}

@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"acpsgd/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b with W of shape (out, in).
+type Dense struct {
+	name string
+	w    *Param
+	b    *Param
+
+	x  *tensor.Matrix // cached input
+	dx *tensor.Matrix // reused input-gradient buffer
+	y  *tensor.Matrix // reused output buffer
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense builds a Dense layer with He initialization from rng.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	w := tensor.New(out, in)
+	heInit(w, in, rng)
+	return &Dense{
+		name: name,
+		w:    &Param{Name: name + ".weight", W: w, Grad: tensor.New(out, in)},
+		b:    &Param{Name: name + ".bias", W: tensor.New(1, out), Grad: tensor.New(1, out), IsVector: true},
+	}
+}
+
+// Name returns the layer name.
+func (d *Dense) Name() string { return d.name }
+
+// Params returns weight then bias.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Forward computes y = x·Wᵀ + b.
+func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != d.w.W.Cols {
+		panic(fmt.Sprintf("nn: %s forward input width %d, want %d", d.name, x.Cols, d.w.W.Cols))
+	}
+	d.x = x
+	if d.y == nil || d.y.Rows != x.Rows {
+		d.y = tensor.New(x.Rows, d.w.W.Rows)
+	}
+	tensor.MatMulTB(d.y, x, d.w.W)
+	for i := 0; i < d.y.Rows; i++ {
+		row := d.y.Data[i*d.y.Cols : (i+1)*d.y.Cols]
+		for j := range row {
+			row[j] += d.b.W.Data[j]
+		}
+	}
+	return d.y
+}
+
+// Backward computes parameter gradients (mean over the batch is deferred to
+// the loss scaling) and returns dx = dout·W.
+func (d *Dense) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	// dW = doutᵀ · x  → shape (out, in).
+	tensor.MatMulTA(d.w.Grad, dout, d.x)
+	// db = column sums of dout.
+	d.b.Grad.Zero()
+	for i := 0; i < dout.Rows; i++ {
+		row := dout.Data[i*dout.Cols : (i+1)*dout.Cols]
+		for j, v := range row {
+			d.b.Grad.Data[j] += v
+		}
+	}
+	if d.dx == nil || d.dx.Rows != dout.Rows {
+		d.dx = tensor.New(dout.Rows, d.w.W.Cols)
+	}
+	tensor.MatMul(d.dx, dout, d.w.W)
+	return d.dx
+}

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"acpsgd/internal/tensor"
+)
+
+// SoftmaxCrossEntropy couples the softmax activation with the cross-entropy
+// loss, the standard classification head. Forward returns the mean loss over
+// the batch and the gradient w.r.t. the logits (already scaled by 1/batch so
+// downstream parameter gradients are batch means).
+type SoftmaxCrossEntropy struct {
+	probs *tensor.Matrix
+}
+
+// Forward computes loss and dlogits for integer class labels.
+func (s *SoftmaxCrossEntropy) Forward(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	batch, classes := logits.Rows, logits.Cols
+	if len(labels) != batch {
+		panic(fmt.Sprintf("nn: %d labels for batch %d", len(labels), batch))
+	}
+	if s.probs == nil || s.probs.Rows != batch || s.probs.Cols != classes {
+		s.probs = tensor.New(batch, classes)
+	}
+	var loss float64
+	for b := 0; b < batch; b++ {
+		row := logits.Data[b*classes : (b+1)*classes]
+		prow := s.probs.Data[b*classes : (b+1)*classes]
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxV)
+			prow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range prow {
+			prow[j] *= inv
+		}
+		y := labels[b]
+		if y < 0 || y >= classes {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, classes))
+		}
+		loss -= math.Log(prow[y] + 1e-30)
+	}
+	loss /= float64(batch)
+
+	dlogits := tensor.New(batch, classes)
+	invB := 1 / float64(batch)
+	for b := 0; b < batch; b++ {
+		prow := s.probs.Data[b*classes : (b+1)*classes]
+		drow := dlogits.Data[b*classes : (b+1)*classes]
+		for j, p := range prow {
+			drow[j] = p * invB
+		}
+		drow[labels[b]] -= invB
+	}
+	return loss, dlogits
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *tensor.Matrix, labels []int) float64 {
+	if logits.Rows == 0 {
+		return 0
+	}
+	correct := 0
+	for b := 0; b < logits.Rows; b++ {
+		row := logits.Data[b*logits.Cols : (b+1)*logits.Cols]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		if best == labels[b] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(logits.Rows)
+}

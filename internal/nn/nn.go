@@ -1,0 +1,134 @@
+// Package nn is the deep-learning substrate for the convergence experiments:
+// a small layer-wise neural network library with explicit forward/backward
+// passes. It plays the role PyTorch plays in the paper, with the one property
+// the paper's system section depends on: gradients become available
+// layer-by-layer in reverse order during back-propagation, and a hook fires
+// per parameter tensor the moment its gradient is ready (the attachment
+// point for wait-free back-propagation, §II-A.2 and §IV-C).
+//
+// Data layout: activations are tensor.Matrix values of shape
+// [batch, features]; image layers carry (channels, height, width) metadata
+// and interpret the feature axis as C*H*W in channel-major order.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"acpsgd/internal/tensor"
+)
+
+// Param is one learnable parameter tensor with its gradient. Weight matrices
+// keep their natural (out, in) matrix shape, which is what the low-rank
+// compressors factorize; bias vectors are marked IsVector and bypass
+// compression, as in the paper's implementation (§IV-C).
+type Param struct {
+	Name     string
+	W        *tensor.Matrix
+	Grad     *tensor.Matrix
+	IsVector bool
+}
+
+// NumElems returns the parameter element count.
+func (p *Param) NumElems() int { return p.W.NumElems() }
+
+// Layer is a differentiable module. Backward must be called after Forward
+// with the upstream gradient and returns the input gradient; parameter
+// gradients are written into the layer's Params (mean over the batch).
+type Layer interface {
+	Name() string
+	Forward(x *tensor.Matrix) *tensor.Matrix
+	Backward(dout *tensor.Matrix) *tensor.Matrix
+	Params() []*Param
+}
+
+// GradHook is invoked during back-propagation as soon as a parameter's
+// gradient is fully computed (wait-free back-propagation attachment point).
+type GradHook func(p *Param)
+
+// Model is a sequential stack of layers.
+type Model struct {
+	layers []Layer
+	params []*Param
+}
+
+// NewModel builds a model from layers in forward order.
+func NewModel(layers ...Layer) *Model {
+	m := &Model{layers: layers}
+	for _, l := range layers {
+		m.params = append(m.params, l.Params()...)
+	}
+	return m
+}
+
+// Layers returns the layer stack.
+func (m *Model) Layers() []Layer { return m.layers }
+
+// Params returns every learnable parameter in forward order.
+func (m *Model) Params() []*Param { return m.params }
+
+// NumParams returns the total number of scalar parameters.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.params {
+		n += p.NumElems()
+	}
+	return n
+}
+
+// Forward runs the forward pass and returns the logits.
+func (m *Model) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range m.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs the backward pass from the loss gradient. If hook is
+// non-nil it is invoked for every parameter of a layer right after that
+// layer's backward completes, in reverse layer order — gradients of later
+// layers are ready first, exactly the WFBP schedule of Fig. 1(b).
+func (m *Model) Backward(dout *tensor.Matrix, hook GradHook) {
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		l := m.layers[i]
+		dout = l.Backward(dout)
+		if hook != nil {
+			// A layer's params are reported in reverse declaration order so
+			// the overall hook order is strictly "last parameter first".
+			ps := l.Params()
+			for j := len(ps) - 1; j >= 0; j-- {
+				hook(ps[j])
+			}
+		}
+	}
+}
+
+// ZeroGrads clears all parameter gradients.
+func (m *Model) ZeroGrads() {
+	for _, p := range m.params {
+		p.Grad.Zero()
+	}
+}
+
+// CopyWeightsFrom copies all weights from src (shapes must match); used to
+// give every data-parallel replica identical initial weights.
+func (m *Model) CopyWeightsFrom(src *Model) error {
+	if len(m.params) != len(src.params) {
+		return fmt.Errorf("nn: model param count mismatch %d vs %d", len(m.params), len(src.params))
+	}
+	for i, p := range m.params {
+		sp := src.params[i]
+		if p.W.Rows != sp.W.Rows || p.W.Cols != sp.W.Cols {
+			return fmt.Errorf("nn: param %q shape mismatch", p.Name)
+		}
+		p.W.CopyFrom(sp.W)
+	}
+	return nil
+}
+
+// heInit fills w with He-normal values: N(0, sqrt(2/fanIn)).
+func heInit(w *tensor.Matrix, fanIn int, rng *rand.Rand) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	w.Randomize(rng, std)
+}

@@ -1,0 +1,316 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acpsgd/internal/tensor"
+)
+
+// numericalGrad computes d f / d m[i] by central differences.
+func numericalGrad(f func() float64, m *tensor.Matrix, i int) float64 {
+	const eps = 1e-5
+	orig := m.Data[i]
+	m.Data[i] = orig + eps
+	fp := f()
+	m.Data[i] = orig - eps
+	fm := f()
+	m.Data[i] = orig
+	return (fp - fm) / (2 * eps)
+}
+
+// checkModelGradients verifies every parameter gradient and the input
+// gradient of model against finite differences of the softmax-CE loss.
+func checkModelGradients(t *testing.T, model *Model, x *tensor.Matrix, labels []int, tol float64) {
+	t.Helper()
+	loss := &SoftmaxCrossEntropy{}
+	run := func() float64 {
+		l, _ := loss.Forward(model.Forward(x), labels)
+		return l
+	}
+	model.ZeroGrads()
+	l, dlogits := loss.Forward(model.Forward(x), labels)
+	if math.IsNaN(l) {
+		t.Fatal("loss is NaN")
+	}
+	model.Backward(dlogits, nil)
+	for _, p := range model.Params() {
+		// Sample a few entries per tensor to keep runtime sane.
+		n := p.W.NumElems()
+		stride := n/7 + 1
+		for i := 0; i < n; i += stride {
+			want := numericalGrad(run, p.W, i)
+			got := p.Grad.Data[i]
+			if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+				t.Fatalf("param %s[%d]: analytic %v vs numeric %v", p.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	model := NewModel(
+		NewDense("fc1", 6, 5, rng),
+		NewTanh("t1"),
+		NewDense("fc2", 5, 3, rng),
+	)
+	x := tensor.New(4, 6)
+	x.Randomize(rng, 1)
+	checkModelGradients(t, model, x, []int{0, 1, 2, 1}, 1e-6)
+}
+
+func TestReLUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	model := NewModel(
+		NewDense("fc1", 5, 8, rng),
+		NewReLU("r1"),
+		NewDense("fc2", 8, 4, rng),
+	)
+	x := tensor.New(3, 5)
+	x.Randomize(rng, 1)
+	checkModelGradients(t, model, x, []int{3, 0, 2}, 1e-5)
+}
+
+func TestConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	conv := NewConv2D("c1", 2, 5, 5, 3, 3, 3, 1, rng)
+	f, h, w := conv.OutShape()
+	if f != 3 || h != 5 || w != 5 {
+		t.Fatalf("out shape %d %d %d", f, h, w)
+	}
+	model := NewModel(
+		conv,
+		NewReLU("r1"),
+		NewDense("fc", conv.OutFeatures(), 3, rng),
+	)
+	x := tensor.New(2, 2*5*5)
+	x.Randomize(rng, 1)
+	checkModelGradients(t, model, x, []int{0, 2}, 1e-5)
+}
+
+func TestConvNoPaddingShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	conv := NewConv2D("c1", 1, 6, 6, 2, 3, 3, 0, rng)
+	f, h, w := conv.OutShape()
+	if f != 2 || h != 4 || w != 4 {
+		t.Fatalf("out shape %d %d %d, want 2 4 4", f, h, w)
+	}
+	x := tensor.New(1, 36)
+	x.Randomize(rng, 1)
+	y := conv.Forward(x)
+	if y.Cols != conv.OutFeatures() {
+		t.Fatalf("forward width %d, want %d", y.Cols, conv.OutFeatures())
+	}
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	conv := NewConv2D("c1", 1, 4, 4, 2, 3, 3, 1, rng)
+	pool := NewMaxPool2("p1", 2, 4, 4)
+	model := NewModel(
+		conv,
+		pool,
+		NewDense("fc", pool.OutFeatures(), 2, rng),
+	)
+	x := tensor.New(2, 16)
+	x.Randomize(rng, 1)
+	checkModelGradients(t, model, x, []int{1, 0}, 1e-5)
+}
+
+func TestMaxPoolForwardValues(t *testing.T) {
+	pool := NewMaxPool2("p", 1, 2, 2)
+	x := tensor.FromSlice(1, 4, []float64{1, 5, 2, 3})
+	y := pool.Forward(x)
+	if y.NumElems() != 1 || y.Data[0] != 5 {
+		t.Fatalf("pool output %v, want [5]", y.Data)
+	}
+	dout := tensor.FromSlice(1, 1, []float64{7})
+	dx := pool.Backward(dout)
+	want := []float64{0, 7, 0, 0}
+	for i := range want {
+		if dx.Data[i] != want[i] {
+			t.Fatalf("pool backward %v, want %v", dx.Data, want)
+		}
+	}
+}
+
+func TestMaxPoolRejectsOddInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for odd input")
+		}
+	}()
+	NewMaxPool2("p", 1, 3, 4)
+}
+
+func TestResidualGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	model := NewModel(
+		NewDense("fc0", 6, 6, rng),
+		NewResidual("res1",
+			NewDense("res1.fc1", 6, 6, rng),
+			NewTanh("res1.t"),
+			NewDense("res1.fc2", 6, 6, rng),
+		),
+		NewDense("head", 6, 3, rng),
+	)
+	x := tensor.New(3, 6)
+	x.Randomize(rng, 1)
+	checkModelGradients(t, model, x, []int{0, 1, 2}, 1e-6)
+}
+
+func TestResidualShapeMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	res := NewResidual("bad", NewDense("fc", 4, 5, rng))
+	x := tensor.New(2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	res.Forward(x)
+}
+
+func TestBackwardHookOrderIsReverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	model := NewModel(
+		NewDense("fc1", 4, 4, rng),
+		NewReLU("r"),
+		NewDense("fc2", 4, 2, rng),
+	)
+	x := tensor.New(2, 4)
+	x.Randomize(rng, 1)
+	loss := &SoftmaxCrossEntropy{}
+	l, dlogits := loss.Forward(model.Forward(x), []int{0, 1})
+	_ = l
+	var order []string
+	model.Backward(dlogits, func(p *Param) { order = append(order, p.Name) })
+	want := []string{"fc2.bias", "fc2.weight", "fc1.bias", "fc1.weight"}
+	if len(order) != len(want) {
+		t.Fatalf("hook order %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("hook order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyKnownValues(t *testing.T) {
+	loss := &SoftmaxCrossEntropy{}
+	logits := tensor.FromSlice(1, 2, []float64{0, 0})
+	l, d := loss.Forward(logits, []int{0})
+	if math.Abs(l-math.Log(2)) > 1e-9 {
+		t.Fatalf("loss %v, want ln2", l)
+	}
+	// d = probs - onehot = [0.5-1, 0.5] = [-0.5, 0.5]
+	if math.Abs(d.Data[0]+0.5) > 1e-9 || math.Abs(d.Data[1]-0.5) > 1e-9 {
+		t.Fatalf("dlogits %v", d.Data)
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	loss := &SoftmaxCrossEntropy{}
+	logits := tensor.FromSlice(1, 3, []float64{1000, 999, -1000})
+	l, d := loss.Forward(logits, []int{0})
+	if math.IsNaN(l) || math.IsInf(l, 0) {
+		t.Fatalf("unstable loss: %v", l)
+	}
+	for _, v := range d.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN gradient")
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice(3, 2, []float64{
+		2, 1, // pred 0
+		0, 3, // pred 1
+		5, 4, // pred 0
+	})
+	if got := Accuracy(logits, []int{0, 1, 1}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy %v", got)
+	}
+	if Accuracy(tensor.New(0, 2), nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestModelParamsAndCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := NewModel(NewDense("fc", 3, 2, rng))
+	b := NewModel(NewDense("fc", 3, 2, rng))
+	if a.NumParams() != 3*2+2 {
+		t.Fatalf("NumParams=%d", a.NumParams())
+	}
+	if err := b.CopyWeightsFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Params() {
+		pa, pb := a.Params()[i], b.Params()[i]
+		for j := range pa.W.Data {
+			if pa.W.Data[j] != pb.W.Data[j] {
+				t.Fatal("weights not copied")
+			}
+		}
+	}
+	c := NewModel(NewDense("fc", 4, 2, rng))
+	if err := c.CopyWeightsFrom(a); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	model := NewModel(NewDense("fc", 3, 2, rng))
+	x := tensor.New(2, 3)
+	x.Randomize(rng, 1)
+	loss := &SoftmaxCrossEntropy{}
+	_, d := loss.Forward(model.Forward(x), []int{0, 1})
+	model.Backward(d, nil)
+	model.ZeroGrads()
+	for _, p := range model.Params() {
+		for _, v := range p.Grad.Data {
+			if v != 0 {
+				t.Fatal("grads not zeroed")
+			}
+		}
+	}
+}
+
+func TestTrainingReducesLossSingleWorker(t *testing.T) {
+	// Sanity: plain SGD on a separable toy problem should cut the loss.
+	rng := rand.New(rand.NewSource(11))
+	model := NewModel(
+		NewDense("fc1", 2, 16, rng),
+		NewReLU("r1"),
+		NewDense("fc2", 16, 2, rng),
+	)
+	loss := &SoftmaxCrossEntropy{}
+	const batch = 32
+	x := tensor.New(batch, 2)
+	labels := make([]int, batch)
+	for b := 0; b < batch; b++ {
+		cls := b % 2
+		labels[b] = cls
+		x.Set(b, 0, rng.NormFloat64()+float64(cls*4-2))
+		x.Set(b, 1, rng.NormFloat64())
+	}
+	first, _ := loss.Forward(model.Forward(x), labels)
+	var last float64
+	for step := 0; step < 60; step++ {
+		model.ZeroGrads()
+		l, d := loss.Forward(model.Forward(x), labels)
+		last = l
+		model.Backward(d, nil)
+		for _, p := range model.Params() {
+			p.W.AddScaled(-0.1, p.Grad)
+		}
+	}
+	if last > first/4 {
+		t.Fatalf("loss did not drop enough: %v -> %v", first, last)
+	}
+}

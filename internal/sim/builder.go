@@ -1,0 +1,507 @@
+package sim
+
+import (
+	"acpsgd/internal/models"
+)
+
+// tensorInfo carries the per-tensor quantities the graph builders need.
+type tensorInfo struct {
+	spec     models.TensorSpec
+	isMatrix bool
+	rEff     int
+	bwdDur   float64
+}
+
+// builder assembles the task graph of one iteration.
+type builder struct {
+	cfg *Config
+	eng *engine
+
+	// tensors in back-propagation (reverse) order.
+	tensors []tensorInfo
+	fwdDur  float64
+
+	// payloadBytes accumulates the per-worker communicated volume.
+	payloadBytes float64
+}
+
+func newBuilder(cfg *Config) *builder {
+	b := &builder{cfg: cfg, eng: newEngine(cfg.GPU.InterferenceRate)}
+
+	spec := cfg.Model
+	totalFLOPs := spec.TotalFwdFLOPs()
+	computeSec := spec.RefComputeSec * cfg.GPU.batchScale(cfg.batch(), spec.DefaultBatch)
+	fwdSec := computeSec / 3
+	bwdSec := computeSec * 2 / 3
+	b.fwdDur = fwdSec
+
+	rank := cfg.rank()
+	// Reverse (back-propagation) order.
+	for i := len(spec.Tensors) - 1; i >= 0; i-- {
+		t := spec.Tensors[i]
+		ti := tensorInfo{
+			spec:     t,
+			isMatrix: t.IsMatrix(),
+			bwdDur:   bwdSec * t.FwdFLOPs / totalFLOPs,
+		}
+		if ti.isMatrix {
+			r := rank
+			if r > t.Rows {
+				r = t.Rows
+			}
+			if r > t.Cols {
+				r = t.Cols
+			}
+			if r < 1 {
+				r = 1
+			}
+			ti.rEff = r
+		}
+		b.tensors = append(b.tensors, ti)
+	}
+	return b
+}
+
+// ---- cost helpers ----------------------------------------------------
+
+// qrCost is the per-tensor orthogonalization cost; the original Power-SGD
+// orthogonalization (SlowOrth) scales with the rank (per-column
+// Gram-Schmidt), the reduced QR of §V-A does not.
+func (b *builder) qrCost(r int) float64 {
+	g := b.cfg.GPU
+	if b.cfg.SlowOrth {
+		f := g.SlowOrthFactor
+		if f <= 0 {
+			f = 1
+		}
+		return g.QRPerTensor * f * float64(r)
+	}
+	return g.QRPerTensor
+}
+
+// efFLOPs is the error-feedback update cost in FLOPs (P·Qᵀ plus the
+// subtraction) for an n x m tensor at rank r.
+func (b *builder) efFLOPs(n, m, r int) float64 {
+	if b.cfg.DisableEF {
+		return 0
+	}
+	return 2*float64(n*m*r) + float64(n*m)
+}
+
+// acpCompressDur is ACP-SGD's per-tensor, per-step compression: one
+// orthogonalization of the reused factor, one matmul, and the EF update
+// (half of Power-SGD's work, §IV-A).
+func (b *builder) acpCompressDur(t tensorInfo) float64 {
+	g := b.cfg.GPU
+	n, m, r := t.spec.Rows, t.spec.Cols, t.rEff
+	orthDim := m // odd step orthogonalizes Q (m x r)
+	if b.cfg.parity == 1 {
+		orthDim = n
+	}
+	flops := 2*float64(n*m*r) + 2*float64(orthDim*r*r) + b.efFLOPs(n, m, r)
+	return flops/g.LowRankFLOPS + b.qrCost(r) + 3*g.KernelLaunch
+}
+
+// acpDecompressDur is the P·Qᵀ reconstruction.
+func (b *builder) acpDecompressDur(t tensorInfo) float64 {
+	g := b.cfg.GPU
+	flops := 2 * float64(t.spec.Rows*t.spec.Cols*t.rEff)
+	return flops/g.LowRankFLOPS + g.KernelLaunch
+}
+
+// Power-SGD's three compute stages per tensor (Algorithm 1): compute P;
+// orthogonalize+compute Q (+EF); decompress.
+func (b *builder) powerStage1Dur(t tensorInfo) float64 {
+	g := b.cfg.GPU
+	return 2*float64(t.spec.Rows*t.spec.Cols*t.rEff)/g.LowRankFLOPS + g.KernelLaunch
+}
+
+func (b *builder) powerStage2Dur(t tensorInfo) float64 {
+	g := b.cfg.GPU
+	n, m, r := t.spec.Rows, t.spec.Cols, t.rEff
+	flops := 2*float64(n*r*r) + 2*float64(n*m*r) + b.efFLOPs(n, m, r)
+	return flops/g.LowRankFLOPS + b.qrCost(r) + 2*g.KernelLaunch
+}
+
+func (b *builder) powerStage3Dur(t tensorInfo) float64 {
+	return b.acpDecompressDur(t)
+}
+
+// signEncodeDur / signDecodeDur: pack N sign bits; majority-vote over p
+// workers' packed payloads.
+func (b *builder) signEncodeDur(elems int) float64 {
+	g := b.cfg.GPU
+	return float64(elems)/g.SignThroughput + g.KernelLaunch
+}
+
+func (b *builder) signDecodeDur(elems int) float64 {
+	g := b.cfg.GPU
+	votes := float64(b.cfg.Workers) / 32
+	if votes < 1 {
+		votes = 1
+	}
+	return float64(elems)*votes/g.SignThroughput + g.KernelLaunch
+}
+
+// topkEncodeDur / topkDecodeDur: multi-sampling threshold selection scans
+// the full tensor; decode scatter-adds p*k pairs.
+func (b *builder) topkEncodeDur(elems int) float64 {
+	g := b.cfg.GPU
+	return float64(elems)/g.TopKThroughput + g.KernelLaunch
+}
+
+func (b *builder) topkDecodeDur(elems int) float64 {
+	g := b.cfg.GPU
+	k := float64(elems) * b.cfg.topKRatio()
+	return float64(b.cfg.Workers)*k/g.SignThroughput + g.KernelLaunch
+}
+
+// payloadBytesFor returns the per-tensor communicated bytes for the current
+// method (fp32 wire accounting as in the paper).
+func (b *builder) payloadBytesFor(t tensorInfo) float64 {
+	switch b.cfg.Method {
+	case MethodSSGD:
+		return 4 * float64(t.spec.Elems())
+	case MethodSign:
+		return float64(t.spec.Elems()) / 8
+	case MethodTopK:
+		k := float64(t.spec.Elems()) * b.cfg.topKRatio()
+		if k < 1 {
+			k = 1
+		}
+		return 8 * k
+	case MethodACP:
+		if !t.isMatrix {
+			return 4 * float64(t.spec.Elems())
+		}
+		if b.cfg.parity == 0 {
+			return 4 * float64(t.rEff*t.spec.Rows)
+		}
+		return 4 * float64(t.rEff*t.spec.Cols)
+	case MethodPower:
+		if !t.isMatrix {
+			return 4 * float64(t.spec.Elems())
+		}
+		return 4 * float64(t.rEff*(t.spec.Rows+t.spec.Cols))
+	}
+	return 0
+}
+
+// allReduce appends an all-reduce task for `bytes` and records the payload.
+func (b *builder) allReduce(bytes float64, deps ...*task) *task {
+	b.payloadBytes += bytes
+	return b.eng.add(netStream, kindComm, b.cfg.Net.AllReduceTime(b.cfg.Workers, bytes), deps...)
+}
+
+// allGather appends an all-gather task for a per-worker payload of `bytes`.
+func (b *builder) allGather(bytes float64, deps ...*task) *task {
+	b.payloadBytes += bytes
+	return b.eng.add(netStream, kindComm, b.cfg.Net.AllGatherTime(b.cfg.Workers, bytes), deps...)
+}
+
+// addForward queues the forward pass.
+func (b *builder) addForward() *task {
+	return b.eng.add(mainStream, kindFwdBwd, b.fwdDur)
+}
+
+// shouldFlush decides fusion-buffer boundaries. A zero budget disables
+// tensor fusion entirely: every tensor ships in its own collective (the
+// paper's "buffer size 0MB, optimal WFBP, no TF" extreme).
+func shouldFlush(budget, bucketBytes float64) bool {
+	if budget <= 0 {
+		return bucketBytes > 0
+	}
+	return bucketBytes >= budget
+}
+
+// ---- S-SGD ------------------------------------------------------------
+
+func (b *builder) buildSSGD() {
+	b.addForward()
+	switch b.cfg.Mode {
+	case ModeNaive:
+		// Tensor-wise aggregation strictly after back-propagation: no
+		// overlap, no fusion (Fig. 9's "Naive", i.e. Fig. 1(a)).
+		var last *task
+		for _, t := range b.tensors {
+			last = b.eng.add(mainStream, kindFwdBwd, t.bwdDur)
+		}
+		for _, t := range b.tensors {
+			b.allReduce(b.payloadBytesFor(t), last)
+		}
+	default:
+		budget := b.cfg.bufferBudget(1)
+		var bucketBytes float64
+		var lastBwd *task
+		flush := func() {
+			if bucketBytes > 0 {
+				b.allReduce(bucketBytes, lastBwd)
+				bucketBytes = 0
+			}
+		}
+		for _, t := range b.tensors {
+			lastBwd = b.eng.add(mainStream, kindFwdBwd, t.bwdDur)
+			bucketBytes += b.payloadBytesFor(t)
+			if shouldFlush(budget, bucketBytes) {
+				flush()
+			}
+		}
+		flush()
+	}
+}
+
+// ---- Sign-SGD / Top-k SGD ----------------------------------------------
+
+func (b *builder) encodeDur(elems int) float64 {
+	if b.cfg.Method == MethodSign {
+		return b.signEncodeDur(elems)
+	}
+	return b.topkEncodeDur(elems)
+}
+
+func (b *builder) decodeDur(elems int) float64 {
+	if b.cfg.Method == MethodSign {
+		return b.signDecodeDur(elems)
+	}
+	return b.topkDecodeDur(elems)
+}
+
+func (b *builder) buildGather() {
+	b.addForward()
+	switch b.cfg.Mode {
+	case ModeNaive:
+		var last *task
+		elems := 0
+		bytes := 0.0
+		for _, t := range b.tensors {
+			last = b.eng.add(mainStream, kindFwdBwd, t.bwdDur)
+			elems += t.spec.Elems()
+			bytes += b.payloadBytesFor(t)
+		}
+		enc := b.eng.add(mainStream, kindCompress, b.encodeDur(elems), last)
+		ag := b.allGather(bytes, enc)
+		b.eng.add(mainStream, kindCompress, b.decodeDur(elems), ag)
+	default:
+		budget := b.cfg.bufferBudget(1)
+		type bucket struct {
+			comm  *task
+			elems int
+		}
+		var buckets []bucket
+		var bucketBytes float64
+		bucketElems := 0
+		flush := func() {
+			if bucketElems == 0 {
+				return
+			}
+			enc := b.eng.add(mainStream, kindCompress, b.encodeDur(bucketElems))
+			ag := b.allGather(bucketBytes, enc)
+			buckets = append(buckets, bucket{comm: ag, elems: bucketElems})
+			bucketBytes = 0
+			bucketElems = 0
+		}
+		for _, t := range b.tensors {
+			b.eng.add(mainStream, kindFwdBwd, t.bwdDur)
+			bucketBytes += b.payloadBytesFor(t)
+			bucketElems += t.spec.Elems()
+			if shouldFlush(budget, bucketBytes) {
+				flush()
+			}
+		}
+		flush()
+		for _, bk := range buckets {
+			b.eng.add(mainStream, kindCompress, b.decodeDur(bk.elems), bk.comm)
+		}
+	}
+}
+
+// ---- ACP-SGD ------------------------------------------------------------
+
+// acpRate is the payload compression rate that scales the fusion budget
+// (§IV-B: compressed buffer size = default buffer size x compression rate).
+func (b *builder) acpRate() float64 {
+	spec := b.cfg.Model
+	odd := b.cfg.parity == 0
+	return float64(spec.ACPPayloadElems(b.cfg.rank(), odd)) / float64(spec.NumParams())
+}
+
+func (b *builder) buildACP() {
+	b.addForward()
+	switch b.cfg.Mode {
+	case ModeNaive:
+		// Compress everything after back-propagation, then aggregate
+		// tensor-wise without overlap, then decompress.
+		var last *task
+		var compressDur, decompressDur float64
+		for _, t := range b.tensors {
+			last = b.eng.add(mainStream, kindFwdBwd, t.bwdDur)
+			if t.isMatrix {
+				compressDur += b.acpCompressDur(t)
+				decompressDur += b.acpDecompressDur(t)
+			}
+		}
+		comp := b.eng.add(mainStream, kindCompress, compressDur, last)
+		var lastAR *task
+		for _, t := range b.tensors {
+			lastAR = b.allReduce(b.payloadBytesFor(t), comp)
+		}
+		b.eng.add(mainStream, kindCompress, decompressDur, lastAR)
+	default:
+		budget := b.cfg.bufferBudget(b.acpRate())
+		type bucket struct {
+			comm          *task
+			decompressDur float64
+		}
+		var buckets []bucket
+		var bucketBytes, bucketDecomp float64
+		var lastMain *task
+		flush := func() {
+			if bucketBytes == 0 {
+				return
+			}
+			ar := b.allReduce(bucketBytes, lastMain)
+			buckets = append(buckets, bucket{comm: ar, decompressDur: bucketDecomp})
+			bucketBytes = 0
+			bucketDecomp = 0
+		}
+		for _, t := range b.tensors {
+			lastMain = b.eng.add(mainStream, kindFwdBwd, t.bwdDur)
+			if t.isMatrix {
+				// Inline compression on the main stream right after the
+				// gradient is ready (Fig. 4(c)): sequential with BP, no
+				// stream interference.
+				lastMain = b.eng.add(mainStream, kindCompress, b.acpCompressDur(t))
+				bucketDecomp += b.acpDecompressDur(t)
+			}
+			bucketBytes += b.payloadBytesFor(t)
+			if shouldFlush(budget, bucketBytes) {
+				flush()
+			}
+		}
+		flush()
+		for _, bk := range buckets {
+			b.eng.add(mainStream, kindCompress, bk.decompressDur, bk.comm)
+		}
+	}
+}
+
+// ---- Power-SGD ------------------------------------------------------------
+
+// shapeKey groups matrix tensors by shape — the original Power-SGD
+// implementation batches same-shape matrices for aggregation.
+type shapeKey struct{ n, m int }
+
+func (b *builder) buildPower() {
+	b.addForward()
+	p := b.cfg.Workers
+	_ = p
+	switch b.cfg.Mode {
+	case ModeNaive:
+		// Original Power-SGD [24]: all compression after BP; per shape
+		// group aggregation of P, then of Q; vectors aggregated raw.
+		var last *task
+		var stage1, stage2, stage3, vecBytes float64
+		groupP := map[shapeKey]float64{}
+		groupQ := map[shapeKey]float64{}
+		var order []shapeKey
+		for _, t := range b.tensors {
+			last = b.eng.add(mainStream, kindFwdBwd, t.bwdDur)
+			if !t.isMatrix {
+				vecBytes += 4 * float64(t.spec.Elems())
+				continue
+			}
+			stage1 += b.powerStage1Dur(t)
+			stage2 += b.powerStage2Dur(t)
+			stage3 += b.powerStage3Dur(t)
+			k := shapeKey{t.spec.Rows, t.spec.Cols}
+			if _, ok := groupP[k]; !ok {
+				order = append(order, k)
+			}
+			groupP[k] += 4 * float64(t.rEff*t.spec.Rows)
+			groupQ[k] += 4 * float64(t.rEff*t.spec.Cols)
+		}
+		if vecBytes > 0 {
+			b.allReduce(vecBytes, last)
+		}
+		s1 := b.eng.add(mainStream, kindCompress, stage1, last)
+		var arPs []*task
+		for _, k := range order {
+			arPs = append(arPs, b.allReduce(groupP[k], s1))
+		}
+		s2 := b.eng.add(mainStream, kindCompress, stage2, arPs...)
+		var arQs []*task
+		for _, k := range order {
+			arQs = append(arQs, b.allReduce(groupQ[k], s2))
+		}
+		b.eng.add(mainStream, kindCompress, stage3, arQs...)
+	default:
+		// Power-SGD* (PyTorch DDP comm hook): buckets of raw gradient
+		// bytes; per bucket the blocking chain P-compute → all-reduce P →
+		// orthogonalize+Q-compute → all-reduce Q → decompress runs on the
+		// side compute stream, competing with back-propagation (§III-C,
+		// Fig. 4(b)).
+		budget := b.cfg.bufferBudget(1)
+		var rawB, pBytes, qBytes, vecBytes float64
+		var s1d, s2d, s3d float64
+		var lastBwd *task
+		flush := func() {
+			if rawB == 0 {
+				return
+			}
+			if vecBytes > 0 {
+				b.allReduce(vecBytes, lastBwd)
+			}
+			if pBytes > 0 {
+				s1 := b.eng.add(sideStream, kindCompress, s1d, lastBwd)
+				arp := b.allReduce(pBytes, s1)
+				s2 := b.eng.add(sideStream, kindCompress, s2d, arp)
+				arq := b.allReduce(qBytes, s2)
+				b.eng.add(sideStream, kindCompress, s3d, arq)
+			}
+			rawB, pBytes, qBytes, vecBytes = 0, 0, 0, 0
+			s1d, s2d, s3d = 0, 0, 0
+		}
+		for _, t := range b.tensors {
+			lastBwd = b.eng.add(mainStream, kindFwdBwd, t.bwdDur)
+			rawB += 4 * float64(t.spec.Elems())
+			if t.isMatrix {
+				pBytes += 4 * float64(t.rEff*t.spec.Rows)
+				qBytes += 4 * float64(t.rEff*t.spec.Cols)
+				s1d += b.powerStage1Dur(t)
+				s2d += b.powerStage2Dur(t)
+				s3d += b.powerStage3Dur(t)
+			} else {
+				vecBytes += 4 * float64(t.spec.Elems())
+			}
+			if shouldFlush(budget, rawB) {
+				flush()
+			}
+		}
+		flush()
+	}
+}
+
+// ---- memory model ----------------------------------------------------
+
+// estimateMemory reproduces the Fig. 2 OOM: Sign-SGD's majority-vote decode
+// materializes every worker's unpacked sign tensor (p x N bytes), which
+// exhausts an 11GB GPU on BERT-Large at p=32.
+func estimateMemory(cfg *Config) float64 {
+	n := float64(cfg.Model.NumParams())
+	base := 3*4*n + // params + grads + momentum (fp32)
+		float64(cfg.batch())*cfg.Model.ActBytesPerExample +
+		0.8e9 // CUDA context + framework overhead
+	switch cfg.Method {
+	case MethodSign:
+		return base + 4*n + // error feedback
+			float64(cfg.Workers)*n // unpacked vote workspace (1 byte/elem/worker)
+	case MethodTopK:
+		k := n * cfg.topKRatio()
+		return base + 4*n + float64(cfg.Workers)*8*k
+	case MethodPower, MethodACP:
+		return base + 4*n + // error feedback
+			8*float64(cfg.Model.PowerCompressedElems(cfg.rank()))
+	default:
+		return base
+	}
+}

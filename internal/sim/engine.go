@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// streamID identifies an execution stream. Streams execute their tasks
+// strictly in submission order (CUDA in-order stream semantics); cross-
+// stream dependencies are explicit. mainStream carries forward/backward and
+// inline compression, sideStream carries pipeline tasks triggered by
+// communication completion (the Power-SGD* comm-hook pipeline), netStream
+// carries collectives.
+type streamID int
+
+const (
+	mainStream streamID = iota
+	sideStream
+	netStream
+	numStreams
+)
+
+// taskKind buckets tasks for the paper's time-breakdown accounting.
+type taskKind int
+
+const (
+	kindFwdBwd taskKind = iota + 1
+	kindCompress
+	kindComm
+)
+
+// task is one unit of work on a stream.
+type task struct {
+	id     int
+	stream streamID
+	kind   taskKind
+	dur    float64 // base duration in seconds
+	deps   []*task
+
+	remaining float64
+	done      bool
+	finish    float64
+}
+
+// engine is a processor-sharing discrete-event simulator over the three
+// in-order streams. The two compute streams contend for the GPU: when both
+// are busy each progresses at InterferenceRate < 1 (overlapping compression
+// with back-propagation is a net loss, §III-C); the network stream always
+// runs at full rate.
+type engine struct {
+	streams [numStreams][]*task
+	nextID  int
+	rate    float64 // interference rate
+}
+
+func newEngine(interferenceRate float64) *engine {
+	if interferenceRate <= 0 || interferenceRate > 1 {
+		interferenceRate = 0.35
+	}
+	return &engine{rate: interferenceRate}
+}
+
+// add appends a task to a stream and returns it.
+func (e *engine) add(s streamID, kind taskKind, dur float64, deps ...*task) *task {
+	t := &task{
+		id:        e.nextID,
+		stream:    s,
+		kind:      kind,
+		dur:       dur,
+		deps:      deps,
+		remaining: dur,
+	}
+	e.nextID++
+	e.streams[s] = append(e.streams[s], t)
+	return t
+}
+
+// accounting is the paper's iteration-time breakdown: FF&BP, compression
+// (+decompression), and non-overlapped communication. The three parts sum
+// to the makespan: GPU time is attributed to the running task's kind (split
+// evenly when both compute streams are busy) and communication only counts
+// when no compute stream is active, which is exactly the paper's
+// "non-overlapped overhead" metric (§III-A).
+type accounting struct {
+	Total          float64
+	FFBP           float64
+	Compress       float64
+	CommNonOverlap float64
+}
+
+// run executes all tasks to completion and returns the accounting.
+func (e *engine) run() (accounting, error) {
+	heads := [numStreams]int{}
+	var acct accounting
+	now := 0.0
+	const eps = 1e-15
+
+	pending := 0
+	for _, q := range e.streams {
+		pending += len(q)
+	}
+
+	for pending > 0 {
+		// Find the active head of each stream (deps satisfied).
+		var active [numStreams]*task
+		anyActive := false
+		for s := streamID(0); s < numStreams; s++ {
+			if heads[s] >= len(e.streams[s]) {
+				continue
+			}
+			h := e.streams[s][heads[s]]
+			ready := true
+			for _, d := range h.deps {
+				if !d.done {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				active[s] = h
+				anyActive = true
+			}
+		}
+		if !anyActive {
+			return acct, fmt.Errorf("sim: deadlock with %d tasks pending", pending)
+		}
+
+		// Compute rates: compute streams share the GPU.
+		bothCompute := active[mainStream] != nil && active[sideStream] != nil
+		rates := [numStreams]float64{1, 1, 1}
+		if bothCompute {
+			rates[mainStream] = e.rate
+			rates[sideStream] = e.rate
+		}
+
+		// Advance to the next completion.
+		dt := math.Inf(1)
+		for s := streamID(0); s < numStreams; s++ {
+			if active[s] == nil {
+				continue
+			}
+			t := active[s].remaining / rates[s]
+			if t < dt {
+				dt = t
+			}
+		}
+		if math.IsInf(dt, 1) || dt < 0 {
+			return acct, fmt.Errorf("sim: invalid time step")
+		}
+
+		// Attribute the interval.
+		computeActive := 0
+		if active[mainStream] != nil {
+			computeActive++
+		}
+		if active[sideStream] != nil {
+			computeActive++
+		}
+		if computeActive > 0 {
+			share := dt / float64(computeActive)
+			for _, s := range []streamID{mainStream, sideStream} {
+				if active[s] == nil {
+					continue
+				}
+				switch active[s].kind {
+				case kindFwdBwd:
+					acct.FFBP += share
+				default:
+					acct.Compress += share
+				}
+			}
+		} else if active[netStream] != nil {
+			acct.CommNonOverlap += dt
+		}
+
+		now += dt
+		for s := streamID(0); s < numStreams; s++ {
+			if active[s] == nil {
+				continue
+			}
+			active[s].remaining -= rates[s] * dt
+			if active[s].remaining <= eps {
+				active[s].remaining = 0
+				active[s].done = true
+				active[s].finish = now
+				heads[s]++
+				pending--
+			}
+		}
+	}
+	acct.Total = now
+	return acct, nil
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEngineSerialTasks(t *testing.T) {
+	e := newEngine(0.5)
+	a := e.add(mainStream, kindFwdBwd, 1.0)
+	b := e.add(mainStream, kindCompress, 2.0)
+	acct, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acct.Total-3.0) > 1e-9 {
+		t.Fatalf("total %v want 3", acct.Total)
+	}
+	if math.Abs(acct.FFBP-1) > 1e-9 || math.Abs(acct.Compress-2) > 1e-9 {
+		t.Fatalf("accounting %+v", acct)
+	}
+	if a.finish > b.finish {
+		t.Fatal("in-order stream violated")
+	}
+}
+
+func TestEngineNetworkOverlapsCompute(t *testing.T) {
+	e := newEngine(0.5)
+	e.add(mainStream, kindFwdBwd, 2.0)
+	e.add(netStream, kindComm, 1.5) // no deps: runs concurrently
+	acct, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acct.Total-2.0) > 1e-9 {
+		t.Fatalf("comm should hide under compute: total %v", acct.Total)
+	}
+	if acct.CommNonOverlap != 0 {
+		t.Fatalf("no comm should be exposed: %v", acct.CommNonOverlap)
+	}
+}
+
+func TestEngineExposedCommunication(t *testing.T) {
+	e := newEngine(0.5)
+	c := e.add(mainStream, kindFwdBwd, 1.0)
+	e.add(netStream, kindComm, 3.0, c) // starts after compute
+	acct, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acct.Total-4.0) > 1e-9 {
+		t.Fatalf("total %v want 4", acct.Total)
+	}
+	if math.Abs(acct.CommNonOverlap-3.0) > 1e-9 {
+		t.Fatalf("exposed comm %v want 3", acct.CommNonOverlap)
+	}
+}
+
+func TestEngineDependencyChain(t *testing.T) {
+	e := newEngine(0.5)
+	a := e.add(mainStream, kindFwdBwd, 1.0)
+	c := e.add(netStream, kindComm, 1.0, a)
+	d := e.add(sideStream, kindCompress, 1.0, c)
+	acct, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acct.Total-3.0) > 1e-9 {
+		t.Fatalf("chain should serialize: total %v", acct.Total)
+	}
+	if d.finish < c.finish || c.finish < a.finish {
+		t.Fatal("dependency order violated")
+	}
+}
+
+func TestEngineInterferenceSlowsBothStreams(t *testing.T) {
+	// Two equal 1s tasks on main and side with rate 0.5: both progress at
+	// half speed while overlapped → both finish at t=2 (equivalent to
+	// serial). With rate 0.25 the overlap is a net loss: finish at t=4.
+	for _, tc := range []struct {
+		rate float64
+		want float64
+	}{
+		{0.5, 2.0},
+		{0.25, 4.0},
+	} {
+		e := newEngine(tc.rate)
+		e.add(mainStream, kindFwdBwd, 1.0)
+		e.add(sideStream, kindCompress, 1.0)
+		acct, err := e.run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(acct.Total-tc.want) > 1e-9 {
+			t.Fatalf("rate %v: total %v want %v", tc.rate, acct.Total, tc.want)
+		}
+	}
+}
+
+func TestEngineInterferenceAsymmetric(t *testing.T) {
+	// Side task 1s overlapping a 3s main task at rate 0.5: side finishes at
+	// t=2 (main has 1s of work left, done at t=3). Total 3s, no loss in
+	// this symmetric-rate case; at rate 0.25 side finishes at 4, main did
+	// 1s by then, remaining 2s → total 6.
+	e := newEngine(0.25)
+	e.add(mainStream, kindFwdBwd, 3.0)
+	e.add(sideStream, kindCompress, 1.0)
+	acct, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acct.Total-6.0) > 1e-9 {
+		t.Fatalf("total %v want 6", acct.Total)
+	}
+	// Accounting splits the overlapped window evenly.
+	if math.Abs(acct.FFBP+acct.Compress-acct.Total) > 1e-9 {
+		t.Fatalf("GPU accounting must sum to total when no comm: %+v", acct)
+	}
+}
+
+func TestEngineDeadlockDetected(t *testing.T) {
+	e := newEngine(0.5)
+	// Head of main depends on a later task in the same stream: deadlock.
+	later := &task{id: 999}
+	e.add(mainStream, kindFwdBwd, 1.0, later)
+	if _, err := e.run(); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestEngineHeadOfLineBlocking(t *testing.T) {
+	// In-order streams: a blocked head stalls the whole stream even if a
+	// later task is ready (CUDA stream semantics).
+	e := newEngine(0.5)
+	slow := e.add(mainStream, kindFwdBwd, 5.0)
+	blocked := e.add(netStream, kindComm, 1.0, slow)
+	free := e.add(netStream, kindComm, 1.0) // queued behind blocked
+	acct, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.finish < blocked.finish {
+		t.Fatal("net stream must run in order")
+	}
+	if math.Abs(acct.Total-7.0) > 1e-9 {
+		t.Fatalf("total %v want 7", acct.Total)
+	}
+}
+
+func TestEngineZeroDurationTasks(t *testing.T) {
+	e := newEngine(0.5)
+	a := e.add(mainStream, kindFwdBwd, 0)
+	e.add(netStream, kindComm, 0, a)
+	acct, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acct.Total != 0 {
+		t.Fatalf("total %v want 0", acct.Total)
+	}
+}
+
+func TestEngineAccountingPartition(t *testing.T) {
+	// FFBP + Compress + CommNonOverlap == Total for a mixed graph.
+	e := newEngine(0.4)
+	f := e.add(mainStream, kindFwdBwd, 1.0)
+	c1 := e.add(mainStream, kindCompress, 0.5)
+	n1 := e.add(netStream, kindComm, 2.0, c1)
+	e.add(sideStream, kindCompress, 0.7, f)
+	e.add(mainStream, kindCompress, 0.3, n1)
+	acct, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := acct.FFBP + acct.Compress + acct.CommNonOverlap
+	if math.Abs(sum-acct.Total) > 1e-9 {
+		t.Fatalf("breakdown (%v) does not sum to total (%v)", sum, acct.Total)
+	}
+}
+
+func TestEngineBadRateDefaults(t *testing.T) {
+	e := newEngine(0)
+	if e.rate != 0.35 {
+		t.Fatalf("rate %v, want default", e.rate)
+	}
+	e2 := newEngine(2)
+	if e2.rate != 0.35 {
+		t.Fatalf("rate %v, want default", e2.rate)
+	}
+}

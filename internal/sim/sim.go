@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"fmt"
+
+	"acpsgd/internal/models"
+)
+
+// Method identifies the aggregation method being simulated.
+type Method int
+
+// Methods of the paper's evaluation.
+const (
+	MethodSSGD Method = iota + 1
+	MethodSign
+	MethodTopK
+	MethodPower
+	MethodACP
+)
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	switch m {
+	case MethodSSGD:
+		return "S-SGD"
+	case MethodSign:
+		return "Sign-SGD"
+	case MethodTopK:
+		return "Top-k SGD"
+	case MethodPower:
+		return "Power-SGD"
+	case MethodACP:
+		return "ACP-SGD"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Mode selects the system-optimization level (Fig. 9's three variants).
+type Mode int
+
+// Execution modes.
+const (
+	// ModeNaive runs all aggregation after back-propagation, fully packed
+	// (for Power-SGD this is the original implementation, which batches
+	// compression post-BP; for S-SGD it is one fused post-BP all-reduce).
+	ModeNaive Mode = iota + 1
+	// ModeWFBP overlaps per-tensor communication with back-propagation but
+	// performs no tensor fusion.
+	ModeWFBP
+	// ModeWFBPTF adds byte-budgeted tensor fusion (the paper's fully
+	// optimized configuration; Power-SGD in this mode is "Power-SGD*").
+	ModeWFBPTF
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNaive:
+		return "Naive"
+	case ModeWFBP:
+		return "WFBP"
+	case ModeWFBPTF:
+		return "WFBP+TF"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// DefaultBufferBytes is the 25MB PyTorch-DDP fusion budget (§IV-B).
+const DefaultBufferBytes = 25 * 1024 * 1024
+
+// Config describes one simulated iteration.
+type Config struct {
+	Model   *models.ModelSpec
+	Method  Method
+	Mode    Mode
+	Workers int
+	// Batch is the per-GPU batch size (0 → the model's paper default).
+	Batch int
+	// Rank is the low-rank rank (0 → the model's paper default).
+	Rank int
+	// TopKRatio is the Top-k density (0 → the paper's 0.1%).
+	TopKRatio float64
+	Net       Network
+	GPU       GPU
+	// BufferBytes is the fusion budget for ModeWFBPTF (0 → 25MB).
+	BufferBytes int
+	// NoFusion forces per-tensor communication even in ModeWFBPTF
+	// (Fig. 10's "buffer size 0MB" point).
+	NoFusion bool
+	// SlowOrth uses the original Power-SGD orthogonalization cost (the
+	// §III baseline) instead of reduced QR.
+	SlowOrth bool
+	// DisableEF removes the error-feedback compute (cost ablation only).
+	DisableEF bool
+
+	// parity selects ACP's P step (0) or Q step (1); Simulate averages
+	// both automatically.
+	parity int
+}
+
+// Result is one simulated iteration with the paper's breakdown metrics.
+type Result struct {
+	TotalSec       float64
+	FFBPSec        float64
+	CompressSec    float64
+	CommSec        float64 // non-overlapped communication
+	OOM            bool
+	MemoryBytes    float64
+	PayloadBytes   float64 // per-iteration communicated payload per worker
+	CompressionRat float64 // raw bytes / payload bytes
+}
+
+func (cfg *Config) validate() error {
+	if cfg.Model == nil {
+		return fmt.Errorf("sim: nil model")
+	}
+	if cfg.Workers < 1 {
+		return fmt.Errorf("sim: workers must be >= 1, got %d", cfg.Workers)
+	}
+	switch cfg.Method {
+	case MethodSSGD, MethodSign, MethodTopK, MethodPower, MethodACP:
+	default:
+		return fmt.Errorf("sim: unknown method %v", cfg.Method)
+	}
+	switch cfg.Mode {
+	case ModeNaive, ModeWFBP, ModeWFBPTF:
+	default:
+		return fmt.Errorf("sim: unknown mode %v", cfg.Mode)
+	}
+	if cfg.Net.Bandwidth <= 0 && cfg.Workers > 1 {
+		return fmt.Errorf("sim: network not configured")
+	}
+	return nil
+}
+
+func (cfg *Config) batch() int {
+	if cfg.Batch > 0 {
+		return cfg.Batch
+	}
+	return cfg.Model.DefaultBatch
+}
+
+func (cfg *Config) rank() int {
+	if cfg.Rank > 0 {
+		return cfg.Rank
+	}
+	return cfg.Model.DefaultRank
+}
+
+func (cfg *Config) topKRatio() float64 {
+	if cfg.TopKRatio > 0 {
+		return cfg.TopKRatio
+	}
+	return 0.001
+}
+
+// bufferBudget resolves the fusion budget in bytes for the given payload
+// compression rate (ACP scales the default budget by the compression rate,
+// §IV-B; rate is 1 for uncompressed streams).
+func (cfg *Config) bufferBudget(rate float64) float64 {
+	if cfg.Mode == ModeWFBP || cfg.NoFusion {
+		return 0
+	}
+	base := float64(cfg.BufferBytes)
+	if base <= 0 {
+		base = DefaultBufferBytes
+	}
+	b := base * rate
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Simulate runs one iteration and returns the time breakdown. ACP-SGD is
+// simulated for both alternation parities and averaged, matching the
+// paper's average-iteration-time metric.
+func Simulate(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	mem := estimateMemory(&cfg)
+	if mem > cfg.GPU.MemoryBytes && cfg.GPU.MemoryBytes > 0 {
+		return Result{OOM: true, MemoryBytes: mem}, nil
+	}
+	if cfg.Method == MethodACP {
+		cfg.parity = 0
+		a, err := simulateOnce(&cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		cfg.parity = 1
+		b, err := simulateOnce(&cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		avg := Result{
+			TotalSec:     (a.TotalSec + b.TotalSec) / 2,
+			FFBPSec:      (a.FFBPSec + b.FFBPSec) / 2,
+			CompressSec:  (a.CompressSec + b.CompressSec) / 2,
+			CommSec:      (a.CommSec + b.CommSec) / 2,
+			PayloadBytes: (a.PayloadBytes + b.PayloadBytes) / 2,
+			MemoryBytes:  mem,
+		}
+		avg.CompressionRat = rawBytes(cfg.Model) / avg.PayloadBytes
+		return avg, nil
+	}
+	r, err := simulateOnce(&cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	r.MemoryBytes = mem
+	r.CompressionRat = rawBytes(cfg.Model) / r.PayloadBytes
+	return r, nil
+}
+
+// rawBytes is the uncompressed fp32 gradient volume.
+func rawBytes(m *models.ModelSpec) float64 { return 4 * float64(m.NumParams()) }
+
+func simulateOnce(cfg *Config) (Result, error) {
+	b := newBuilder(cfg)
+	switch cfg.Method {
+	case MethodSSGD:
+		b.buildSSGD()
+	case MethodSign, MethodTopK:
+		b.buildGather()
+	case MethodACP:
+		b.buildACP()
+	case MethodPower:
+		b.buildPower()
+	}
+	acct, err := b.eng.run()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		TotalSec:     acct.Total,
+		FFBPSec:      acct.FFBP,
+		CompressSec:  acct.Compress,
+		CommSec:      acct.CommNonOverlap,
+		PayloadBytes: b.payloadBytes,
+	}, nil
+}

@@ -1,0 +1,291 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape: %+v", m)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d not zero: %v", i, v)
+		}
+	}
+}
+
+func TestNewPanicsOnNegativeShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative shape")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestFromSliceWrapsWithoutCopy(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m := FromSlice(2, 3, data)
+	m.Set(0, 0, 42)
+	if data[0] != 42 {
+		t.Fatal("FromSlice must wrap, not copy")
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2)=%v want 6", m.At(1, 2))
+	}
+}
+
+func TestFromSlicePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 3, make([]float64, 5))
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must be deep")
+	}
+}
+
+func TestFillZeroScale(t *testing.T) {
+	m := New(2, 2)
+	m.Fill(3)
+	m.Scale(2)
+	for _, v := range m.Data {
+		if v != 6 {
+			t.Fatalf("got %v want 6", v)
+		}
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("got %v want 0", v)
+		}
+	}
+}
+
+func TestAddSubAddScaled(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{4, 3, 2, 1})
+	a.Add(b)
+	want := []float64{5, 5, 5, 5}
+	for i, v := range a.Data {
+		if v != want[i] {
+			t.Fatalf("Add: got %v want %v", a.Data, want)
+		}
+	}
+	a.Sub(b)
+	want = []float64{1, 2, 3, 4}
+	for i, v := range a.Data {
+		if v != want[i] {
+			t.Fatalf("Sub: got %v want %v", a.Data, want)
+		}
+	}
+	a.AddScaled(0.5, b)
+	want = []float64{3, 3.5, 4, 4.5}
+	for i, v := range a.Data {
+		if v != want[i] {
+			t.Fatalf("AddScaled: got %v want %v", a.Data, want)
+		}
+	}
+}
+
+func TestCopyFromShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).CopyFrom(New(2, 3))
+}
+
+func TestFrobeniusNormAndMaxAbs(t *testing.T) {
+	m := FromSlice(1, 4, []float64{3, -4, 0, 0})
+	if got := m.FrobeniusNorm(); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("FrobeniusNorm=%v want 5", got)
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs=%v want 4", got)
+	}
+}
+
+// naiveMatMul is the reference O(n^3) triple loop in canonical ijk order.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func randMat(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	m.Randomize(rng, 1)
+	return m
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {7, 3, 11}, {16, 1, 16}, {1, 9, 1}}
+	for _, s := range shapes {
+		a := randMat(rng, s[0], s[1])
+		b := randMat(rng, s[1], s[2])
+		got := New(s[0], s[2])
+		MatMul(got, a, b)
+		want := naiveMatMul(a, b)
+		for i := range got.Data {
+			if !almostEqual(got.Data[i], want.Data[i], 1e-9) {
+				t.Fatalf("shape %v: MatMul mismatch at %d: %v vs %v", s, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func transpose(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+func TestMatMulTAAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, s := range [][3]int{{4, 3, 5}, {9, 2, 2}, {1, 1, 3}} {
+		a := randMat(rng, s[0], s[1]) // used transposed: s[1] x s[0]
+		b := randMat(rng, s[0], s[2])
+		got := New(s[1], s[2])
+		MatMulTA(got, a, b)
+		want := naiveMatMul(transpose(a), b)
+		for i := range got.Data {
+			if !almostEqual(got.Data[i], want.Data[i], 1e-9) {
+				t.Fatalf("shape %v: MatMulTA mismatch", s)
+			}
+		}
+	}
+}
+
+func TestMatMulTBAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, s := range [][3]int{{4, 3, 5}, {2, 9, 2}, {3, 1, 1}} {
+		a := randMat(rng, s[0], s[1])
+		b := randMat(rng, s[2], s[1]) // used transposed: s[1] x s[2]
+		got := New(s[0], s[2])
+		MatMulTB(got, a, b)
+		want := naiveMatMul(a, transpose(b))
+		for i := range got.Data {
+			if !almostEqual(got.Data[i], want.Data[i], 1e-9) {
+				t.Fatalf("shape %v: MatMulTB mismatch", s)
+			}
+		}
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MatMul":   func() { MatMul(New(2, 2), New(2, 3), New(4, 2)) },
+		"MatMulTA": func() { MatMulTA(New(2, 2), New(3, 2), New(4, 2)) },
+		"MatMulTB": func() { MatMulTB(New(2, 2), New(2, 3), New(2, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDotAndNorm2(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot=%v want 32", got)
+	}
+	if got := Norm2([]float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("Norm2=%v want 5", got)
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+// Property: (A*B)*C == A*(B*C) within numerical tolerance.
+func TestMatMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		m := 1 + r.Intn(6)
+		k := 1 + r.Intn(6)
+		l := 1 + r.Intn(6)
+		a := randMat(r, n, m)
+		b := randMat(r, m, k)
+		c := randMat(r, k, l)
+		ab := New(n, k)
+		MatMul(ab, a, b)
+		abc1 := New(n, l)
+		MatMul(abc1, ab, c)
+		bc := New(m, l)
+		MatMul(bc, b, c)
+		abc2 := New(n, l)
+		MatMul(abc2, a, bc)
+		for i := range abc1.Data {
+			if !almostEqual(abc1.Data[i], abc2.Data[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizeStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := New(200, 200)
+	m.Randomize(rng, 2.0)
+	var sum, sq float64
+	for _, v := range m.Data {
+		sum += v
+		sq += v * v
+	}
+	n := float64(m.NumElems())
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("mean too far from 0: %v", mean)
+	}
+	if math.Abs(std-2.0) > 0.05 {
+		t.Fatalf("stddev too far from 2: %v", std)
+	}
+}

@@ -1,0 +1,110 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Orthogonalize replaces the columns of m (rows x cols, rows >= cols assumed
+// for full column rank; degenerate columns are re-seeded deterministically)
+// with an orthonormal basis of their span using modified Gram–Schmidt with
+// one re-orthogonalization pass. This plays the role of the reduced QR
+// decomposition (torch.linalg.qr) the paper uses for Power-SGD/ACP-SGD
+// orthogonalization: only the Q factor is needed.
+//
+// Columns whose residual norm collapses below epsilon are replaced by a
+// deterministic pseudo-random direction and re-orthogonalized, so the result
+// always has exactly orthonormal columns even for rank-deficient input. This
+// mirrors the practical behaviour of QR on nearly rank-deficient gradient
+// matrices.
+func Orthogonalize(m *Matrix) {
+	const epsilon = 1e-12
+	n, c := m.Rows, m.Cols
+	if c == 0 || n == 0 {
+		return
+	}
+	col := make([]float64, n)
+	for j := 0; j < c; j++ {
+		// Load column j.
+		for i := 0; i < n; i++ {
+			col[i] = m.Data[i*c+j]
+		}
+		// Two passes of modified Gram–Schmidt against previous columns.
+		for pass := 0; pass < 2; pass++ {
+			for k := 0; k < j; k++ {
+				var dot float64
+				for i := 0; i < n; i++ {
+					dot += col[i] * m.Data[i*c+k]
+				}
+				for i := 0; i < n; i++ {
+					col[i] -= dot * m.Data[i*c+k]
+				}
+			}
+		}
+		norm := Norm2(col)
+		if norm < epsilon {
+			// Deterministic replacement direction: unit vector rotated by j,
+			// then re-orthogonalized once.
+			for i := 0; i < n; i++ {
+				col[i] = pseudoUnit(i, j, n)
+			}
+			for k := 0; k < j; k++ {
+				var dot float64
+				for i := 0; i < n; i++ {
+					dot += col[i] * m.Data[i*c+k]
+				}
+				for i := 0; i < n; i++ {
+					col[i] -= dot * m.Data[i*c+k]
+				}
+			}
+			norm = Norm2(col)
+			if norm < epsilon {
+				norm = 1 // give up gracefully: zero column stays zero
+			}
+		}
+		inv := 1 / norm
+		for i := 0; i < n; i++ {
+			m.Data[i*c+j] = col[i] * inv
+		}
+	}
+}
+
+// pseudoUnit returns a deterministic pseudo-random value for replacement
+// columns in degenerate orthogonalization. It is a cheap hash mapped to
+// (-1, 1).
+func pseudoUnit(i, j, n int) float64 {
+	h := uint64(i+1)*0x9e3779b97f4a7c15 ^ uint64(j+1)*0xbf58476d1ce4e5b9 ^ uint64(n)*0x94d049bb133111eb
+	h ^= h >> 31
+	h *= 0xd6e8feb86659fd93
+	h ^= h >> 27
+	return float64(int64(h))/math.MaxInt64*0.5 + 0.25
+}
+
+// IsOrthonormal reports whether the columns of m are orthonormal within tol.
+func IsOrthonormal(m *Matrix, tol float64) bool {
+	c := m.Cols
+	for a := 0; a < c; a++ {
+		for b := a; b < c; b++ {
+			var dot float64
+			for i := 0; i < m.Rows; i++ {
+				dot += m.Data[i*c+a] * m.Data[i*c+b]
+			}
+			want := 0.0
+			if a == b {
+				want = 1.0
+			}
+			if math.Abs(dot-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckShape panics with a formatted message unless m has the given shape.
+// It is a debugging aid for the compression pipelines.
+func CheckShape(m *Matrix, rows, cols int, label string) {
+	if m.Rows != rows || m.Cols != cols {
+		panic(fmt.Sprintf("tensor: %s has shape %dx%d, want %dx%d", label, m.Rows, m.Cols, rows, cols))
+	}
+}

@@ -1,0 +1,130 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrthogonalizeProducesOrthonormalColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, shape := range [][2]int{{8, 4}, {16, 1}, {32, 8}, {5, 5}, {100, 3}} {
+		m := randMat(rng, shape[0], shape[1])
+		Orthogonalize(m)
+		if !IsOrthonormal(m, 1e-9) {
+			t.Fatalf("shape %v: columns not orthonormal", shape)
+		}
+	}
+}
+
+func TestOrthogonalizePreservesSpan(t *testing.T) {
+	// Q's columns must span the same space: projecting the original columns
+	// onto span(Q) must reproduce them.
+	rng := rand.New(rand.NewSource(11))
+	orig := randMat(rng, 12, 4)
+	q := orig.Clone()
+	Orthogonalize(q)
+	// proj = Q * (Qᵀ * orig)
+	qt := New(4, 4)
+	MatMulTA(qt, q, orig)
+	proj := New(12, 4)
+	MatMul(proj, q, qt)
+	for i := range orig.Data {
+		if !almostEqual(proj.Data[i], orig.Data[i], 1e-8) {
+			t.Fatalf("projection does not reproduce original at %d: %v vs %v", i, proj.Data[i], orig.Data[i])
+		}
+	}
+}
+
+func TestOrthogonalizeRankDeficient(t *testing.T) {
+	// Duplicate columns: second column collapses; replacement must still
+	// yield an orthonormal set.
+	m := New(6, 3)
+	rng := rand.New(rand.NewSource(12))
+	col := make([]float64, 6)
+	for i := range col {
+		col[i] = rng.NormFloat64()
+	}
+	for i := 0; i < 6; i++ {
+		m.Set(i, 0, col[i])
+		m.Set(i, 1, col[i]*2) // linearly dependent
+		m.Set(i, 2, rng.NormFloat64())
+	}
+	Orthogonalize(m)
+	if !IsOrthonormal(m, 1e-8) {
+		t.Fatal("rank-deficient input must still produce orthonormal columns")
+	}
+}
+
+func TestOrthogonalizeZeroMatrix(t *testing.T) {
+	m := New(5, 2)
+	Orthogonalize(m)
+	if !IsOrthonormal(m, 1e-8) {
+		t.Fatal("zero input must produce orthonormal replacement columns")
+	}
+}
+
+func TestOrthogonalizeEmpty(t *testing.T) {
+	m := New(0, 0)
+	Orthogonalize(m) // must not panic
+	m2 := New(4, 0)
+	Orthogonalize(m2)
+}
+
+func TestOrthogonalizeIdempotentOnOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randMat(rng, 10, 4)
+	Orthogonalize(m)
+	before := m.Clone()
+	Orthogonalize(m)
+	for i := range m.Data {
+		if !almostEqual(m.Data[i], before.Data[i], 1e-9) {
+			t.Fatal("Orthogonalize should be (nearly) idempotent on an orthonormal matrix")
+		}
+	}
+}
+
+// Property: after orthogonalization, Qᵀ Q == I for random tall matrices.
+func TestOrthogonalizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 4 + r.Intn(20)
+		cols := 1 + r.Intn(4)
+		m := randMat(r, rows, cols)
+		Orthogonalize(m)
+		return IsOrthonormal(m, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsOrthonormalDetectsFailure(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 1, 0, 1})
+	if IsOrthonormal(m, 1e-9) {
+		t.Fatal("non-orthonormal matrix reported as orthonormal")
+	}
+}
+
+func TestCheckShape(t *testing.T) {
+	m := New(2, 3)
+	CheckShape(m, 2, 3, "ok") // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CheckShape(m, 3, 2, "bad")
+}
+
+func TestPseudoUnitBounded(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 4; j++ {
+			v := pseudoUnit(i, j, 64)
+			if math.IsNaN(v) || math.Abs(v) > 1 {
+				t.Fatalf("pseudoUnit(%d,%d) out of range: %v", i, j, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package train
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"acpsgd/internal/nn"
+)
+
+// Checkpoint is a serializable snapshot of model weights, keyed by parameter
+// name so checkpoints survive refactorings that preserve naming.
+type Checkpoint struct {
+	Params map[string]checkpointTensor
+}
+
+type checkpointTensor struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// SaveCheckpoint writes the model's weights to w (gob encoding).
+func SaveCheckpoint(w io.Writer, model *nn.Model) error {
+	ck := Checkpoint{Params: make(map[string]checkpointTensor, len(model.Params()))}
+	for _, p := range model.Params() {
+		if _, dup := ck.Params[p.Name]; dup {
+			return fmt.Errorf("train: duplicate parameter name %q", p.Name)
+		}
+		data := make([]float64, len(p.W.Data))
+		copy(data, p.W.Data)
+		ck.Params[p.Name] = checkpointTensor{Rows: p.W.Rows, Cols: p.W.Cols, Data: data}
+	}
+	if err := gob.NewEncoder(w).Encode(ck); err != nil {
+		return fmt.Errorf("train: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores weights from r into model. Every model parameter
+// must be present with a matching shape.
+func LoadCheckpoint(r io.Reader, model *nn.Model) error {
+	var ck Checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return fmt.Errorf("train: decode checkpoint: %w", err)
+	}
+	for _, p := range model.Params() {
+		t, ok := ck.Params[p.Name]
+		if !ok {
+			return fmt.Errorf("train: checkpoint missing parameter %q", p.Name)
+		}
+		if t.Rows != p.W.Rows || t.Cols != p.W.Cols || len(t.Data) != len(p.W.Data) {
+			return fmt.Errorf("train: checkpoint shape mismatch for %q: %dx%d vs %dx%d",
+				p.Name, t.Rows, t.Cols, p.W.Rows, p.W.Cols)
+		}
+		copy(p.W.Data, t.Data)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package train
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"acpsgd/internal/compress"
+	"acpsgd/internal/nn"
+	"acpsgd/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := nn.NewModel(
+		nn.NewDense("fc1", 4, 8, rng),
+		nn.NewReLU("relu"),
+		nn.NewDense("fc2", 8, 3, rng),
+	)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := nn.NewModel(
+		nn.NewDense("fc1", 4, 8, rng), // different random init
+		nn.NewReLU("relu"),
+		nn.NewDense("fc2", 8, 3, rng),
+	)
+	if err := LoadCheckpoint(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src.Params() {
+		q := dst.Params()[i]
+		for j := range p.W.Data {
+			if p.W.Data[j] != q.W.Data[j] {
+				t.Fatalf("param %s[%d] not restored", p.Name, j)
+			}
+		}
+	}
+}
+
+func TestCheckpointShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := nn.NewModel(nn.NewDense("fc", 4, 8, rng))
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := nn.NewModel(nn.NewDense("fc", 4, 9, rng))
+	if err := LoadCheckpoint(&buf, dst); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestCheckpointMissingParam(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := nn.NewModel(nn.NewDense("a", 4, 4, rng))
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := nn.NewModel(nn.NewDense("b", 4, 4, rng))
+	if err := LoadCheckpoint(&buf, dst); err == nil {
+		t.Fatal("expected missing-parameter error")
+	}
+}
+
+func TestCheckpointDuplicateNameRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	model := nn.NewModel(
+		nn.NewDense("same", 2, 2, rng),
+		nn.NewDense("same", 2, 2, rng),
+	)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, model); err == nil {
+		t.Fatal("expected duplicate-name error")
+	}
+}
+
+func TestCheckpointCorruptStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	model := nn.NewModel(nn.NewDense("fc", 2, 2, rng))
+	if err := LoadCheckpoint(bytes.NewReader([]byte("garbage")), model); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestCosineSchedule(t *testing.T) {
+	s := Schedule{BaseLR: 1.0, WarmupEpochs: 2, CosineEpochs: 10}
+	if got := s.LR(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("warmup epoch 0: %v", got)
+	}
+	if got := s.LR(2); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("cosine start: %v", got)
+	}
+	mid := s.LR(6) // halfway through [2,10): cos(pi/2)=0 → 0.5
+	if math.Abs(mid-0.5) > 1e-12 {
+		t.Fatalf("cosine mid: %v", mid)
+	}
+	if got := s.LR(10); got != 0 {
+		t.Fatalf("cosine end: %v", got)
+	}
+	// Monotone decreasing after warmup.
+	prev := s.LR(2)
+	for e := 3; e <= 10; e++ {
+		cur := s.LR(e)
+		if cur > prev+1e-12 {
+			t.Fatalf("cosine not decreasing at %d: %v > %v", e, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestCosineDegenerateSpan(t *testing.T) {
+	s := Schedule{BaseLR: 1.0, WarmupEpochs: 5, CosineEpochs: 5}
+	if got := s.LR(6); got != 1.0 {
+		t.Fatalf("degenerate cosine span should hold base lr: %v", got)
+	}
+}
+
+func TestGradientClipping(t *testing.T) {
+	p := &nn.Param{
+		Name: "w",
+		W:    tensor.FromSlice(1, 2, []float64{0, 0}),
+		Grad: tensor.FromSlice(1, 2, []float64{3, 4}), // norm 5
+	}
+	o := NewSGD(0, 0)
+	o.SetLR(1)
+	o.SetClipNorm(1) // scale by 1/5
+	if err := o.Step([]*nn.Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.W.Data[0]+0.6) > 1e-12 || math.Abs(p.W.Data[1]+0.8) > 1e-12 {
+		t.Fatalf("clipped update wrong: %v", p.W.Data)
+	}
+}
+
+func TestGradientClippingNoEffectBelowThreshold(t *testing.T) {
+	p := &nn.Param{
+		Name: "w",
+		W:    tensor.FromSlice(1, 1, []float64{0}),
+		Grad: tensor.FromSlice(1, 1, []float64{0.5}),
+	}
+	o := NewSGD(0, 0)
+	o.SetLR(1)
+	o.SetClipNorm(10)
+	if err := o.Step([]*nn.Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.W.Data[0]+0.5) > 1e-12 {
+		t.Fatalf("clipping should be inactive: %v", p.W.Data)
+	}
+}
+
+func TestTrainingWithClipNorm(t *testing.T) {
+	hist := runMethod(t, compress.SSGD, func(c *Config) { c.ClipNorm = 5 })
+	if hist.FinalTestAcc < 0.85 {
+		t.Fatalf("clipped training should still converge: %.3f", hist.FinalTestAcc)
+	}
+}

@@ -1,0 +1,160 @@
+package train
+
+import (
+	"acpsgd/internal/compress"
+	"acpsgd/internal/nn"
+)
+
+// wireBytesPerElem models the fp32 wire format of the paper's setting for
+// fusion-buffer budgeting (the in-memory representation is float64, but
+// buffer sizes like "25MB" are meaningful in the paper's fp32 terms).
+const wireBytesPerElem = 4
+
+// DefaultBufferBytes is PyTorch-DDP's default 25MB fusion buffer (§IV-B).
+const DefaultBufferBytes = 25 * 1024 * 1024
+
+// additiveEntry records where a parameter's payload lives inside a fused
+// additive buffer so the aggregated result can be scattered back.
+type additiveEntry struct {
+	param *nn.Param
+	comp  compress.AdditiveCompressor
+	off   int
+	n     int
+}
+
+// additiveBuffer is one tensor-fusion buffer of summable payloads, the unit
+// handed to ring all-reduce.
+type additiveBuffer struct {
+	data    []float64
+	entries []additiveEntry
+	err     error // set by the comm task
+}
+
+// gatherEntry records a parameter's slice inside a packed raw-gradient
+// buffer for the all-gather based methods.
+type gatherEntry struct {
+	param *nn.Param
+	off   int
+	n     int
+}
+
+// gatherBuffer packs the raw gradients of nearby layers, compresses the
+// packed vector once (the paper packs gradients together before compressing,
+// §III-A) and all-gathers the encoded payload.
+type gatherBuffer struct {
+	packed  []float64
+	entries []gatherEntry
+	index   int // stable buffer index for per-buffer compressor state
+	blobs   [][]byte
+	err     error
+}
+
+// fusionGroup accumulates payloads into buffers of at most budget bytes and
+// seals a buffer as soon as it would overflow. A zero budget disables fusion
+// (every payload ships alone — the paper's "buffer size 0, optimal WFBP, no
+// TF" extreme); a huge budget degenerates to one buffer per step ("full TF,
+// no WFBP").
+type fusionGroup struct {
+	budget int
+	cur    *additiveBuffer
+	curB   int
+	sealed []*additiveBuffer
+	onSeal func(*additiveBuffer)
+}
+
+func newFusionGroup(budgetBytes int, onSeal func(*additiveBuffer)) *fusionGroup {
+	return &fusionGroup{budget: budgetBytes, onSeal: onSeal}
+}
+
+// add appends a payload for param; payloads larger than the budget occupy a
+// buffer of their own.
+func (g *fusionGroup) add(param *nn.Param, comp compress.AdditiveCompressor, payload []float64) {
+	bytes := len(payload) * wireBytesPerElem
+	if g.cur != nil && g.curB+bytes > g.budget {
+		g.seal()
+	}
+	if g.cur == nil {
+		g.cur = &additiveBuffer{}
+	}
+	off := len(g.cur.data)
+	g.cur.data = append(g.cur.data, payload...)
+	g.cur.entries = append(g.cur.entries, additiveEntry{param: param, comp: comp, off: off, n: len(payload)})
+	g.curB += bytes
+	if g.curB >= g.budget {
+		g.seal()
+	}
+}
+
+// seal closes the current buffer and hands it to the comm pipeline.
+func (g *fusionGroup) seal() {
+	if g.cur == nil {
+		return
+	}
+	buf := g.cur
+	g.cur = nil
+	g.curB = 0
+	g.sealed = append(g.sealed, buf)
+	g.onSeal(buf)
+}
+
+// flush seals any partial buffer at the end of back-propagation.
+func (g *fusionGroup) flush() { g.seal() }
+
+// reset clears per-step state.
+func (g *fusionGroup) reset() {
+	g.cur = nil
+	g.curB = 0
+	g.sealed = g.sealed[:0]
+}
+
+// gatherGroup is the analogue of fusionGroup for raw-gradient packing.
+type gatherGroup struct {
+	budget  int
+	cur     *gatherBuffer
+	curB    int
+	sealed  []*gatherBuffer
+	nextIdx int
+	onSeal  func(*gatherBuffer)
+}
+
+func newGatherGroup(budgetBytes int, onSeal func(*gatherBuffer)) *gatherGroup {
+	return &gatherGroup{budget: budgetBytes, onSeal: onSeal}
+}
+
+func (g *gatherGroup) add(param *nn.Param, grad []float64) {
+	bytes := len(grad) * wireBytesPerElem
+	if g.cur != nil && g.curB+bytes > g.budget {
+		g.seal()
+	}
+	if g.cur == nil {
+		g.cur = &gatherBuffer{index: g.nextIdx}
+		g.nextIdx++
+	}
+	off := len(g.cur.packed)
+	g.cur.packed = append(g.cur.packed, grad...)
+	g.cur.entries = append(g.cur.entries, gatherEntry{param: param, off: off, n: len(grad)})
+	g.curB += bytes
+	if g.curB >= g.budget {
+		g.seal()
+	}
+}
+
+func (g *gatherGroup) seal() {
+	if g.cur == nil {
+		return
+	}
+	buf := g.cur
+	g.cur = nil
+	g.curB = 0
+	g.sealed = append(g.sealed, buf)
+	g.onSeal(buf)
+}
+
+func (g *gatherGroup) flush() { g.seal() }
+
+func (g *gatherGroup) reset() {
+	g.cur = nil
+	g.curB = 0
+	g.sealed = g.sealed[:0]
+	g.nextIdx = 0
+}

@@ -1,0 +1,218 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"acpsgd/internal/comm"
+	"acpsgd/internal/compress"
+	"acpsgd/internal/data"
+	"acpsgd/internal/nn"
+)
+
+// Config configures a distributed training run.
+type Config struct {
+	Method         compress.Method
+	Workers        int
+	BatchPerWorker int
+	Epochs         int
+
+	Momentum    float64
+	WeightDecay float64
+	// ClipNorm enables global gradient-norm clipping when positive.
+	ClipNorm float64
+	Schedule Schedule
+
+	// RankR is the low-rank rank for Power-SGD / ACP-SGD (paper: 4 for
+	// convnets, 32 for transformers).
+	RankR int
+	// TopKRatio is the fraction of coordinates Top-k/Random-k select
+	// (default 0.001, the paper's 0.1%).
+	TopKRatio float64
+	// Selection picks exact or sampled top-k selection.
+	Selection compress.Selection
+	// QuantLevels is QSGD's level count (default 16).
+	QuantLevels int
+
+	// DisableEF and DisableReuse are the Fig. 7 ablation switches.
+	DisableEF    bool
+	DisableReuse bool
+
+	// BufferBytes overrides the 25MB fusion budget; NoFusion disables
+	// tensor fusion entirely (per-tensor communication).
+	BufferBytes int
+	NoFusion    bool
+
+	// Seed makes runs reproducible; all replicas derive their identical
+	// initial weights from it.
+	Seed int64
+	// UseTCP runs the collectives over loopback TCP instead of in-process
+	// channels.
+	UseTCP bool
+	// EvalEvery evaluates test accuracy every EvalEvery epochs (default 1).
+	EvalEvery int
+}
+
+func (cfg *Config) validate() error {
+	if cfg.Workers < 1 {
+		return fmt.Errorf("train: workers must be >= 1, got %d", cfg.Workers)
+	}
+	if cfg.BatchPerWorker < 1 {
+		return fmt.Errorf("train: batch per worker must be >= 1, got %d", cfg.BatchPerWorker)
+	}
+	if cfg.Epochs < 1 {
+		return fmt.Errorf("train: epochs must be >= 1, got %d", cfg.Epochs)
+	}
+	switch cfg.Method {
+	case compress.SSGD, compress.SignSGD, compress.TopKSGD, compress.RandomKSGD,
+		compress.QSGDMethod, compress.TernGradMethod, compress.GTopKSGD:
+	case compress.PowerSGDMethod, compress.ACPSGDMethod:
+		if cfg.RankR < 1 {
+			return fmt.Errorf("train: %v requires RankR >= 1", cfg.Method)
+		}
+	default:
+		return fmt.Errorf("train: unknown method %v", cfg.Method)
+	}
+	return nil
+}
+
+// EpochStat records one epoch of training.
+type EpochStat struct {
+	Epoch     int
+	LR        float64
+	TrainLoss float64 // mean batch loss on worker 0
+	TestAcc   float64 // NaN-free; carries the last measured value between evals
+}
+
+// History is the result of a training run.
+type History struct {
+	Stats        []EpochStat
+	FinalTestAcc float64
+}
+
+// BestTestAcc returns the maximum test accuracy seen.
+func (h *History) BestTestAcc() float64 {
+	best := 0.0
+	for _, s := range h.Stats {
+		if s.TestAcc > best {
+			best = s.TestAcc
+		}
+	}
+	return best
+}
+
+// Run trains build()'s model with cfg over trainSet, evaluating on testSet.
+// Every worker constructs its model from the same seed, so replicas start
+// identical; aggregation keeps them identical (asserted in tests).
+func Run(cfg Config, build func(rng *rand.Rand) *nn.Model, trainSet, testSet *data.Dataset) (*History, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.EvalEvery < 1 {
+		cfg.EvalEvery = 1
+	}
+
+	var transports []comm.Transport
+	var err error
+	if cfg.UseTCP {
+		transports, err = comm.NewTCPGroup(cfg.Workers)
+	} else {
+		transports, err = comm.NewInprocGroup(cfg.Workers, 0)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("train: transport: %w", err)
+	}
+	defer func() {
+		for _, t := range transports {
+			t.Close()
+		}
+	}()
+
+	workers := make([]*worker, cfg.Workers)
+	for r := 0; r < cfg.Workers; r++ {
+		model := build(rand.New(rand.NewSource(cfg.Seed)))
+		shard, err := trainSet.Shard(r, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		w, err := newWorker(r, &cfg, model, comm.NewCommunicator(transports[r]), shard)
+		if err != nil {
+			return nil, err
+		}
+		workers[r] = w
+	}
+	defer func() {
+		for _, w := range workers {
+			w.close()
+		}
+	}()
+
+	stepsPerEpoch := workers[0].batch.StepsPerEpoch()
+	hist := &History{}
+	lastAcc := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.Schedule.LR(epoch)
+		for _, w := range workers {
+			w.opt.SetLR(lr)
+		}
+		var epochLoss float64
+		for s := 0; s < stepsPerEpoch; s++ {
+			losses := make([]float64, cfg.Workers)
+			errs := make([]error, cfg.Workers)
+			var wg sync.WaitGroup
+			for r, w := range workers {
+				wg.Add(1)
+				go func(r int, w *worker) {
+					defer wg.Done()
+					losses[r], errs[r] = w.runStep()
+				}(r, w)
+			}
+			wg.Wait()
+			for r, e := range errs {
+				if e != nil {
+					return nil, fmt.Errorf("train: epoch %d step %d rank %d: %w", epoch, s, r, e)
+				}
+			}
+			epochLoss += losses[0]
+		}
+		if (epoch+1)%cfg.EvalEvery == 0 || epoch == cfg.Epochs-1 {
+			lastAcc = workers[0].evaluate(testSet)
+		}
+		hist.Stats = append(hist.Stats, EpochStat{
+			Epoch:     epoch,
+			LR:        lr,
+			TrainLoss: epochLoss / float64(stepsPerEpoch),
+			TestAcc:   lastAcc,
+		})
+	}
+	hist.FinalTestAcc = lastAcc
+
+	// Replica-synchronization invariant: all workers must hold identical
+	// weights at the end (data-parallel correctness).
+	if err := checkReplicasInSync(workers); err != nil {
+		return nil, err
+	}
+	return hist, nil
+}
+
+// checkReplicasInSync verifies the data-parallel invariant that every
+// worker's weights are identical after synchronized updates.
+func checkReplicasInSync(workers []*worker) error {
+	if len(workers) < 2 {
+		return nil
+	}
+	ref := workers[0].model.Params()
+	for r := 1; r < len(workers); r++ {
+		ps := workers[r].model.Params()
+		for i, p := range ps {
+			for j, v := range p.W.Data {
+				d := v - ref[i].W.Data[j]
+				if d > 1e-9 || d < -1e-9 {
+					return fmt.Errorf("train: replica divergence: rank %d param %s[%d] differs by %v", r, p.Name, j, d)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,394 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+
+	"acpsgd/internal/comm"
+	"acpsgd/internal/compress"
+	"acpsgd/internal/data"
+	"acpsgd/internal/nn"
+	"acpsgd/internal/tensor"
+)
+
+// worker is one data-parallel replica: model, optimizer, data shard, a
+// communicator, and the per-method compression state. Gradient hooks fired
+// during back-propagation compress and enqueue communication immediately
+// (wait-free back-propagation); a dedicated communication goroutine drains
+// the queue in deterministic order so collective calls line up across
+// workers, mirroring how the paper serializes NCCL launches on a
+// communication stream.
+type worker struct {
+	rank  int
+	cfg   *Config
+	model *nn.Model
+	com   *comm.Communicator
+	opt   *SGD
+	batch *data.Batcher
+	loss  nn.SoftmaxCrossEntropy
+
+	matrixParams []*nn.Param
+	isMatrix     map[*nn.Param]bool
+	acp          map[*nn.Param]*compress.ACP
+	power        map[*nn.Param]*compress.PowerSGD
+	gatherComp   map[int]compress.GatherCompressor
+	gtopk        map[int]*compress.GTopK
+
+	rawGroup  *fusionGroup
+	compGroup *fusionGroup
+	gatherGrp *gatherGroup
+
+	commCh chan func()
+	commWG sync.WaitGroup
+	done   chan struct{}
+
+	rateP, rateQ float64
+	step         int
+}
+
+// isMatrixParam reports whether a parameter is compressed as a matrix: the
+// paper compresses 2-D weight tensors and leaves vector-shaped parameters
+// (biases) uncompressed (§IV-C).
+func isMatrixParam(p *nn.Param) bool {
+	return !p.IsVector && p.W.Rows > 1 && p.W.Cols > 1
+}
+
+func newWorker(rank int, cfg *Config, model *nn.Model, c *comm.Communicator, shard *data.Dataset) (*worker, error) {
+	opt := NewSGD(cfg.Momentum, cfg.WeightDecay)
+	if cfg.ClipNorm > 0 {
+		opt.SetClipNorm(cfg.ClipNorm)
+	}
+	w := &worker{
+		rank:       rank,
+		cfg:        cfg,
+		model:      model,
+		com:        c,
+		opt:        opt,
+		batch:      data.NewBatcher(shard, cfg.BatchPerWorker, cfg.Seed*7919+int64(rank)),
+		isMatrix:   make(map[*nn.Param]bool),
+		acp:        make(map[*nn.Param]*compress.ACP),
+		power:      make(map[*nn.Param]*compress.PowerSGD),
+		gatherComp: make(map[int]compress.GatherCompressor),
+		gtopk:      make(map[int]*compress.GTopK),
+		commCh:     make(chan func(), 256),
+		done:       make(chan struct{}),
+	}
+
+	var matElems, pElems, qElems int
+	for i, p := range model.Params() {
+		if !isMatrixParam(p) {
+			continue
+		}
+		w.isMatrix[p] = true
+		w.matrixParams = append(w.matrixParams, p)
+		n, m := p.W.Rows, p.W.Cols
+		matElems += n * m
+		tensorID := int64(i)
+		switch cfg.Method {
+		case compress.ACPSGDMethod:
+			st := compress.NewACP(n, m, cfg.RankR, !cfg.DisableEF, !cfg.DisableReuse, tensorID)
+			w.acp[p] = st
+			pElems += st.PayloadLen(0)
+			qElems += st.PayloadLen(1)
+		case compress.PowerSGDMethod:
+			w.power[p] = compress.NewPowerSGD(n, m, cfg.RankR, !cfg.DisableEF, tensorID)
+		}
+	}
+	if matElems > 0 {
+		w.rateP = float64(pElems) / float64(matElems)
+		w.rateQ = float64(qElems) / float64(matElems)
+	}
+
+	rawBudget := cfg.bufferBytes()
+	w.rawGroup = newFusionGroup(rawBudget, w.sealAdditive)
+	w.compGroup = newFusionGroup(rawBudget, w.sealAdditive) // re-budgeted per step parity
+	w.gatherGrp = newGatherGroup(rawBudget, w.sealGather)
+
+	go w.commLoop()
+	return w, nil
+}
+
+// bufferBytes resolves the fusion budget: NoFusion → 0 (per-tensor comm),
+// explicit BufferBytes, else the 25MB default.
+func (cfg *Config) bufferBytes() int {
+	if cfg.NoFusion {
+		return 0
+	}
+	if cfg.BufferBytes > 0 {
+		return cfg.BufferBytes
+	}
+	return DefaultBufferBytes
+}
+
+func (w *worker) commLoop() {
+	for {
+		select {
+		case task := <-w.commCh:
+			task()
+			w.commWG.Done()
+		case <-w.done:
+			return
+		}
+	}
+}
+
+func (w *worker) enqueue(task func()) {
+	w.commWG.Add(1)
+	w.commCh <- task
+}
+
+func (w *worker) close() { close(w.done) }
+
+// sealAdditive launches the ring all-reduce for a sealed fused buffer.
+func (w *worker) sealAdditive(buf *additiveBuffer) {
+	w.enqueue(func() {
+		buf.err = w.com.AllReduceSum(buf.data)
+	})
+}
+
+// sealGather compresses the packed gradients (inline, on the worker thread,
+// as the paper's compression tasks run on the training GPU) and launches the
+// all-gather. gTop-k buffers are deferred: their hypercube reduction is
+// interactive and runs after back-propagation, like Power-SGD's chain.
+func (w *worker) sealGather(buf *gatherBuffer) {
+	if w.cfg.Method == compress.GTopKSGD {
+		return
+	}
+	comp, err := w.gatherCompressorFor(buf)
+	if err != nil {
+		buf.err = err
+		return
+	}
+	blob := comp.Encode(w.step, buf.packed)
+	w.enqueue(func() {
+		buf.blobs, buf.err = w.com.AllGather(blob)
+	})
+}
+
+// gtopkFor returns (creating on first use) the per-buffer gTop-k state.
+func (w *worker) gtopkFor(buf *gatherBuffer) *compress.GTopK {
+	if g, ok := w.gtopk[buf.index]; ok {
+		return g
+	}
+	n := len(buf.packed)
+	k := int(w.cfg.topKRatio() * float64(n))
+	g := compress.NewGTopK(n, k, !w.cfg.DisableEF, int64(buf.index+1<<21)^int64(w.rank)<<40)
+	w.gtopk[buf.index] = g
+	return g
+}
+
+// gatherCompressorFor returns (creating on first use) the per-buffer
+// compressor for the packed buffer. Buffer composition is deterministic
+// across steps, so state keyed by buffer index is stable.
+func (w *worker) gatherCompressorFor(buf *gatherBuffer) (compress.GatherCompressor, error) {
+	if c, ok := w.gatherComp[buf.index]; ok {
+		return c, nil
+	}
+	n := len(buf.packed)
+	// Mix the rank into the state seed so stochastic quantizers round
+	// independently across workers (their unbiasedness argument needs it).
+	tensorID := int64(buf.index+1<<20) ^ int64(w.rank)<<40
+	var c compress.GatherCompressor
+	switch w.cfg.Method {
+	case compress.SignSGD:
+		c = compress.NewSign(n, !w.cfg.DisableEF)
+	case compress.TopKSGD:
+		k := int(w.cfg.topKRatio() * float64(n))
+		c = compress.NewTopK(n, k, w.cfg.selection(), !w.cfg.DisableEF, tensorID)
+	case compress.RandomKSGD:
+		k := int(w.cfg.topKRatio() * float64(n))
+		c = compress.NewRandomK(n, k, !w.cfg.DisableEF, tensorID)
+	case compress.QSGDMethod:
+		c = compress.NewQSGD(n, w.cfg.quantLevels(), tensorID)
+	case compress.TernGradMethod:
+		c = compress.NewTernGrad(n, tensorID)
+	default:
+		return nil, fmt.Errorf("train: method %v is not gather-based", w.cfg.Method)
+	}
+	w.gatherComp[buf.index] = c
+	return c, nil
+}
+
+func (cfg *Config) topKRatio() float64 {
+	if cfg.TopKRatio > 0 {
+		return cfg.TopKRatio
+	}
+	return 0.001 // the paper's 0.1%
+}
+
+func (cfg *Config) selection() compress.Selection {
+	if cfg.Selection != 0 {
+		return cfg.Selection
+	}
+	return compress.SelectSampled
+}
+
+func (cfg *Config) quantLevels() int {
+	if cfg.QuantLevels > 0 {
+		return cfg.QuantLevels
+	}
+	return 16
+}
+
+// prepareStep resets fusion groups and applies the parity-scaled compressed
+// buffer budget (§IV-B: compressed buffer size = default × compression rate,
+// different for P and Q steps).
+func (w *worker) prepareStep() {
+	w.rawGroup.reset()
+	w.compGroup.reset()
+	w.gatherGrp.reset()
+	if w.cfg.Method == compress.ACPSGDMethod {
+		rate := w.rateP
+		if w.step%2 == 1 {
+			rate = w.rateQ
+		}
+		budget := int(float64(w.cfg.bufferBytes()) * rate)
+		if budget < 1 && !w.cfg.NoFusion {
+			budget = 1
+		}
+		w.compGroup.budget = budget
+	}
+}
+
+// hook returns the WFBP gradient hook for this worker's method.
+func (w *worker) hook() nn.GradHook {
+	switch w.cfg.Method {
+	case compress.SSGD:
+		return func(p *nn.Param) {
+			w.rawGroup.add(p, nil, p.Grad.Data)
+		}
+	case compress.SignSGD, compress.TopKSGD, compress.RandomKSGD,
+		compress.QSGDMethod, compress.TernGradMethod, compress.GTopKSGD:
+		return func(p *nn.Param) {
+			w.gatherGrp.add(p, p.Grad.Data)
+		}
+	case compress.ACPSGDMethod:
+		return func(p *nn.Param) {
+			if st, ok := w.acp[p]; ok {
+				payload := st.Compress(w.step, p.Grad.Data)
+				w.compGroup.add(p, st, payload)
+				return
+			}
+			w.rawGroup.add(p, nil, p.Grad.Data)
+		}
+	case compress.PowerSGDMethod:
+		return func(p *nn.Param) {
+			if w.isMatrix[p] {
+				return // compressed after back-propagation (Fig. 4(a))
+			}
+			w.rawGroup.add(p, nil, p.Grad.Data)
+		}
+	default:
+		return nil
+	}
+}
+
+// runStep executes one full training step and returns the batch loss.
+func (w *worker) runStep() (float64, error) {
+	x, labels := w.batch.Next()
+	w.model.ZeroGrads()
+	logits := w.model.Forward(x)
+	lossVal, dlogits := w.loss.Forward(logits, labels)
+
+	w.prepareStep()
+	hook := w.hook()
+	if hook == nil {
+		return 0, fmt.Errorf("train: unsupported method %v", w.cfg.Method)
+	}
+	w.model.Backward(dlogits, hook)
+	w.rawGroup.flush()
+	w.compGroup.flush()
+	w.gatherGrp.flush()
+
+	// Wait for in-flight collectives, then run Power-SGD's blocking
+	// compress+aggregate chain (it must not interleave with queued
+	// collectives or ranks would disagree on operation order).
+	w.commWG.Wait()
+	switch w.cfg.Method {
+	case compress.PowerSGDMethod:
+		for i := len(w.matrixParams) - 1; i >= 0; i-- {
+			p := w.matrixParams[i]
+			if err := w.power[p].CompressStep(w.step, p.Grad.Data, w.com); err != nil {
+				return 0, fmt.Errorf("train: rank %d power-sgd %s: %w", w.rank, p.Name, err)
+			}
+		}
+	case compress.GTopKSGD:
+		for _, buf := range w.gatherGrp.sealed {
+			if err := w.gtopkFor(buf).CompressStep(w.step, buf.packed, w.com); err != nil {
+				return 0, fmt.Errorf("train: rank %d gtopk: %w", w.rank, err)
+			}
+		}
+	}
+
+	if err := w.finalize(); err != nil {
+		return 0, err
+	}
+	if err := w.opt.Step(w.model.Params()); err != nil {
+		return 0, err
+	}
+	w.step++
+	return lossVal, nil
+}
+
+// finalize scatters aggregated payloads back into parameter gradients.
+func (w *worker) finalize() error {
+	p := w.com.Size()
+	for _, group := range []*fusionGroup{w.rawGroup, w.compGroup} {
+		for _, buf := range group.sealed {
+			if buf.err != nil {
+				return fmt.Errorf("train: rank %d all-reduce: %w", w.rank, buf.err)
+			}
+			for _, e := range buf.entries {
+				agg := buf.data[e.off : e.off+e.n]
+				if e.comp != nil {
+					e.comp.Finalize(w.step, agg, p, e.param.Grad.Data)
+					continue
+				}
+				inv := 1 / float64(p)
+				for i, v := range agg {
+					e.param.Grad.Data[i] = v * inv
+				}
+			}
+		}
+	}
+	for _, buf := range w.gatherGrp.sealed {
+		if buf.err != nil {
+			return fmt.Errorf("train: rank %d all-gather: %w", w.rank, buf.err)
+		}
+		// gTop-k buffers already hold the decompressed global mean in
+		// packed (CompressStep replaced it in place); gather buffers still
+		// need the decode pass over the collected blobs.
+		if w.cfg.Method != compress.GTopKSGD {
+			comp := w.gatherComp[buf.index]
+			if err := comp.Decode(w.step, buf.blobs, buf.packed); err != nil {
+				return fmt.Errorf("train: rank %d decode: %w", w.rank, err)
+			}
+		}
+		for _, e := range buf.entries {
+			copy(e.param.Grad.Data, buf.packed[e.off:e.off+e.n])
+		}
+	}
+	return nil
+}
+
+// evaluate computes accuracy of the worker's model over a dataset, batching
+// the forward pass.
+func (w *worker) evaluate(d *data.Dataset) float64 {
+	const evalBatch = 256
+	n := d.Len()
+	if n == 0 {
+		return 0
+	}
+	correct := 0.0
+	for lo := 0; lo < n; lo += evalBatch {
+		hi := lo + evalBatch
+		if hi > n {
+			hi = n
+		}
+		rows := hi - lo
+		x := tensor.FromSlice(rows, d.Features(), d.X.Data[lo*d.Features():hi*d.Features()])
+		logits := w.model.Forward(x)
+		correct += nn.Accuracy(logits, d.Labels[lo:hi]) * float64(rows)
+	}
+	return correct / float64(n)
+}
