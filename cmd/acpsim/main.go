@@ -4,7 +4,8 @@
 //
 //	acpsim -model bert-large -method acp -workers 64 -network 1gbe
 //	acpsim -model resnet152 -method power -mode wfbp          # Fig. 9 cell
-//	acpsim -model bert-large -method acp -rank 256 -buffer 50
+//	acpsim -model bert-large -method acp:rank=256 -buffer 50
+//	acpsim -model resnet50 -method topk:ratio=0.01
 package main
 
 import (
@@ -22,7 +23,8 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("acpsim", flag.ContinueOnError)
 	model := fs.String("model", "resnet50", "resnet50 | resnet152 | bert-base | bert-large | vgg16 | resnet18")
-	method := fs.String("method", "acp", "ssgd | sign | topk | power | power* | acp")
+	method := fs.String("method", "acp",
+		"compressor spec name[:key=value,...]; simulatable: ssgd | sign | topk | power | power* | acp")
 	mode := fs.String("mode", "", "naive | wfbp | wfbp+tf (default: the paper's setting per method)")
 	workers := fs.Int("workers", 32, "number of GPUs")
 	batch := fs.Int("batch", 0, "per-GPU batch size (0 = paper default)")

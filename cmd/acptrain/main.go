@@ -1,9 +1,14 @@
 // Command acptrain runs real distributed data-parallel training with a
 // chosen gradient aggregation method over in-process (or loopback TCP)
-// workers — the convergence half of the reproduction (paper §V-B):
+// workers — the convergence half of the reproduction (paper §V-B).
+//
+// Methods are selected by compressor spec, name[:key=value,...], resolved
+// against the registry in internal/compress:
 //
 //	acptrain -method acp -model minivgg -workers 4 -epochs 24
-//	acptrain -method power -model miniresnet -rank 4
+//	acptrain -method acp:rank=4,reuse=false -model miniresnet
+//	acptrain -method topk:ratio=0.01,selection=exact
+//	acptrain -method dgc:ratio=0.001 -workers 4
 //	acptrain -method acp -no-ef          # Fig. 7 ablation
 //	acptrain -method ssgd -tcp           # collectives over real sockets
 package main
@@ -12,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"acpsgd/internal/compress"
 	"acpsgd/internal/core"
 )
 
@@ -22,7 +29,8 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("acptrain", flag.ContinueOnError)
-	method := fs.String("method", "acp", "ssgd | sign | topk | randomk | power | acp")
+	method := fs.String("method", "acp",
+		"compressor spec name[:key=value,...]; methods: "+strings.Join(compress.Names(), " | "))
 	model := fs.String("model", "minivgg", "mlp | minivgg | miniresnet")
 	workers := fs.Int("workers", 4, "number of data-parallel workers")
 	batch := fs.Int("batch", 32, "per-worker batch size")
@@ -47,7 +55,7 @@ func run(args []string) int {
 		Epochs:         *epochs,
 		LR:             *lr,
 		Momentum:       0.9,
-		WarmupEpochs:   maxInt(1, *epochs/8),
+		WarmupEpochs:   max(1, *epochs/8),
 		DecayEpochs:    []int{*epochs / 2, *epochs * 3 / 4},
 		Rank:           *rank,
 		TopKRatio:      *topk,
@@ -68,11 +76,4 @@ func run(args []string) int {
 	}
 	fmt.Printf("final test accuracy: %.2f%% (best %.2f%%)\n", 100*hist.FinalTestAcc, 100*hist.BestTestAcc())
 	return 0
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

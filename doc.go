@@ -7,6 +7,15 @@
 // fusion), and the full experiment harness that regenerates every table and
 // figure of the paper's evaluation.
 //
+// Compression methods plug into a self-registering factory API in
+// internal/compress: a method is selected by a Spec string in the grammar
+// name[:key=value,...] (e.g. "acp:rank=32", "topk:ratio=0.01"), resolved
+// against a registry that each method's file populates via compress.Register.
+// The trainer dispatches on a factory's declared communication pattern and
+// state scope rather than on method identity, so adding a method is a
+// one-file drop-in — internal/compress/dgc.go (Deep Gradient Compression)
+// is the worked example, and README.md walks through the recipe.
+//
 // The user-facing API lives in internal/core (see the examples/ directory
 // and the cmd/ tools); DESIGN.md maps each paper experiment to the modules
 // and benchmarks that reproduce it, and EXPERIMENTS.md records measured
@@ -14,4 +23,4 @@
 package acpsgd
 
 // Version identifies this reproduction release.
-const Version = "1.0.0"
+const Version = "1.1.0"

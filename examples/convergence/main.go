@@ -47,6 +47,10 @@ func main() {
 	run("S-SGD", "ssgd", 2, false, false)
 	run("Power-SGD (r=2)", "power", 2, false, false)
 	run("ACP-SGD (r=2)", "acp", 2, false, false)
+	// Methods are compressor specs: params ride along in the string, and
+	// registry-only methods like DGC need no dedicated config fields.
+	run("Top-k (1%, exact)", "topk:ratio=0.01,selection=exact", 0, false, false)
+	run("DGC (1%)", "dgc:ratio=0.01", 0, false, false)
 
 	fmt.Println("\nFig 7 style ablation (rank 1)")
 	run("ACP-SGD", "acp", 1, false, false)

@@ -1,0 +1,3 @@
+module acpsgd
+
+go 1.24

@@ -7,88 +7,27 @@
 //   - Power-SGD (low-rank power iteration; §II-B.3, Algorithm 1)
 //   - ACP-SGD (alternate compressed Power-SGD with error feedback and query
 //     reuse; §IV, Algorithms 1–2) — the paper's contribution
+//   - QSGD, TernGrad, gTop-k and DGC from the paper's related work
 //
-// Compressors are per-tensor, per-worker state machines. They are split along
-// the communication-pattern boundary the paper's §III-C analysis draws:
-// additive compressors produce float payloads that can be summed by ring
-// all-reduce (S-SGD identity, ACP-SGD), gather compressors produce opaque
-// byte payloads that must be all-gathered (Sign-SGD, Top-k), and blocking
-// compressors interleave computation with two all-reduce rounds in a single
-// step (Power-SGD).
+// Compressors are per-tensor, per-worker state machines. They are split
+// along the communication-pattern boundary the paper's §III-C analysis draws
+// (see Pattern): additive compressors produce float payloads that can be
+// summed by ring all-reduce, gather compressors produce opaque byte payloads
+// that must be all-gathered, and blocking/pairwise compressors interleave
+// computation with collective rounds after back-propagation.
+//
+// Methods are selected through the registry API: a Spec (method name +
+// params, parsed from strings like "topk:ratio=0.01,selection=exact")
+// resolves to a Factory that validates its own params and constructs
+// per-tensor compressor state. Each method registers itself from its own
+// file via Register, so adding a method is a one-file drop-in — dgc.go is
+// the reference example.
 package compress
 
 import (
 	"fmt"
 	"math/rand"
 )
-
-// Method identifies a gradient aggregation method.
-type Method int
-
-// Methods, in the order the paper introduces them.
-const (
-	SSGD Method = iota + 1
-	SignSGD
-	TopKSGD
-	RandomKSGD
-	PowerSGDMethod
-	ACPSGDMethod
-	QSGDMethod
-	TernGradMethod
-	GTopKSGD
-)
-
-// String returns the paper's name for the method.
-func (m Method) String() string {
-	switch m {
-	case SSGD:
-		return "S-SGD"
-	case SignSGD:
-		return "Sign-SGD"
-	case TopKSGD:
-		return "Top-k SGD"
-	case RandomKSGD:
-		return "Random-k SGD"
-	case PowerSGDMethod:
-		return "Power-SGD"
-	case ACPSGDMethod:
-		return "ACP-SGD"
-	case QSGDMethod:
-		return "QSGD"
-	case TernGradMethod:
-		return "TernGrad"
-	case GTopKSGD:
-		return "gTop-k SGD"
-	default:
-		return fmt.Sprintf("Method(%d)", int(m))
-	}
-}
-
-// ParseMethod maps a CLI-friendly name to a Method.
-func ParseMethod(s string) (Method, error) {
-	switch s {
-	case "ssgd", "sgd", "s-sgd":
-		return SSGD, nil
-	case "sign", "signsgd", "sign-sgd":
-		return SignSGD, nil
-	case "topk", "top-k":
-		return TopKSGD, nil
-	case "randomk", "random-k":
-		return RandomKSGD, nil
-	case "power", "powersgd", "power-sgd":
-		return PowerSGDMethod, nil
-	case "acp", "acpsgd", "acp-sgd":
-		return ACPSGDMethod, nil
-	case "qsgd":
-		return QSGDMethod, nil
-	case "terngrad", "tern":
-		return TernGradMethod, nil
-	case "gtopk", "g-topk", "gtop-k":
-		return GTopKSGD, nil
-	default:
-		return 0, fmt.Errorf("compress: unknown method %q", s)
-	}
-}
 
 // AdditiveCompressor produces summable float payloads, the property (§III-C
 // "additive communication") that enables ring all-reduce. Implementations
@@ -159,6 +98,98 @@ func (id *Identity) Finalize(_ int, aggregated []float64, p int, grad []float64)
 
 // PayloadLen returns the tensor size.
 func (id *Identity) PayloadLen(int) int { return len(id.buf) }
+
+// ssgdFactory registers uncompressed S-SGD: no per-tensor state, gradients
+// ship raw through ring all-reduce.
+type ssgdFactory struct{}
+
+func (ssgdFactory) Info() MethodInfo {
+	return MethodInfo{
+		Name:    "ssgd",
+		Display: "S-SGD",
+		Aliases: []string{"sgd", "s-sgd"},
+		Pattern: PatternAllReduce,
+		Scope:   ScopeNone,
+	}
+}
+
+func (ssgdFactory) Validate(Spec) error { return nil }
+
+func (ssgdFactory) New(_ Spec, t Tensor) (any, error) { return NewIdentity(t.Len()), nil }
+
+func init() { Register(ssgdFactory{}) }
+
+// Method identifies a gradient aggregation method.
+//
+// Deprecated: Method predates the registry; it survives as an alias layer so
+// existing configs keep working. New code (and new methods, which get no
+// enum value) should use Spec.
+type Method int
+
+// Methods, in the order the paper introduces them.
+const (
+	SSGD Method = iota + 1
+	SignSGD
+	TopKSGD
+	RandomKSGD
+	PowerSGDMethod
+	ACPSGDMethod
+	QSGDMethod
+	TernGradMethod
+	GTopKSGD
+)
+
+// methodNames maps legacy enum values onto canonical registry names.
+var methodNames = map[Method]string{
+	SSGD:           "ssgd",
+	SignSGD:        "sign",
+	TopKSGD:        "topk",
+	RandomKSGD:     "randomk",
+	PowerSGDMethod: "power",
+	ACPSGDMethod:   "acp",
+	QSGDMethod:     "qsgd",
+	TernGradMethod: "terngrad",
+	GTopKSGD:       "gtopk",
+}
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	if name, ok := methodNames[m]; ok {
+		if f, err := Lookup(name); err == nil {
+			return f.Info().Display
+		}
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Spec returns the registry spec equivalent to the legacy enum value (with
+// all params at their defaults).
+func (m Method) Spec() (Spec, error) {
+	name, ok := methodNames[m]
+	if !ok {
+		return Spec{}, fmt.Errorf("compress: unknown method Method(%d)", int(m))
+	}
+	return Spec{Name: name}, nil
+}
+
+// ParseMethod maps a CLI-friendly name to a Method. Every spelling resolves
+// through the registry's alias table, so ParseMethod and ParseSpec accept
+// the same names.
+//
+// Deprecated: use ParseSpec, which also parses params and covers methods
+// without enum values.
+func ParseMethod(s string) (Method, error) {
+	spec, err := ParseSpec(s)
+	if err != nil {
+		return 0, err
+	}
+	for m, name := range methodNames {
+		if name == spec.Name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("compress: method %q has no legacy enum value; use ParseSpec", spec.Name)
+}
 
 // newSeededRNG derives a deterministic RNG shared by all workers for a given
 // tensor, so randomized initializations (Power-SGD/ACP Q₀, P₀) agree across

@@ -1,0 +1,90 @@
+package compress
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDGCEncodeBudgetAndDecode(t *testing.T) {
+	// momentum 0 reduces the update to pure accumulation, making the wire
+	// semantics exact (momentum dynamics are covered separately below).
+	const n, k, workers = 64, 4, 2
+	ws := make([]*DGC, workers)
+	grads := make([][]float64, workers)
+	blobs := make([][]byte, workers)
+	for r := range ws {
+		ws[r] = NewDGC(n, k, 0, true, int64(r))
+		g := make([]float64, n)
+		g[r] = 10 // each worker's dominant coordinate is its own rank
+		g[63] = 4 // shared coordinate
+		grads[r] = g
+		blob := ws[r].Encode(0, g)
+		if len(blob) != k*topkPairBytes {
+			t.Fatalf("worker %d payload %d bytes, want %d", r, len(blob), k*topkPairBytes)
+		}
+		blobs[r] = blob
+	}
+	out := make([]float64, n)
+	if err := ws[0].Decode(0, blobs, out); err != nil {
+		t.Fatal(err)
+	}
+	// Coordinate 0 was sent only by worker 0 (value 10): mean 10/2 = 5.
+	if math.Abs(out[0]-5) > 1e-12 {
+		t.Fatalf("out[0] = %v, want 5", out[0])
+	}
+	// Coordinate 63 was sent by both workers (value 4 each): mean 4.
+	if math.Abs(out[63]-4) > 1e-12 {
+		t.Fatalf("out[63] = %v, want 4", out[63])
+	}
+}
+
+func TestDGCMomentumAccumulatesUnsent(t *testing.T) {
+	// A coordinate that keeps losing the top-k tournament accumulates with
+	// momentum correction: for constant g and m=0.5, u walks g, 1.5g, …
+	// toward g/(1−m), and v integrates it — strictly more than plain
+	// accumulation, which is what corrects for the coordinate's staleness.
+	const n, k = 8, 1
+	d := NewDGC(n, k, 0.5, true, 1)
+	grad := make([]float64, n)
+	grad[0] = 100 // always wins
+	grad[1] = 1   // never wins
+	d.Encode(0, grad)
+	d.Encode(1, grad)
+	// u1 = 1, v1 = 1; u2 = 1.5, v2 = 2.5 for coordinate 1.
+	if math.Abs(d.v[1]-2.5) > 1e-12 {
+		t.Fatalf("v[1] = %v, want 2.5", d.v[1])
+	}
+	// The winning coordinate is cleared every step (sent mass leaves both
+	// accumulators under masking).
+	if d.v[0] != 0 || d.u[0] != 0 {
+		t.Fatalf("sent coordinate not cleared: v=%v u=%v", d.v[0], d.u[0])
+	}
+}
+
+func TestDGCMaskingOff(t *testing.T) {
+	const n, k = 8, 1
+	d := NewDGC(n, k, 0.5, false, 1)
+	grad := make([]float64, n)
+	grad[0] = 100
+	d.Encode(0, grad)
+	// Without masking the momentum term survives transmission.
+	if d.u[0] != 100 {
+		t.Fatalf("u[0] = %v, want 100 (masking off)", d.u[0])
+	}
+	if d.v[0] != 0 {
+		t.Fatalf("v[0] = %v, want 0 (sent mass always leaves v)", d.v[0])
+	}
+}
+
+func TestDGCDecodeErrors(t *testing.T) {
+	d := NewDGC(8, 2, 0.9, true, 1)
+	if err := d.Decode(0, nil, make([]float64, 8)); err == nil {
+		t.Fatal("expected error for no payloads")
+	}
+	if err := d.Decode(0, [][]byte{{1, 2, 3}}, make([]float64, 8)); err == nil {
+		t.Fatal("expected error for truncated payload")
+	}
+	if err := d.Decode(0, [][]byte{}, make([]float64, 4)); err == nil {
+		t.Fatal("expected error for wrong length")
+	}
+}

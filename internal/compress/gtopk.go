@@ -15,6 +15,14 @@ type PairwiseCollectives interface {
 	ExchangeWith(peer int, data []byte) ([]byte, error)
 }
 
+// PairwiseBlockingCompressor runs a whole compress→aggregate→decompress step
+// over a packed buffer after back-propagation, using pairwise exchange
+// (gTop-k's hypercube merge-and-truncate).
+type PairwiseBlockingCompressor interface {
+	// CompressStep replaces grad with the aggregated mean gradient.
+	CompressStep(step int, grad []float64, c PairwiseCollectives) error
+}
+
 // GTopK implements global Top-k SGD (Shi et al., the paper's reference
 // [33]): instead of all-gathering every worker's local top-k (whose union
 // grows with the worker count), workers run a hypercube merge-and-truncate
@@ -184,3 +192,50 @@ func (g *GTopK) CompressStep(step int, grad []float64, c PairwiseCollectives) er
 
 // ErrorNorm exposes the inner EF diagnostics.
 func (g *GTopK) ErrorNorm() float64 { return g.inner.ErrorNorm() }
+
+var _ PairwiseBlockingCompressor = (*GTopK)(nil)
+
+// gtopkDefaults is the single source of gTop-k's default params.
+var gtopkDefaults = Params{
+	"ratio": defaultRatio,
+	"ef":    "true",
+}
+
+// gtopkFactory registers global Top-k SGD.
+type gtopkFactory struct{}
+
+func (gtopkFactory) Info() MethodInfo {
+	return MethodInfo{
+		Name:     "gtopk",
+		Display:  "gTop-k SGD",
+		Aliases:  []string{"g-topk", "gtop-k"},
+		Pattern:  PatternPairwise,
+		Scope:    ScopeBuffer,
+		Defaults: gtopkDefaults,
+	}
+}
+
+func (gtopkFactory) Validate(spec Spec) error {
+	p := spec.Params.withDefaults(gtopkDefaults)
+	if _, err := ratioParam(p); err != nil {
+		return err
+	}
+	_, err := p.Bool("ef", true)
+	return err
+}
+
+func (gtopkFactory) New(spec Spec, t Tensor) (any, error) {
+	p := spec.Params.withDefaults(gtopkDefaults)
+	ratio, err := ratioParam(p)
+	if err != nil {
+		return nil, err
+	}
+	ef, err := p.Bool("ef", true)
+	if err != nil {
+		return nil, err
+	}
+	n := t.Len()
+	return NewGTopK(n, int(ratio*float64(n)), ef, t.MixedSeed(1<<21)), nil
+}
+
+func init() { Register(gtopkFactory{}) }

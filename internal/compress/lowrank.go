@@ -259,3 +259,113 @@ func (a *ACP) Finalize(step int, aggregated []float64, p int, grad []float64) {
 
 // ErrorNorm returns the Frobenius norm of the error memory (diagnostics).
 func (a *ACP) ErrorNorm() float64 { return a.err.FrobeniusNorm() }
+
+// rankParam reads and range-checks a low-rank rank param from a
+// defaults-merged param bag.
+func rankParam(p Params) (int, error) {
+	rank, err := p.Int("rank", 0)
+	if err != nil {
+		return 0, err
+	}
+	if rank < 1 {
+		return 0, fmt.Errorf("param rank=%d: want rank >= 1", rank)
+	}
+	return rank, nil
+}
+
+// powerDefaults is the single source of Power-SGD's default params.
+var powerDefaults = Params{
+	"rank": "4",
+	"ef":   "true",
+}
+
+// powerFactory registers Power-SGD (blocking low-rank power iteration).
+type powerFactory struct{}
+
+func (powerFactory) Info() MethodInfo {
+	return MethodInfo{
+		Name:     "power",
+		Display:  "Power-SGD",
+		Aliases:  []string{"powersgd", "power-sgd"},
+		Pattern:  PatternBlocking,
+		Scope:    ScopeMatrix,
+		Defaults: powerDefaults,
+	}
+}
+
+func (powerFactory) Validate(spec Spec) error {
+	p := spec.Params.withDefaults(powerDefaults)
+	if _, err := rankParam(p); err != nil {
+		return err
+	}
+	_, err := p.Bool("ef", true)
+	return err
+}
+
+func (powerFactory) New(spec Spec, t Tensor) (any, error) {
+	p := spec.Params.withDefaults(powerDefaults)
+	rank, err := rankParam(p)
+	if err != nil {
+		return nil, err
+	}
+	ef, err := p.Bool("ef", true)
+	if err != nil {
+		return nil, err
+	}
+	return NewPowerSGD(t.Rows, t.Cols, rank, ef, t.SharedSeed()), nil
+}
+
+// acpDefaults is the single source of ACP-SGD's default params.
+var acpDefaults = Params{
+	"rank":  "4",
+	"ef":    "true",
+	"reuse": "true",
+}
+
+// acpFactory registers ACP-SGD, the paper's contribution.
+type acpFactory struct{}
+
+func (acpFactory) Info() MethodInfo {
+	return MethodInfo{
+		Name:     "acp",
+		Display:  "ACP-SGD",
+		Aliases:  []string{"acpsgd", "acp-sgd"},
+		Pattern:  PatternAllReduce,
+		Scope:    ScopeMatrix,
+		Defaults: acpDefaults,
+	}
+}
+
+func (acpFactory) Validate(spec Spec) error {
+	p := spec.Params.withDefaults(acpDefaults)
+	if _, err := rankParam(p); err != nil {
+		return err
+	}
+	if _, err := p.Bool("ef", true); err != nil {
+		return err
+	}
+	_, err := p.Bool("reuse", true)
+	return err
+}
+
+func (acpFactory) New(spec Spec, t Tensor) (any, error) {
+	p := spec.Params.withDefaults(acpDefaults)
+	rank, err := rankParam(p)
+	if err != nil {
+		return nil, err
+	}
+	ef, err := p.Bool("ef", true)
+	if err != nil {
+		return nil, err
+	}
+	reuse, err := p.Bool("reuse", true)
+	if err != nil {
+		return nil, err
+	}
+	return NewACP(t.Rows, t.Cols, rank, ef, reuse, t.SharedSeed()), nil
+}
+
+func init() {
+	Register(powerFactory{})
+	Register(acpFactory{})
+}

@@ -167,6 +167,65 @@ func (t *TernGrad) Encode(_ int, grad []float64) []byte {
 	return out
 }
 
+// qsgdDefaults is the single source of QSGD's default params.
+var qsgdDefaults = Params{"levels": "16"}
+
+// qsgdFactory registers QSGD stochastic quantization.
+type qsgdFactory struct{}
+
+func (qsgdFactory) Info() MethodInfo {
+	return MethodInfo{
+		Name:     "qsgd",
+		Display:  "QSGD",
+		Pattern:  PatternAllGather,
+		Scope:    ScopeBuffer,
+		Defaults: qsgdDefaults,
+	}
+}
+
+func (qsgdFactory) Validate(spec Spec) error {
+	levels, err := spec.Params.withDefaults(qsgdDefaults).Int("levels", 0)
+	if err != nil {
+		return err
+	}
+	if levels < 1 || levels > 127 {
+		return fmt.Errorf("param levels=%d: want 1 <= levels <= 127", levels)
+	}
+	return nil
+}
+
+func (qsgdFactory) New(spec Spec, t Tensor) (any, error) {
+	levels, err := spec.Params.withDefaults(qsgdDefaults).Int("levels", 0)
+	if err != nil {
+		return nil, err
+	}
+	return NewQSGD(t.Len(), levels, t.MixedSeed(1<<20)), nil
+}
+
+// terngradFactory registers TernGrad ternary quantization.
+type terngradFactory struct{}
+
+func (terngradFactory) Info() MethodInfo {
+	return MethodInfo{
+		Name:    "terngrad",
+		Display: "TernGrad",
+		Aliases: []string{"tern"},
+		Pattern: PatternAllGather,
+		Scope:   ScopeBuffer,
+	}
+}
+
+func (terngradFactory) Validate(Spec) error { return nil }
+
+func (terngradFactory) New(_ Spec, t Tensor) (any, error) {
+	return NewTernGrad(t.Len(), t.MixedSeed(1<<20)), nil
+}
+
+func init() {
+	Register(qsgdFactory{})
+	Register(terngradFactory{})
+}
+
 // Decode averages every worker's ternary vector into grad.
 func (t *TernGrad) Decode(_ int, blobs [][]byte, grad []float64) error {
 	if len(grad) != t.n {

@@ -126,3 +126,35 @@ func (s *Sign) ErrorNorm() float64 {
 	}
 	return math.Sqrt(sum)
 }
+
+// signDefaults is the single source of Sign-SGD's default params.
+var signDefaults = Params{"ef": "true"}
+
+// signFactory registers Sign-SGD with majority vote.
+type signFactory struct{}
+
+func (signFactory) Info() MethodInfo {
+	return MethodInfo{
+		Name:     "sign",
+		Display:  "Sign-SGD",
+		Aliases:  []string{"signsgd", "sign-sgd"},
+		Pattern:  PatternAllGather,
+		Scope:    ScopeBuffer,
+		Defaults: signDefaults,
+	}
+}
+
+func (signFactory) Validate(spec Spec) error {
+	_, err := spec.Params.withDefaults(signDefaults).Bool("ef", true)
+	return err
+}
+
+func (signFactory) New(spec Spec, t Tensor) (any, error) {
+	ef, err := spec.Params.withDefaults(signDefaults).Bool("ef", true)
+	if err != nil {
+		return nil, err
+	}
+	return NewSign(t.Len(), ef), nil
+}
+
+func init() { Register(signFactory{}) }

@@ -1,0 +1,211 @@
+package compress
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpecRoundTripEveryMethod asserts ParseSpec/String round-trips for
+// every registered method: the bare name, and the name with its full
+// default param set spelled out explicitly.
+func TestSpecRoundTripEveryMethod(t *testing.T) {
+	infos := Methods()
+	if len(infos) == 0 {
+		t.Fatal("no methods registered")
+	}
+	for _, info := range infos {
+		bare, err := ParseSpec(info.Name)
+		if err != nil {
+			t.Fatalf("%s: bare name does not parse: %v", info.Name, err)
+		}
+		if bare.String() != info.Name {
+			t.Fatalf("%s: bare round-trip produced %q", info.Name, bare.String())
+		}
+
+		spec := Spec{Name: info.Name}
+		for k, v := range info.Defaults {
+			spec = spec.With(k, v)
+		}
+		back, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("%s: %q does not re-parse: %v", info.Name, spec.String(), err)
+		}
+		if back.String() != spec.String() {
+			t.Fatalf("%s: round-trip %q != %q", info.Name, back.String(), spec.String())
+		}
+		if _, _, err := Resolve(back); err != nil {
+			t.Fatalf("%s: default params do not validate: %v", info.Name, err)
+		}
+	}
+}
+
+// TestSpecLegacySpellings asserts every spelling the pre-registry
+// ParseMethod accepted still parses via the Spec layer, onto the same
+// method.
+func TestSpecLegacySpellings(t *testing.T) {
+	cases := map[string]string{
+		"ssgd": "ssgd", "sgd": "ssgd", "s-sgd": "ssgd",
+		"sign": "sign", "signsgd": "sign", "sign-sgd": "sign",
+		"topk": "topk", "top-k": "topk",
+		"randomk": "randomk", "random-k": "randomk",
+		"power": "power", "powersgd": "power", "power-sgd": "power",
+		"acp": "acp", "acpsgd": "acp", "acp-sgd": "acp",
+		"qsgd":     "qsgd",
+		"terngrad": "terngrad", "tern": "terngrad",
+		"gtopk": "gtopk", "g-topk": "gtopk", "gtop-k": "gtopk",
+	}
+	for spelling, want := range cases {
+		spec, err := ParseSpec(spelling)
+		if err != nil {
+			t.Fatalf("legacy spelling %q: %v", spelling, err)
+		}
+		if spec.Name != want {
+			t.Fatalf("legacy spelling %q resolved to %q, want %q", spelling, spec.Name, want)
+		}
+		// And the legacy enum parser agrees.
+		m, err := ParseMethod(spelling)
+		if err != nil {
+			t.Fatalf("ParseMethod(%q): %v", spelling, err)
+		}
+		mspec, err := m.Spec()
+		if err != nil || mspec.Name != want {
+			t.Fatalf("ParseMethod(%q) enum maps to %q, want %q", spelling, mspec.Name, want)
+		}
+	}
+}
+
+func TestSpecParamParsing(t *testing.T) {
+	spec, err := ParseSpec("topk:ratio=0.01,selection=exact,ef=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := spec.Params.Float("ratio", 0); r != 0.01 {
+		t.Fatalf("ratio=%v", r)
+	}
+	if s, _ := spec.Params.Enum("selection", "sampled", "exact", "sampled"); s != "exact" {
+		t.Fatalf("selection=%v", s)
+	}
+	if ef, _ := spec.Params.Bool("ef", true); ef {
+		t.Fatal("ef should be false")
+	}
+	if got := spec.String(); got != "topk:ef=false,ratio=0.01,selection=exact" {
+		t.Fatalf("canonical String = %q", got)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantSub string
+	}{
+		{"quantum", "unknown method"},
+		{"", "empty method spec"},
+		{"topk:ratio", "malformed param"},
+		{"topk:ratio=0.1,ratio=0.2", "duplicate param"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.in)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Fatalf("ParseSpec(%q) = %v, want error containing %q", c.in, err, c.wantSub)
+		}
+	}
+	// Unknown methods list the registry so typos are self-diagnosing.
+	_, err := ParseSpec("quantum")
+	for _, name := range []string{"acp", "dgc", "topk"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("unknown-method error should list %q: %v", name, err)
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cases := []struct {
+		spec    Spec
+		wantSub string
+	}{
+		{Spec{Name: "topk", Params: Params{"rato": "0.1"}}, `unknown param "rato"`},
+		{Spec{Name: "topk", Params: Params{"ratio": "2"}}, "want 0 < ratio <= 1"},
+		{Spec{Name: "topk", Params: Params{"ratio": "abc"}}, "not a number"},
+		{Spec{Name: "topk", Params: Params{"selection": "psychic"}}, "want one of exact|sampled"},
+		{Spec{Name: "acp", Params: Params{"rank": "0"}}, "want rank >= 1"},
+		{Spec{Name: "acp", Params: Params{"ef": "maybe"}}, "not a boolean"},
+		{Spec{Name: "qsgd", Params: Params{"levels": "999"}}, "want 1 <= levels <= 127"},
+		{Spec{Name: "dgc", Params: Params{"momentum": "1.5"}}, "want 0 <= momentum < 1"},
+		{Spec{Name: "nope"}, "unknown method"},
+	}
+	for _, c := range cases {
+		_, _, err := Resolve(c.spec)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Fatalf("Resolve(%v) = %v, want error containing %q", c.spec, err, c.wantSub)
+		}
+	}
+	// The unknown-param message names the valid keys.
+	_, _, err := Resolve(Spec{Name: "topk", Params: Params{"rato": "0.1"}})
+	if !strings.Contains(err.Error(), "ratio") || !strings.Contains(err.Error(), "selection") {
+		t.Fatalf("unknown-param error should list valid keys: %v", err)
+	}
+}
+
+// TestFactoriesBuildDeclaredPattern asserts the registry contract every
+// trainer dispatch relies on: each factory's New returns a value
+// implementing the interface its declared Pattern implies.
+func TestFactoriesBuildDeclaredPattern(t *testing.T) {
+	for _, info := range Methods() {
+		f, err := Lookup(info.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shape := Tensor{Rows: 8, Cols: 8, ID: 3, WorkerRank: 1}
+		if info.Scope == ScopeBuffer {
+			shape = Tensor{Rows: 64, Cols: 1, ID: 3, WorkerRank: 1}
+		}
+		st, err := f.New(Spec{Name: info.Name}, shape)
+		if err != nil {
+			t.Fatalf("%s: New: %v", info.Name, err)
+		}
+		var ok bool
+		switch info.Pattern {
+		case PatternAllReduce:
+			_, ok = st.(AdditiveCompressor)
+		case PatternAllGather:
+			_, ok = st.(GatherCompressor)
+		case PatternBlocking:
+			_, ok = st.(BlockingCompressor)
+		case PatternPairwise:
+			_, ok = st.(PairwiseBlockingCompressor)
+		}
+		if !ok {
+			t.Fatalf("%s: pattern %v but New built %T", info.Name, info.Pattern, st)
+		}
+	}
+}
+
+func TestSpecWithIsCopyOnWrite(t *testing.T) {
+	base := MustSpec("topk:ratio=0.01")
+	mod := base.With("ef", "false")
+	if base.Has("ef") {
+		t.Fatal("With mutated the receiver")
+	}
+	if !mod.Has("ef") || mod.Params["ratio"] != "0.01" {
+		t.Fatalf("With lost state: %v", mod)
+	}
+}
+
+func TestMethodEnumShim(t *testing.T) {
+	if SSGD.String() != "S-SGD" || GTopKSGD.String() != "gTop-k SGD" {
+		t.Fatalf("display names broken: %q %q", SSGD.String(), GTopKSGD.String())
+	}
+	if Method(99).String() != "Method(99)" {
+		t.Fatal("unknown enum String")
+	}
+	if _, err := Method(99).Spec(); err == nil {
+		t.Fatal("unknown enum should not map to a spec")
+	}
+	// DGC is registry-only: parseable as a spec, but with no enum value.
+	if _, err := ParseSpec("dgc"); err != nil {
+		t.Fatalf("dgc should parse as a spec: %v", err)
+	}
+	if _, err := ParseMethod("dgc"); err == nil {
+		t.Fatal("dgc has no legacy enum; ParseMethod should refuse")
+	}
+}

@@ -299,3 +299,131 @@ func (t *TopK) ErrorNorm() float64 {
 	}
 	return math.Sqrt(sum)
 }
+
+// ratioParam reads and range-checks a sparsification density param from a
+// defaults-merged param bag.
+func ratioParam(p Params) (float64, error) {
+	ratio, err := p.Float("ratio", 0)
+	if err != nil {
+		return 0, err
+	}
+	if ratio <= 0 || ratio > 1 {
+		return 0, fmt.Errorf("param ratio=%g: want 0 < ratio <= 1", ratio)
+	}
+	return ratio, nil
+}
+
+// selectionParam reads the top-k selection scheme param.
+func selectionParam(p Params) (Selection, error) {
+	s, err := p.Enum("selection", "sampled", "exact", "sampled")
+	if err != nil {
+		return 0, err
+	}
+	if s == "exact" {
+		return SelectExact, nil
+	}
+	return SelectSampled, nil
+}
+
+// defaultRatio is the paper's 0.1% density for Top-k-family methods.
+const defaultRatio = "0.001"
+
+// topkDefaults is the single source of Top-k's default params (reported by
+// Info and folded in by withDefaults).
+var topkDefaults = Params{
+	"ratio":     defaultRatio,
+	"selection": "sampled",
+	"ef":        "true",
+}
+
+// topkFactory registers Top-k SGD with multi-sampling selection.
+type topkFactory struct{}
+
+func (topkFactory) Info() MethodInfo {
+	return MethodInfo{
+		Name:     "topk",
+		Display:  "Top-k SGD",
+		Aliases:  []string{"top-k"},
+		Pattern:  PatternAllGather,
+		Scope:    ScopeBuffer,
+		Defaults: topkDefaults,
+	}
+}
+
+func (topkFactory) Validate(spec Spec) error {
+	p := spec.Params.withDefaults(topkDefaults)
+	if _, err := ratioParam(p); err != nil {
+		return err
+	}
+	if _, err := selectionParam(p); err != nil {
+		return err
+	}
+	_, err := p.Bool("ef", true)
+	return err
+}
+
+func (topkFactory) New(spec Spec, t Tensor) (any, error) {
+	p := spec.Params.withDefaults(topkDefaults)
+	ratio, err := ratioParam(p)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := selectionParam(p)
+	if err != nil {
+		return nil, err
+	}
+	ef, err := p.Bool("ef", true)
+	if err != nil {
+		return nil, err
+	}
+	n := t.Len()
+	return NewTopK(n, int(ratio*float64(n)), sel, ef, t.MixedSeed(1<<20)), nil
+}
+
+// randomkDefaults is the single source of Random-k's default params.
+var randomkDefaults = Params{
+	"ratio": defaultRatio,
+	"ef":    "true",
+}
+
+// randomkFactory registers the Random-k contrast baseline.
+type randomkFactory struct{}
+
+func (randomkFactory) Info() MethodInfo {
+	return MethodInfo{
+		Name:     "randomk",
+		Display:  "Random-k SGD",
+		Aliases:  []string{"random-k"},
+		Pattern:  PatternAllGather,
+		Scope:    ScopeBuffer,
+		Defaults: randomkDefaults,
+	}
+}
+
+func (randomkFactory) Validate(spec Spec) error {
+	p := spec.Params.withDefaults(randomkDefaults)
+	if _, err := ratioParam(p); err != nil {
+		return err
+	}
+	_, err := p.Bool("ef", true)
+	return err
+}
+
+func (randomkFactory) New(spec Spec, t Tensor) (any, error) {
+	p := spec.Params.withDefaults(randomkDefaults)
+	ratio, err := ratioParam(p)
+	if err != nil {
+		return nil, err
+	}
+	ef, err := p.Bool("ef", true)
+	if err != nil {
+		return nil, err
+	}
+	n := t.Len()
+	return NewRandomK(n, int(ratio*float64(n)), ef, t.MixedSeed(1<<20)), nil
+}
+
+func init() {
+	Register(topkFactory{})
+	Register(randomkFactory{})
+}

@@ -26,7 +26,10 @@ import (
 
 // TrainConfig configures a real distributed training run.
 type TrainConfig struct {
-	// Method is one of "ssgd", "sign", "topk", "randomk", "power", "acp".
+	// Method is a compressor spec in the registry grammar
+	// name[:key=value,...] — e.g. "acp", "topk:ratio=0.01,selection=exact"
+	// or "dgc:ratio=0.001". compress.Names() lists the registered methods;
+	// legacy spellings ("power-sgd", "gtop-k", …) resolve as aliases.
 	Method string
 	// Model is one of "mlp", "minivgg", "miniresnet".
 	Model string
@@ -184,7 +187,7 @@ const (
 // Train runs a real multi-worker training job and returns its history.
 func Train(cfg TrainConfig) (*train.History, error) {
 	c := cfg.withDefaults()
-	method, err := compress.ParseMethod(c.Method)
+	spec, err := compress.ParseSpec(c.Method)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +200,7 @@ func Train(cfg TrainConfig) (*train.History, error) {
 		return nil, err
 	}
 	return train.Run(train.Config{
-		Method:         method,
+		Spec:           spec,
 		Workers:        c.Workers,
 		BatchPerWorker: c.BatchPerWorker,
 		Epochs:         c.Epochs,
@@ -221,9 +224,10 @@ type IterationConfig struct {
 	// Model is "resnet50", "resnet152", "bert-base", "bert-large",
 	// "vgg16" or "resnet18".
 	Model string
-	// Method is "ssgd", "sign", "topk", "power", "power*" or "acp";
-	// "power" is the original post-BP implementation, "power*" the
-	// WFBP+TF-optimized one (Table III).
+	// Method is a compressor spec over the simulatable methods "ssgd",
+	// "sign", "topk", "power" or "acp" (plus "power*", the WFBP+TF
+	// optimized Power-SGD of Table III). Method params thread through to
+	// the cost model: "acp:rank=256" or "topk:ratio=0.01".
 	Method string
 	// Mode overrides the execution mode: "naive", "wfbp", "wfbp+tf".
 	// Empty picks the paper's default for the method.
@@ -247,7 +251,7 @@ func SimulateIteration(cfg IterationConfig) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
-	method, mode, err := parseSimMethod(cfg.Method, cfg.Mode)
+	method, mode, mspec, err := parseSimMethod(cfg.Method, cfg.Mode)
 	if err != nil {
 		return sim.Result{}, err
 	}
@@ -263,14 +267,24 @@ func SimulateIteration(cfg IterationConfig) (sim.Result, error) {
 	if workers == 0 {
 		workers = 32
 	}
+	// Spec params thread into the cost model; explicit IterationConfig
+	// fields win over params, params over model defaults.
+	rank := cfg.Rank
+	if rank == 0 {
+		rank, _ = mspec.Params.Int("rank", 0)
+	}
+	ratio := cfg.TopKRatio
+	if ratio == 0 {
+		ratio, _ = mspec.Params.Float("ratio", 0)
+	}
 	return sim.Simulate(sim.Config{
 		Model:       spec,
 		Method:      method,
 		Mode:        mode,
 		Workers:     workers,
 		Batch:       cfg.Batch,
-		Rank:        cfg.Rank,
-		TopKRatio:   cfg.TopKRatio,
+		Rank:        rank,
+		TopKRatio:   ratio,
 		Net:         net,
 		GPU:         sim.DefaultGPU(),
 		BufferBytes: cfg.BufferBytes,
@@ -279,41 +293,53 @@ func SimulateIteration(cfg IterationConfig) (sim.Result, error) {
 	})
 }
 
-// parseSimMethod maps CLI method/mode names to simulator enums with the
-// paper's default execution mode per method.
-func parseSimMethod(method, mode string) (sim.Method, sim.Mode, error) {
-	var m sim.Method
-	defMode := sim.ModeWFBPTF
-	switch strings.ToLower(method) {
-	case "", "ssgd", "s-sgd", "sgd":
-		m = sim.MethodSSGD
-	case "sign", "signsgd", "sign-sgd":
-		m = sim.MethodSign
-		defMode = sim.ModeNaive
-	case "topk", "top-k":
-		m = sim.MethodTopK
-		defMode = sim.ModeNaive
-	case "power", "powersgd", "power-sgd":
-		m = sim.MethodPower
-		defMode = sim.ModeNaive
+// parseSimMethod resolves a CLI method spec and mode name to simulator
+// enums, with the paper's default execution mode per method. The method
+// name/params go through the compress registry (so aliases and param
+// validation are shared with training); sim.ByName then selects the cost
+// model for the canonical name.
+func parseSimMethod(method, mode string) (sim.Method, sim.Mode, compress.Spec, error) {
+	s := strings.ToLower(strings.TrimSpace(method))
+	if s == "" {
+		s = "ssgd"
+	}
+	// "power*" is the simulator's spelling for WFBP+TF-optimized Power-SGD
+	// (Table III); strip the star before registry resolution.
+	head, rest, hasParams := strings.Cut(s, ":")
+	star := false
+	switch head {
 	case "power*", "powerstar", "power-sgd*":
-		m = sim.MethodPower
+		head, star = "power", true
+	}
+	s = head
+	if hasParams {
+		s += ":" + rest
+	}
+	spec, err := compress.ParseSpec(s)
+	if err != nil {
+		return 0, 0, compress.Spec{}, fmt.Errorf("core: %w", err)
+	}
+	if _, spec, err = compress.Resolve(spec); err != nil {
+		return 0, 0, compress.Spec{}, fmt.Errorf("core: %w", err)
+	}
+	m, defMode, ok := sim.ByName(spec.Name)
+	if !ok {
+		return 0, 0, compress.Spec{}, fmt.Errorf("core: method %q has no simulator cost model (simulatable: %s)",
+			spec.Name, strings.Join(sim.Names(), ", "))
+	}
+	if star {
 		defMode = sim.ModeWFBPTF
-	case "acp", "acpsgd", "acp-sgd":
-		m = sim.MethodACP
-	default:
-		return 0, 0, fmt.Errorf("core: unknown method %q", method)
 	}
 	switch strings.ToLower(mode) {
 	case "":
-		return m, defMode, nil
+		return m, defMode, spec, nil
 	case "naive":
-		return m, sim.ModeNaive, nil
+		return m, sim.ModeNaive, spec, nil
 	case "wfbp":
-		return m, sim.ModeWFBP, nil
+		return m, sim.ModeWFBP, spec, nil
 	case "wfbp+tf", "wfbptf", "tf":
-		return m, sim.ModeWFBPTF, nil
+		return m, sim.ModeWFBPTF, spec, nil
 	default:
-		return 0, 0, fmt.Errorf("core: unknown mode %q", mode)
+		return 0, 0, compress.Spec{}, fmt.Errorf("core: unknown mode %q", mode)
 	}
 }

@@ -48,17 +48,70 @@ func TestSimulateIterationErrors(t *testing.T) {
 }
 
 func TestParseSimMethodDefaults(t *testing.T) {
-	m, mode, err := parseSimMethod("power", "")
+	m, mode, _, err := parseSimMethod("power", "")
 	if err != nil || m != sim.MethodPower || mode != sim.ModeNaive {
 		t.Fatalf("power default should be naive: %v %v %v", m, mode, err)
 	}
-	m, mode, err = parseSimMethod("power*", "")
+	m, mode, _, err = parseSimMethod("power*", "")
 	if err != nil || m != sim.MethodPower || mode != sim.ModeWFBPTF {
 		t.Fatalf("power* default should be wfbp+tf: %v %v %v", m, mode, err)
 	}
-	m, mode, err = parseSimMethod("", "")
+	m, mode, _, err = parseSimMethod("", "")
 	if err != nil || m != sim.MethodSSGD || mode != sim.ModeWFBPTF {
 		t.Fatalf("empty method should be optimized ssgd: %v %v %v", m, mode, err)
+	}
+}
+
+func TestParseSimMethodSpecParams(t *testing.T) {
+	// Spec params survive star-stripping and thread into the cost model.
+	m, mode, spec, err := parseSimMethod("power*:rank=256", "")
+	if err != nil || m != sim.MethodPower || mode != sim.ModeWFBPTF {
+		t.Fatalf("power*:rank=256: %v %v %v", m, mode, err)
+	}
+	if rank, _ := spec.Params.Int("rank", 0); rank != 256 {
+		t.Fatalf("rank param lost: %v", spec)
+	}
+	if _, _, _, err := parseSimMethod("ssgd:rank=4", ""); err == nil {
+		t.Fatal("ssgd declares no rank param; expected error")
+	}
+	if _, _, _, err := parseSimMethod("dgc", ""); err == nil {
+		t.Fatal("dgc has no simulator cost model; expected error")
+	}
+}
+
+func TestSimulateIterationSpecParamMatchesField(t *testing.T) {
+	bySpec, err := SimulateIteration(IterationConfig{Model: "bert-large", Method: "acp:rank=256"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byField, err := SimulateIteration(IterationConfig{Model: "bert-large", Method: "acp", Rank: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bySpec.TotalSec != byField.TotalSec || bySpec.PayloadBytes != byField.PayloadBytes {
+		t.Fatalf("spec param and config field disagree: %+v vs %+v", bySpec, byField)
+	}
+}
+
+func TestTrainRegistryMethodViaSpecString(t *testing.T) {
+	// DGC exists only as a registry entry in internal/compress; the whole
+	// core → train path must pick it up from the spec string alone.
+	hist, err := Train(TrainConfig{
+		Method:         "dgc:ratio=0.05",
+		Model:          "mlp",
+		Workers:        2,
+		BatchPerWorker: 16,
+		Epochs:         4,
+		LR:             0.05,
+		TrainExamples:  256,
+		TestExamples:   128,
+		Classes:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.FinalTestAcc <= 0.3 {
+		t.Fatalf("DGC made no progress: %v", hist.FinalTestAcc)
 	}
 }
 

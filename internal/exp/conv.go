@@ -68,6 +68,10 @@ func convRun(o ConvOptions, model, method string, rank int, disableEF, disableRe
 	return out, nil
 }
 
+// convMethods are the compressor specs the Fig. 6 convergence table
+// compares; exp tests assert each resolves against the compress registry.
+var convMethods = []string{"ssgd", "power", "acp"}
+
 // Fig6 reproduces the convergence comparison of S-SGD, Power-SGD and
 // ACP-SGD (paper: VGG-16 and ResNet-18 on CIFAR-10; here: MiniVGG and
 // MiniResNet on the synthetic image task).
@@ -84,7 +88,7 @@ func Fig6(o ConvOptions) (*Table, error) {
 		},
 	}
 	for _, model := range []string{"minivgg", "miniresnet"} {
-		for _, method := range []string{"ssgd", "power", "acp"} {
+		for _, method := range convMethods {
 			acc, err := convRun(o, model, method, 2, false, false)
 			if err != nil {
 				return nil, fmt.Errorf("exp: fig6 %s/%s: %w", model, method, err)
@@ -130,10 +134,3 @@ func Fig7(o ConvOptions) (*Table, error) {
 }
 
 func pct(x float64) string { return fmt.Sprintf("%.1f", 100*x) }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

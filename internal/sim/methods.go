@@ -1,0 +1,39 @@
+package sim
+
+import "sort"
+
+// simMethods maps canonical compressor-registry names (see
+// internal/compress.Register) onto the simulator's cost models and the
+// paper's default execution mode for each. One table drives both ByName and
+// Names, so adding a cost model is a single entry here.
+var simMethods = map[string]struct {
+	method Method
+	mode   Mode
+}{
+	"ssgd":  {MethodSSGD, ModeWFBPTF},
+	"sign":  {MethodSign, ModeNaive},
+	"topk":  {MethodTopK, ModeNaive},
+	"power": {MethodPower, ModeNaive},
+	"acp":   {MethodACP, ModeWFBPTF},
+}
+
+// ByName resolves a canonical compressor name to its cost model and default
+// execution mode. Compressors registered without a cost model (e.g. dgc)
+// return ok=false: they are trainable but not simulatable.
+func ByName(name string) (m Method, defaultMode Mode, ok bool) {
+	e, ok := simMethods[name]
+	if !ok {
+		return 0, 0, false
+	}
+	return e.method, e.mode, true
+}
+
+// Names returns the simulatable method names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(simMethods))
+	for name := range simMethods {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

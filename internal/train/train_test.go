@@ -260,6 +260,68 @@ func TestGTopKSGDConvergesOddWorkers(t *testing.T) {
 	}
 }
 
+func TestDGCConverges(t *testing.T) {
+	// DGC is registered only in internal/compress (the registry drop-in
+	// contract); the trainer picks it up by spec with no dispatch edits.
+	hist := runMethod(t, 0, func(c *Config) { c.Spec = compress.MustSpec("dgc:ratio=0.05") })
+	if hist.FinalTestAcc < 0.85 {
+		t.Fatalf("DGC final acc %.3f < 0.85", hist.FinalTestAcc)
+	}
+}
+
+func TestDGCMomentumCorrectionEmulatesOuterMomentum(t *testing.T) {
+	// Lin et al.'s claim: computing momentum locally, before
+	// sparsification, stands in for the optimizer's momentum. A plain-SGD
+	// trainer with dgc:momentum=0.9 should track the momentum-SGD trainer
+	// running accumulated top-k.
+	corrected := runMethod(t, 0, func(c *Config) {
+		c.Momentum = 0
+		c.Spec = compress.MustSpec("dgc:momentum=0.9")
+	})
+	baseline := runMethod(t, compress.TopKSGD, nil) // outer momentum 0.9
+	if corrected.FinalTestAcc < baseline.FinalTestAcc-0.1 {
+		t.Fatalf("local momentum correction should emulate outer momentum: %.3f vs %.3f",
+			corrected.FinalTestAcc, baseline.FinalTestAcc)
+	}
+}
+
+func TestDGCParityWithTopK(t *testing.T) {
+	topk := runMethod(t, compress.TopKSGD, nil)
+	dgc := runMethod(t, 0, func(c *Config) { c.Spec = compress.MustSpec("dgc") })
+	// The base config's legacy TopKRatio (0.05) folds into DGC's ratio
+	// param, so both methods transmit the same coordinate budget.
+	if dgc.FinalTestAcc < topk.FinalTestAcc-0.05 {
+		t.Fatalf("DGC should track Top-k: %.3f vs %.3f", dgc.FinalTestAcc, topk.FinalTestAcc)
+	}
+}
+
+func TestSpecMatchesLegacyConfig(t *testing.T) {
+	// The legacy enum+field config and the explicit Spec must resolve to
+	// the same training run, bit for bit.
+	legacy := runMethod(t, compress.ACPSGDMethod, nil) // RankR=2 folds into rank
+	spec := runMethod(t, 0, func(c *Config) {
+		c.RankR = 0
+		c.Spec = compress.MustSpec("acp:rank=2")
+	})
+	for i := range legacy.Stats {
+		if legacy.Stats[i].TrainLoss != spec.Stats[i].TrainLoss {
+			t.Fatalf("epoch %d: legacy %.9f vs spec %.9f", i, legacy.Stats[i].TrainLoss, spec.Stats[i].TrainLoss)
+		}
+	}
+}
+
+func TestSpecParamOverridesLegacyField(t *testing.T) {
+	// An explicit spec param must win over the deprecated Config field.
+	explicit := runMethod(t, 0, func(c *Config) {
+		c.RankR = 1 // would degrade accuracy if it won
+		c.Spec = compress.MustSpec("acp:rank=2")
+	})
+	baseline := runMethod(t, compress.ACPSGDMethod, nil)
+	if explicit.FinalTestAcc != baseline.FinalTestAcc {
+		t.Fatalf("spec param should override RankR: %.3f vs %.3f", explicit.FinalTestAcc, baseline.FinalTestAcc)
+	}
+}
+
 func TestACPNoFusionMatchesFused(t *testing.T) {
 	// Tensor fusion must not change the math: identical accuracy trajectory
 	// with and without fusion.
@@ -304,7 +366,10 @@ func TestConfigValidation(t *testing.T) {
 		{Method: compress.SSGD, Workers: 0, BatchPerWorker: 1, Epochs: 1},
 		{Method: compress.SSGD, Workers: 1, BatchPerWorker: 0, Epochs: 1},
 		{Method: compress.SSGD, Workers: 1, BatchPerWorker: 1, Epochs: 0},
-		{Method: compress.ACPSGDMethod, Workers: 1, BatchPerWorker: 1, Epochs: 1}, // no rank
+		{Spec: compress.MustSpec("acp").With("rank", "0"), Workers: 1, BatchPerWorker: 1, Epochs: 1},                          // bad rank
+		{Spec: compress.MustSpec("topk").With("ratio", "2"), Workers: 1, BatchPerWorker: 1, Epochs: 1},                        // ratio > 1
+		{Spec: compress.Spec{Name: "topk", Params: compress.Params{"rato": "0.1"}}, Workers: 1, BatchPerWorker: 1, Epochs: 1}, // unknown param
+		{Spec: compress.Spec{Name: "quantum"}, Workers: 1, BatchPerWorker: 1, Epochs: 1},                                      // unregistered
 		{Method: compress.Method(42), Workers: 1, BatchPerWorker: 1, Epochs: 1},
 	}
 	for i, cfg := range bad {

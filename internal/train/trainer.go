@@ -3,6 +3,7 @@ package train
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 
 	"acpsgd/internal/comm"
@@ -13,7 +14,15 @@ import (
 
 // Config configures a distributed training run.
 type Config struct {
-	Method         compress.Method
+	// Spec selects the compression method by name and params (the registry
+	// API, e.g. compress.MustSpec("topk:ratio=0.01")). When Spec.Name is
+	// empty the legacy Method enum is used instead.
+	Spec compress.Spec
+	// Method is the legacy enum selector, honored when Spec.Name == "".
+	//
+	// Deprecated: set Spec.
+	Method compress.Method
+
 	Workers        int
 	BatchPerWorker int
 	Epochs         int
@@ -24,18 +33,16 @@ type Config struct {
 	ClipNorm float64
 	Schedule Schedule
 
-	// RankR is the low-rank rank for Power-SGD / ACP-SGD (paper: 4 for
-	// convnets, 32 for transformers).
-	RankR int
-	// TopKRatio is the fraction of coordinates Top-k/Random-k select
-	// (default 0.001, the paper's 0.1%).
-	TopKRatio float64
-	// Selection picks exact or sampled top-k selection.
-	Selection compress.Selection
-	// QuantLevels is QSGD's level count (default 16).
-	QuantLevels int
-
-	// DisableEF and DisableReuse are the Fig. 7 ablation switches.
+	// The fields below are legacy per-method knobs. Each folds into the
+	// Spec as the matching param ("rank", "ratio", "selection", "levels",
+	// "ef", "reuse") when the selected method declares that param and the
+	// Spec does not already set it; params set on the Spec win.
+	//
+	// Deprecated: set params on Spec instead.
+	RankR        int
+	TopKRatio    float64
+	Selection    compress.Selection
+	QuantLevels  int
 	DisableEF    bool
 	DisableReuse bool
 
@@ -52,6 +59,11 @@ type Config struct {
 	UseTCP bool
 	// EvalEvery evaluates test accuracy every EvalEvery epochs (default 1).
 	EvalEvery int
+
+	// Resolved by validate.
+	fac  compress.Factory
+	info compress.MethodInfo
+	spec compress.Spec
 }
 
 func (cfg *Config) validate() error {
@@ -64,17 +76,61 @@ func (cfg *Config) validate() error {
 	if cfg.Epochs < 1 {
 		return fmt.Errorf("train: epochs must be >= 1, got %d", cfg.Epochs)
 	}
-	switch cfg.Method {
-	case compress.SSGD, compress.SignSGD, compress.TopKSGD, compress.RandomKSGD,
-		compress.QSGDMethod, compress.TernGradMethod, compress.GTopKSGD:
-	case compress.PowerSGDMethod, compress.ACPSGDMethod:
-		if cfg.RankR < 1 {
-			return fmt.Errorf("train: %v requires RankR >= 1", cfg.Method)
+	spec := cfg.Spec
+	if spec.Name == "" {
+		s, err := cfg.Method.Spec()
+		if err != nil {
+			return fmt.Errorf("train: %w", err)
 		}
-	default:
-		return fmt.Errorf("train: unknown method %v", cfg.Method)
+		spec = s
 	}
+	f, err := compress.Lookup(spec.Name)
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	spec = foldLegacyParams(cfg, spec, f.Info().Defaults)
+	fac, resolved, err := compress.Resolve(spec)
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	cfg.fac = fac
+	cfg.spec = resolved
+	cfg.info = fac.Info()
 	return nil
+}
+
+// foldLegacyParams maps the deprecated per-method Config fields onto spec
+// params. A field applies only when the method declares the param (so
+// TopKRatio is meaningless to ACP-SGD and silently skipped, as before) and
+// the spec does not set it explicitly.
+func foldLegacyParams(cfg *Config, spec compress.Spec, defaults compress.Params) compress.Spec {
+	fold := func(key, value string) {
+		if _, known := defaults[key]; known && !spec.Has(key) {
+			spec = spec.With(key, value)
+		}
+	}
+	if cfg.RankR > 0 {
+		fold("rank", strconv.Itoa(cfg.RankR))
+	}
+	if cfg.TopKRatio > 0 {
+		fold("ratio", strconv.FormatFloat(cfg.TopKRatio, 'g', -1, 64))
+	}
+	switch cfg.Selection {
+	case compress.SelectExact:
+		fold("selection", "exact")
+	case compress.SelectSampled:
+		fold("selection", "sampled")
+	}
+	if cfg.QuantLevels > 0 {
+		fold("levels", strconv.Itoa(cfg.QuantLevels))
+	}
+	if cfg.DisableEF {
+		fold("ef", "false")
+	}
+	if cfg.DisableReuse {
+		fold("reuse", "false")
+	}
+	return spec
 }
 
 // EpochStat records one epoch of training.

@@ -18,6 +18,11 @@ import (
 // the queue in deterministic order so collective calls line up across
 // workers, mirroring how the paper serializes NCCL launches on a
 // communication stream.
+//
+// The worker knows nothing about individual methods: it dispatches on the
+// resolved factory's traits (communication Pattern × state Scope) and builds
+// compressor state through the factory, so registering a new method in
+// internal/compress is all it takes to train with it.
 type worker struct {
 	rank  int
 	cfg   *Config
@@ -29,10 +34,13 @@ type worker struct {
 
 	matrixParams []*nn.Param
 	isMatrix     map[*nn.Param]bool
-	acp          map[*nn.Param]*compress.ACP
-	power        map[*nn.Param]*compress.PowerSGD
-	gatherComp   map[int]compress.GatherCompressor
-	gtopk        map[int]*compress.GTopK
+	matElems     int
+	// Per-tensor compressor state, built lazily through cfg.fac. Exactly
+	// one of these is populated, per the method's Scope and Pattern.
+	additive   map[*nn.Param]compress.AdditiveCompressor
+	blocking   map[*nn.Param]compress.BlockingCompressor
+	gatherComp map[int]compress.GatherCompressor
+	pairwise   map[int]compress.PairwiseBlockingCompressor
 
 	rawGroup  *fusionGroup
 	compGroup *fusionGroup
@@ -42,8 +50,7 @@ type worker struct {
 	commWG sync.WaitGroup
 	done   chan struct{}
 
-	rateP, rateQ float64
-	step         int
+	step int
 }
 
 // isMatrixParam reports whether a parameter is compressed as a matrix: the
@@ -66,15 +73,14 @@ func newWorker(rank int, cfg *Config, model *nn.Model, c *comm.Communicator, sha
 		opt:        opt,
 		batch:      data.NewBatcher(shard, cfg.BatchPerWorker, cfg.Seed*7919+int64(rank)),
 		isMatrix:   make(map[*nn.Param]bool),
-		acp:        make(map[*nn.Param]*compress.ACP),
-		power:      make(map[*nn.Param]*compress.PowerSGD),
+		additive:   make(map[*nn.Param]compress.AdditiveCompressor),
+		blocking:   make(map[*nn.Param]compress.BlockingCompressor),
 		gatherComp: make(map[int]compress.GatherCompressor),
-		gtopk:      make(map[int]*compress.GTopK),
+		pairwise:   make(map[int]compress.PairwiseBlockingCompressor),
 		commCh:     make(chan func(), 256),
 		done:       make(chan struct{}),
 	}
 
-	var matElems, pElems, qElems int
 	for i, p := range model.Params() {
 		if !isMatrixParam(p) {
 			continue
@@ -82,21 +88,33 @@ func newWorker(rank int, cfg *Config, model *nn.Model, c *comm.Communicator, sha
 		w.isMatrix[p] = true
 		w.matrixParams = append(w.matrixParams, p)
 		n, m := p.W.Rows, p.W.Cols
-		matElems += n * m
-		tensorID := int64(i)
-		switch cfg.Method {
-		case compress.ACPSGDMethod:
-			st := compress.NewACP(n, m, cfg.RankR, !cfg.DisableEF, !cfg.DisableReuse, tensorID)
-			w.acp[p] = st
-			pElems += st.PayloadLen(0)
-			qElems += st.PayloadLen(1)
-		case compress.PowerSGDMethod:
-			w.power[p] = compress.NewPowerSGD(n, m, cfg.RankR, !cfg.DisableEF, tensorID)
+		w.matElems += n * m
+		if cfg.info.Scope != compress.ScopeMatrix {
+			continue
 		}
-	}
-	if matElems > 0 {
-		w.rateP = float64(pElems) / float64(matElems)
-		w.rateQ = float64(qElems) / float64(matElems)
+		st, err := cfg.fac.New(cfg.spec, compress.Tensor{Rows: n, Cols: m, ID: int64(i), WorkerRank: rank})
+		if err != nil {
+			return nil, fmt.Errorf("train: %s state for %s: %w", cfg.spec.Name, p.Name, err)
+		}
+		// File the state by the factory's declared pattern, not by dynamic
+		// type, so a compressor that violates (or over-satisfies) the
+		// Factory.New contract fails here rather than nil-panicking later.
+		switch cfg.info.Pattern {
+		case compress.PatternAllReduce:
+			comp, ok := st.(compress.AdditiveCompressor)
+			if !ok {
+				return nil, fmt.Errorf("train: method %s declares %v but built %T", cfg.spec.Name, cfg.info.Pattern, st)
+			}
+			w.additive[p] = comp
+		case compress.PatternBlocking:
+			comp, ok := st.(compress.BlockingCompressor)
+			if !ok {
+				return nil, fmt.Errorf("train: method %s declares %v but built %T", cfg.spec.Name, cfg.info.Pattern, st)
+			}
+			w.blocking[p] = comp
+		default:
+			return nil, fmt.Errorf("train: method %s: pattern %v does not fit matrix scope", cfg.spec.Name, cfg.info.Pattern)
+		}
 	}
 
 	rawBudget := cfg.bufferBytes()
@@ -148,10 +166,11 @@ func (w *worker) sealAdditive(buf *additiveBuffer) {
 
 // sealGather compresses the packed gradients (inline, on the worker thread,
 // as the paper's compression tasks run on the training GPU) and launches the
-// all-gather. gTop-k buffers are deferred: their hypercube reduction is
-// interactive and runs after back-propagation, like Power-SGD's chain.
+// all-gather. Pairwise-pattern buffers (gTop-k) are deferred: their
+// hypercube reduction is interactive and runs after back-propagation, like
+// Power-SGD's chain.
 func (w *worker) sealGather(buf *gatherBuffer) {
-	if w.cfg.Method == compress.GTopKSGD {
+	if w.cfg.info.Pattern == compress.PatternPairwise {
 		return
 	}
 	comp, err := w.gatherCompressorFor(buf)
@@ -165,116 +184,99 @@ func (w *worker) sealGather(buf *gatherBuffer) {
 	})
 }
 
-// gtopkFor returns (creating on first use) the per-buffer gTop-k state.
-func (w *worker) gtopkFor(buf *gatherBuffer) *compress.GTopK {
-	if g, ok := w.gtopk[buf.index]; ok {
-		return g
-	}
-	n := len(buf.packed)
-	k := int(w.cfg.topKRatio() * float64(n))
-	g := compress.NewGTopK(n, k, !w.cfg.DisableEF, int64(buf.index+1<<21)^int64(w.rank)<<40)
-	w.gtopk[buf.index] = g
-	return g
+// bufferTensor describes a packed gather buffer to the factory. Buffer
+// composition is deterministic across steps, so state keyed by buffer index
+// is stable.
+func (w *worker) bufferTensor(buf *gatherBuffer) compress.Tensor {
+	return compress.Tensor{Rows: len(buf.packed), Cols: 1, ID: int64(buf.index), WorkerRank: w.rank}
 }
 
 // gatherCompressorFor returns (creating on first use) the per-buffer
-// compressor for the packed buffer. Buffer composition is deterministic
-// across steps, so state keyed by buffer index is stable.
+// compressor for the packed buffer.
 func (w *worker) gatherCompressorFor(buf *gatherBuffer) (compress.GatherCompressor, error) {
 	if c, ok := w.gatherComp[buf.index]; ok {
 		return c, nil
 	}
-	n := len(buf.packed)
-	// Mix the rank into the state seed so stochastic quantizers round
-	// independently across workers (their unbiasedness argument needs it).
-	tensorID := int64(buf.index+1<<20) ^ int64(w.rank)<<40
-	var c compress.GatherCompressor
-	switch w.cfg.Method {
-	case compress.SignSGD:
-		c = compress.NewSign(n, !w.cfg.DisableEF)
-	case compress.TopKSGD:
-		k := int(w.cfg.topKRatio() * float64(n))
-		c = compress.NewTopK(n, k, w.cfg.selection(), !w.cfg.DisableEF, tensorID)
-	case compress.RandomKSGD:
-		k := int(w.cfg.topKRatio() * float64(n))
-		c = compress.NewRandomK(n, k, !w.cfg.DisableEF, tensorID)
-	case compress.QSGDMethod:
-		c = compress.NewQSGD(n, w.cfg.quantLevels(), tensorID)
-	case compress.TernGradMethod:
-		c = compress.NewTernGrad(n, tensorID)
-	default:
-		return nil, fmt.Errorf("train: method %v is not gather-based", w.cfg.Method)
+	st, err := w.cfg.fac.New(w.cfg.spec, w.bufferTensor(buf))
+	if err != nil {
+		return nil, fmt.Errorf("train: %s state for buffer %d: %w", w.cfg.spec.Name, buf.index, err)
+	}
+	c, ok := st.(compress.GatherCompressor)
+	if !ok {
+		return nil, fmt.Errorf("train: method %s is not gather-based (built %T)", w.cfg.spec.Name, st)
 	}
 	w.gatherComp[buf.index] = c
 	return c, nil
 }
 
-func (cfg *Config) topKRatio() float64 {
-	if cfg.TopKRatio > 0 {
-		return cfg.TopKRatio
+// pairwiseFor returns (creating on first use) the per-buffer pairwise
+// blocking compressor (gTop-k's hypercube state).
+func (w *worker) pairwiseFor(buf *gatherBuffer) (compress.PairwiseBlockingCompressor, error) {
+	if c, ok := w.pairwise[buf.index]; ok {
+		return c, nil
 	}
-	return 0.001 // the paper's 0.1%
+	st, err := w.cfg.fac.New(w.cfg.spec, w.bufferTensor(buf))
+	if err != nil {
+		return nil, fmt.Errorf("train: %s state for buffer %d: %w", w.cfg.spec.Name, buf.index, err)
+	}
+	c, ok := st.(compress.PairwiseBlockingCompressor)
+	if !ok {
+		return nil, fmt.Errorf("train: method %s is not pairwise-blocking (built %T)", w.cfg.spec.Name, st)
+	}
+	w.pairwise[buf.index] = c
+	return c, nil
 }
 
-func (cfg *Config) selection() compress.Selection {
-	if cfg.Selection != 0 {
-		return cfg.Selection
-	}
-	return compress.SelectSampled
-}
-
-func (cfg *Config) quantLevels() int {
-	if cfg.QuantLevels > 0 {
-		return cfg.QuantLevels
-	}
-	return 16
-}
-
-// prepareStep resets fusion groups and applies the parity-scaled compressed
-// buffer budget (§IV-B: compressed buffer size = default × compression rate,
-// different for P and Q steps).
+// prepareStep resets fusion groups and applies the compression-rate-scaled
+// compressed buffer budget (§IV-B: compressed buffer size = default budget ×
+// compression rate — for ACP-SGD the rate alternates between the P and Q
+// parities, which PayloadLen(step) reports).
 func (w *worker) prepareStep() {
 	w.rawGroup.reset()
 	w.compGroup.reset()
 	w.gatherGrp.reset()
-	if w.cfg.Method == compress.ACPSGDMethod {
-		rate := w.rateP
-		if w.step%2 == 1 {
-			rate = w.rateQ
-		}
-		budget := int(float64(w.cfg.bufferBytes()) * rate)
-		if budget < 1 && !w.cfg.NoFusion {
-			budget = 1
-		}
-		w.compGroup.budget = budget
+	if len(w.additive) == 0 || w.matElems == 0 {
+		return
 	}
+	payload := 0
+	for _, p := range w.matrixParams {
+		if st, ok := w.additive[p]; ok {
+			payload += st.PayloadLen(w.step)
+		}
+	}
+	rate := float64(payload) / float64(w.matElems)
+	budget := int(float64(w.cfg.bufferBytes()) * rate)
+	if budget < 1 && !w.cfg.NoFusion {
+		budget = 1
+	}
+	w.compGroup.budget = budget
 }
 
-// hook returns the WFBP gradient hook for this worker's method.
+// hook returns the WFBP gradient hook implied by the method's traits.
 func (w *worker) hook() nn.GradHook {
-	switch w.cfg.Method {
-	case compress.SSGD:
+	switch w.cfg.info.Scope {
+	case compress.ScopeNone:
 		return func(p *nn.Param) {
 			w.rawGroup.add(p, nil, p.Grad.Data)
 		}
-	case compress.SignSGD, compress.TopKSGD, compress.RandomKSGD,
-		compress.QSGDMethod, compress.TernGradMethod, compress.GTopKSGD:
+	case compress.ScopeBuffer:
 		return func(p *nn.Param) {
 			w.gatherGrp.add(p, p.Grad.Data)
 		}
-	case compress.ACPSGDMethod:
+	case compress.ScopeMatrix:
+		if w.cfg.info.Pattern == compress.PatternBlocking {
+			return func(p *nn.Param) {
+				if w.isMatrix[p] {
+					return // compressed after back-propagation (Fig. 4(a))
+				}
+				w.rawGroup.add(p, nil, p.Grad.Data)
+			}
+		}
 		return func(p *nn.Param) {
-			if st, ok := w.acp[p]; ok {
+			if st, ok := w.additive[p]; ok {
 				payload := st.Compress(w.step, p.Grad.Data)
 				w.compGroup.add(p, st, payload)
 				return
-			}
-			w.rawGroup.add(p, nil, p.Grad.Data)
-		}
-	case compress.PowerSGDMethod:
-		return func(p *nn.Param) {
-			if w.isMatrix[p] {
-				return // compressed after back-propagation (Fig. 4(a))
 			}
 			w.rawGroup.add(p, nil, p.Grad.Data)
 		}
@@ -293,29 +295,33 @@ func (w *worker) runStep() (float64, error) {
 	w.prepareStep()
 	hook := w.hook()
 	if hook == nil {
-		return 0, fmt.Errorf("train: unsupported method %v", w.cfg.Method)
+		return 0, fmt.Errorf("train: method %s has unsupported scope %v", w.cfg.spec.Name, w.cfg.info.Scope)
 	}
 	w.model.Backward(dlogits, hook)
 	w.rawGroup.flush()
 	w.compGroup.flush()
 	w.gatherGrp.flush()
 
-	// Wait for in-flight collectives, then run Power-SGD's blocking
+	// Wait for in-flight collectives, then run any blocking
 	// compress+aggregate chain (it must not interleave with queued
 	// collectives or ranks would disagree on operation order).
 	w.commWG.Wait()
-	switch w.cfg.Method {
-	case compress.PowerSGDMethod:
+	switch w.cfg.info.Pattern {
+	case compress.PatternBlocking:
 		for i := len(w.matrixParams) - 1; i >= 0; i-- {
 			p := w.matrixParams[i]
-			if err := w.power[p].CompressStep(w.step, p.Grad.Data, w.com); err != nil {
-				return 0, fmt.Errorf("train: rank %d power-sgd %s: %w", w.rank, p.Name, err)
+			if err := w.blocking[p].CompressStep(w.step, p.Grad.Data, w.com); err != nil {
+				return 0, fmt.Errorf("train: rank %d %s %s: %w", w.rank, w.cfg.spec.Name, p.Name, err)
 			}
 		}
-	case compress.GTopKSGD:
+	case compress.PatternPairwise:
 		for _, buf := range w.gatherGrp.sealed {
-			if err := w.gtopkFor(buf).CompressStep(w.step, buf.packed, w.com); err != nil {
-				return 0, fmt.Errorf("train: rank %d gtopk: %w", w.rank, err)
+			pc, err := w.pairwiseFor(buf)
+			if err != nil {
+				return 0, err
+			}
+			if err := pc.CompressStep(w.step, buf.packed, w.com); err != nil {
+				return 0, fmt.Errorf("train: rank %d %s: %w", w.rank, w.cfg.spec.Name, err)
 			}
 		}
 	}
@@ -355,10 +361,10 @@ func (w *worker) finalize() error {
 		if buf.err != nil {
 			return fmt.Errorf("train: rank %d all-gather: %w", w.rank, buf.err)
 		}
-		// gTop-k buffers already hold the decompressed global mean in
-		// packed (CompressStep replaced it in place); gather buffers still
+		// Pairwise-pattern buffers already hold the decompressed global mean
+		// in packed (CompressStep replaced it in place); gather buffers still
 		// need the decode pass over the collected blobs.
-		if w.cfg.Method != compress.GTopKSGD {
+		if w.cfg.info.Pattern != compress.PatternPairwise {
 			comp := w.gatherComp[buf.index]
 			if err := comp.Decode(w.step, buf.blobs, buf.packed); err != nil {
 				return fmt.Errorf("train: rank %d decode: %w", w.rank, err)
