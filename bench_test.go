@@ -4,20 +4,18 @@
 // listed in DESIGN.md §7. Run with:
 //
 //	go test -bench=. -benchmem
+//
+// Every micro-benchmark delegates to the named suite in internal/bench, the
+// same cases `acpbench -baseline` records into BENCH_<date>.json perf
+// baselines — keeping one definition means `go test -bench` and the
+// regression harness can never drift apart.
 package acpsgd_test
 
 import (
-	"math/rand"
-	"sync"
 	"testing"
 
-	"acpsgd/internal/comm"
-	"acpsgd/internal/compress"
+	"acpsgd/internal/bench"
 	"acpsgd/internal/exp"
-	"acpsgd/internal/models"
-	"acpsgd/internal/nn"
-	"acpsgd/internal/sim"
-	"acpsgd/internal/tensor"
 )
 
 // benchExp runs one registered experiment per iteration.
@@ -54,274 +52,60 @@ func BenchmarkFig12(b *testing.B)       { benchExp(b, "fig12") }
 func BenchmarkFig13(b *testing.B)       { benchExp(b, "fig13") }
 func BenchmarkMicroFusion(b *testing.B) { benchExp(b, "micro") }
 
-// --- real-substrate micro-benchmarks -------------------------------------
+// --- real-substrate micro-benchmarks (internal/bench suite) --------------
 
-func benchAllReduce(b *testing.B, workers, elems int) {
+// suite runs the named case from the shared micro-benchmark suite.
+func suite(b *testing.B, name string) {
 	b.Helper()
-	transports, err := comm.NewInprocGroup(workers, 0)
+	c, err := bench.ByName(name)
 	if err != nil {
 		b.Fatal(err)
 	}
-	comms := make([]*comm.Communicator, workers)
-	bufs := make([][]float64, workers)
-	for r := range comms {
-		comms[r] = comm.NewCommunicator(transports[r])
-		bufs[r] = make([]float64, elems)
-	}
-	b.SetBytes(int64(8 * elems))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var wg sync.WaitGroup
-		for r := 0; r < workers; r++ {
-			wg.Add(1)
-			go func(r int) {
-				defer wg.Done()
-				if err := comms[r].AllReduceSum(bufs[r]); err != nil {
-					b.Error(err)
-				}
-			}(r)
-		}
-		wg.Wait()
-	}
+	c.F(b)
 }
 
-func BenchmarkRingAllReduce4x64k(b *testing.B) { benchAllReduce(b, 4, 64*1024) }
-func BenchmarkRingAllReduce8x64k(b *testing.B) { benchAllReduce(b, 8, 64*1024) }
-func BenchmarkRingAllReduce4x1M(b *testing.B)  { benchAllReduce(b, 4, 1024*1024) }
+func BenchmarkRingAllReduce4x64k(b *testing.B) { suite(b, "RingAllReduce4x64k") }
+func BenchmarkRingAllReduce8x64k(b *testing.B) { suite(b, "RingAllReduce8x64k") }
+func BenchmarkRingAllReduce4x1M(b *testing.B)  { suite(b, "RingAllReduce4x1M") }
 
-func BenchmarkAllGather4x64KB(b *testing.B) {
-	const workers = 4
-	transports, err := comm.NewInprocGroup(workers, 0)
-	if err != nil {
-		b.Fatal(err)
-	}
-	comms := make([]*comm.Communicator, workers)
-	blobs := make([][]byte, workers)
-	for r := range comms {
-		comms[r] = comm.NewCommunicator(transports[r])
-		blobs[r] = make([]byte, 64*1024)
-	}
-	b.SetBytes(64 * 1024)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var wg sync.WaitGroup
-		for r := 0; r < workers; r++ {
-			wg.Add(1)
-			go func(r int) {
-				defer wg.Done()
-				if _, err := comms[r].AllGather(blobs[r]); err != nil {
-					b.Error(err)
-				}
-			}(r)
-		}
-		wg.Wait()
-	}
-}
+func BenchmarkAllGather4x64KB(b *testing.B) { suite(b, "AllGather4x64KB") }
+func BenchmarkBroadcast4x256k(b *testing.B) { suite(b, "Broadcast4x256k") }
+func BenchmarkSignEncode1M(b *testing.B)    { suite(b, "SignEncode1M") }
+func BenchmarkSignDecode1M(b *testing.B)    { suite(b, "SignDecode1M") }
+func BenchmarkTopKExact1M(b *testing.B)     { suite(b, "TopKExact1M") }
+func BenchmarkTopKSampled1M(b *testing.B)   { suite(b, "TopKSampled1M") }
 
-func randGrad(n int) []float64 {
-	rng := rand.New(rand.NewSource(7))
-	g := make([]float64, n)
-	for i := range g {
-		g[i] = rng.NormFloat64()
-	}
-	return g
-}
+func BenchmarkPowerCompress512x512r4(b *testing.B) { suite(b, "PowerCompress512x512r4") }
+func BenchmarkACPCompress512x512r4(b *testing.B)   { suite(b, "ACPCompress512x512r4") }
 
-func BenchmarkSignEncode1M(b *testing.B) {
-	const n = 1 << 20
-	s := compress.NewSign(n, true)
-	grad := randGrad(n)
-	b.SetBytes(n * 8)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.Encode(i, grad)
-	}
-}
-
-func BenchmarkSignDecode1M(b *testing.B) {
-	const n = 1 << 20
-	const workers = 8
-	blobs := make([][]byte, workers)
-	for r := range blobs {
-		s := compress.NewSign(n, false)
-		blobs[r] = s.Encode(0, randGrad(n))
-	}
-	dec := compress.NewSign(n, false)
-	out := make([]float64, n)
-	b.SetBytes(n * 8)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := dec.Decode(i, blobs, out); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkTopKExact1M(b *testing.B) {
-	const n = 1 << 20
-	tk := compress.NewTopK(n, n/1000, compress.SelectExact, true, 1)
-	grad := randGrad(n)
-	b.SetBytes(n * 8)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tk.Encode(i, grad)
-	}
-}
-
-func BenchmarkTopKSampled1M(b *testing.B) {
-	const n = 1 << 20
-	tk := compress.NewTopK(n, n/1000, compress.SelectSampled, true, 2)
-	grad := randGrad(n)
-	b.SetBytes(n * 8)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tk.Encode(i, grad)
-	}
-}
-
-// localCollectives satisfies compress.Collectives for single-worker
-// benchmarking (no peers: all-reduce is identity).
-type localCollectives struct{}
-
-func (localCollectives) AllReduceSum([]float64) error         { return nil }
-func (localCollectives) AllGather(b []byte) ([][]byte, error) { return [][]byte{b}, nil }
-func (localCollectives) Size() int                            { return 1 }
-
-func BenchmarkPowerCompress512x512r4(b *testing.B) {
-	const n, m, r = 512, 512, 4
-	ps := compress.NewPowerSGD(n, m, r, true, 1)
-	grad := randGrad(n * m)
-	b.SetBytes(n * m * 8)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := ps.CompressStep(i, grad, localCollectives{}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkACPCompress512x512r4(b *testing.B) {
-	const n, m, r = 512, 512, 4
-	a := compress.NewACP(n, m, r, true, true, 1)
-	grad := randGrad(n * m)
-	b.SetBytes(n * m * 8)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		payload := a.Compress(i, grad)
-		a.Finalize(i, payload, 1, grad)
-	}
-}
-
-func BenchmarkOrthogonalize512x32(b *testing.B) {
-	rng := rand.New(rand.NewSource(3))
-	m := tensor.New(512, 32)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		m.Randomize(rng, 1)
-		b.StartTimer()
-		tensor.Orthogonalize(m)
-	}
-}
-
-func BenchmarkMatMul256(b *testing.B) {
-	rng := rand.New(rand.NewSource(4))
-	x := tensor.New(256, 256)
-	y := tensor.New(256, 256)
-	x.Randomize(rng, 1)
-	y.Randomize(rng, 1)
-	out := tensor.New(256, 256)
-	b.SetBytes(256 * 256 * 8)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tensor.MatMul(out, x, y)
-	}
-}
-
-func BenchmarkMiniVGGStep(b *testing.B) {
-	rng := rand.New(rand.NewSource(5))
-	model := models.MiniVGG(rng, 3, 8, 8, 10)
-	loss := &nn.SoftmaxCrossEntropy{}
-	x := tensor.New(32, 3*8*8)
-	x.Randomize(rng, 1)
-	labels := make([]int, 32)
-	for i := range labels {
-		labels[i] = i % 10
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		model.ZeroGrads()
-		_, d := loss.Forward(model.Forward(x), labels)
-		model.Backward(d, nil)
-	}
-}
-
-func BenchmarkSimulateIteration(b *testing.B) {
-	cfg := sim.Config{
-		Model:   models.BERTLarge(),
-		Method:  sim.MethodACP,
-		Mode:    sim.ModeWFBPTF,
-		Workers: 32,
-		Net:     sim.Net10GbE(),
-		GPU:     sim.DefaultGPU(),
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sim.Simulate(cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkOrthogonalize512x32(b *testing.B) { suite(b, "Orthogonalize512x32") }
+func BenchmarkMatMul256(b *testing.B)           { suite(b, "MatMul256") }
+func BenchmarkMatMulTA256x64(b *testing.B)      { suite(b, "MatMulTA256x64") }
+func BenchmarkMatMulTB256(b *testing.B)         { suite(b, "MatMulTB256") }
+func BenchmarkMiniVGGStep(b *testing.B)         { suite(b, "MiniVGGStep") }
+func BenchmarkSimulateIteration(b *testing.B)   { suite(b, "SimulateBERTACP32") }
 
 // --- ablation benches (DESIGN.md §7) --------------------------------------
 
 // BenchmarkAblationInterference sweeps the GPU interference rate and
 // reports the resulting Power-SGD* time on BERT-Large: the knob behind the
-// paper's §III-C WFBP slowdown.
+// paper's §III-C WFBP slowdown. Sub-benchmark names (rate=0.35, ...) match
+// the suite case names acpbench -baseline records.
 func BenchmarkAblationInterference(b *testing.B) {
-	for _, rate := range []float64{0.5, 0.35, 0.22, 0.15} {
-		gpu := sim.DefaultGPU()
-		gpu.InterferenceRate = rate
-		cfg := sim.Config{
-			Model: models.BERTLarge(), Method: sim.MethodPower, Mode: sim.ModeWFBPTF,
-			Workers: 32, Net: sim.Net10GbE(), GPU: gpu,
-		}
-		var total float64
-		b.Run(sprintRate(rate), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				r, err := sim.Simulate(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				total = r.TotalSec
-			}
-			b.ReportMetric(total*1e3, "iter-ms")
-		})
+	for _, rate := range bench.InterferenceRates {
+		name := bench.RateName(rate)
+		b.Run(name, func(b *testing.B) { suite(b, "AblationInterference/"+name) })
 	}
 }
 
 // BenchmarkAblationAlpha sweeps the per-hop latency and reports the ACP
 // no-fusion time on BERT-Large: startup-cost sensitivity, the reason tensor
-// fusion matters (§IV-B).
+// fusion matters (§IV-B). Sub-benchmark names (alpha_us=12, ...) match the
+// suite case names acpbench -baseline records.
 func BenchmarkAblationAlpha(b *testing.B) {
-	for _, alpha := range []float64{2e-6, 12e-6, 50e-6} {
-		net := sim.Net10GbE()
-		net.Alpha = alpha
-		cfg := sim.Config{
-			Model: models.BERTLarge(), Method: sim.MethodACP, Mode: sim.ModeWFBPTF,
-			Workers: 32, Net: net, GPU: sim.DefaultGPU(), NoFusion: true,
-		}
-		var total float64
-		b.Run(sprintRate(alpha*1e6), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				r, err := sim.Simulate(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				total = r.TotalSec
-			}
-			b.ReportMetric(total*1e3, "iter-ms")
-		})
+	for _, alpha := range bench.AlphaSeconds {
+		name := bench.AlphaName(alpha)
+		b.Run(name, func(b *testing.B) { suite(b, "AblationAlpha/"+name) })
 	}
 }
 
@@ -329,64 +113,15 @@ func BenchmarkAblationAlpha(b *testing.B) {
 // without error feedback on the real compressor.
 func BenchmarkAblationEF(b *testing.B) {
 	for _, useEF := range []bool{true, false} {
-		name := "ef"
-		if !useEF {
-			name = "no-ef"
-		}
-		b.Run(name, func(b *testing.B) {
-			const n, m, r = 256, 256, 4
-			a := compress.NewACP(n, m, r, useEF, true, 1)
-			grad := randGrad(n * m)
-			b.SetBytes(n * m * 8)
-			for i := 0; i < b.N; i++ {
-				payload := a.Compress(i, grad)
-				a.Finalize(i, payload, 1, grad)
-			}
-		})
+		name := bench.EFName(useEF)
+		b.Run(name, func(b *testing.B) { suite(b, "AblationEF/"+name) })
 	}
 }
 
 // BenchmarkAblationSelection compares exact and multi-sampling top-k
 // selection cost (footnote 2's motivation).
 func BenchmarkAblationSelection(b *testing.B) {
-	const n = 1 << 18
-	grad := randGrad(n)
-	for _, sel := range []struct {
-		name string
-		s    compress.Selection
-	}{
-		{"exact", compress.SelectExact},
-		{"sampled", compress.SelectSampled},
-	} {
-		b.Run(sel.name, func(b *testing.B) {
-			tk := compress.NewTopK(n, n/1000, sel.s, false, 1)
-			b.SetBytes(n * 8)
-			for i := 0; i < b.N; i++ {
-				tk.Encode(i, grad)
-			}
-		})
+	for _, sel := range bench.Selections {
+		b.Run(sel.Name, func(b *testing.B) { suite(b, "AblationSelection/"+sel.Name) })
 	}
-}
-
-func sprintRate(x float64) string {
-	switch {
-	case x >= 1:
-		return "x" + itoa(int(x))
-	default:
-		return "r" + itoa(int(x*100))
-	}
-}
-
-func itoa(x int) string {
-	if x == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for x > 0 {
-		i--
-		buf[i] = byte('0' + x%10)
-		x /= 10
-	}
-	return string(buf[i:])
 }

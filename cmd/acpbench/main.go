@@ -8,14 +8,30 @@
 //
 // The experiment ids mirror the paper: table1, table2, table3, fig2, fig3,
 // fig5, fig6, fig7, fig8, fig9, fig10, fig11a, fig11b, fig12, fig13, micro.
+//
+// With -baseline, acpbench instead runs the micro-benchmark suite
+// (internal/bench, the same cases bench_test.go exposes to `go test -bench`),
+// writes a BENCH_<date>[_<label>].json perf baseline with ns/op, B/op and
+// allocs/op per case, and diffs it against the most recent prior baseline:
+//
+//	acpbench -baseline                      # record + diff vs latest
+//	acpbench -baseline -label opt           # BENCH_<date>_opt.json
+//	acpbench -baseline -against BENCH_x.json -threshold 0.10
+//
+// A case whose ns/op regresses by more than -threshold (default 0.15 = 15%)
+// makes acpbench exit with status 1; set -threshold -1 to disable
+// enforcement. This is the perf trajectory the ROADMAP re-anchors on.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
+	"acpsgd/internal/bench"
 	"acpsgd/internal/exp"
 )
 
@@ -30,12 +46,20 @@ func run(args []string) int {
 	workers := fs.Int("workers", 0, "workers for the convergence experiments; 0 = default (4)")
 	seed := fs.Int64("seed", 0, "random seed for the convergence experiments; 0 = default")
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	baseline := fs.Bool("baseline", false, "run the micro-bench suite and record a BENCH_<date>.json perf baseline")
+	label := fs.String("label", "", "suffix for the baseline file name (BENCH_<date>_<label>.json)")
+	outDir := fs.String("out", ".", "directory for baseline files")
+	against := fs.String("against", "", "baseline file to diff against (default: most recent BENCH_*.json in -out)")
+	threshold := fs.Float64("threshold", 0.15, "relative ns/op slowdown flagged as a regression; negative disables")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *list {
 		fmt.Println(strings.Join(exp.Names(), "\n"))
 		return 0
+	}
+	if *baseline {
+		return runBaseline(*outDir, *label, *against, *threshold)
 	}
 	opts := exp.ConvOptions{Epochs: *epochs, Workers: *workers, Seed: *seed}
 
@@ -50,6 +74,65 @@ func run(args []string) int {
 			return 1
 		}
 		fmt.Println(table)
+	}
+	return 0
+}
+
+// runBaseline records a fresh perf baseline and diffs it against the
+// previous one. Exit status 1 means at least one case regressed beyond the
+// threshold.
+func runBaseline(outDir, label, against string, threshold float64) int {
+	fmt.Printf("acpbench: recording perf baseline (%d cases, ~1s each)\n", len(bench.Suite()))
+	bl, err := bench.Record(label, func(line string) { fmt.Println(line) })
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acpbench: %v\n", err)
+		return 1
+	}
+	path := filepath.Join(outDir, bench.FileName(time.Now(), label))
+	// Never clobber an existing baseline (same day, same label): uniquify so
+	// the previous recording stays available as the comparison anchor.
+	for n := 2; ; n++ {
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			break
+		}
+		suffix := fmt.Sprintf("%d", n)
+		if label != "" {
+			suffix = label + "-" + suffix
+		}
+		path = filepath.Join(outDir, bench.FileName(time.Now(), suffix))
+	}
+	if err := bl.Save(path); err != nil {
+		fmt.Fprintf(os.Stderr, "acpbench: save baseline: %v\n", err)
+		return 1
+	}
+	fmt.Printf("acpbench: wrote %s\n", path)
+
+	prev := against
+	if prev == "" {
+		p, err := bench.LatestBaseline(outDir, path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acpbench: scan baselines: %v\n", err)
+			return 1
+		}
+		prev = p
+	}
+	if prev == "" {
+		fmt.Println("acpbench: no previous baseline to diff against")
+		return 0
+	}
+	old, err := bench.Load(prev)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acpbench: %v\n", err)
+		return 1
+	}
+	lines := bench.Diff(old, bl, threshold)
+	fmt.Printf("acpbench: diff vs %s (threshold %+.0f%%)\n", prev, threshold*100)
+	fmt.Print(bench.FormatDiff(lines))
+	for _, d := range lines {
+		if d.Regression {
+			fmt.Fprintln(os.Stderr, "acpbench: perf regression detected")
+			return 1
+		}
 	}
 	return 0
 }

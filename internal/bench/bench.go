@@ -1,0 +1,500 @@
+// Package bench defines the named micro-benchmark suite shared by the
+// `go test -bench` harness (bench_test.go wraps every case under its
+// traditional Benchmark* name) and by `acpbench -baseline`, which runs the
+// same cases through testing.Benchmark and records ns/op, B/op and allocs/op
+// into a BENCH_<date>.json perf baseline. Keeping one definition in a plain
+// (non-test) package is what lets the baseline recorder and the regression
+// diff agree on stable case names.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+
+	"acpsgd/internal/comm"
+	"acpsgd/internal/compress"
+	"acpsgd/internal/models"
+	"acpsgd/internal/nn"
+	"acpsgd/internal/sim"
+	"acpsgd/internal/tensor"
+)
+
+// Case is one named micro-benchmark. Names are stable identifiers: they key
+// the BENCH_*.json baselines, so renaming a case breaks regression diffs.
+type Case struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// Suite returns the full micro-benchmark suite in a stable order.
+func Suite() []Case {
+	cases := []Case{
+		{"MatMul256", benchMatMul256},
+		{"MatMulTA256x64", benchMatMulTA256x64},
+		{"MatMulTB256", benchMatMulTB256},
+		{"Orthogonalize512x32", benchOrthogonalize512x32},
+		{"RingAllReduce4x64k", allReduceCase(4, 64*1024)},
+		{"RingAllReduce8x64k", allReduceCase(8, 64*1024)},
+		{"RingAllReduce4x1M", allReduceCase(4, 1024*1024)},
+		{"AllGather4x64KB", benchAllGather4x64KB},
+		{"Broadcast4x256k", benchBroadcast4x256k},
+		{"SignEncode1M", benchSignEncode1M},
+		{"SignDecode1M", benchSignDecode1M},
+		{"TopKExact1M", benchTopKExact1M},
+		{"TopKSampled1M", benchTopKSampled1M},
+		{"PowerCompress512x512r4", benchPowerCompress},
+		{"ACPCompress512x512r4", benchACPCompress},
+		{"MiniVGGStep", benchMiniVGGStep},
+		{"SimulateBERTACP32", benchSimulateBERTACP32},
+	}
+	for _, rate := range InterferenceRates {
+		cases = append(cases, Case{
+			Name: "AblationInterference/" + RateName(rate),
+			F:    interferenceCase(rate),
+		})
+	}
+	for _, alpha := range AlphaSeconds {
+		cases = append(cases, Case{
+			Name: "AblationAlpha/" + AlphaName(alpha),
+			F:    alphaCase(alpha),
+		})
+	}
+	for _, useEF := range []bool{true, false} {
+		cases = append(cases, Case{
+			Name: "AblationEF/" + EFName(useEF),
+			F:    efCase(useEF),
+		})
+	}
+	for _, sel := range Selections {
+		cases = append(cases, Case{
+			Name: "AblationSelection/" + sel.Name,
+			F:    selectionCase(sel.S),
+		})
+	}
+	return cases
+}
+
+// EFName names the error-feedback ablation sub-benchmarks.
+func EFName(useEF bool) string {
+	if useEF {
+		return "ef"
+	}
+	return "no-ef"
+}
+
+// Selections are the top-k selection strategies the selection ablation
+// sweeps (footnote 2's motivation).
+var Selections = []struct {
+	Name string
+	S    compress.Selection
+}{
+	{"exact", compress.SelectExact},
+	{"sampled", compress.SelectSampled},
+}
+
+// efCase measures ACP-SGD compression throughput with or without error
+// feedback on the real compressor.
+func efCase(useEF bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		const n, m, r = 256, 256, 4
+		a := compress.NewACP(n, m, r, useEF, true, 1)
+		grad := RandGrad(n * m)
+		b.SetBytes(n * m * 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			payload := a.Compress(i, grad)
+			a.Finalize(i, payload, 1, grad)
+		}
+	}
+}
+
+// selectionCase measures one top-k selection strategy's encode cost.
+func selectionCase(s compress.Selection) func(b *testing.B) {
+	return func(b *testing.B) {
+		const n = 1 << 18
+		tk := compress.NewTopK(n, n/1000, s, false, 1)
+		grad := RandGrad(n)
+		b.SetBytes(n * 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tk.Encode(i, grad)
+		}
+	}
+}
+
+// ByName returns the case with the given stable name.
+func ByName(name string) (Case, error) {
+	for _, c := range Suite() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Case{}, fmt.Errorf("bench: unknown case %q", name)
+}
+
+// InterferenceRates are the GPU interference sweep points of the
+// BenchmarkAblationInterference sub-benchmarks (§III-C WFBP slowdown knob).
+var InterferenceRates = []float64{0.5, 0.35, 0.22, 0.15}
+
+// AlphaSeconds are the per-hop latency sweep points of the
+// BenchmarkAblationAlpha sub-benchmarks (§IV-B startup-cost sensitivity).
+var AlphaSeconds = []float64{2e-6, 12e-6, 50e-6}
+
+// RateName formats an interference rate as a stable sub-benchmark name,
+// e.g. "rate=0.35".
+func RateName(rate float64) string {
+	return "rate=" + strconv.FormatFloat(rate, 'g', -1, 64)
+}
+
+// AlphaName formats a per-hop latency as a stable sub-benchmark name in
+// microseconds, e.g. "alpha_us=12".
+func AlphaName(alpha float64) string {
+	return "alpha_us=" + strconv.FormatFloat(alpha*1e6, 'g', -1, 64)
+}
+
+// RandGrad returns n i.i.d. standard-normal values from a fixed seed — the
+// shared synthetic-gradient generator for every benchmark harness.
+func RandGrad(n int) []float64 {
+	rng := rand.New(rand.NewSource(7))
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	return g
+}
+
+func benchMatMul256(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.New(256, 256)
+	y := tensor.New(256, 256)
+	x.Randomize(rng, 1)
+	y.Randomize(rng, 1)
+	out := tensor.New(256, 256)
+	b.SetBytes(256 * 256 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(out, x, y)
+	}
+}
+
+func benchMatMulTA256x64(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.New(256, 256)
+	y := tensor.New(256, 64)
+	x.Randomize(rng, 1)
+	y.Randomize(rng, 1)
+	out := tensor.New(256, 64)
+	b.SetBytes(256 * 256 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulTA(out, x, y)
+	}
+}
+
+func benchMatMulTB256(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.New(256, 256)
+	y := tensor.New(256, 256)
+	x.Randomize(rng, 1)
+	y.Randomize(rng, 1)
+	out := tensor.New(256, 256)
+	b.SetBytes(256 * 256 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulTB(out, x, y)
+	}
+}
+
+func benchOrthogonalize512x32(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := tensor.New(512, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m.Randomize(rng, 1)
+		b.StartTimer()
+		tensor.Orthogonalize(m)
+	}
+}
+
+func allReduceCase(workers, elems int) func(b *testing.B) {
+	return func(b *testing.B) {
+		transports, err := comm.NewInprocGroup(workers, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comms := make([]*comm.Communicator, workers)
+		bufs := make([][]float64, workers)
+		for r := range comms {
+			comms[r] = comm.NewCommunicator(transports[r])
+			bufs[r] = make([]float64, elems)
+		}
+		// Warm the buffer pools so the timed loop measures the steady state.
+		abort := func(r int) { transports[r].Close() }
+		if err := runRanks(workers, abort, func(r int) error { return comms[r].AllReduceSum(bufs[r]) }); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(8 * elems))
+		b.ResetTimer()
+		// One long-lived goroutine per rank; the ring schedule itself keeps
+		// the ranks in lockstep, so allocs/op reflects the collective alone
+		// rather than per-iteration goroutine spawns.
+		var wg sync.WaitGroup
+		for r := 0; r < workers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for i := 0; i < b.N; i++ {
+					if err := comms[r].AllReduceSum(bufs[r]); err != nil {
+						b.Error(err)
+						// Closing any endpoint closes the whole group, so
+						// peer ranks blocked in Recv fail out instead of
+						// deadlocking the benchmark.
+						transports[r].Close()
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+// runRanks runs fn once per rank concurrently and returns the first error.
+// When a rank fails, its transport group is torn down via abort so peer
+// ranks blocked in Recv fail out instead of deadlocking.
+func runRanks(workers int, abort func(r int), fn func(r int) error) error {
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for r := 0; r < workers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if errs[r] = fn(r); errs[r] != nil && abort != nil {
+				abort(r)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func benchAllGather4x64KB(b *testing.B) {
+	const workers = 4
+	transports, err := comm.NewInprocGroup(workers, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comms := make([]*comm.Communicator, workers)
+	blobs := make([][]byte, workers)
+	for r := range comms {
+		comms[r] = comm.NewCommunicator(transports[r])
+		blobs[r] = make([]byte, 64*1024)
+	}
+	b.SetBytes(64 * 1024)
+	abort := func(r int) { transports[r].Close() }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := runRanks(workers, abort, func(r int) error {
+			_, err := comms[r].AllGather(blobs[r])
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBroadcast4x256k(b *testing.B) {
+	const workers = 4
+	const elems = 256 * 1024
+	transports, err := comm.NewInprocGroup(workers, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comms := make([]*comm.Communicator, workers)
+	bufs := make([][]float64, workers)
+	for r := range comms {
+		comms[r] = comm.NewCommunicator(transports[r])
+		bufs[r] = make([]float64, elems)
+	}
+	b.SetBytes(8 * elems)
+	abort := func(r int) { transports[r].Close() }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := runRanks(workers, abort, func(r int) error {
+			return comms[r].Broadcast(bufs[r], 0)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSignEncode1M(b *testing.B) {
+	const n = 1 << 20
+	s := compress.NewSign(n, true)
+	grad := RandGrad(n)
+	b.SetBytes(n * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Encode(i, grad)
+	}
+}
+
+func benchSignDecode1M(b *testing.B) {
+	const n = 1 << 20
+	const workers = 8
+	blobs := make([][]byte, workers)
+	for r := range blobs {
+		s := compress.NewSign(n, false)
+		blobs[r] = s.Encode(0, RandGrad(n))
+	}
+	dec := compress.NewSign(n, false)
+	out := make([]float64, n)
+	b.SetBytes(n * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dec.Decode(i, blobs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTopKExact1M(b *testing.B) {
+	const n = 1 << 20
+	tk := compress.NewTopK(n, n/1000, compress.SelectExact, true, 1)
+	grad := RandGrad(n)
+	b.SetBytes(n * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Encode(i, grad)
+	}
+}
+
+func benchTopKSampled1M(b *testing.B) {
+	const n = 1 << 20
+	tk := compress.NewTopK(n, n/1000, compress.SelectSampled, true, 2)
+	grad := RandGrad(n)
+	b.SetBytes(n * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Encode(i, grad)
+	}
+}
+
+// localCollectives satisfies compress.Collectives for single-worker
+// benchmarking (no peers: all-reduce is identity).
+type localCollectives struct{}
+
+func (localCollectives) AllReduceSum([]float64) error         { return nil }
+func (localCollectives) AllGather(b []byte) ([][]byte, error) { return [][]byte{b}, nil }
+func (localCollectives) Size() int                            { return 1 }
+
+func benchPowerCompress(b *testing.B) {
+	const n, m, r = 512, 512, 4
+	ps := compress.NewPowerSGD(n, m, r, true, 1)
+	grad := RandGrad(n * m)
+	b.SetBytes(n * m * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ps.CompressStep(i, grad, localCollectives{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchACPCompress(b *testing.B) {
+	const n, m, r = 512, 512, 4
+	a := compress.NewACP(n, m, r, true, true, 1)
+	grad := RandGrad(n * m)
+	b.SetBytes(n * m * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload := a.Compress(i, grad)
+		a.Finalize(i, payload, 1, grad)
+	}
+}
+
+func benchMiniVGGStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	model := models.MiniVGG(rng, 3, 8, 8, 10)
+	loss := &nn.SoftmaxCrossEntropy{}
+	x := tensor.New(32, 3*8*8)
+	x.Randomize(rng, 1)
+	labels := make([]int, 32)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.ZeroGrads()
+		_, d := loss.Forward(model.Forward(x), labels)
+		model.Backward(d, nil)
+	}
+}
+
+func benchSimulateBERTACP32(b *testing.B) {
+	cfg := sim.Config{
+		Model:   models.BERTLarge(),
+		Method:  sim.MethodACP,
+		Mode:    sim.ModeWFBPTF,
+		Workers: 32,
+		Net:     sim.Net10GbE(),
+		GPU:     sim.DefaultGPU(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func interferenceCase(rate float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		gpu := sim.DefaultGPU()
+		gpu.InterferenceRate = rate
+		cfg := sim.Config{
+			Model: models.BERTLarge(), Method: sim.MethodPower, Mode: sim.ModeWFBPTF,
+			Workers: 32, Net: sim.Net10GbE(), GPU: gpu,
+		}
+		var total float64
+		for i := 0; i < b.N; i++ {
+			r, err := sim.Simulate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = r.TotalSec
+		}
+		b.ReportMetric(total*1e3, "iter-ms")
+	}
+}
+
+func alphaCase(alpha float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		net := sim.Net10GbE()
+		net.Alpha = alpha
+		cfg := sim.Config{
+			Model: models.BERTLarge(), Method: sim.MethodACP, Mode: sim.ModeWFBPTF,
+			Workers: 32, Net: net, GPU: sim.DefaultGPU(), NoFusion: true,
+		}
+		var total float64
+		for i := 0; i < b.N; i++ {
+			r, err := sim.Simulate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = r.TotalSec
+		}
+		b.ReportMetric(total*1e3, "iter-ms")
+	}
+}

@@ -1,0 +1,93 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// The wire format for float payloads is little-endian IEEE-754 float64
+// words. On little-endian hosts (every platform we run on in practice) the
+// encode and decode paths degenerate to a single memmove over 8-byte words
+// instead of a per-element PutUint64 loop; the scalar loop remains as the
+// big-endian fallback so the wire format stays portable.
+
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// floatPayloadLen validates that a received payload carries exactly `want`
+// float64 words.
+func floatPayloadLen(payload []byte, want int) error {
+	if len(payload) != 8*want {
+		return fmt.Errorf("comm: float payload %d bytes, want %d (%d elements)", len(payload), 8*want, want)
+	}
+	return nil
+}
+
+// encodeFloatsInto serializes src into dst, which must be exactly
+// 8*len(src) bytes (a leased send buffer).
+func encodeFloatsInto(dst []byte, src []float64) {
+	if len(dst) != 8*len(src) {
+		panic(fmt.Sprintf("comm: encode buffer %d bytes for %d floats", len(dst), len(src)))
+	}
+	if len(src) == 0 {
+		return
+	}
+	if hostLittleEndian {
+		copy(dst, unsafe.Slice((*byte)(unsafe.Pointer(&src[0])), 8*len(src)))
+		return
+	}
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(v))
+	}
+}
+
+// decodeFloatsInto deserializes src (exactly 8*len(dst) bytes) into dst.
+func decodeFloatsInto(dst []float64, src []byte) {
+	if len(src) != 8*len(dst) {
+		panic(fmt.Sprintf("comm: decode payload %d bytes for %d floats", len(src), len(dst)))
+	}
+	if len(dst) == 0 {
+		return
+	}
+	if hostLittleEndian {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), 8*len(dst)), src)
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+}
+
+// addFloatsFrom accumulates the float words of src into dst in one pass —
+// the fused decode+reduce of the ring reduce-scatter, which previously
+// decoded into a scratch slice and then added it. src must be exactly
+// 8*len(dst) bytes.
+func addFloatsFrom(dst []float64, src []byte) {
+	if len(src) != 8*len(dst) {
+		panic(fmt.Sprintf("comm: reduce payload %d bytes for %d floats", len(src), len(dst)))
+	}
+	if len(dst) == 0 {
+		return
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&src[0]))%8 == 0 {
+		vals := unsafe.Slice((*float64)(unsafe.Pointer(&src[0])), len(dst))
+		i := 0
+		for ; i+4 <= len(dst); i += 4 {
+			dst[i] += vals[i]
+			dst[i+1] += vals[i+1]
+			dst[i+2] += vals[i+2]
+			dst[i+3] += vals[i+3]
+		}
+		for ; i < len(dst); i++ {
+			dst[i] += vals[i]
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] += math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+}

@@ -1,9 +1,7 @@
 package comm
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
 )
 
 // Communicator layers collective operations over a Transport. Collectives
@@ -12,12 +10,13 @@ import (
 // collective calls — callers such as the trainer serialize collectives on a
 // dedicated communication goroutine, exactly as the paper serializes NCCL
 // launches on a communication stream.
+//
+// All float-bearing collectives follow the transport's pooled-buffer
+// contract: send chunks are encoded straight into leased buffers and handed
+// over with SendNoCopy, and received chunks are reduced or copied out in one
+// pass and released, so the steady state allocates nothing.
 type Communicator struct {
 	t Transport
-
-	// scratch buffers reused across calls to keep steady-state allocation low.
-	sendBuf []byte
-	recvFl  []float64
 }
 
 // NewCommunicator wraps a Transport.
@@ -36,31 +35,17 @@ func chunkRange(n, p, i int) (lo, hi int) {
 	return i * n / p, (i + 1) * n / p
 }
 
-func encodeFloats(dst []byte, src []float64) []byte {
-	need := 8 * len(src)
-	if cap(dst) < need {
-		dst = make([]byte, need)
+// sendChunkNoCopy encodes buf[lo:hi] into a leased buffer and hands it to
+// the transport without further copies. On send failure the lease is
+// returned to the pool.
+func (c *Communicator) sendChunkNoCopy(to int, buf []float64, lo, hi int) error {
+	msg := c.t.Lease(8 * (hi - lo))
+	encodeFloatsInto(msg, buf[lo:hi])
+	if err := c.t.SendNoCopy(to, msg); err != nil {
+		c.t.Release(msg)
+		return err
 	}
-	dst = dst[:need]
-	for i, v := range src {
-		binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(v))
-	}
-	return dst
-}
-
-func decodeFloats(dst []float64, src []byte) ([]float64, error) {
-	if len(src)%8 != 0 {
-		return nil, fmt.Errorf("comm: float payload length %d not a multiple of 8", len(src))
-	}
-	n := len(src) / 8
-	if cap(dst) < n {
-		dst = make([]float64, n)
-	}
-	dst = dst[:n]
-	for i := range dst {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
-	}
-	return dst, nil
+	return nil
 }
 
 // AllReduceSum sums buf element-wise across all ranks in place using the
@@ -83,10 +68,7 @@ func (c *Communicator) AllReduceSum(buf []float64) error {
 		sendChunk := ((rank-s)%p + p) % p
 		recvChunk := ((rank-s-1)%p + p) % p
 		slo, shi := chunkRange(len(buf), p, sendChunk)
-		c.sendBuf = encodeFloats(c.sendBuf, buf[slo:shi])
-		msg := make([]byte, len(c.sendBuf))
-		copy(msg, c.sendBuf)
-		if err := c.t.Send(next, msg); err != nil {
+		if err := c.sendChunkNoCopy(next, buf, slo, shi); err != nil {
 			return fmt.Errorf("comm: all-reduce rs send step %d: %w", s, err)
 		}
 		data, err := c.t.Recv(prev)
@@ -94,18 +76,11 @@ func (c *Communicator) AllReduceSum(buf []float64) error {
 			return fmt.Errorf("comm: all-reduce rs recv step %d: %w", s, err)
 		}
 		rlo, rhi := chunkRange(len(buf), p, recvChunk)
-		var vals []float64
-		vals, err = decodeFloats(c.recvFl, data)
-		if err != nil {
-			return err
+		if err := floatPayloadLen(data, rhi-rlo); err != nil {
+			return fmt.Errorf("comm: all-reduce rs step %d: %w", s, err)
 		}
-		c.recvFl = vals
-		if len(vals) != rhi-rlo {
-			return fmt.Errorf("comm: all-reduce rs chunk size %d, want %d", len(vals), rhi-rlo)
-		}
-		for i, v := range vals {
-			buf[rlo+i] += v
-		}
+		addFloatsFrom(buf[rlo:rhi], data)
+		c.t.Release(data)
 	}
 
 	// Phase 2: all-gather the reduced chunks around the ring.
@@ -113,10 +88,7 @@ func (c *Communicator) AllReduceSum(buf []float64) error {
 		sendChunk := ((rank+1-s)%p + p) % p
 		recvChunk := ((rank-s)%p + p) % p
 		slo, shi := chunkRange(len(buf), p, sendChunk)
-		c.sendBuf = encodeFloats(c.sendBuf, buf[slo:shi])
-		msg := make([]byte, len(c.sendBuf))
-		copy(msg, c.sendBuf)
-		if err := c.t.Send(next, msg); err != nil {
+		if err := c.sendChunkNoCopy(next, buf, slo, shi); err != nil {
 			return fmt.Errorf("comm: all-reduce ag send step %d: %w", s, err)
 		}
 		data, err := c.t.Recv(prev)
@@ -124,15 +96,11 @@ func (c *Communicator) AllReduceSum(buf []float64) error {
 			return fmt.Errorf("comm: all-reduce ag recv step %d: %w", s, err)
 		}
 		rlo, rhi := chunkRange(len(buf), p, recvChunk)
-		vals, err := decodeFloats(c.recvFl, data)
-		if err != nil {
-			return err
+		if err := floatPayloadLen(data, rhi-rlo); err != nil {
+			return fmt.Errorf("comm: all-reduce ag step %d: %w", s, err)
 		}
-		c.recvFl = vals
-		if len(vals) != rhi-rlo {
-			return fmt.Errorf("comm: all-reduce ag chunk size %d, want %d", len(vals), rhi-rlo)
-		}
-		copy(buf[rlo:rhi], vals)
+		decodeFloatsInto(buf[rlo:rhi], data)
+		c.t.Release(data)
 	}
 	return nil
 }
@@ -165,42 +133,36 @@ func (c *Communicator) NaiveAllReduceSum(buf []float64) error {
 			if err != nil {
 				return fmt.Errorf("comm: naive recv from %d: %w", src, err)
 			}
-			vals, err := decodeFloats(c.recvFl, data)
-			if err != nil {
-				return err
+			if err := floatPayloadLen(data, len(buf)); err != nil {
+				return fmt.Errorf("comm: naive gather: %w", err)
 			}
-			c.recvFl = vals
-			if len(vals) != len(buf) {
-				return fmt.Errorf("comm: naive length %d, want %d", len(vals), len(buf))
-			}
-			for i, v := range vals {
-				buf[i] += v
-			}
+			addFloatsFrom(buf, data)
+			c.t.Release(data)
 		}
+		// One pooled encode serves every destination: retain the buffer so
+		// all receivers may read it concurrently (shared, read-only).
+		msg := c.t.Lease(8 * len(buf))
+		encodeFloatsInto(msg, buf)
+		c.t.Retain(msg)
 		for dst := 1; dst < p; dst++ {
-			msg := encodeFloats(nil, buf)
-			if err := c.t.Send(dst, msg); err != nil {
+			if err := c.t.SendNoCopy(dst, msg); err != nil {
 				return fmt.Errorf("comm: naive send to %d: %w", dst, err)
 			}
 		}
 		return nil
 	}
-	msg := encodeFloats(nil, buf)
-	if err := c.t.Send(0, msg); err != nil {
+	if err := c.sendChunkNoCopy(0, buf, 0, len(buf)); err != nil {
 		return fmt.Errorf("comm: naive send to root: %w", err)
 	}
 	data, err := c.t.Recv(0)
 	if err != nil {
 		return fmt.Errorf("comm: naive recv from root: %w", err)
 	}
-	vals, err := decodeFloats(nil, data)
-	if err != nil {
-		return err
+	if err := floatPayloadLen(data, len(buf)); err != nil {
+		return fmt.Errorf("comm: naive bcast: %w", err)
 	}
-	if len(vals) != len(buf) {
-		return fmt.Errorf("comm: naive bcast length %d, want %d", len(vals), len(buf))
-	}
-	copy(buf, vals)
+	decodeFloatsInto(buf, data)
+	c.t.Release(data)
 	return nil
 }
 
@@ -208,6 +170,11 @@ func (c *Communicator) NaiveAllReduceSum(buf []float64) error {
 // payload (result[self] aliases local). Payload sizes may differ per rank —
 // this is what Sign-SGD and Top-k SGD need, and its per-rank traffic is
 // (p-1)*N as in Table II.
+//
+// The local payload is copied once into a pooled buffer which every peer
+// receives without further copies (the in-process transport delivers the
+// same bytes to all ranks). Results are therefore shared and read-only:
+// callers that need to mutate a gathered payload must copy it first.
 func (c *Communicator) AllGather(local []byte) ([][]byte, error) {
 	p := c.t.Size()
 	rank := c.t.Rank()
@@ -216,26 +183,29 @@ func (c *Communicator) AllGather(local []byte) ([][]byte, error) {
 	if p == 1 {
 		return out, nil
 	}
+	msg := c.t.Lease(len(local))
+	copy(msg, local)
+	c.t.Retain(msg) // shared across peers; receivers own it collectively
 	// Pairwise exchange: at offset d, send to rank+d, receive from rank-d.
 	for d := 1; d < p; d++ {
 		to := (rank + d) % p
 		from := (rank - d + p) % p
-		msg := make([]byte, len(local))
-		copy(msg, local)
-		if err := c.t.Send(to, msg); err != nil {
+		if err := c.t.SendNoCopy(to, msg); err != nil {
 			return nil, fmt.Errorf("comm: all-gather send to %d: %w", to, err)
 		}
 		data, err := c.t.Recv(from)
 		if err != nil {
 			return nil, fmt.Errorf("comm: all-gather recv from %d: %w", from, err)
 		}
+		c.t.Retain(data) // the caller keeps gathered payloads indefinitely
 		out[from] = data
 	}
 	return out, nil
 }
 
 // Broadcast copies buf from root to every rank in place (flat tree: root
-// sends to each peer directly).
+// sends to each peer directly). The root encodes once into a pooled buffer
+// shared by all destinations.
 func (c *Communicator) Broadcast(buf []float64, root int) error {
 	p := c.t.Size()
 	if root < 0 || root >= p {
@@ -245,12 +215,14 @@ func (c *Communicator) Broadcast(buf []float64, root int) error {
 		return nil
 	}
 	if c.t.Rank() == root {
+		msg := c.t.Lease(8 * len(buf))
+		encodeFloatsInto(msg, buf)
+		c.t.Retain(msg)
 		for dst := 0; dst < p; dst++ {
 			if dst == root {
 				continue
 			}
-			msg := encodeFloats(nil, buf)
-			if err := c.t.Send(dst, msg); err != nil {
+			if err := c.t.SendNoCopy(dst, msg); err != nil {
 				return fmt.Errorf("comm: broadcast send to %d: %w", dst, err)
 			}
 		}
@@ -260,14 +232,11 @@ func (c *Communicator) Broadcast(buf []float64, root int) error {
 	if err != nil {
 		return fmt.Errorf("comm: broadcast recv: %w", err)
 	}
-	vals, err := decodeFloats(nil, data)
-	if err != nil {
-		return err
+	if err := floatPayloadLen(data, len(buf)); err != nil {
+		return fmt.Errorf("comm: broadcast: %w", err)
 	}
-	if len(vals) != len(buf) {
-		return fmt.Errorf("comm: broadcast length %d, want %d", len(vals), len(buf))
-	}
-	copy(buf, vals)
+	decodeFloatsInto(buf, data)
+	c.t.Release(data)
 	return nil
 }
 

@@ -24,10 +24,7 @@ func (c *Communicator) ReduceScatterSum(buf []float64) (lo, hi int, err error) {
 		sendChunk := ((rank-s)%p + p) % p
 		recvChunk := ((rank-s-1)%p + p) % p
 		slo, shi := chunkRange(len(buf), p, sendChunk)
-		c.sendBuf = encodeFloats(c.sendBuf, buf[slo:shi])
-		msg := make([]byte, len(c.sendBuf))
-		copy(msg, c.sendBuf)
-		if err := c.t.Send(next, msg); err != nil {
+		if err := c.sendChunkNoCopy(next, buf, slo, shi); err != nil {
 			return 0, 0, fmt.Errorf("comm: reduce-scatter send step %d: %w", s, err)
 		}
 		data, err := c.t.Recv(prev)
@@ -35,17 +32,11 @@ func (c *Communicator) ReduceScatterSum(buf []float64) (lo, hi int, err error) {
 			return 0, 0, fmt.Errorf("comm: reduce-scatter recv step %d: %w", s, err)
 		}
 		rlo, rhi := chunkRange(len(buf), p, recvChunk)
-		vals, err := decodeFloats(c.recvFl, data)
-		if err != nil {
-			return 0, 0, err
+		if err := floatPayloadLen(data, rhi-rlo); err != nil {
+			return 0, 0, fmt.Errorf("comm: reduce-scatter step %d: %w", s, err)
 		}
-		c.recvFl = vals
-		if len(vals) != rhi-rlo {
-			return 0, 0, fmt.Errorf("comm: reduce-scatter chunk size %d, want %d", len(vals), rhi-rlo)
-		}
-		for i, v := range vals {
-			buf[rlo+i] += v
-		}
+		addFloatsFrom(buf[rlo:rhi], data)
+		c.t.Release(data)
 	}
 	return lo, hi, nil
 }
@@ -67,22 +58,21 @@ func (c *Communicator) RingAllGatherFloats(local []float64) ([][]float64, error)
 	// At step s, forward the chunk originally owned by (rank - s) mod p.
 	for s := 0; s < p-1; s++ {
 		sendOwner := ((rank-s)%p + p) % p
-		msg := encodeFloats(nil, out[sendOwner])
-		if err := c.t.Send(next, msg); err != nil {
+		chunk := out[sendOwner]
+		if err := c.sendChunkNoCopy(next, chunk, 0, len(chunk)); err != nil {
 			return nil, fmt.Errorf("comm: ring all-gather send step %d: %w", s, err)
 		}
 		data, err := c.t.Recv(prev)
 		if err != nil {
 			return nil, fmt.Errorf("comm: ring all-gather recv step %d: %w", s, err)
 		}
+		if err := floatPayloadLen(data, len(local)); err != nil {
+			return nil, fmt.Errorf("comm: ring all-gather step %d: %w", s, err)
+		}
 		recvOwner := ((rank-s-1)%p + p) % p
-		vals, err := decodeFloats(nil, data)
-		if err != nil {
-			return nil, err
-		}
-		if len(vals) != len(local) {
-			return nil, fmt.Errorf("comm: ring all-gather chunk length %d, want %d", len(vals), len(local))
-		}
+		vals := make([]float64, len(local))
+		decodeFloatsInto(vals, data)
+		c.t.Release(data)
 		out[recvOwner] = vals
 	}
 	return out, nil
@@ -91,17 +81,20 @@ func (c *Communicator) RingAllGatherFloats(local []float64) ([][]float64, error)
 // ExchangeWith sends data to peer and receives peer's payload (a symmetric
 // pairwise exchange — both ranks must call it with each other as peer).
 // This is the building block of hypercube patterns such as gTop-k's
-// merge-and-truncate reduction.
+// merge-and-truncate reduction. The returned payload is owned by the caller
+// but read-only (see the Transport pooled-buffer contract).
 func (c *Communicator) ExchangeWith(peer int, data []byte) ([]byte, error) {
-	msg := make([]byte, len(data))
+	msg := c.t.Lease(len(data))
 	copy(msg, data)
-	if err := c.t.Send(peer, msg); err != nil {
+	if err := c.t.SendNoCopy(peer, msg); err != nil {
+		c.t.Release(msg)
 		return nil, fmt.Errorf("comm: exchange send to %d: %w", peer, err)
 	}
 	got, err := c.t.Recv(peer)
 	if err != nil {
 		return nil, fmt.Errorf("comm: exchange recv from %d: %w", peer, err)
 	}
+	c.t.Retain(got)
 	return got, nil
 }
 
@@ -126,26 +119,29 @@ func (c *Communicator) TreeBroadcast(buf []float64, root int) error {
 		if err != nil {
 			return fmt.Errorf("comm: tree broadcast recv: %w", err)
 		}
-		vals, err := decodeFloats(nil, data)
-		if err != nil {
-			return err
+		if err := floatPayloadLen(data, len(buf)); err != nil {
+			return fmt.Errorf("comm: tree broadcast: %w", err)
 		}
-		if len(vals) != len(buf) {
-			return fmt.Errorf("comm: tree broadcast length %d, want %d", len(vals), len(buf))
-		}
-		copy(buf, vals)
+		decodeFloatsInto(buf, data)
+		c.t.Release(data)
 	}
 
 	// Send phase: forward to vrank + 2^k for every k above our lowest set
-	// bit (root forwards to 1, 2, 4, ...).
+	// bit (root forwards to 1, 2, 4, ...). One pooled encode is shared by
+	// all children of this node.
 	low := vrank & (-vrank)
 	if vrank == 0 {
 		low = 1 << 30
 	}
+	var msg []byte
 	for bit := 1; bit < low && vrank+bit < p; bit <<= 1 {
+		if msg == nil {
+			msg = c.t.Lease(8 * len(buf))
+			encodeFloatsInto(msg, buf)
+			c.t.Retain(msg)
+		}
 		to := (vrank + bit + root) % p
-		msg := encodeFloats(nil, buf)
-		if err := c.t.Send(to, msg); err != nil {
+		if err := c.t.SendNoCopy(to, msg); err != nil {
 			return fmt.Errorf("comm: tree broadcast send: %w", err)
 		}
 	}

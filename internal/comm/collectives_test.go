@@ -252,9 +252,15 @@ func TestInprocCloseUnblocksRecv(t *testing.T) {
 	}
 }
 
-func TestDecodeFloatsRejectsBadLength(t *testing.T) {
-	if _, err := decodeFloats(nil, make([]byte, 9)); err == nil {
+func TestFloatPayloadLenRejectsBadLength(t *testing.T) {
+	if err := floatPayloadLen(make([]byte, 9), 1); err == nil {
 		t.Fatal("expected error for non-multiple-of-8 payload")
+	}
+	if err := floatPayloadLen(make([]byte, 16), 1); err == nil {
+		t.Fatal("expected error for wrong element count")
+	}
+	if err := floatPayloadLen(make([]byte, 8), 1); err != nil {
+		t.Fatalf("unexpected error for exact payload: %v", err)
 	}
 }
 

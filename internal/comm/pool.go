@@ -1,0 +1,121 @@
+package comm
+
+import (
+	"math/bits"
+	"sync"
+	"weak"
+)
+
+// bufPool recycles message buffers so steady-state collectives allocate
+// nothing: a ring all-reduce leases a send buffer per step, the peer
+// releases the received buffer after accumulating it, and the freed buffer
+// feeds the next step's lease. Buffers are binned by power-of-two capacity.
+//
+// The pool tracks which buffers it handed out (`out`). Release returns a
+// tracked buffer to its bin and ignores anything else, so releasing a
+// foreign or already-retained slice is always safe. Retain removes a buffer
+// from tracking: callers that keep a received payload (e.g. AllGather
+// results) retain it, the garbage collector takes over, and the pool cannot
+// hand the same memory to anyone else.
+//
+// The in-process transport shares one pool per group (a buffer released by
+// the receiving rank is re-leased by any sender); the TCP transport owns one
+// pool per rank (send buffers recycle after the socket write, receive
+// buffers after the caller's Release).
+//
+// Tracking uses weak pointers so a receiver that simply drops a payload
+// (legal per the Transport contract) does not pin the backing array: the
+// garbage collector reclaims the buffer and the stale tracking entry is
+// swept the next time the table grows past its high-water mark.
+type bufPool struct {
+	mu   sync.Mutex
+	free map[int][][]byte                // capacity class -> reusable buffers
+	out  map[weak.Pointer[byte]]struct{} // buffers currently on lease or in flight
+}
+
+// outSweepHighWater bounds the tracking table: once it grows past this many
+// entries, lease() sweeps entries whose buffers were garbage-collected.
+const outSweepHighWater = 1024
+
+func newBufPool() *bufPool {
+	return &bufPool{
+		free: make(map[int][][]byte),
+		out:  make(map[weak.Pointer[byte]]struct{}),
+	}
+}
+
+// sizeClass returns the power-of-two bin a buffer of capacity c files under.
+func sizeClass(c int) int {
+	if c <= 0 {
+		return 0
+	}
+	return 1 << (bits.Len(uint(c)) - 1) // floor: never promise more than cap
+}
+
+// lease returns a zero-length-safe buffer of length n. The contents are
+// unspecified; callers overwrite the whole buffer before sending.
+func (p *bufPool) lease(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	want := 1 << bits.Len(uint(n-1)) // ceil to pow2 so bins stay coarse
+	p.mu.Lock()
+	if len(p.out) > outSweepHighWater {
+		p.sweepLocked()
+	}
+	for class := want; class <= want<<1; class <<= 1 {
+		if list := p.free[class]; len(list) > 0 {
+			buf := list[len(list)-1]
+			p.free[class] = list[:len(list)-1]
+			p.out[weak.Make(&buf[0])] = struct{}{}
+			p.mu.Unlock()
+			return buf[:n]
+		}
+	}
+	p.mu.Unlock()
+	buf := make([]byte, n, want)
+	p.mu.Lock()
+	p.out[weak.Make(&buf[0])] = struct{}{}
+	p.mu.Unlock()
+	return buf
+}
+
+// sweepLocked drops tracking entries whose buffers the garbage collector
+// already reclaimed (receivers that kept neither Release nor Retain
+// promises). Caller holds p.mu.
+func (p *bufPool) sweepLocked() {
+	for key := range p.out {
+		if key.Value() == nil {
+			delete(p.out, key)
+		}
+	}
+}
+
+// release returns a leased buffer to its bin. Unknown buffers (never leased,
+// already retained, or sub-sliced) are ignored.
+func (p *bufPool) release(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	full := buf[:cap(buf)]
+	key := weak.Make(&full[0])
+	p.mu.Lock()
+	if _, ok := p.out[key]; ok {
+		delete(p.out, key)
+		class := sizeClass(cap(full))
+		p.free[class] = append(p.free[class], full)
+	}
+	p.mu.Unlock()
+}
+
+// retain removes a buffer from pool tracking so the caller may keep it
+// indefinitely; the pool will never recycle it.
+func (p *bufPool) retain(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	full := buf[:cap(buf)]
+	p.mu.Lock()
+	delete(p.out, weak.Make(&full[0]))
+	p.mu.Unlock()
+}

@@ -15,12 +15,18 @@ import (
 // peer's Recv (the non-blocking guarantee collectives need).
 //
 // Frames are length-prefixed: 4-byte big-endian length followed by payload.
+//
+// Each rank owns a buffer pool: writer goroutines release leased send
+// buffers back to it after the socket write, and reader goroutines lease
+// incoming frame buffers from it so a receiver that Releases after decoding
+// keeps the steady state allocation-free on both directions.
 type tcpTransport struct {
 	rank, size int
 
 	conns   []net.Conn
 	inbox   []chan []byte
 	outbox  []chan []byte
+	pool    *bufPool
 	closeMu sync.Mutex
 	closed  chan struct{}
 	wg      sync.WaitGroup
@@ -59,6 +65,7 @@ func NewTCPGroup(p int) ([]Transport, error) {
 			conns:  make([]net.Conn, p),
 			inbox:  make([]chan []byte, p),
 			outbox: make([]chan []byte, p),
+			pool:   newBufPool(),
 			closed: make(chan struct{}),
 		}
 		for q := 0; q < p; q++ {
@@ -166,7 +173,7 @@ func (t *tcpTransport) startIO() {
 					return
 				}
 				n := binary.BigEndian.Uint32(hdr[:])
-				buf := make([]byte, n)
+				buf := t.pool.lease(int(n))
 				if _, err := io.ReadFull(conn, buf); err != nil {
 					return
 				}
@@ -190,6 +197,10 @@ func (t *tcpTransport) startIO() {
 					if _, err := conn.Write(msg); err != nil {
 						return
 					}
+					// Leased send buffers recycle once on the wire;
+					// caller-owned Send slices are unknown to the pool
+					// and ignored.
+					t.pool.release(msg)
 				case <-t.closed:
 					return
 				}
@@ -200,6 +211,19 @@ func (t *tcpTransport) startIO() {
 
 func (t *tcpTransport) Rank() int { return t.rank }
 func (t *tcpTransport) Size() int { return t.size }
+
+// Lease draws a send (or reader frame) buffer from this rank's pool.
+func (t *tcpTransport) Lease(n int) []byte { return t.pool.lease(n) }
+
+// SendNoCopy enqueues a leased buffer; the writer goroutine releases it back
+// to the pool after the socket write.
+func (t *tcpTransport) SendNoCopy(to int, buf []byte) error { return t.Send(to, buf) }
+
+// Release recycles a leased or received buffer into this rank's pool.
+func (t *tcpTransport) Release(buf []byte) { t.pool.release(buf) }
+
+// Retain removes a buffer from pool tracking so the caller may keep it.
+func (t *tcpTransport) Retain(buf []byte) { t.pool.retain(buf) }
 
 func (t *tcpTransport) Send(to int, data []byte) error {
 	if to < 0 || to >= t.size || to == t.rank {

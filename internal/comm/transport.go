@@ -10,6 +10,7 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrClosed is returned by transport operations after Close.
@@ -20,7 +21,28 @@ var ErrClosed = errors.New("comm: transport closed")
 // waiting for the peer to call Recv (internal buffering), so that collective
 // schedules may post all sends of a step before receiving. A Transport value
 // is owned by a single rank; methods are not safe for concurrent use except
-// where documented.
+// where documented (Lease/SendNoCopy/Release/Retain are safe to call
+// concurrently with each other across goroutines — the buffer pool is
+// internally synchronized).
+//
+// # Pooled-buffer contract
+//
+// The Lease/SendNoCopy/Release/Retain quartet makes steady-state collectives
+// allocation-free. The ownership rules are:
+//
+//   - Lease(n) hands the caller an n-byte buffer with unspecified contents.
+//   - SendNoCopy transfers ownership of a leased buffer to the transport
+//     without copying. After it returns the sender must not read or write
+//     the buffer again.
+//   - A slice returned by Recv is owned by the receiver but must be treated
+//     as READ-ONLY (a zero-copy transport may deliver the same bytes to
+//     several ranks). When done, the receiver either calls Release to
+//     recycle it, or Retain to keep it indefinitely (the pool then forgets
+//     it). Retaining without either call is legal but forfeits reuse.
+//   - Release and Retain ignore buffers the pool does not know, so they are
+//     always safe to call on whatever Recv returned.
+//   - To deliver one leased buffer to several peers, call Retain first and
+//     then SendNoCopy per peer; receivers see shared read-only bytes.
 type Transport interface {
 	// Rank returns this participant's rank in [0, Size).
 	Rank() int
@@ -30,18 +52,36 @@ type Transport interface {
 	// the transport after the call returns.
 	Send(to int, data []byte) error
 	// Recv blocks until the next message from rank `from` arrives and
-	// returns it.
+	// returns it. See the pooled-buffer contract for ownership rules.
 	Recv(from int) ([]byte, error)
+	// Lease returns an n-byte buffer from the transport's pool for use with
+	// SendNoCopy.
+	Lease(n int) []byte
+	// SendNoCopy enqueues a leased buffer for delivery to rank `to` without
+	// copying it; ownership transfers to the transport (and ultimately the
+	// receiver).
+	SendNoCopy(to int, buf []byte) error
+	// Release returns a leased or received buffer to the pool. No-op for
+	// unknown buffers.
+	Release(buf []byte)
+	// Retain removes a leased or received buffer from pool tracking so the
+	// caller may keep it. No-op for unknown buffers.
+	Retain(buf []byte)
 	// Close releases transport resources. Pending Recv calls fail.
 	Close() error
 }
 
 // inprocGroup is the shared state of an in-process transport group: a full
-// mesh of buffered channels.
+// mesh of buffered channels plus one shared buffer pool. Messages cross
+// rank boundaries by reference, so a buffer released by its receiver is
+// immediately reusable by any sender — the ring schedule recirculates the
+// same handful of chunk buffers forever.
 type inprocGroup struct {
-	size  int
-	chans [][]chan []byte // chans[from][to]
-	done  chan struct{}
+	size      int
+	chans     [][]chan []byte // chans[from][to]
+	done      chan struct{}
+	closeOnce sync.Once
+	pool      *bufPool
 }
 
 // inprocTransport is one rank's endpoint of an inprocGroup.
@@ -65,6 +105,7 @@ func NewInprocGroup(p, buffering int) ([]Transport, error) {
 		size:  p,
 		chans: make([][]chan []byte, p),
 		done:  make(chan struct{}),
+		pool:  newBufPool(),
 	}
 	for i := 0; i < p; i++ {
 		g.chans[i] = make([]chan []byte, p)
@@ -114,6 +155,21 @@ func (t *inprocTransport) Recv(from int) ([]byte, error) {
 	}
 }
 
+// Lease draws from the group-shared pool.
+func (t *inprocTransport) Lease(n int) []byte { return t.g.pool.lease(n) }
+
+// SendNoCopy is identical to Send for the in-process transport: messages
+// already travel by reference. It exists to satisfy the pooled-buffer
+// contract — callers route leased buffers through it so the receiving rank's
+// Release feeds the shared pool.
+func (t *inprocTransport) SendNoCopy(to int, buf []byte) error { return t.Send(to, buf) }
+
+// Release recycles a leased or received buffer into the group pool.
+func (t *inprocTransport) Release(buf []byte) { t.g.pool.release(buf) }
+
+// Retain removes a buffer from pool tracking so the caller may keep it.
+func (t *inprocTransport) Retain(buf []byte) { t.g.pool.retain(buf) }
+
 func (t *inprocTransport) checkPeer(peer int) error {
 	if peer < 0 || peer >= t.g.size {
 		return fmt.Errorf("comm: peer rank %d out of range [0,%d)", peer, t.g.size)
@@ -126,12 +182,9 @@ func (t *inprocTransport) checkPeer(peer int) error {
 
 // Close shuts the whole group down. Closing any endpoint closes the group;
 // this mirrors collective job semantics where one failed rank aborts all.
+// Safe to call concurrently from several ranks (simultaneous failure is the
+// common case under lockstep collective schedules).
 func (t *inprocTransport) Close() error {
-	select {
-	case <-t.g.done:
-		return nil
-	default:
-		close(t.g.done)
-		return nil
-	}
+	t.g.closeOnce.Do(func() { close(t.g.done) })
+	return nil
 }

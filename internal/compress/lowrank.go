@@ -46,6 +46,7 @@ type PowerSGD struct {
 	q     *tensor.Matrix // m x r
 	err   *tensor.Matrix // n x m error feedback
 	madj  *tensor.Matrix // scratch: gradient + error
+	prod  *tensor.Matrix // scratch for P·Qᵀ in the error update
 	useEF bool
 }
 
@@ -62,6 +63,7 @@ func NewPowerSGD(n, m, rank int, useEF bool, tensorID int64) *PowerSGD {
 		q:     tensor.New(shape.m, shape.r),
 		err:   tensor.New(shape.n, shape.m),
 		madj:  tensor.New(shape.n, shape.m),
+		prod:  tensor.New(shape.n, shape.m),
 		useEF: useEF,
 	}
 	rng := newSeededRNG(tensorID)
@@ -108,9 +110,8 @@ func (ps *PowerSGD) CompressStep(_ int, grad []float64, c Collectives) error {
 	if ps.useEF {
 		// E = M_adj − P·Q_localᵀ.
 		ps.err.CopyFrom(ps.madj)
-		prod := tensor.New(s.n, s.m)
-		tensor.MatMulTB(prod, ps.p, ps.q)
-		ps.err.Sub(prod)
+		tensor.MatMulTB(ps.prod, ps.p, ps.q)
+		ps.err.Sub(ps.prod)
 	}
 	if err := c.AllReduceSum(ps.q.Data); err != nil {
 		return fmt.Errorf("compress: PowerSGD all-reduce Q: %w", err)

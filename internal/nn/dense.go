@@ -61,13 +61,11 @@ func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
 func (d *Dense) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	// dW = doutᵀ · x  → shape (out, in).
 	tensor.MatMulTA(d.w.Grad, dout, d.x)
-	// db = column sums of dout.
+	// db = column sums of dout, accumulated row-at-a-time with the fused
+	// Axpy kernel.
 	d.b.Grad.Zero()
 	for i := 0; i < dout.Rows; i++ {
-		row := dout.Data[i*dout.Cols : (i+1)*dout.Cols]
-		for j, v := range row {
-			d.b.Grad.Data[j] += v
-		}
+		tensor.Axpy(1, dout.Data[i*dout.Cols:(i+1)*dout.Cols], d.b.Grad.Data)
 	}
 	if d.dx == nil || d.dx.Rows != dout.Rows {
 		d.dx = tensor.New(dout.Rows, d.w.W.Cols)

@@ -1,0 +1,272 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refMatMul is the reference triple loop the tiled/parallel kernels must
+// match.
+func refMatMul(dst, a, b *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+}
+
+func refMatMulTA(dst, a, b *Matrix) {
+	for i := 0; i < a.Cols; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Rows; k++ {
+				s += a.At(k, i) * b.At(k, j)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+}
+
+func refMatMulTB(dst, a, b *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(j, k)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+}
+
+// maxRelDiff returns max_i |a_i - b_i| / max(1, |b_i|).
+func maxRelDiff(a, b *Matrix) float64 {
+	var mx float64
+	for i := range a.Data {
+		d := math.Abs(a.Data[i] - b.Data[i])
+		if scale := math.Abs(b.Data[i]); scale > 1 {
+			d /= scale
+		}
+		if d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// forceParallel routes every matmul through the worker pool regardless of
+// size or CPU count, restoring the defaults when the test ends.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	oldW := SetParallelism(4)
+	oldT := SetParallelThreshold(1)
+	t.Cleanup(func() {
+		SetParallelism(oldW)
+		SetParallelThreshold(oldT)
+	})
+}
+
+// randomShapes covers tile boundaries: multiples of the 4-row register tile,
+// off-by-one and prime sizes that exercise every tail path, and degenerate
+// single-row/column shapes.
+var randomShapes = []struct{ n, k, m int }{
+	{1, 1, 1},
+	{4, 4, 4},
+	{5, 3, 7},
+	{8, 2, 8},
+	{13, 17, 11},
+	{16, 64, 16},
+	{31, 33, 29},
+	{64, 5, 3},
+	{3, 64, 5},
+	{100, 1, 100},
+	{127, 128, 129},
+}
+
+// TestMatMulKernelsMatchNaive checks the tiled serial kernels against the
+// reference triple loop on random shapes, including non-divisible tile
+// sizes, to 1e-12.
+func TestMatMulKernelsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range randomShapes {
+		a := New(s.n, s.k)
+		b := New(s.k, s.m)
+		a.Randomize(rng, 1)
+		b.Randomize(rng, 1)
+		got, want := New(s.n, s.m), New(s.n, s.m)
+		MatMul(got, a, b)
+		refMatMul(want, a, b)
+		if d := maxRelDiff(got, want); d > 1e-12 {
+			t.Errorf("MatMul %dx%dx%d: max diff %g", s.n, s.k, s.m, d)
+		}
+
+		at := New(s.k, s.n) // aᵀ layout for MatMulTA
+		at.Randomize(rng, 1)
+		gotTA, wantTA := New(s.n, s.m), New(s.n, s.m)
+		MatMulTA(gotTA, at, b)
+		refMatMulTA(wantTA, at, b)
+		if d := maxRelDiff(gotTA, wantTA); d > 1e-12 {
+			t.Errorf("MatMulTA %dx%dx%d: max diff %g", s.n, s.k, s.m, d)
+		}
+
+		bt := New(s.m, s.k) // bᵀ layout for MatMulTB
+		bt.Randomize(rng, 1)
+		gotTB, wantTB := New(s.n, s.m), New(s.n, s.m)
+		MatMulTB(gotTB, a, bt)
+		refMatMulTB(wantTB, a, bt)
+		if d := maxRelDiff(gotTB, wantTB); d > 1e-12 {
+			t.Errorf("MatMulTB %dx%dx%d: max diff %g", s.n, s.k, s.m, d)
+		}
+	}
+}
+
+// TestParallelKernelsMatchSerial runs the same products through the worker
+// pool (parallelism forced) and demands agreement with the serial kernels to
+// 1e-12 on every shape, including shapes smaller than the shard count.
+func TestParallelKernelsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	type product struct {
+		name  string
+		run   func(dst, a, b *Matrix)
+		shape func(n, k, m int) (a, b, dst *Matrix)
+	}
+	products := []product{
+		{"MatMul", MatMul, func(n, k, m int) (*Matrix, *Matrix, *Matrix) {
+			return New(n, k), New(k, m), New(n, m)
+		}},
+		{"MatMulTA", MatMulTA, func(n, k, m int) (*Matrix, *Matrix, *Matrix) {
+			return New(k, n), New(k, m), New(n, m)
+		}},
+		{"MatMulTB", MatMulTB, func(n, k, m int) (*Matrix, *Matrix, *Matrix) {
+			return New(n, k), New(m, k), New(n, m)
+		}},
+	}
+	// Compute every serial reference first, then flip the pool on once for
+	// all parallel runs.
+	type ref struct {
+		name    string
+		n, k, m int
+		run     func(dst, a, b *Matrix)
+		a, b    *Matrix
+		serial  *Matrix
+	}
+	var refs []ref
+	for _, p := range products {
+		for _, s := range randomShapes {
+			a, b, serial := p.shape(s.n, s.k, s.m)
+			a.Randomize(rng, 1)
+			b.Randomize(rng, 1)
+			p.run(serial, a, b)
+			refs = append(refs, ref{p.name, s.n, s.k, s.m, p.run, a, b, serial})
+		}
+	}
+	t.Run("forced-parallel", func(t *testing.T) {
+		forceParallel(t)
+		for _, r := range refs {
+			parallel := New(r.serial.Rows, r.serial.Cols)
+			r.run(parallel, r.a, r.b)
+			if d := maxRelDiff(parallel, r.serial); d > 1e-12 {
+				t.Errorf("%s %dx%dx%d parallel vs serial: max diff %g", r.name, r.n, r.k, r.m, d)
+			}
+		}
+	})
+}
+
+// TestParallelMatMulConcurrent hammers the shared worker pool from several
+// goroutines at once (the multi-worker training pattern) and checks results.
+func TestParallelMatMulConcurrent(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(17))
+	const n = 48
+	a := New(n, n)
+	b := New(n, n)
+	a.Randomize(rng, 1)
+	b.Randomize(rng, 1)
+	want := New(n, n)
+	refMatMul(want, a, b)
+
+	const goroutines = 8
+	errs := make(chan float64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			dst := New(n, n)
+			for iter := 0; iter < 20; iter++ {
+				MatMul(dst, a, b)
+			}
+			errs <- maxRelDiff(dst, want)
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if d := <-errs; d > 1e-12 {
+			t.Errorf("concurrent MatMul: max diff %g", d)
+		}
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, n := range []int{0, 1, 3, 4, 5, 8, 17, 100} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		want := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+			want[i] = y[i] + 2.5*x[i]
+		}
+		Axpy(2.5, x, y)
+		for i := range y {
+			if math.Abs(y[i]-want[i]) > 1e-15 {
+				t.Fatalf("Axpy n=%d elem %d: got %g want %g", n, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDotUnrolledMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{0, 1, 3, 4, 5, 7, 64, 101} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		var want float64
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+			want += a[i] * b[i]
+		}
+		got := Dot(a, b)
+		if math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+			t.Fatalf("Dot n=%d: got %g want %g", n, got, want)
+		}
+	}
+}
+
+// TestOrthogonalizeStillOrthonormal guards the column-major rewrite: random,
+// rank-deficient, and tall-thin inputs must all come out orthonormal.
+func TestOrthogonalizeStillOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	shapes := []struct{ n, c int }{{8, 3}, {64, 8}, {513, 31}, {5, 5}}
+	for _, s := range shapes {
+		m := New(s.n, s.c)
+		m.Randomize(rng, 1)
+		Orthogonalize(m)
+		if !IsOrthonormal(m, 1e-9) {
+			t.Errorf("Orthogonalize %dx%d: columns not orthonormal", s.n, s.c)
+		}
+	}
+	// Rank-deficient: duplicate columns must be replaced, not left parallel.
+	m := New(16, 4)
+	m.Randomize(rng, 1)
+	for i := 0; i < 16; i++ {
+		m.Set(i, 3, m.At(i, 0)) // col 3 == col 0
+	}
+	Orthogonalize(m)
+	if !IsOrthonormal(m, 1e-9) {
+		t.Error("Orthogonalize rank-deficient: columns not orthonormal")
+	}
+}

@@ -145,27 +145,20 @@ func (m *Matrix) MaxAbs() float64 {
 func (m *Matrix) String() string { return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols) }
 
 // MatMul computes dst = a * b. dst must be a.Rows x b.Cols and distinct from
-// a and b. It panics on shape mismatch.
+// a and b. It panics on shape mismatch. Large products are sharded across
+// the package worker pool (see kernels.go); small ones run serially.
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)*(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	dst.Zero()
-	// ikj loop order: streams over b and dst rows for cache friendliness.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
+	if !useParallel(a.Rows, a.Rows*a.Cols*b.Cols) {
+		matMulRows(dst, a, b, 0, a.Rows)
+		return
 	}
+	parallelRows(a.Rows, func(lo, hi int) {
+		matMulRows(dst, a, b, lo, hi)
+	})
 }
 
 // MatMulTA computes dst = aᵀ * b (a is n x m used as m x n). dst must be
@@ -175,20 +168,13 @@ func MatMulTA(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulTA shape mismatch (%dx%d)ᵀ*(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	dst.Zero()
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
-		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
+	if !useParallel(a.Cols, a.Rows*a.Cols*b.Cols) {
+		matMulTARows(dst, a, b, 0, a.Cols)
+		return
 	}
+	parallelRows(a.Cols, func(lo, hi int) {
+		matMulTARows(dst, a, b, lo, hi)
+	})
 }
 
 // MatMulTB computes dst = a * bᵀ. dst must be a.Rows x b.Rows.
@@ -197,28 +183,33 @@ func MatMulTB(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulTB shape mismatch (%dx%d)*(%dx%d)ᵀ->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			drow[j] = s
-		}
+	if !useParallel(a.Rows, a.Rows*a.Cols*b.Rows) {
+		matMulTBRows(dst, a, b, 0, a.Rows)
+		return
 	}
+	parallelRows(a.Rows, func(lo, hi int) {
+		matMulTBRows(dst, a, b, lo, hi)
+	})
 }
 
-// Dot returns the inner product of two equal-length vectors.
+// Dot returns the inner product of two equal-length vectors. Four running
+// accumulators keep the multiply-add chains independent so the loop is
+// throughput- rather than latency-bound.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("tensor: Dot length mismatch")
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }

@@ -3,6 +3,7 @@ package tensor
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Orthogonalize replaces the columns of m (rows x cols, rows >= cols assumed
@@ -23,22 +24,26 @@ func Orthogonalize(m *Matrix) {
 	if c == 0 || n == 0 {
 		return
 	}
-	col := make([]float64, n)
-	for j := 0; j < c; j++ {
-		// Load column j.
-		for i := 0; i < n; i++ {
-			col[i] = m.Data[i*c+j]
+	// Work in a column-major copy so every Gram–Schmidt projection runs over
+	// contiguous memory with the fused Dot/Axpy kernels instead of re-walking
+	// the row-major matrix with stride c per element. The two transpose
+	// passes are O(n*c), negligible against the O(n*c^2) projections.
+	qp := colScratch.Get(n * c)
+	defer colScratch.Put(qp)
+	q := *qp
+	for i := 0; i < n; i++ {
+		row := m.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			q[j*n+i] = v
 		}
+	}
+	for j := 0; j < c; j++ {
+		col := q[j*n : (j+1)*n]
 		// Two passes of modified Gram–Schmidt against previous columns.
 		for pass := 0; pass < 2; pass++ {
 			for k := 0; k < j; k++ {
-				var dot float64
-				for i := 0; i < n; i++ {
-					dot += col[i] * m.Data[i*c+k]
-				}
-				for i := 0; i < n; i++ {
-					col[i] -= dot * m.Data[i*c+k]
-				}
+				qk := q[k*n : (k+1)*n]
+				Axpy(-Dot(col, qk), qk, col)
 			}
 		}
 		norm := Norm2(col)
@@ -49,13 +54,8 @@ func Orthogonalize(m *Matrix) {
 				col[i] = pseudoUnit(i, j, n)
 			}
 			for k := 0; k < j; k++ {
-				var dot float64
-				for i := 0; i < n; i++ {
-					dot += col[i] * m.Data[i*c+k]
-				}
-				for i := 0; i < n; i++ {
-					col[i] -= dot * m.Data[i*c+k]
-				}
+				qk := q[k*n : (k+1)*n]
+				Axpy(-Dot(col, qk), qk, col)
 			}
 			norm = Norm2(col)
 			if norm < epsilon {
@@ -63,11 +63,38 @@ func Orthogonalize(m *Matrix) {
 			}
 		}
 		inv := 1 / norm
-		for i := 0; i < n; i++ {
-			m.Data[i*c+j] = col[i] * inv
+		for i := range col {
+			col[i] *= inv
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := m.Data[i*c : (i+1)*c]
+		for j := range row {
+			row[j] = q[j*n+i]
 		}
 	}
 }
+
+// colScratch pools the column-major buffers Orthogonalize works in, so
+// per-step Power-SGD/ACP orthogonalizations are allocation-free in steady
+// state while staying safe for concurrent workers.
+var colScratch = scratchPool{}
+
+type scratchPool struct{ p sync.Pool }
+
+func (s *scratchPool) Get(n int) *[]float64 {
+	if v := s.p.Get(); v != nil {
+		bp := v.(*[]float64)
+		if cap(*bp) >= n {
+			*bp = (*bp)[:n]
+			return bp
+		}
+	}
+	buf := make([]float64, n)
+	return &buf
+}
+
+func (s *scratchPool) Put(bp *[]float64) { s.p.Put(bp) }
 
 // pseudoUnit returns a deterministic pseudo-random value for replacement
 // columns in degenerate orthogonalization. It is a cheap hash mapped to
