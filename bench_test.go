@@ -64,9 +64,21 @@ func suite(b *testing.B, name string) {
 	c.F(b)
 }
 
-func BenchmarkRingAllReduce4x64k(b *testing.B) { suite(b, "RingAllReduce4x64k") }
-func BenchmarkRingAllReduce8x64k(b *testing.B) { suite(b, "RingAllReduce8x64k") }
-func BenchmarkRingAllReduce4x1M(b *testing.B)  { suite(b, "RingAllReduce4x1M") }
+func BenchmarkRingAllReduce4x64k(b *testing.B)     { suite(b, "RingAllReduce4x64k") }
+func BenchmarkRingAllReduce8x64k(b *testing.B)     { suite(b, "RingAllReduce8x64k") }
+func BenchmarkRingAllReduce4x1M(b *testing.B)      { suite(b, "RingAllReduce4x1M") }
+func BenchmarkRingAllReduceAsync4x1M(b *testing.B) { suite(b, "RingAllReduceAsync4x1M") }
+
+// BenchmarkOverlapStep times one synchronized 2-worker training step on a
+// latency-injected transport with the two comm-launch schedules: overlap=on
+// (wait-free backprop) should beat overlap=off (launch after backward) by
+// roughly the backward time that communication hides behind. Sub-benchmark
+// names (on/off) match the suite case names acpbench -baseline records.
+func BenchmarkOverlapStep(b *testing.B) {
+	for _, mode := range bench.OverlapModes {
+		b.Run(mode.String(), func(b *testing.B) { suite(b, "OverlapStep/"+mode.String()) })
+	}
+}
 
 func BenchmarkAllGather4x64KB(b *testing.B) { suite(b, "AllGather4x64KB") }
 func BenchmarkBroadcast4x256k(b *testing.B) { suite(b, "Broadcast4x256k") }

@@ -33,6 +33,7 @@ func run(args []string) int {
 	bufferMB := fs.Int("buffer", 0, "fusion buffer MB (0 = 25MB default)")
 	noFusion := fs.Bool("no-fusion", false, "disable tensor fusion")
 	slowOrth := fs.Bool("slow-orth", false, "original Power-SGD orthogonalization cost")
+	overlap := fs.Bool("overlap", true, "overlap communication with back-propagation (false = launch after backward)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -48,6 +49,7 @@ func run(args []string) int {
 		BufferBytes: *bufferMB * 1024 * 1024,
 		NoFusion:    *noFusion,
 		SlowOrth:    *slowOrth,
+		NoOverlap:   !*overlap,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acpsim: %v\n", err)

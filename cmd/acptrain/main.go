@@ -42,6 +42,7 @@ func run(args []string) int {
 	noReuse := fs.Bool("no-reuse", false, "disable query reuse (ablation)")
 	seed := fs.Int64("seed", 42, "random seed")
 	tcp := fs.Bool("tcp", false, "run collectives over loopback TCP instead of channels")
+	overlap := fs.Bool("overlap", true, "overlap collectives with back-propagation (wait-free backprop); results are bit-identical either way")
 	examples := fs.Int("examples", 2048, "training examples (synthetic dataset)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,6 +66,7 @@ func run(args []string) int {
 		TestExamples:   *examples / 4,
 		Seed:           *seed,
 		UseTCP:         *tcp,
+		NoOverlap:      !*overlap,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acptrain: %v\n", err)

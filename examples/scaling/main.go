@@ -15,12 +15,13 @@ func main() {
 	model := flag.String("model", "bert-base", "resnet50 | resnet152 | bert-base | bert-large")
 	flag.Parse()
 
-	cell := func(method, network string, workers int) string {
+	cellCfg := func(method, network string, workers int, noOverlap bool) string {
 		r, err := core.SimulateIteration(core.IterationConfig{
-			Model:   *model,
-			Method:  method,
-			Workers: workers,
-			Network: network,
+			Model:     *model,
+			Method:    method,
+			Workers:   workers,
+			Network:   network,
+			NoOverlap: noOverlap,
 		})
 		if err != nil {
 			log.Fatalf("simulate: %v", err)
@@ -29,6 +30,9 @@ func main() {
 			return "OOM"
 		}
 		return fmt.Sprintf("%.0fms", r.TotalSec*1e3)
+	}
+	cell := func(method, network string, workers int) string {
+		return cellCfg(method, network, workers, false)
 	}
 
 	fmt.Printf("Worker scaling on 10GbE (%s):\n", *model)
@@ -43,5 +47,15 @@ func main() {
 	for _, network := range []string{"1gbe", "10gbe", "100gbib"} {
 		fmt.Printf("%-8s %-10s %-12s %-10s\n",
 			network, cell("ssgd", network, 32), cell("power*", network, 32), cell("acp", network, 32))
+	}
+
+	// Overlap ablation (§IV / Fig. 9's lever in isolation): same bucketing,
+	// collectives launched wait-free during backward vs. only after it — the
+	// knob the real trainer exposes as Config.Overlap.
+	fmt.Printf("\nOverlap ablation on 32 GPUs / 10GbE (%s):\n", *model)
+	fmt.Printf("%-12s %-12s %-12s\n", "Method", "overlap=on", "overlap=off")
+	for _, method := range []string{"ssgd", "acp"} {
+		fmt.Printf("%-12s %-12s %-12s\n", method,
+			cellCfg(method, "10gbe", 32, false), cellCfg(method, "10gbe", 32, true))
 	}
 }

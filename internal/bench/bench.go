@@ -10,16 +10,20 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"acpsgd/internal/comm"
 	"acpsgd/internal/compress"
+	"acpsgd/internal/data"
 	"acpsgd/internal/models"
 	"acpsgd/internal/nn"
 	"acpsgd/internal/sim"
 	"acpsgd/internal/tensor"
+	"acpsgd/internal/train"
 )
 
 // Case is one named micro-benchmark. Names are stable identifiers: they key
@@ -39,6 +43,7 @@ func Suite() []Case {
 		{"RingAllReduce4x64k", allReduceCase(4, 64*1024)},
 		{"RingAllReduce8x64k", allReduceCase(8, 64*1024)},
 		{"RingAllReduce4x1M", allReduceCase(4, 1024*1024)},
+		{"RingAllReduceAsync4x1M", benchAsyncAllReduce4x1M},
 		{"AllGather4x64KB", benchAllGather4x64KB},
 		{"Broadcast4x256k", benchBroadcast4x256k},
 		{"SignEncode1M", benchSignEncode1M},
@@ -74,7 +79,131 @@ func Suite() []Case {
 			F:    selectionCase(sel.S),
 		})
 	}
+	for _, mode := range OverlapModes {
+		cases = append(cases, Case{
+			Name: "OverlapStep/" + mode.String(),
+			F:    overlapStepCase(mode),
+		})
+	}
 	return cases
+}
+
+// OverlapModes are the comm-launch schedules the end-to-end train-step bench
+// sweeps: wait-free backprop vs. launch-after-backward. The two are
+// bit-identical in results; the bench measures what overlap buys in
+// wall-clock step time on a latency-injected transport.
+var OverlapModes = []train.Overlap{train.OverlapOn, train.OverlapOff}
+
+// overlapStepCase measures one full synchronized training step of a
+// 2-worker deep-MLP cluster over in-process transports with 1ms injected
+// per-hop latency — wire time that costs no CPU, like a real NIC, so the
+// ring collectives are worth hiding behind backward. The configuration is
+// deliberately shaped so overlap has something to hide:
+//
+//   - A deep stack of uniform layers with a small fusion budget makes one
+//     bucket per weight matrix, sealing (and launching) throughout backward
+//     rather than only at its end.
+//   - Tensor kernels are pinned serial and GOMAXPROCS is raised above the
+//     worker count, modeling one compute stream per "node" and leaving the
+//     per-rank communication goroutines runnable the moment a message
+//     lands — without a spare P their wakeups quantize to the preemption
+//     interval and the overlap disappears into scheduler latency.
+func overlapStepCase(mode train.Overlap) func(b *testing.B) {
+	return func(b *testing.B) {
+		const (
+			workers  = 2
+			features = 64
+			hidden   = 256
+			classes  = 10
+		)
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(max(2*workers, runtime.GOMAXPROCS(0))))
+		defer tensor.SetParallelism(tensor.SetParallelism(1))
+		trainSet := data.GaussianMixture(31, 512, features, classes, 1.0)
+		cfg := train.Config{
+			Spec:           compress.MustSpec("ssgd"),
+			Workers:        workers,
+			BatchPerWorker: 32,
+			Epochs:         1,
+			Momentum:       0.9,
+			Schedule:       train.Schedule{BaseLR: 0.05},
+			BufferBytes:    16 * 1024,
+			Overlap:        mode,
+			Seed:           7,
+			NewTransports: func(p int) ([]comm.Transport, error) {
+				ts, err := comm.NewInprocGroup(p, 0)
+				if err != nil {
+					return nil, err
+				}
+				for i := range ts {
+					ts[i] = comm.WithLatency(ts[i], time.Millisecond)
+				}
+				return ts, nil
+			},
+		}
+		build := func(rng *rand.Rand) *nn.Model {
+			return models.MLP(rng, features, hidden, hidden, hidden, hidden, hidden, hidden, classes)
+		}
+		cluster, err := train.NewCluster(cfg, build, trainSet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cluster.Close()
+		if _, err := cluster.Step(); err != nil { // warm pools and compressor state
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchAsyncAllReduce4x1M is RingAllReduce4x1M through the handle-based
+// async layer: each rank submits on its AsyncCommunicator and waits the
+// Pending, measuring the launch-queue overhead over the raw collective.
+func benchAsyncAllReduce4x1M(b *testing.B) {
+	const workers, elems = 4, 1024 * 1024
+	transports, err := comm.NewInprocGroup(workers, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	asyncs := make([]*comm.AsyncCommunicator, workers)
+	bufs := make([][]float64, workers)
+	for r := range asyncs {
+		asyncs[r] = comm.NewAsync(comm.NewCommunicator(transports[r]))
+		bufs[r] = make([]float64, elems)
+	}
+	defer func() {
+		transports[0].Close()
+		for _, a := range asyncs {
+			a.Close()
+		}
+	}()
+	abort := func(r int) { transports[r].Close() }
+	if err := runRanks(workers, abort, func(r int) error {
+		return asyncs[r].AllReduceSumAsync(bufs[r]).Wait()
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * elems))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for r := 0; r < workers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				if err := asyncs[r].AllReduceSumAsync(bufs[r]).Wait(); err != nil {
+					b.Error(err)
+					transports[r].Close()
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
 }
 
 // EFName names the error-feedback ablation sub-benchmarks.

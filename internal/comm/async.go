@@ -1,0 +1,193 @@
+package comm
+
+import (
+	"sync"
+)
+
+// Pending is the handle of an in-flight asynchronous collective launched by
+// an AsyncCommunicator. Wait blocks until the operation completes and returns
+// its error; it may be called from any goroutine and any number of times.
+type Pending struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the collective completes and returns its error.
+func (p *Pending) Wait() error {
+	<-p.done
+	return p.err
+}
+
+// Done reports, without blocking, whether the collective has completed.
+func (p *Pending) Done() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *Pending) finish(err error) {
+	p.err = err
+	close(p.done)
+}
+
+// GatherPending is the handle of an in-flight asynchronous all-gather; its
+// Wait additionally returns the gathered payloads (shared, read-only — see
+// Communicator.AllGather).
+type GatherPending struct {
+	p     Pending
+	blobs [][]byte
+}
+
+// Wait blocks until the all-gather completes and returns the gathered
+// payloads.
+func (g *GatherPending) Wait() ([][]byte, error) {
+	<-g.p.done
+	return g.blobs, g.p.err
+}
+
+// Done reports, without blocking, whether the all-gather has completed.
+func (g *GatherPending) Done() bool { return g.p.Done() }
+
+// asyncOp is one queued collective: run executes it, finish completes its
+// handle. finish is called exactly once per submitted op — with run's error
+// when the op launches, or with ErrClosed when the communicator shuts down
+// before the op reaches the front of the queue.
+type asyncOp struct {
+	run    func() error
+	finish func(error)
+}
+
+// AsyncCommunicator layers handle-based asynchronous collectives over a
+// Communicator. Operations submitted from any goroutine are launched one at
+// a time, in submission order, on a dedicated communication goroutine — the
+// deterministic FIFO launch schedule SPMD collectives require (every rank
+// must issue the same collectives in the same order), mirroring how the
+// paper serializes NCCL launches on a communication stream.
+//
+// The payload path is the Communicator's: leased send buffers, SendNoCopy,
+// fused decode+reduce — steady-state collectives stay allocation-free; each
+// submission allocates only its small Pending handle.
+//
+// Shutdown: Close stops the launch loop and fails every queued-but-
+// unlaunched operation with ErrClosed, so Wait never deadlocks on an
+// abandoned handle. An operation already blocked inside the transport is
+// unblocked by closing the underlying Transport (whose pending Recvs then
+// fail); close the transport before (or instead of) waiting on stuck
+// handles — Close itself waits for the launch loop to exit.
+type AsyncCommunicator struct {
+	c *Communicator
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []asyncOp
+	closed bool
+
+	loopDone chan struct{}
+}
+
+// NewAsync wraps a Communicator with an asynchronous launch queue. The
+// returned AsyncCommunicator owns a background goroutine; release it with
+// Close.
+func NewAsync(c *Communicator) *AsyncCommunicator {
+	a := &AsyncCommunicator{c: c, loopDone: make(chan struct{})}
+	a.cond = sync.NewCond(&a.mu)
+	go a.loop()
+	return a
+}
+
+// Rank returns the underlying rank.
+func (a *AsyncCommunicator) Rank() int { return a.c.Rank() }
+
+// Size returns the group size.
+func (a *AsyncCommunicator) Size() int { return a.c.Size() }
+
+// Communicator returns the wrapped synchronous communicator. Callers must
+// not issue synchronous collectives while asynchronous operations are in
+// flight (the two would interleave on the transport and ranks would disagree
+// on operation order): drain every Pending first.
+func (a *AsyncCommunicator) Communicator() *Communicator { return a.c }
+
+// AllReduceSumAsync launches AllReduceSum(buf) on the communication
+// goroutine and returns immediately. buf is owned by the transport until the
+// returned handle's Wait returns.
+func (a *AsyncCommunicator) AllReduceSumAsync(buf []float64) *Pending {
+	p := &Pending{done: make(chan struct{})}
+	a.submit(asyncOp{
+		run:    func() error { return a.c.AllReduceSum(buf) },
+		finish: p.finish,
+	})
+	return p
+}
+
+// AllGatherAsync launches AllGather(local) on the communication goroutine
+// and returns immediately. local is owned by the transport until the
+// returned handle's Wait returns.
+func (a *AsyncCommunicator) AllGatherAsync(local []byte) *GatherPending {
+	g := &GatherPending{p: Pending{done: make(chan struct{})}}
+	a.submit(asyncOp{
+		run: func() error {
+			blobs, err := a.c.AllGather(local)
+			g.blobs = blobs
+			return err
+		},
+		finish: g.p.finish,
+	})
+	return g
+}
+
+// submit enqueues an operation, failing it immediately when the communicator
+// is already closed. The queue is unbounded so submission never blocks the
+// caller (the backward pass must stay wait-free).
+func (a *AsyncCommunicator) submit(op asyncOp) {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		op.finish(ErrClosed)
+		return
+	}
+	a.queue = append(a.queue, op)
+	a.cond.Signal()
+	a.mu.Unlock()
+}
+
+// loop launches queued operations in FIFO order until Close. On shutdown,
+// operations still queued are failed with ErrClosed without being launched
+// (launching half a shutdown's worth of collectives would desynchronize the
+// group).
+func (a *AsyncCommunicator) loop() {
+	defer close(a.loopDone)
+	for {
+		a.mu.Lock()
+		for len(a.queue) == 0 && !a.closed {
+			a.cond.Wait()
+		}
+		if a.closed {
+			pending := a.queue
+			a.queue = nil
+			a.mu.Unlock()
+			for _, op := range pending {
+				op.finish(ErrClosed)
+			}
+			return
+		}
+		op := a.queue[0]
+		a.queue = a.queue[1:]
+		a.mu.Unlock()
+		op.finish(op.run())
+	}
+}
+
+// Close stops the launch loop, fails queued operations with ErrClosed and
+// waits for the loop goroutine to exit. It does not close the underlying
+// transport. Safe to call more than once.
+func (a *AsyncCommunicator) Close() error {
+	a.mu.Lock()
+	a.closed = true
+	a.cond.Signal()
+	a.mu.Unlock()
+	<-a.loopDone
+	return nil
+}

@@ -1,105 +1,10 @@
 package comm
 
 import (
-	"fmt"
 	"math"
 	"sync"
 	"testing"
 )
-
-func TestReduceScatterSum(t *testing.T) {
-	for _, p := range []int{1, 2, 3, 4, 7} {
-		for _, n := range []int{0, 1, 13, 64} {
-			t.Run(fmt.Sprintf("p=%d/n=%d", p, n), func(t *testing.T) {
-				transports, err := NewInprocGroup(p, 0)
-				if err != nil {
-					t.Fatal(err)
-				}
-				inputs, want := makeInputs(p, n, int64(31*p+n))
-				runGroup(t, transports, func(c *Communicator) error {
-					buf := make([]float64, n)
-					copy(buf, inputs[c.Rank()])
-					lo, hi, err := c.ReduceScatterSum(buf)
-					if err != nil {
-						return err
-					}
-					wantLo, wantHi := chunkRange(n, p, (c.Rank()+1)%p)
-					if lo != wantLo || hi != wantHi {
-						return fmt.Errorf("chunk bounds (%d,%d), want (%d,%d)", lo, hi, wantLo, wantHi)
-					}
-					for i := lo; i < hi; i++ {
-						if math.Abs(buf[i]-want[i]) > 1e-9 {
-							return fmt.Errorf("elem %d: got %v want %v", i, buf[i], want[i])
-						}
-					}
-					return nil
-				})
-			})
-		}
-	}
-}
-
-func TestRingAllGatherFloats(t *testing.T) {
-	for _, p := range []int{1, 2, 3, 5, 8} {
-		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
-			transports, err := NewInprocGroup(p, 0)
-			if err != nil {
-				t.Fatal(err)
-			}
-			const chunk = 7
-			runGroup(t, transports, func(c *Communicator) error {
-				local := make([]float64, chunk)
-				for i := range local {
-					local[i] = float64(c.Rank()*100 + i)
-				}
-				got, err := c.RingAllGatherFloats(local)
-				if err != nil {
-					return err
-				}
-				for r := 0; r < p; r++ {
-					for i := 0; i < chunk; i++ {
-						if got[r][i] != float64(r*100+i) {
-							return fmt.Errorf("chunk %d elem %d: got %v", r, i, got[r][i])
-						}
-					}
-				}
-				return nil
-			})
-		})
-	}
-}
-
-func TestTreeBroadcastAllRootsAllSizes(t *testing.T) {
-	for _, p := range []int{1, 2, 3, 4, 5, 8, 9} {
-		for root := 0; root < p; root++ {
-			transports, err := NewInprocGroup(p, 0)
-			if err != nil {
-				t.Fatal(err)
-			}
-			const n = 9
-			want := make([]float64, n)
-			for i := range want {
-				want[i] = float64(i*7 + root)
-			}
-			runGroup(t, transports, func(c *Communicator) error {
-				buf := make([]float64, n)
-				if c.Rank() == root {
-					copy(buf, want)
-				}
-				if err := c.TreeBroadcast(buf, root); err != nil {
-					return err
-				}
-				for i := range buf {
-					if buf[i] != want[i] {
-						return fmt.Errorf("p=%d root=%d rank=%d elem %d: got %v want %v",
-							p, root, c.Rank(), i, buf[i], want[i])
-					}
-				}
-				return nil
-			})
-		}
-	}
-}
 
 func TestTreeBroadcastBadRoot(t *testing.T) {
 	transports, err := NewInprocGroup(2, 0)

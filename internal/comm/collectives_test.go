@@ -1,7 +1,6 @@
 package comm
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -44,146 +43,6 @@ func makeInputs(p, n int, seed int64) ([][]float64, []float64) {
 	return inputs, want
 }
 
-func TestRingAllReduceSumInproc(t *testing.T) {
-	for _, p := range []int{1, 2, 3, 4, 5, 8} {
-		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
-			t.Run(fmt.Sprintf("p=%d/n=%d", p, n), func(t *testing.T) {
-				transports, err := NewInprocGroup(p, 0)
-				if err != nil {
-					t.Fatal(err)
-				}
-				inputs, want := makeInputs(p, n, int64(p*1000+n))
-				var mu sync.Mutex
-				results := make([][]float64, p)
-				runGroup(t, transports, func(c *Communicator) error {
-					buf := make([]float64, n)
-					copy(buf, inputs[c.Rank()])
-					if err := c.AllReduceSum(buf); err != nil {
-						return err
-					}
-					mu.Lock()
-					results[c.Rank()] = buf
-					mu.Unlock()
-					return nil
-				})
-				for r := 0; r < p; r++ {
-					for i := 0; i < n; i++ {
-						if math.Abs(results[r][i]-want[i]) > 1e-9 {
-							t.Fatalf("rank %d elem %d: got %v want %v", r, i, results[r][i], want[i])
-						}
-					}
-				}
-			})
-		}
-	}
-}
-
-func TestAllReduceMean(t *testing.T) {
-	const p, n = 4, 33
-	transports, err := NewInprocGroup(p, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	inputs, wantSum := makeInputs(p, n, 42)
-	runGroup(t, transports, func(c *Communicator) error {
-		buf := make([]float64, n)
-		copy(buf, inputs[c.Rank()])
-		if err := c.AllReduceMean(buf); err != nil {
-			return err
-		}
-		for i := range buf {
-			if math.Abs(buf[i]-wantSum[i]/p) > 1e-9 {
-				return fmt.Errorf("elem %d: got %v want %v", i, buf[i], wantSum[i]/p)
-			}
-		}
-		return nil
-	})
-}
-
-func TestNaiveAllReduceMatchesRing(t *testing.T) {
-	const p, n = 5, 97
-	transports, err := NewInprocGroup(p, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	inputs, want := makeInputs(p, n, 7)
-	runGroup(t, transports, func(c *Communicator) error {
-		buf := make([]float64, n)
-		copy(buf, inputs[c.Rank()])
-		if err := c.NaiveAllReduceSum(buf); err != nil {
-			return err
-		}
-		for i := range buf {
-			if math.Abs(buf[i]-want[i]) > 1e-9 {
-				return fmt.Errorf("elem %d: got %v want %v", i, buf[i], want[i])
-			}
-		}
-		return nil
-	})
-}
-
-func TestAllGatherVariableSizes(t *testing.T) {
-	const p = 4
-	transports, err := NewInprocGroup(p, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	runGroup(t, transports, func(c *Communicator) error {
-		r := c.Rank()
-		local := make([]byte, r*3) // deliberately different sizes, incl. empty
-		for i := range local {
-			local[i] = byte(r*10 + i)
-		}
-		got, err := c.AllGather(local)
-		if err != nil {
-			return err
-		}
-		if len(got) != p {
-			return fmt.Errorf("got %d blobs, want %d", len(got), p)
-		}
-		for q := 0; q < p; q++ {
-			if len(got[q]) != q*3 {
-				return fmt.Errorf("blob %d has len %d, want %d", q, len(got[q]), q*3)
-			}
-			for i, b := range got[q] {
-				if b != byte(q*10+i) {
-					return fmt.Errorf("blob %d byte %d: got %d", q, i, b)
-				}
-			}
-		}
-		return nil
-	})
-}
-
-func TestBroadcast(t *testing.T) {
-	const p, n = 4, 17
-	for root := 0; root < p; root++ {
-		transports, err := NewInprocGroup(p, 0)
-		if err != nil {
-			t.Fatal(err)
-		}
-		want := make([]float64, n)
-		for i := range want {
-			want[i] = float64(i) + float64(root)*100
-		}
-		runGroup(t, transports, func(c *Communicator) error {
-			buf := make([]float64, n)
-			if c.Rank() == root {
-				copy(buf, want)
-			}
-			if err := c.Broadcast(buf, root); err != nil {
-				return err
-			}
-			for i := range buf {
-				if buf[i] != want[i] {
-					return fmt.Errorf("root %d rank %d elem %d: got %v want %v", root, c.Rank(), i, buf[i], want[i])
-				}
-			}
-			return nil
-		})
-	}
-}
-
 func TestBroadcastBadRoot(t *testing.T) {
 	transports, err := NewInprocGroup(2, 0)
 	if err != nil {
@@ -192,63 +51,6 @@ func TestBroadcastBadRoot(t *testing.T) {
 	c := NewCommunicator(transports[0])
 	if err := c.Broadcast(nil, 5); err == nil {
 		t.Fatal("expected error for out-of-range root")
-	}
-}
-
-func TestBarrier(t *testing.T) {
-	const p = 6
-	transports, err := NewInprocGroup(p, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	runGroup(t, transports, func(c *Communicator) error { return c.Barrier() })
-}
-
-func TestSingleRankShortCircuits(t *testing.T) {
-	transports, err := NewInprocGroup(1, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	c := NewCommunicator(transports[0])
-	buf := []float64{1, 2, 3}
-	if err := c.AllReduceSum(buf); err != nil {
-		t.Fatal(err)
-	}
-	if buf[0] != 1 || buf[2] != 3 {
-		t.Fatal("single-rank all-reduce must be identity")
-	}
-	blobs, err := c.AllGather([]byte{9})
-	if err != nil || len(blobs) != 1 || blobs[0][0] != 9 {
-		t.Fatalf("single-rank all-gather wrong: %v %v", blobs, err)
-	}
-}
-
-func TestInprocSendToSelfFails(t *testing.T) {
-	transports, err := NewInprocGroup(2, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := transports[0].Send(0, nil); err == nil {
-		t.Fatal("expected self-send error")
-	}
-	if err := transports[0].Send(9, nil); err == nil {
-		t.Fatal("expected out-of-range error")
-	}
-}
-
-func TestInprocCloseUnblocksRecv(t *testing.T) {
-	transports, err := NewInprocGroup(2, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	done := make(chan error, 1)
-	go func() {
-		_, err := transports[0].Recv(1)
-		done <- err
-	}()
-	transports[1].Close()
-	if err := <-done; err == nil {
-		t.Fatal("expected ErrClosed after Close")
 	}
 }
 
@@ -333,59 +135,6 @@ func TestAllReduceProperty(t *testing.T) {
 	}
 }
 
-func TestTCPGroupAllReduce(t *testing.T) {
-	const p, n = 4, 257
-	transports, err := NewTCPGroup(p)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		for _, tr := range transports {
-			tr.Close()
-		}
-	}()
-	inputs, want := makeInputs(p, n, 99)
-	runGroup(t, transports, func(c *Communicator) error {
-		buf := make([]float64, n)
-		copy(buf, inputs[c.Rank()])
-		if err := c.AllReduceSum(buf); err != nil {
-			return err
-		}
-		for i := range buf {
-			if math.Abs(buf[i]-want[i]) > 1e-9 {
-				return fmt.Errorf("elem %d: got %v want %v", i, buf[i], want[i])
-			}
-		}
-		return nil
-	})
-}
-
-func TestTCPGroupAllGatherAndBarrier(t *testing.T) {
-	const p = 3
-	transports, err := NewTCPGroup(p)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		for _, tr := range transports {
-			tr.Close()
-		}
-	}()
-	runGroup(t, transports, func(c *Communicator) error {
-		local := []byte{byte(c.Rank() + 1)}
-		got, err := c.AllGather(local)
-		if err != nil {
-			return err
-		}
-		for q := 0; q < p; q++ {
-			if len(got[q]) != 1 || got[q][0] != byte(q+1) {
-				return fmt.Errorf("blob %d wrong: %v", q, got[q])
-			}
-		}
-		return c.Barrier()
-	})
-}
-
 func TestTCPGroupRejectsBadSize(t *testing.T) {
 	if _, err := NewTCPGroup(0); err == nil {
 		t.Fatal("expected error for size 0")
@@ -393,44 +142,4 @@ func TestTCPGroupRejectsBadSize(t *testing.T) {
 	if _, err := NewInprocGroup(-1, 0); err == nil {
 		t.Fatal("expected error for negative size")
 	}
-}
-
-func TestTCPSendRecvDirect(t *testing.T) {
-	transports, err := NewTCPGroup(2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		for _, tr := range transports {
-			tr.Close()
-		}
-	}()
-	msg := []byte("hello ring")
-	if err := transports[0].Send(1, msg); err != nil {
-		t.Fatal(err)
-	}
-	got, err := transports[1].Recv(0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(got) != "hello ring" {
-		t.Fatalf("got %q", got)
-	}
-	if err := transports[0].Send(0, nil); err == nil {
-		t.Fatal("expected self-send rejection")
-	}
-}
-
-func TestTCPCloseIdempotent(t *testing.T) {
-	transports, err := NewTCPGroup(2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := transports[0].Close(); err != nil {
-		t.Fatal(err)
-	}
-	if err := transports[0].Close(); err != nil {
-		t.Fatal(err)
-	}
-	transports[1].Close()
 }

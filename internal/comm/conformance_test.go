@@ -1,0 +1,615 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// This file is the cross-transport conformance suite: one table of contract
+// tests executed identically against every Transport implementation. A new
+// transport earns its place by appearing in transportFactories and passing
+// everything here — collectives correctness, the Lease/Release/Retain
+// pooled-buffer ownership rules, async handle semantics, and shutdown
+// behavior (close during pending operations must fail fast, never deadlock).
+
+// transportFactories enumerates the transports under contract.
+var transportFactories = []struct {
+	name string
+	make func(p int) ([]Transport, error)
+}{
+	{"inproc", func(p int) ([]Transport, error) { return NewInprocGroup(p, 0) }},
+	{"tcp", NewTCPGroup},
+}
+
+// forEachTransport runs fn once per transport implementation over a fresh
+// p-rank group, closing the group afterwards.
+func forEachTransport(t *testing.T, p int, fn func(t *testing.T, ts []Transport)) {
+	t.Helper()
+	for _, fac := range transportFactories {
+		t.Run(fac.name, func(t *testing.T) {
+			ts, err := fac.make(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() {
+				for _, tr := range ts {
+					tr.Close()
+				}
+			})
+			fn(t, ts)
+		})
+	}
+}
+
+// --- collectives correctness --------------------------------------------
+
+func TestConformanceAllReduceSum(t *testing.T) {
+	for _, p := range []int{2, 3, 4} {
+		for _, n := range []int{0, 1, 33, 257} {
+			t.Run(fmt.Sprintf("p=%d/n=%d", p, n), func(t *testing.T) {
+				forEachTransport(t, p, func(t *testing.T, ts []Transport) {
+					inputs, want := makeInputs(p, n, int64(p*1000+n))
+					results := make([][]float64, p)
+					runGroup(t, ts, func(c *Communicator) error {
+						buf := append([]float64(nil), inputs[c.Rank()]...)
+						if err := c.AllReduceSum(buf); err != nil {
+							return err
+						}
+						results[c.Rank()] = buf
+						return nil
+					})
+					for r := 0; r < p; r++ {
+						for i := 0; i < n; i++ {
+							if math.Abs(results[r][i]-want[i]) > 1e-9 {
+								t.Fatalf("rank %d elem %d: got %v want %v", r, i, results[r][i], want[i])
+							}
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestConformanceAllReduceMean(t *testing.T) {
+	const p, n = 4, 33
+	forEachTransport(t, p, func(t *testing.T, ts []Transport) {
+		inputs, wantSum := makeInputs(p, n, 42)
+		runGroup(t, ts, func(c *Communicator) error {
+			buf := append([]float64(nil), inputs[c.Rank()]...)
+			if err := c.AllReduceMean(buf); err != nil {
+				return err
+			}
+			for i := range buf {
+				if math.Abs(buf[i]-wantSum[i]/p) > 1e-9 {
+					return fmt.Errorf("elem %d: got %v want %v", i, buf[i], wantSum[i]/p)
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestConformanceNaiveAllReduceMatchesRing(t *testing.T) {
+	const p, n = 3, 97
+	forEachTransport(t, p, func(t *testing.T, ts []Transport) {
+		inputs, want := makeInputs(p, n, 7)
+		runGroup(t, ts, func(c *Communicator) error {
+			buf := append([]float64(nil), inputs[c.Rank()]...)
+			if err := c.NaiveAllReduceSum(buf); err != nil {
+				return err
+			}
+			for i := range buf {
+				if math.Abs(buf[i]-want[i]) > 1e-9 {
+					return fmt.Errorf("elem %d: got %v want %v", i, buf[i], want[i])
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestConformanceAllGatherVariableSizes(t *testing.T) {
+	const p = 4
+	forEachTransport(t, p, func(t *testing.T, ts []Transport) {
+		runGroup(t, ts, func(c *Communicator) error {
+			r := c.Rank()
+			local := make([]byte, r*3) // deliberately different sizes, incl. empty
+			for i := range local {
+				local[i] = byte(r*10 + i)
+			}
+			got, err := c.AllGather(local)
+			if err != nil {
+				return err
+			}
+			if len(got) != p {
+				return fmt.Errorf("got %d blobs, want %d", len(got), p)
+			}
+			for q := 0; q < p; q++ {
+				if len(got[q]) != q*3 {
+					return fmt.Errorf("blob %d has len %d, want %d", q, len(got[q]), q*3)
+				}
+				for i, b := range got[q] {
+					if b != byte(q*10+i) {
+						return fmt.Errorf("blob %d byte %d: got %d", q, i, b)
+					}
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestConformanceBroadcast(t *testing.T) {
+	const p, n = 3, 17
+	for root := 0; root < p; root++ {
+		t.Run(fmt.Sprintf("root=%d", root), func(t *testing.T) {
+			forEachTransport(t, p, func(t *testing.T, ts []Transport) {
+				want := make([]float64, n)
+				for i := range want {
+					want[i] = float64(i) + float64(root)*100
+				}
+				runGroup(t, ts, func(c *Communicator) error {
+					buf := make([]float64, n)
+					if c.Rank() == root {
+						copy(buf, want)
+					}
+					if err := c.Broadcast(buf, root); err != nil {
+						return err
+					}
+					for i := range buf {
+						if buf[i] != want[i] {
+							return fmt.Errorf("rank %d elem %d: got %v want %v", c.Rank(), i, buf[i], want[i])
+						}
+					}
+					return nil
+				})
+			})
+		})
+	}
+}
+
+func TestConformanceTreeBroadcast(t *testing.T) {
+	const p, n = 5, 29
+	for root := 0; root < p; root++ {
+		t.Run(fmt.Sprintf("root=%d", root), func(t *testing.T) {
+			forEachTransport(t, p, func(t *testing.T, ts []Transport) {
+				want := make([]float64, n)
+				for i := range want {
+					want[i] = float64(i*i) - float64(root)
+				}
+				runGroup(t, ts, func(c *Communicator) error {
+					buf := make([]float64, n)
+					if c.Rank() == root {
+						copy(buf, want)
+					}
+					if err := c.TreeBroadcast(buf, root); err != nil {
+						return err
+					}
+					for i := range buf {
+						if buf[i] != want[i] {
+							return fmt.Errorf("rank %d elem %d: got %v want %v", c.Rank(), i, buf[i], want[i])
+						}
+					}
+					return nil
+				})
+			})
+		})
+	}
+}
+
+func TestConformanceReduceScatterSum(t *testing.T) {
+	const p, n = 4, 37
+	forEachTransport(t, p, func(t *testing.T, ts []Transport) {
+		inputs, want := makeInputs(p, n, 13)
+		runGroup(t, ts, func(c *Communicator) error {
+			buf := append([]float64(nil), inputs[c.Rank()]...)
+			lo, hi, err := c.ReduceScatterSum(buf)
+			if err != nil {
+				return err
+			}
+			wlo, whi := chunkRange(n, p, (c.Rank()+1)%p)
+			if lo != wlo || hi != whi {
+				return fmt.Errorf("rank %d owns [%d,%d), want [%d,%d)", c.Rank(), lo, hi, wlo, whi)
+			}
+			for i := lo; i < hi; i++ {
+				if math.Abs(buf[i]-want[i]) > 1e-9 {
+					return fmt.Errorf("owned elem %d: got %v want %v", i, buf[i], want[i])
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestConformanceRingAllGatherFloats(t *testing.T) {
+	const p, n = 4, 9
+	forEachTransport(t, p, func(t *testing.T, ts []Transport) {
+		runGroup(t, ts, func(c *Communicator) error {
+			local := make([]float64, n)
+			for i := range local {
+				local[i] = float64(c.Rank()*100 + i)
+			}
+			got, err := c.RingAllGatherFloats(local)
+			if err != nil {
+				return err
+			}
+			for q := 0; q < p; q++ {
+				for i := 0; i < n; i++ {
+					if got[q][i] != float64(q*100+i) {
+						return fmt.Errorf("chunk %d elem %d: got %v", q, i, got[q][i])
+					}
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestConformanceExchangeWith(t *testing.T) {
+	const p = 4
+	forEachTransport(t, p, func(t *testing.T, ts []Transport) {
+		runGroup(t, ts, func(c *Communicator) error {
+			peer := c.Rank() ^ 1 // pairs (0,1) and (2,3)
+			local := []byte{byte(c.Rank()), byte(c.Rank() + 100)}
+			got, err := c.ExchangeWith(peer, local)
+			if err != nil {
+				return err
+			}
+			if len(got) != 2 || got[0] != byte(peer) || got[1] != byte(peer+100) {
+				return fmt.Errorf("rank %d got %v from %d", c.Rank(), got, peer)
+			}
+			return nil
+		})
+	})
+}
+
+func TestConformanceBarrier(t *testing.T) {
+	forEachTransport(t, 4, func(t *testing.T, ts []Transport) {
+		runGroup(t, ts, func(c *Communicator) error { return c.Barrier() })
+	})
+}
+
+// TestConformanceSingleRankShortCircuits: collectives on a one-rank group
+// are identities and must not touch the (empty) wire.
+func TestConformanceSingleRankShortCircuits(t *testing.T) {
+	forEachTransport(t, 1, func(t *testing.T, ts []Transport) {
+		c := NewCommunicator(ts[0])
+		buf := []float64{1, 2, 3}
+		if err := c.AllReduceSum(buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != 1 || buf[2] != 3 {
+			t.Fatal("single-rank all-reduce must be identity")
+		}
+		blobs, err := c.AllGather([]byte{9})
+		if err != nil || len(blobs) != 1 || blobs[0][0] != 9 {
+			t.Fatalf("single-rank all-gather wrong: %v %v", blobs, err)
+		}
+		a := NewAsync(c)
+		defer a.Close()
+		if err := a.AllReduceSumAsync(buf).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// --- point-to-point contract --------------------------------------------
+
+func TestConformanceSendRecvFIFO(t *testing.T) {
+	forEachTransport(t, 2, func(t *testing.T, ts []Transport) {
+		const msgs = 8
+		for i := 0; i < msgs; i++ {
+			if err := ts[0].Send(1, []byte{byte(i), byte(i * 3)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < msgs; i++ {
+			got, err := ts[1].Recv(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 2 || got[0] != byte(i) || got[1] != byte(i*3) {
+				t.Fatalf("message %d out of order or corrupt: %v", i, got)
+			}
+			ts[1].Release(got)
+		}
+	})
+}
+
+func TestConformancePeerValidation(t *testing.T) {
+	forEachTransport(t, 2, func(t *testing.T, ts []Transport) {
+		if err := ts[0].Send(0, nil); err == nil {
+			t.Fatal("expected self-send rejection")
+		}
+		if err := ts[0].Send(9, nil); err == nil {
+			t.Fatal("expected out-of-range send rejection")
+		}
+		if _, err := ts[0].Recv(0); err == nil {
+			t.Fatal("expected self-recv rejection")
+		}
+		if _, err := ts[0].Recv(-1); err == nil {
+			t.Fatal("expected out-of-range recv rejection")
+		}
+	})
+}
+
+// --- pooled-buffer ownership --------------------------------------------
+
+func TestConformanceLeaseDeliversBytes(t *testing.T) {
+	forEachTransport(t, 2, func(t *testing.T, ts []Transport) {
+		msg := ts[0].Lease(64)
+		if len(msg) != 64 {
+			t.Fatalf("lease length %d, want 64", len(msg))
+		}
+		for i := range msg {
+			msg[i] = byte(i * 7)
+		}
+		if err := ts[0].SendNoCopy(1, msg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ts[1].Recv(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range got {
+			if b != byte(i*7) {
+				t.Fatalf("byte %d: got %d want %d", i, b, byte(i*7))
+			}
+		}
+		// Receiver-side Release must always be safe, as must double release
+		// and releasing foreign or sub-sliced buffers.
+		ts[1].Release(got)
+		ts[1].Release(got)
+		ts[1].Release(make([]byte, 32))
+		if len(got) > 8 {
+			ts[1].Release(got[8:])
+		}
+	})
+}
+
+func TestConformanceRetainKeepsBuffer(t *testing.T) {
+	forEachTransport(t, 2, func(t *testing.T, ts []Transport) {
+		buf := ts[0].Lease(48)
+		buf[0] = 211
+		ts[0].Retain(buf)
+		ts[0].Release(buf) // no-op: already retained
+		again := ts[0].Lease(48)
+		if &again[:cap(again)][0] == &buf[:cap(buf)][0] {
+			t.Fatal("retained buffer re-entered the pool")
+		}
+		if buf[0] != 211 {
+			t.Fatal("retained buffer contents changed")
+		}
+		// Zero-length operations are safe everywhere.
+		z := ts[0].Lease(0)
+		ts[0].Release(z)
+		ts[0].Retain(z)
+	})
+}
+
+func TestConformanceLeaseRecyclesAfterRelease(t *testing.T) {
+	forEachTransport(t, 2, func(t *testing.T, ts []Transport) {
+		a := ts[0].Lease(100)
+		ts[0].Release(a)
+		b := ts[0].Lease(90) // same size class
+		if &b[:cap(b)][0] != &a[:cap(a)][0] {
+			t.Fatal("release/lease did not recycle the buffer")
+		}
+		ts[0].Release(b)
+	})
+}
+
+// --- async handle semantics ---------------------------------------------
+
+func TestConformanceAsyncFIFO(t *testing.T) {
+	const p, n, rounds = 3, 41, 4
+	forEachTransport(t, p, func(t *testing.T, ts []Transport) {
+		inputs, want := makeInputs(p, n, 99)
+		var wg sync.WaitGroup
+		errs := make([]error, p)
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				a := NewAsync(NewCommunicator(ts[r]))
+				defer a.Close()
+				bufs := make([][]float64, rounds)
+				handles := make([]*Pending, rounds)
+				for k := 0; k < rounds; k++ {
+					bufs[k] = append([]float64(nil), inputs[r]...)
+					handles[k] = a.AllReduceSumAsync(bufs[k])
+				}
+				// Waiting the last handle implies all earlier ones finished:
+				// launches are FIFO on one goroutine.
+				if err := handles[rounds-1].Wait(); err != nil {
+					errs[r] = err
+					for _, tr := range ts {
+						tr.Close()
+					}
+					return
+				}
+				for k := 0; k < rounds; k++ {
+					if !handles[k].Done() {
+						errs[r] = fmt.Errorf("handle %d not done after later handle completed", k)
+						return
+					}
+					if err := handles[k].Wait(); err != nil {
+						errs[r] = err
+						return
+					}
+					for i := range bufs[k] {
+						if math.Abs(bufs[k][i]-want[i]) > 1e-9 {
+							errs[r] = fmt.Errorf("round %d elem %d: got %v want %v", k, i, bufs[k][i], want[i])
+							return
+						}
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d: %v", r, err)
+			}
+		}
+	})
+}
+
+func TestConformanceAsyncAllGather(t *testing.T) {
+	const p = 3
+	forEachTransport(t, p, func(t *testing.T, ts []Transport) {
+		var wg sync.WaitGroup
+		errs := make([]error, p)
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				a := NewAsync(NewCommunicator(ts[r]))
+				defer a.Close()
+				local := []byte{byte(r + 1), byte(r + 2)}
+				g := a.AllGatherAsync(local)
+				blobs, err := g.Wait()
+				if err != nil {
+					errs[r] = err
+					for _, tr := range ts {
+						tr.Close()
+					}
+					return
+				}
+				if !g.Done() {
+					errs[r] = errors.New("Done() false after Wait returned")
+					return
+				}
+				for q := 0; q < p; q++ {
+					if len(blobs[q]) != 2 || blobs[q][0] != byte(q+1) || blobs[q][1] != byte(q+2) {
+						errs[r] = fmt.Errorf("blob %d wrong: %v", q, blobs[q])
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d: %v", r, err)
+			}
+		}
+	})
+}
+
+// waitWithTimeout fails the test if the handle does not complete promptly —
+// the conformance meaning of "close during pending must not deadlock".
+func waitWithTimeout(t *testing.T, wait func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("pending operation did not complete after transport close")
+		return nil
+	}
+}
+
+func TestConformanceCloseDuringPending(t *testing.T) {
+	const p = 3
+	forEachTransport(t, p, func(t *testing.T, ts []Transport) {
+		// Rank 0 launches a collective its peers never join: it blocks inside
+		// the transport until the group is closed underneath it.
+		a := NewAsync(NewCommunicator(ts[0]))
+		defer a.Close()
+		stuck := a.AllReduceSumAsync(make([]float64, 64))
+		queued := a.AllReduceSumAsync(make([]float64, 64))
+		time.Sleep(10 * time.Millisecond) // let the first launch block in Recv
+		for _, tr := range ts {
+			tr.Close()
+		}
+		if err := waitWithTimeout(t, stuck.Wait); err == nil {
+			t.Fatal("stuck collective reported success after close")
+		}
+		if err := waitWithTimeout(t, queued.Wait); err == nil {
+			t.Fatal("queued collective reported success after close")
+		}
+		// The transport stays failed for later operations.
+		if err := ts[0].Send(1, []byte{1}); err == nil {
+			t.Fatal("send after close should fail")
+		}
+	})
+}
+
+func TestConformanceAsyncCloseFailsQueuedOps(t *testing.T) {
+	forEachTransport(t, 2, func(t *testing.T, ts []Transport) {
+		a := NewAsync(NewCommunicator(ts[0]))
+		// Block the launch goroutine on a collective the peer never joins,
+		// then queue another op behind it and close the async layer: the
+		// queued op must fail with ErrClosed without ever launching.
+		stuck := a.AllReduceSumAsync(make([]float64, 8))
+		queued := a.AllReduceSumAsync(make([]float64, 8))
+		time.Sleep(5 * time.Millisecond)
+		for _, tr := range ts {
+			tr.Close() // unblock the in-flight launch so Close can join the loop
+		}
+		if err := a.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := waitWithTimeout(t, stuck.Wait); err == nil {
+			t.Fatal("stuck op reported success")
+		}
+		if err := waitWithTimeout(t, queued.Wait); err == nil {
+			t.Fatal("queued op reported success")
+		}
+		// Submissions after Close fail immediately with ErrClosed.
+		late := a.AllReduceSumAsync(make([]float64, 8))
+		if err := waitWithTimeout(t, late.Wait); !errors.Is(err, ErrClosed) {
+			t.Fatalf("post-close submit: got %v, want ErrClosed", err)
+		}
+	})
+}
+
+func TestConformanceCloseIdempotentAndConcurrent(t *testing.T) {
+	forEachTransport(t, 3, func(t *testing.T, ts []Transport) {
+		var wg sync.WaitGroup
+		for _, tr := range ts {
+			wg.Add(1)
+			go func(tr Transport) {
+				defer wg.Done()
+				if err := tr.Close(); err != nil {
+					t.Error(err)
+				}
+				if err := tr.Close(); err != nil {
+					t.Error(err)
+				}
+			}(tr)
+		}
+		wg.Wait()
+	})
+}
+
+// TestConformanceRecvAfterCloseFails: closing a rank's own endpoint must
+// unblock its pending Recv with an error. (Only the in-process transport
+// additionally propagates one rank's Close to the whole group.)
+func TestConformanceRecvAfterCloseFails(t *testing.T) {
+	forEachTransport(t, 2, func(t *testing.T, ts []Transport) {
+		done := make(chan error, 1)
+		go func() {
+			_, err := ts[0].Recv(1)
+			done <- err
+		}()
+		time.Sleep(5 * time.Millisecond)
+		ts[0].Close()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("expected error from Recv after close")
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("Recv did not unblock after close")
+		}
+	})
+}

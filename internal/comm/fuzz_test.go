@@ -1,0 +1,46 @@
+package comm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzFloatCodec drives the wire codec with arbitrary byte payloads: decode
+// followed by encode must reproduce the input bit-for-bit (including NaN
+// payloads and negative zeros — the codec moves IEEE-754 bit patterns, not
+// values), and the fused decode+accumulate path must agree with the scalar
+// reference on every word.
+func FuzzFloatCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(bytes.Repeat([]byte{0xff}, 64)) // NaN bit patterns
+	f.Add(bytes.Repeat([]byte{0x00}, 40))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xf0, 0x7f, 0, 0, 0, 0, 0, 0, 0xf0, 0xff}) // ±Inf
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := len(raw) / 8
+		src := raw[:8*n]
+
+		vals := make([]float64, n)
+		decodeFloatsInto(vals, src)
+		out := make([]byte, 8*n)
+		encodeFloatsInto(out, vals)
+		if !bytes.Equal(out, src) {
+			t.Fatalf("decode/encode not bit-exact for %d words", n)
+		}
+
+		// Fused decode+accumulate == decode then scalar add, bit for bit.
+		acc := make([]float64, n)
+		ref := make([]float64, n)
+		for i := range acc {
+			acc[i] = float64(i) * 0.5
+			ref[i] = acc[i] + vals[i]
+		}
+		addFloatsFrom(acc, src)
+		for i := range acc {
+			if math.Float64bits(acc[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("word %d: fused add %x, scalar add %x", i, math.Float64bits(acc[i]), math.Float64bits(ref[i]))
+			}
+		}
+	})
+}

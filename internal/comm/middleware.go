@@ -1,0 +1,93 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// This file holds Transport decorators used by benchmarks and tests:
+// WithLatency models a slow interconnect on top of the in-process transport
+// (so overlap benchmarks have communication worth hiding), and
+// WithFaultAfter injects deterministic communication failures (so error
+// paths through the overlap scheduler can be exercised without real network
+// faults). Both delegate the pooled-buffer contract verbatim to the wrapped
+// transport.
+
+// ErrInjected is the sentinel wrapped by every failure a fault-injected
+// transport produces; test assertions match it with errors.Is.
+var ErrInjected = errors.New("comm: injected fault")
+
+// latencyTransport delays every message delivery by a fixed duration,
+// emulating a per-hop wire time on transports that are otherwise
+// memory-speed.
+type latencyTransport struct {
+	Transport
+	delay time.Duration
+}
+
+// WithLatency wraps t so every Recv completes no earlier than delay after
+// the message is consumed — the alpha term of the alpha-beta network model
+// applied per hop. A non-positive delay returns t unchanged.
+func WithLatency(t Transport, delay time.Duration) Transport {
+	if delay <= 0 {
+		return t
+	}
+	return &latencyTransport{Transport: t, delay: delay}
+}
+
+func (l *latencyTransport) Recv(from int) ([]byte, error) {
+	data, err := l.Transport.Recv(from)
+	if err != nil {
+		return nil, err
+	}
+	time.Sleep(l.delay)
+	return data, nil
+}
+
+// faultTransport fails every point-to-point operation once a budget of
+// healthy operations is spent.
+type faultTransport struct {
+	Transport
+	budget atomic.Int64
+}
+
+// WithFaultAfter wraps t so the first n Send/SendNoCopy/Recv operations
+// succeed and every later one fails with an error wrapping ErrInjected. The
+// wrapped transport is otherwise untouched, so a failed SendNoCopy leaves
+// buffer ownership with the caller exactly as the Transport contract
+// specifies (callers release the lease on error).
+func WithFaultAfter(t Transport, n int) Transport {
+	f := &faultTransport{Transport: t}
+	f.budget.Store(int64(n))
+	return f
+}
+
+func (f *faultTransport) spend(op string, peer int) error {
+	if f.budget.Add(-1) < 0 {
+		return fmt.Errorf("comm: %s peer %d: %w", op, peer, ErrInjected)
+	}
+	return nil
+}
+
+func (f *faultTransport) Send(to int, data []byte) error {
+	if err := f.spend("send", to); err != nil {
+		return err
+	}
+	return f.Transport.Send(to, data)
+}
+
+func (f *faultTransport) SendNoCopy(to int, buf []byte) error {
+	if err := f.spend("send", to); err != nil {
+		return err
+	}
+	return f.Transport.SendNoCopy(to, buf)
+}
+
+func (f *faultTransport) Recv(from int) ([]byte, error) {
+	if err := f.spend("recv", from); err != nil {
+		return nil, err
+	}
+	return f.Transport.Recv(from)
+}

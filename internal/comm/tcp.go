@@ -230,6 +230,13 @@ func (t *tcpTransport) Send(to int, data []byte) error {
 		return fmt.Errorf("comm: bad peer %d", to)
 	}
 	select {
+	case <-t.closed:
+		// Check first: the buffered outbox would otherwise accept the
+		// message even though no writer goroutine remains to drain it.
+		return ErrClosed
+	default:
+	}
+	select {
 	case t.outbox[to] <- data:
 		return nil
 	case <-t.closed:

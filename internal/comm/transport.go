@@ -130,6 +130,13 @@ func (t *inprocTransport) Send(to int, data []byte) error {
 		return err
 	}
 	select {
+	case <-t.g.done:
+		// Check first: the buffered channel would otherwise accept the
+		// message of a closed group (select picks ready cases at random).
+		return ErrClosed
+	default:
+	}
+	select {
 	case t.g.chans[t.rank][to] <- data:
 		return nil
 	case <-t.g.done:

@@ -57,6 +57,10 @@ type TrainConfig struct {
 
 	Seed   int64
 	UseTCP bool
+	// NoOverlap disables wait-free backprop: collectives launch only after
+	// the full backward pass (bit-identical to the default overlapped
+	// schedule, but slower — a measurement/debugging knob).
+	NoOverlap bool
 }
 
 func (c *TrainConfig) withDefaults() TrainConfig {
@@ -214,6 +218,7 @@ func Train(cfg TrainConfig) (*train.History, error) {
 		TopKRatio:    c.TopKRatio,
 		DisableEF:    c.DisableEF,
 		DisableReuse: c.DisableReuse,
+		Overlap:      overlapMode(c.NoOverlap),
 		Seed:         c.Seed,
 		UseTCP:       c.UseTCP,
 	}, build, trainSet, testSet)
@@ -243,6 +248,18 @@ type IterationConfig struct {
 	BufferBytes int
 	NoFusion    bool
 	SlowOrth    bool
+	// NoOverlap defers collectives until backward completes (the trainer's
+	// Overlap=off schedule) in the performance model, so predicted and
+	// measured overlap gains can be compared.
+	NoOverlap bool
+}
+
+// overlapMode maps the facade's boolean onto the trainer's knob.
+func overlapMode(noOverlap bool) train.Overlap {
+	if noOverlap {
+		return train.OverlapOff
+	}
+	return train.OverlapOn
 }
 
 // SimulateIteration runs the performance model for one training iteration.
@@ -290,6 +307,7 @@ func SimulateIteration(cfg IterationConfig) (sim.Result, error) {
 		BufferBytes: cfg.BufferBytes,
 		NoFusion:    cfg.NoFusion,
 		SlowOrth:    cfg.SlowOrth,
+		NoOverlap:   cfg.NoOverlap,
 	})
 }
 

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"acpsgd/internal/tensor"
+)
+
+// TestBackwardHookedOrdering pins the WFBP readiness contract the trainer
+// builds on: parameter hooks fire in strict "last parameter first" order,
+// each layer's hook fires after all of that layer's parameter hooks, and
+// layer indices count down to 0 — so li == 0 marks the final gradient of
+// the step.
+func TestBackwardHookedOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewModel(
+		NewDense("a", 4, 6, rng),
+		NewReLU("r"),
+		NewDense("b", 6, 5, rng),
+		NewDense("c", 5, 3, rng),
+	)
+	x := tensor.New(2, 4)
+	x.Randomize(rng, 1)
+	dout := tensor.New(2, 3)
+	dout.Randomize(rng, 1)
+	m.Forward(x)
+
+	type event struct {
+		kind  string // "param" or "layer"
+		name  string
+		layer int
+	}
+	var events []event
+	m.BackwardHooked(dout,
+		func(p *Param) { events = append(events, event{kind: "param", name: p.Name}) },
+		func(li int, l Layer) { events = append(events, event{kind: "layer", name: l.Name(), layer: li}) },
+	)
+
+	var want []event
+	layers := m.Layers()
+	for i := len(layers) - 1; i >= 0; i-- {
+		ps := layers[i].Params()
+		for j := len(ps) - 1; j >= 0; j-- {
+			want = append(want, event{kind: "param", name: ps[j].Name})
+		}
+		want = append(want, event{kind: "layer", name: layers[i].Name(), layer: i})
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d", len(events), len(want))
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, events[i], want[i])
+		}
+	}
+	if last := events[len(events)-1]; last.kind != "layer" || last.layer != 0 {
+		t.Fatalf("final event must be layer 0 readiness, got %+v", last)
+	}
+}
+
+// TestBackwardEqualsBackwardHooked: the legacy Backward entry point is the
+// hook-less specialization of BackwardHooked; gradients must be identical.
+func TestBackwardEqualsBackwardHooked(t *testing.T) {
+	build := func() (*Model, *tensor.Matrix, *tensor.Matrix) {
+		rng := rand.New(rand.NewSource(11))
+		m := NewModel(NewDense("a", 3, 5, rng), NewReLU("r"), NewDense("b", 5, 2, rng))
+		x := tensor.New(4, 3)
+		x.Randomize(rng, 1)
+		dout := tensor.New(4, 2)
+		dout.Randomize(rng, 1)
+		return m, x, dout
+	}
+	m1, x1, d1 := build()
+	m1.Forward(x1)
+	m1.Backward(d1, nil)
+	m2, x2, d2 := build()
+	m2.Forward(x2)
+	m2.BackwardHooked(d2, nil, func(int, Layer) {})
+	p1, p2 := m1.Params(), m2.Params()
+	for i := range p1 {
+		for j := range p1[i].Grad.Data {
+			if p1[i].Grad.Data[j] != p2[i].Grad.Data[j] {
+				t.Fatalf("param %s grad[%d] differs", p1[i].Name, j)
+			}
+		}
+	}
+}

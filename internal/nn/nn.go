@@ -47,6 +47,14 @@ type Layer interface {
 // gradient is fully computed (wait-free back-propagation attachment point).
 type GradHook func(p *Param)
 
+// LayerHook is invoked during back-propagation after one layer's backward
+// pass and all of its parameter GradHooks have completed. li is the layer's
+// index in forward order, so hooks fire with li counting down and li == 0
+// marks the moment the model's last gradient has landed — the earliest
+// point a trainer can seal and launch its final communication buckets,
+// without waiting for Backward to unwind.
+type LayerHook func(li int, l Layer)
+
 // Model is a sequential stack of layers.
 type Model struct {
 	layers []Layer
@@ -90,6 +98,13 @@ func (m *Model) Forward(x *tensor.Matrix) *tensor.Matrix {
 // layer's backward completes, in reverse layer order — gradients of later
 // layers are ready first, exactly the WFBP schedule of Fig. 1(b).
 func (m *Model) Backward(dout *tensor.Matrix, hook GradHook) {
+	m.BackwardHooked(dout, hook, nil)
+}
+
+// BackwardHooked is Backward with an additional per-layer readiness hook:
+// after each layer's backward completes and its parameter hooks have fired,
+// layerHook (when non-nil) receives the layer. Either hook may be nil.
+func (m *Model) BackwardHooked(dout *tensor.Matrix, hook GradHook, layerHook LayerHook) {
 	for i := len(m.layers) - 1; i >= 0; i-- {
 		l := m.layers[i]
 		dout = l.Backward(dout)
@@ -100,6 +115,9 @@ func (m *Model) Backward(dout *tensor.Matrix, hook GradHook) {
 			for j := len(ps) - 1; j >= 0; j-- {
 				hook(ps[j])
 			}
+		}
+		if layerHook != nil {
+			layerHook(i, l)
 		}
 	}
 }

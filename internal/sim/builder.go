@@ -187,6 +187,31 @@ func (b *builder) payloadBytesFor(t tensorInfo) float64 {
 	return 0
 }
 
+// deferCommAfterBackward retrofits the Overlap=off schedule onto a built
+// task graph: every network task and every side-stream pipeline task gains
+// the final backward task as an extra dependency, so nothing launches until
+// back-propagation completes. Bucketing (and therefore message sizes and
+// counts) is untouched — this is exactly the launch-deferral the trainer's
+// Overlap knob performs, the term that turns overlapped communication into
+// non-overlapped step time.
+func (b *builder) deferCommAfterBackward() {
+	var lastBwd *task
+	for _, t := range b.eng.streams[mainStream] {
+		if t.kind == kindFwdBwd {
+			lastBwd = t
+		}
+	}
+	if lastBwd == nil {
+		return
+	}
+	for _, t := range b.eng.streams[netStream] {
+		t.deps = append(t.deps, lastBwd)
+	}
+	for _, t := range b.eng.streams[sideStream] {
+		t.deps = append(t.deps, lastBwd)
+	}
+}
+
 // allReduce appends an all-reduce task for `bytes` and records the payload.
 func (b *builder) allReduce(bytes float64, deps ...*task) *task {
 	b.payloadBytes += bytes

@@ -94,6 +94,12 @@ type Config struct {
 	SlowOrth bool
 	// DisableEF removes the error-feedback compute (cost ablation only).
 	DisableEF bool
+	// NoOverlap defers every collective (and post-backward pipeline stage)
+	// until the full backward pass has finished while keeping the mode's
+	// bucketing — the same schedule train.Config's Overlap=off selects, so
+	// predicted and measured step times compare like for like. It differs
+	// from ModeNaive, which also changes how tensors are packed.
+	NoOverlap bool
 
 	// parity selects ACP's P step (0) or Q step (1); Simulate averages
 	// both automatically.
@@ -230,6 +236,9 @@ func simulateOnce(cfg *Config) (Result, error) {
 		b.buildACP()
 	case MethodPower:
 		b.buildPower()
+	}
+	if cfg.NoOverlap {
+		b.deferCommAfterBackward()
 	}
 	acct, err := b.eng.run()
 	if err != nil {

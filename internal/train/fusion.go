@@ -1,6 +1,7 @@
 package train
 
 import (
+	"acpsgd/internal/comm"
 	"acpsgd/internal/compress"
 	"acpsgd/internal/nn"
 )
@@ -27,7 +28,8 @@ type additiveEntry struct {
 type additiveBuffer struct {
 	data    []float64
 	entries []additiveEntry
-	err     error // set by the comm task
+	pending *comm.Pending // in-flight async all-reduce, nil once drained
+	err     error         // set when the collective (or its launch) fails
 }
 
 // gatherEntry records a parameter's slice inside a packed raw-gradient
@@ -44,7 +46,9 @@ type gatherEntry struct {
 type gatherBuffer struct {
 	packed  []float64
 	entries []gatherEntry
-	index   int // stable buffer index for per-buffer compressor state
+	index   int    // stable buffer index for per-buffer compressor state
+	blob    []byte // local encoded payload, produced at seal time
+	pending *comm.GatherPending
 	blobs   [][]byte
 	err     error
 }

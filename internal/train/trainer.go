@@ -1,6 +1,7 @@
 package train
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -11,6 +12,34 @@ import (
 	"acpsgd/internal/data"
 	"acpsgd/internal/nn"
 )
+
+// Overlap selects when sealed fusion buffers launch their collectives
+// relative to back-propagation.
+type Overlap int
+
+const (
+	// OverlapOn (the zero value) is the paper's wait-free schedule: a
+	// bucket's collective launches the moment its last gradient lands, so
+	// communication hides behind the rest of backward (§IV, Fig. 4(c)).
+	OverlapOn Overlap = iota
+	// OverlapOff defers every launch to the end of back-propagation. The
+	// launches replay in the identical seal order, so the two modes produce
+	// bit-identical models — OverlapOff exists to measure what overlap buys
+	// and to debug scheduling, not as a different algorithm.
+	OverlapOff
+)
+
+// String names the overlap mode.
+func (o Overlap) String() string {
+	switch o {
+	case OverlapOn:
+		return "on"
+	case OverlapOff:
+		return "off"
+	default:
+		return fmt.Sprintf("Overlap(%d)", int(o))
+	}
+}
 
 // Config configures a distributed training run.
 type Config struct {
@@ -51,12 +80,21 @@ type Config struct {
 	BufferBytes int
 	NoFusion    bool
 
+	// Overlap selects the wait-free (default) or deferred-launch comm
+	// schedule; see the Overlap type. Both schedules are bit-identical.
+	Overlap Overlap
+
 	// Seed makes runs reproducible; all replicas derive their identical
 	// initial weights from it.
 	Seed int64
 	// UseTCP runs the collectives over loopback TCP instead of in-process
 	// channels.
 	UseTCP bool
+	// NewTransports overrides transport construction — benchmarks and
+	// tests inject latency or faults here (see comm.WithLatency,
+	// comm.WithFaultAfter). When nil, UseTCP picks loopback TCP or
+	// in-process channels.
+	NewTransports func(workers int) ([]comm.Transport, error)
 	// EvalEvery evaluates test accuracy every EvalEvery epochs (default 1).
 	EvalEvery int
 
@@ -75,6 +113,11 @@ func (cfg *Config) validate() error {
 	}
 	if cfg.Epochs < 1 {
 		return fmt.Errorf("train: epochs must be >= 1, got %d", cfg.Epochs)
+	}
+	switch cfg.Overlap {
+	case OverlapOn, OverlapOff:
+	default:
+		return fmt.Errorf("train: unknown overlap mode %v", cfg.Overlap)
 	}
 	spec := cfg.Spec
 	if spec.Name == "" {
@@ -158,87 +201,193 @@ func (h *History) BestTestAcc() float64 {
 	return best
 }
 
-// Run trains build()'s model with cfg over trainSet, evaluating on testSet.
-// Every worker constructs its model from the same seed, so replicas start
-// identical; aggregation keeps them identical (asserted in tests).
-func Run(cfg Config, build func(rng *rand.Rand) *nn.Model, trainSet, testSet *data.Dataset) (*History, error) {
+// Cluster is a live group of synchronized data-parallel workers that step in
+// lockstep — the exported stepping surface under Run. Benchmarks drive
+// Step() directly to time individual iterations; tests use it to inspect
+// models between steps. A Cluster owns its transports and workers; always
+// Close it.
+type Cluster struct {
+	cfg        Config
+	workers    []*worker
+	transports []comm.Transport
+
+	stepsPerEpoch int
+	abortOnce     sync.Once
+	closeOnce     sync.Once
+}
+
+// NewCluster validates the config, builds the transport group (one rank per
+// worker) and constructs every replica from the same seed, so workers start
+// identical.
+func NewCluster(cfg Config, build func(rng *rand.Rand) *nn.Model, trainSet *data.Dataset) (*Cluster, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
-	}
-	if cfg.EvalEvery < 1 {
-		cfg.EvalEvery = 1
 	}
 
 	var transports []comm.Transport
 	var err error
-	if cfg.UseTCP {
+	switch {
+	case cfg.NewTransports != nil:
+		transports, err = cfg.NewTransports(cfg.Workers)
+		if err == nil && len(transports) != cfg.Workers {
+			for _, t := range transports {
+				t.Close()
+			}
+			err = fmt.Errorf("train: NewTransports built %d transports for %d workers", len(transports), cfg.Workers)
+		}
+	case cfg.UseTCP:
 		transports, err = comm.NewTCPGroup(cfg.Workers)
-	} else {
+	default:
 		transports, err = comm.NewInprocGroup(cfg.Workers, 0)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("train: transport: %w", err)
 	}
-	defer func() {
-		for _, t := range transports {
-			t.Close()
-		}
-	}()
 
-	workers := make([]*worker, cfg.Workers)
+	c := &Cluster{cfg: cfg, transports: transports}
 	for r := 0; r < cfg.Workers; r++ {
 		model := build(rand.New(rand.NewSource(cfg.Seed)))
 		shard, err := trainSet.Shard(r, cfg.Workers)
 		if err != nil {
+			c.Close()
 			return nil, err
 		}
-		w, err := newWorker(r, &cfg, model, comm.NewCommunicator(transports[r]), shard)
+		w, err := newWorker(r, &c.cfg, model, comm.NewCommunicator(transports[r]), shard)
 		if err != nil {
+			c.Close()
 			return nil, err
 		}
-		workers[r] = w
+		c.workers = append(c.workers, w)
 	}
-	defer func() {
-		for _, w := range workers {
+	c.stepsPerEpoch = c.workers[0].batch.StepsPerEpoch()
+	return c, nil
+}
+
+// StepsPerEpoch returns the number of steps that cover one epoch of the
+// sharded training set.
+func (c *Cluster) StepsPerEpoch() int { return c.stepsPerEpoch }
+
+// Size returns the number of workers.
+func (c *Cluster) Size() int { return len(c.workers) }
+
+// SetLR sets every worker's learning rate.
+func (c *Cluster) SetLR(lr float64) {
+	for _, w := range c.workers {
+		w.opt.SetLR(lr)
+	}
+}
+
+// Model returns the given rank's model (live; the next Step mutates it).
+func (c *Cluster) Model(rank int) *nn.Model { return c.workers[rank].model }
+
+// Step runs one synchronized training step on every worker and returns
+// worker 0's batch loss. A failing rank aborts the whole group — the
+// transports close so peers blocked in collectives fail fast instead of
+// deadlocking — and Step reports the root cause (preferring a rank's own
+// error over the ErrClosed its peers observe during teardown). After an
+// error the cluster is dead; further Steps fail.
+func (c *Cluster) Step() (float64, error) {
+	losses := make([]float64, len(c.workers))
+	errs := make([]error, len(c.workers))
+	var wg sync.WaitGroup
+	for r, w := range c.workers {
+		wg.Add(1)
+		go func(r int, w *worker) {
+			defer wg.Done()
+			losses[r], errs[r] = w.runStep()
+			if errs[r] != nil {
+				c.abort()
+			}
+		}(r, w)
+	}
+	wg.Wait()
+	if err := firstStepError(errs); err != nil {
+		return 0, err
+	}
+	return losses[0], nil
+}
+
+// firstStepError picks the most causal rank error: the lowest rank whose
+// failure is not just the group teardown (ErrClosed) racing past it, falling
+// back to the lowest-rank error of any kind.
+func firstStepError(errs []error) error {
+	var fallback error
+	for r, err := range errs {
+		if err == nil {
+			continue
+		}
+		if fallback == nil {
+			fallback = fmt.Errorf("rank %d: %w", r, err)
+		}
+		if !errors.Is(err, comm.ErrClosed) {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return fallback
+}
+
+// Evaluate computes worker 0's test accuracy (replicas are identical, so one
+// rank suffices).
+func (c *Cluster) Evaluate(d *data.Dataset) float64 { return c.workers[0].evaluate(d) }
+
+// CheckSync verifies the data-parallel invariant that every worker's weights
+// are identical.
+func (c *Cluster) CheckSync() error { return checkReplicasInSync(c.workers) }
+
+// abort tears the transport group down so every rank's in-flight collective
+// fails fast; idempotent.
+func (c *Cluster) abort() {
+	c.abortOnce.Do(func() {
+		for _, t := range c.transports {
+			t.Close()
+		}
+	})
+}
+
+// Close shuts the cluster down: transports first (unblocking any in-flight
+// collective), then each worker's communication goroutine.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		c.abort()
+		for _, w := range c.workers {
 			w.close()
 		}
-	}()
+	})
+}
 
-	stepsPerEpoch := workers[0].batch.StepsPerEpoch()
+// Run trains build()'s model with cfg over trainSet, evaluating on testSet.
+// Every worker constructs its model from the same seed, so replicas start
+// identical; aggregation keeps them identical (asserted in tests).
+func Run(cfg Config, build func(rng *rand.Rand) *nn.Model, trainSet, testSet *data.Dataset) (*History, error) {
+	if cfg.EvalEvery < 1 {
+		cfg.EvalEvery = 1
+	}
+	c, err := NewCluster(cfg, build, trainSet)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
 	hist := &History{}
 	lastAcc := 0.0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		lr := cfg.Schedule.LR(epoch)
-		for _, w := range workers {
-			w.opt.SetLR(lr)
-		}
+		c.SetLR(lr)
 		var epochLoss float64
-		for s := 0; s < stepsPerEpoch; s++ {
-			losses := make([]float64, cfg.Workers)
-			errs := make([]error, cfg.Workers)
-			var wg sync.WaitGroup
-			for r, w := range workers {
-				wg.Add(1)
-				go func(r int, w *worker) {
-					defer wg.Done()
-					losses[r], errs[r] = w.runStep()
-				}(r, w)
+		for s := 0; s < c.stepsPerEpoch; s++ {
+			loss, err := c.Step()
+			if err != nil {
+				return nil, fmt.Errorf("train: epoch %d step %d: %w", epoch, s, err)
 			}
-			wg.Wait()
-			for r, e := range errs {
-				if e != nil {
-					return nil, fmt.Errorf("train: epoch %d step %d rank %d: %w", epoch, s, r, e)
-				}
-			}
-			epochLoss += losses[0]
+			epochLoss += loss
 		}
 		if (epoch+1)%cfg.EvalEvery == 0 || epoch == cfg.Epochs-1 {
-			lastAcc = workers[0].evaluate(testSet)
+			lastAcc = c.Evaluate(testSet)
 		}
 		hist.Stats = append(hist.Stats, EpochStat{
 			Epoch:     epoch,
 			LR:        lr,
-			TrainLoss: epochLoss / float64(stepsPerEpoch),
+			TrainLoss: epochLoss / float64(c.stepsPerEpoch),
 			TestAcc:   lastAcc,
 		})
 	}
@@ -246,7 +395,7 @@ func Run(cfg Config, build func(rng *rand.Rand) *nn.Model, trainSet, testSet *da
 
 	// Replica-synchronization invariant: all workers must hold identical
 	// weights at the end (data-parallel correctness).
-	if err := checkReplicasInSync(workers); err != nil {
+	if err := c.CheckSync(); err != nil {
 		return nil, err
 	}
 	return hist, nil

@@ -2,7 +2,6 @@ package train
 
 import (
 	"fmt"
-	"sync"
 
 	"acpsgd/internal/comm"
 	"acpsgd/internal/compress"
@@ -12,12 +11,24 @@ import (
 )
 
 // worker is one data-parallel replica: model, optimizer, data shard, a
-// communicator, and the per-method compression state. Gradient hooks fired
-// during back-propagation compress and enqueue communication immediately
-// (wait-free back-propagation); a dedicated communication goroutine drains
-// the queue in deterministic order so collective calls line up across
-// workers, mirroring how the paper serializes NCCL launches on a
-// communication stream.
+// communicator, and the per-method compression state. Each step is a
+// two-stage pipeline:
+//
+//   - Stage 1 (during backward): gradient hooks fired by back-propagation
+//     compress payloads and accumulate them into fusion buffers; a buffer
+//     that seals — the moment its last gradient lands — launches its
+//     collective through the handle-based async communicator (wait-free
+//     back-propagation). With Overlap off the launches are deferred, in the
+//     identical order, to the end of backward.
+//   - Stage 2 (after backward): drain every pending handle, run any
+//     post-backward blocking/pairwise compression chain, then decompress the
+//     aggregated payloads back into parameter gradients and apply the
+//     optimizer step.
+//
+// Launch order equals seal order, and seal order is fixed by the
+// deterministic reverse-order hook schedule, so every rank issues the same
+// collectives in the same order — and Overlap on/off produce bit-identical
+// models (asserted in tests).
 //
 // The worker knows nothing about individual methods: it dispatches on the
 // resolved factory's traits (communication Pattern × state Scope) and builds
@@ -28,6 +39,7 @@ type worker struct {
 	cfg   *Config
 	model *nn.Model
 	com   *comm.Communicator
+	async *comm.AsyncCommunicator
 	opt   *SGD
 	batch *data.Batcher
 	loss  nn.SoftmaxCrossEntropy
@@ -46,9 +58,10 @@ type worker struct {
 	compGroup *fusionGroup
 	gatherGrp *gatherGroup
 
-	commCh chan func()
-	commWG sync.WaitGroup
-	done   chan struct{}
+	// launches replays the step's bucket launches in seal order when
+	// Overlap is off; with Overlap on each launch fires at seal time and
+	// the slice stays empty.
+	launches []func()
 
 	step int
 }
@@ -70,6 +83,7 @@ func newWorker(rank int, cfg *Config, model *nn.Model, c *comm.Communicator, sha
 		cfg:        cfg,
 		model:      model,
 		com:        c,
+		async:      comm.NewAsync(c),
 		opt:        opt,
 		batch:      data.NewBatcher(shard, cfg.BatchPerWorker, cfg.Seed*7919+int64(rank)),
 		isMatrix:   make(map[*nn.Param]bool),
@@ -77,8 +91,6 @@ func newWorker(rank int, cfg *Config, model *nn.Model, c *comm.Communicator, sha
 		blocking:   make(map[*nn.Param]compress.BlockingCompressor),
 		gatherComp: make(map[int]compress.GatherCompressor),
 		pairwise:   make(map[int]compress.PairwiseBlockingCompressor),
-		commCh:     make(chan func(), 256),
-		done:       make(chan struct{}),
 	}
 
 	for i, p := range model.Params() {
@@ -94,6 +106,7 @@ func newWorker(rank int, cfg *Config, model *nn.Model, c *comm.Communicator, sha
 		}
 		st, err := cfg.fac.New(cfg.spec, compress.Tensor{Rows: n, Cols: m, ID: int64(i), WorkerRank: rank})
 		if err != nil {
+			w.close()
 			return nil, fmt.Errorf("train: %s state for %s: %w", cfg.spec.Name, p.Name, err)
 		}
 		// File the state by the factory's declared pattern, not by dynamic
@@ -103,16 +116,19 @@ func newWorker(rank int, cfg *Config, model *nn.Model, c *comm.Communicator, sha
 		case compress.PatternAllReduce:
 			comp, ok := st.(compress.AdditiveCompressor)
 			if !ok {
+				w.close()
 				return nil, fmt.Errorf("train: method %s declares %v but built %T", cfg.spec.Name, cfg.info.Pattern, st)
 			}
 			w.additive[p] = comp
 		case compress.PatternBlocking:
 			comp, ok := st.(compress.BlockingCompressor)
 			if !ok {
+				w.close()
 				return nil, fmt.Errorf("train: method %s declares %v but built %T", cfg.spec.Name, cfg.info.Pattern, st)
 			}
 			w.blocking[p] = comp
 		default:
+			w.close()
 			return nil, fmt.Errorf("train: method %s: pattern %v does not fit matrix scope", cfg.spec.Name, cfg.info.Pattern)
 		}
 	}
@@ -121,8 +137,6 @@ func newWorker(rank int, cfg *Config, model *nn.Model, c *comm.Communicator, sha
 	w.rawGroup = newFusionGroup(rawBudget, w.sealAdditive)
 	w.compGroup = newFusionGroup(rawBudget, w.sealAdditive) // re-budgeted per step parity
 	w.gatherGrp = newGatherGroup(rawBudget, w.sealGather)
-
-	go w.commLoop()
 	return w, nil
 }
 
@@ -138,30 +152,26 @@ func (cfg *Config) bufferBytes() int {
 	return DefaultBufferBytes
 }
 
-func (w *worker) commLoop() {
-	for {
-		select {
-		case task := <-w.commCh:
-			task()
-			w.commWG.Done()
-		case <-w.done:
-			return
-		}
+// close releases the worker's communication goroutine. Close the transport
+// first when collectives may still be in flight.
+func (w *worker) close() { w.async.Close() }
+
+// schedule registers one bucket launch. With Overlap on it fires
+// immediately (the wait-free schedule); with Overlap off it is queued and
+// replayed after backward completes. Either way launches happen in seal
+// order on the same FIFO communication goroutine, which is what makes the
+// two modes issue identical collective sequences.
+func (w *worker) schedule(launch func()) {
+	if w.cfg.Overlap == OverlapOff {
+		w.launches = append(w.launches, launch)
+		return
 	}
+	launch()
 }
-
-func (w *worker) enqueue(task func()) {
-	w.commWG.Add(1)
-	w.commCh <- task
-}
-
-func (w *worker) close() { close(w.done) }
 
 // sealAdditive launches the ring all-reduce for a sealed fused buffer.
 func (w *worker) sealAdditive(buf *additiveBuffer) {
-	w.enqueue(func() {
-		buf.err = w.com.AllReduceSum(buf.data)
-	})
+	w.schedule(func() { buf.pending = w.async.AllReduceSumAsync(buf.data) })
 }
 
 // sealGather compresses the packed gradients (inline, on the worker thread,
@@ -178,10 +188,8 @@ func (w *worker) sealGather(buf *gatherBuffer) {
 		buf.err = err
 		return
 	}
-	blob := comp.Encode(w.step, buf.packed)
-	w.enqueue(func() {
-		buf.blobs, buf.err = w.com.AllGather(blob)
-	})
+	buf.blob = comp.Encode(w.step, buf.packed)
+	w.schedule(func() { buf.pending = w.async.AllGatherAsync(buf.blob) })
 }
 
 // bufferTensor describes a packed gather buffer to the factory. Buffer
@@ -235,6 +243,7 @@ func (w *worker) prepareStep() {
 	w.rawGroup.reset()
 	w.compGroup.reset()
 	w.gatherGrp.reset()
+	w.launches = w.launches[:0]
 	if len(w.additive) == 0 || w.matElems == 0 {
 		return
 	}
@@ -285,6 +294,14 @@ func (w *worker) hook() nn.GradHook {
 	}
 }
 
+// flushGroups seals every partial fusion buffer. Idempotent: an already
+// flushed group is a no-op.
+func (w *worker) flushGroups() {
+	w.rawGroup.flush()
+	w.compGroup.flush()
+	w.gatherGrp.flush()
+}
+
 // runStep executes one full training step and returns the batch loss.
 func (w *worker) runStep() (float64, error) {
 	x, labels := w.batch.Next()
@@ -297,15 +314,26 @@ func (w *worker) runStep() (float64, error) {
 	if hook == nil {
 		return 0, fmt.Errorf("train: method %s has unsupported scope %v", w.cfg.spec.Name, w.cfg.info.Scope)
 	}
-	w.model.Backward(dlogits, hook)
-	w.rawGroup.flush()
-	w.compGroup.flush()
-	w.gatherGrp.flush()
+	// Stage 1: compress + launch on readiness. The layer hook seals the
+	// trailing partial buffers the moment the first layer's backward lands
+	// (the model's last gradients), so final-bucket launches do not wait for
+	// Backward to unwind.
+	w.model.BackwardHooked(dlogits, hook, func(li int, _ nn.Layer) {
+		if li == 0 {
+			w.flushGroups()
+		}
+	})
+	w.flushGroups() // safety net for hook-less edge cases; normally a no-op
+	for _, launch := range w.launches {
+		launch() // Overlap off: replay the bucket launches in seal order
+	}
 
-	// Wait for in-flight collectives, then run any blocking
+	// Stage 2: drain in-flight collectives, then run any blocking
 	// compress+aggregate chain (it must not interleave with queued
 	// collectives or ranks would disagree on operation order).
-	w.commWG.Wait()
+	if err := w.drain(); err != nil {
+		return 0, err
+	}
 	switch w.cfg.info.Pattern {
 	case compress.PatternBlocking:
 		for i := len(w.matrixParams) - 1; i >= 0; i-- {
@@ -336,7 +364,38 @@ func (w *worker) runStep() (float64, error) {
 	return lossVal, nil
 }
 
+// drain waits for every launched collective of the step, in launch order,
+// and returns the first failure. All handles are waited even after an error
+// so no buffer is left with an unobserved pending operation.
+func (w *worker) drain() error {
+	var first error
+	fail := func(err error, op string) {
+		if err != nil && first == nil {
+			first = fmt.Errorf("train: rank %d %s: %w", w.rank, op, err)
+		}
+	}
+	for _, group := range []*fusionGroup{w.rawGroup, w.compGroup} {
+		for _, buf := range group.sealed {
+			if buf.pending != nil {
+				buf.err = buf.pending.Wait()
+				buf.pending = nil
+			}
+			fail(buf.err, "all-reduce")
+		}
+	}
+	for _, buf := range w.gatherGrp.sealed {
+		if buf.pending != nil {
+			buf.blobs, buf.err = buf.pending.Wait()
+			buf.pending = nil
+		}
+		fail(buf.err, "all-gather")
+	}
+	return first
+}
+
 // finalize scatters aggregated payloads back into parameter gradients.
+// drain must have completed first (every buffer's result and error is
+// resolved by then).
 func (w *worker) finalize() error {
 	p := w.com.Size()
 	for _, group := range []*fusionGroup{w.rawGroup, w.compGroup} {
