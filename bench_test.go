@@ -82,10 +82,20 @@ func BenchmarkOverlapStep(b *testing.B) {
 
 func BenchmarkAllGather4x64KB(b *testing.B) { suite(b, "AllGather4x64KB") }
 func BenchmarkBroadcast4x256k(b *testing.B) { suite(b, "Broadcast4x256k") }
-func BenchmarkSignEncode1M(b *testing.B)    { suite(b, "SignEncode1M") }
-func BenchmarkSignDecode1M(b *testing.B)    { suite(b, "SignDecode1M") }
-func BenchmarkTopKExact1M(b *testing.B)     { suite(b, "TopKExact1M") }
-func BenchmarkTopKSampled1M(b *testing.B)   { suite(b, "TopKSampled1M") }
+
+// Compressor kernels: encode throughput plus the fused 4-peer decode at 1M
+// elements (the hottest un-hideable path per the paper's analysis).
+func BenchmarkSignEncode1M(b *testing.B)       { suite(b, "SignEncode1M") }
+func BenchmarkSignDecode1M(b *testing.B)       { suite(b, "SignDecode1M") }
+func BenchmarkSignDecode4x1M(b *testing.B)     { suite(b, "SignDecode4x1M") }
+func BenchmarkTopKExact1M(b *testing.B)        { suite(b, "TopKExact1M") }
+func BenchmarkTopKSampled1M(b *testing.B)      { suite(b, "TopKSampled1M") }
+func BenchmarkTopKDecode4x1M(b *testing.B)     { suite(b, "TopKDecode4x1M") }
+func BenchmarkDGCEncode1M(b *testing.B)        { suite(b, "DGCEncode1M") }
+func BenchmarkDGCDecode4x1M(b *testing.B)      { suite(b, "DGCDecode4x1M") }
+func BenchmarkQSGDEncode1M(b *testing.B)       { suite(b, "QSGDEncode1M") }
+func BenchmarkQSGDDecode4x1M(b *testing.B)     { suite(b, "QSGDDecode4x1M") }
+func BenchmarkTernGradDecode4x1M(b *testing.B) { suite(b, "TernGradDecode4x1M") }
 
 func BenchmarkPowerCompress512x512r4(b *testing.B) { suite(b, "PowerCompress512x512r4") }
 func BenchmarkACPCompress512x512r4(b *testing.B)   { suite(b, "ACPCompress512x512r4") }

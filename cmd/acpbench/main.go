@@ -17,10 +17,14 @@
 //	acpbench -baseline                      # record + diff vs latest
 //	acpbench -baseline -label opt           # BENCH_<date>_opt.json
 //	acpbench -baseline -against BENCH_x.json -threshold 0.10
+//	acpbench -baseline -filter '^(Sign|TopK)' # run a subset of the suite
 //
 // A case whose ns/op regresses by more than -threshold (default 0.15 = 15%)
 // makes acpbench exit with status 1; set -threshold -1 to disable
-// enforcement. This is the perf trajectory the ROADMAP re-anchors on.
+// enforcement. -filter restricts both the recording and the diff to cases
+// matching the regexp (the diff only compares cases present in both
+// baselines, so a filtered run gates exactly its subset). This is the perf
+// trajectory the ROADMAP re-anchors on.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"time"
 
@@ -51,15 +56,29 @@ func run(args []string) int {
 	outDir := fs.String("out", ".", "directory for baseline files")
 	against := fs.String("against", "", "baseline file to diff against (default: most recent BENCH_*.json in -out)")
 	threshold := fs.Float64("threshold", 0.15, "relative ns/op slowdown flagged as a regression; negative disables")
+	filter := fs.String("filter", "", "regexp restricting -baseline to matching suite cases")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	var filterRe *regexp.Regexp
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acpbench: bad -filter: %v\n", err)
+			return 2
+		}
+		filterRe = re
 	}
 	if *list {
 		fmt.Println(strings.Join(exp.Names(), "\n"))
 		return 0
 	}
 	if *baseline {
-		return runBaseline(*outDir, *label, *against, *threshold)
+		return runBaseline(*outDir, *label, *against, *threshold, filterRe)
+	}
+	if filterRe != nil {
+		fmt.Fprintln(os.Stderr, "acpbench: -filter only applies with -baseline")
+		return 2
 	}
 	opts := exp.ConvOptions{Epochs: *epochs, Workers: *workers, Seed: *seed}
 
@@ -81,9 +100,19 @@ func run(args []string) int {
 // runBaseline records a fresh perf baseline and diffs it against the
 // previous one. Exit status 1 means at least one case regressed beyond the
 // threshold.
-func runBaseline(outDir, label, against string, threshold float64) int {
-	fmt.Printf("acpbench: recording perf baseline (%d cases, ~1s each)\n", len(bench.Suite()))
-	bl, err := bench.Record(label, func(line string) { fmt.Println(line) })
+func runBaseline(outDir, label, against string, threshold float64, filter *regexp.Regexp) int {
+	total := 0
+	for _, c := range bench.Suite() {
+		if filter == nil || filter.MatchString(c.Name) {
+			total++
+		}
+	}
+	if total == 0 {
+		fmt.Fprintln(os.Stderr, "acpbench: -filter matches no suite cases; the gate would pass vacuously")
+		return 1
+	}
+	fmt.Printf("acpbench: recording perf baseline (%d cases, ~1s each)\n", total)
+	bl, err := bench.Record(label, filter, func(line string) { fmt.Println(line) })
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acpbench: %v\n", err)
 		return 1
@@ -126,6 +155,13 @@ func runBaseline(outDir, label, against string, threshold float64) int {
 		return 1
 	}
 	lines := bench.Diff(old, bl, threshold)
+	if len(lines) == 0 {
+		// Diff only compares cases present in both baselines; an empty
+		// intersection means the comparison (and any regression gate on it)
+		// is meaningless — renamed cases must not turn the gate green.
+		fmt.Fprintf(os.Stderr, "acpbench: no cases in common with %s; nothing was gated\n", prev)
+		return 1
+	}
 	fmt.Printf("acpbench: diff vs %s (threshold %+.0f%%)\n", prev, threshold*100)
 	fmt.Print(bench.FormatDiff(lines))
 	for _, d := range lines {

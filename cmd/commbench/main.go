@@ -117,8 +117,12 @@ func benchOnce(workers, elems, iters int, tcp bool) (time.Duration, time.Duratio
 		return 0, 0, err
 	}
 	ag, err := run(func(c *comm.Communicator, _ []float64, blob []byte) error {
-		_, err := c.AllGather(blob)
-		return err
+		g, err := c.AllGather(blob)
+		if err != nil {
+			return err
+		}
+		g.Release()
+		return nil
 	})
 	if err != nil {
 		return 0, 0, err

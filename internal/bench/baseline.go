@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
 	"sort"
 	"strings"
@@ -26,9 +27,14 @@ type Result struct {
 // plus one Result per suite case. RecordedAt orders baselines; file names
 // are only for humans.
 type Baseline struct {
-	Schema     int               `json:"schema"`
-	RecordedAt time.Time         `json:"recorded_at"`
-	Label      string            `json:"label,omitempty"`
+	Schema     int       `json:"schema"`
+	RecordedAt time.Time `json:"recorded_at"`
+	Label      string    `json:"label,omitempty"`
+	// Filter records the -filter regexp a partial recording was made with.
+	// Partial baselines are never picked as diff anchors by LatestBaseline:
+	// a full run diffing against a subset recording would silently shrink
+	// the regression gate to that subset.
+	Filter     string            `json:"filter,omitempty"`
 	GoVersion  string            `json:"go"`
 	GOMAXPROCS int               `json:"gomaxprocs"`
 	Benchmarks map[string]Result `json:"benchmarks"`
@@ -40,14 +46,15 @@ type Baseline struct {
 // result. Init registers flags, so it must run exactly once.
 var testingInit sync.Once
 
-// Record runs every suite case through testing.Benchmark (each case runs for
-// the standard ~1s benchtime) and returns the populated baseline. progress,
-// when non-nil, receives one line per completed case. A case that fails
-// (b.Fatal/b.Error inside the benchmark body makes testing.Benchmark return
-// a zero result) is omitted from the baseline and reported in the returned
-// error, so a broken benchmark can never silently become the regression
-// anchor future runs diff against.
-func Record(label string, progress func(string)) (*Baseline, error) {
+// Record runs every suite case whose name matches filter (nil = all)
+// through testing.Benchmark (each case runs for the standard ~1s benchtime)
+// and returns the populated baseline. progress, when non-nil, receives one
+// line per completed case. A case that fails (b.Fatal/b.Error inside the
+// benchmark body makes testing.Benchmark return a zero result) is omitted
+// from the baseline and reported in the returned error, so a broken
+// benchmark can never silently become the regression anchor future runs
+// diff against.
+func Record(label string, filter *regexp.Regexp, progress func(string)) (*Baseline, error) {
 	testingInit.Do(testing.Init)
 	bl := &Baseline{
 		Schema:     1,
@@ -57,8 +64,14 @@ func Record(label string, progress func(string)) (*Baseline, error) {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: make(map[string]Result),
 	}
+	if filter != nil {
+		bl.Filter = filter.String()
+	}
 	var failed []string
 	for _, c := range Suite() {
+		if filter != nil && !filter.MatchString(c.Name) {
+			continue
+		}
 		r := testing.Benchmark(c.F)
 		if r.N <= 0 {
 			failed = append(failed, c.Name)
@@ -122,7 +135,9 @@ func Load(path string) (*Baseline, error) {
 
 // LatestBaseline finds the BENCH_*.json file under dir with the newest
 // RecordedAt stamp, excluding the given path (so a fresh recording does not
-// diff against itself). It returns "" when no other baseline exists.
+// diff against itself) and excluding partial (filtered) recordings — a full
+// run diffing against a subset would silently shrink the regression gate to
+// that subset. It returns "" when no other baseline exists.
 func LatestBaseline(dir, exclude string) (string, error) {
 	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
@@ -137,6 +152,9 @@ func LatestBaseline(dir, exclude string) (string, error) {
 		bl, err := Load(m)
 		if err != nil {
 			continue // skip unreadable/foreign files rather than failing
+		}
+		if bl.Filter != "" {
+			continue // partial recording: never an anchor
 		}
 		if best == "" || bl.RecordedAt.After(bestAt) {
 			best, bestAt = m, bl.RecordedAt

@@ -48,8 +48,29 @@ func Suite() []Case {
 		{"Broadcast4x256k", benchBroadcast4x256k},
 		{"SignEncode1M", benchSignEncode1M},
 		{"SignDecode1M", benchSignDecode1M},
+		{"SignDecode4x1M", gatherDecodeCase(1<<20, 4, func(r int) compress.GatherCompressor {
+			return compress.NewSign(1<<20, false)
+		})},
 		{"TopKExact1M", benchTopKExact1M},
 		{"TopKSampled1M", benchTopKSampled1M},
+		{"TopKDecode4x1M", gatherDecodeCase(1<<20, 4, func(r int) compress.GatherCompressor {
+			return compress.NewTopK(1<<20, 1<<10, compress.SelectExact, false, int64(r))
+		})},
+		{"DGCEncode1M", gatherEncodeCase(1<<20, func() compress.GatherCompressor {
+			return compress.NewDGC(1<<20, 1<<10, 0, true, 1)
+		})},
+		{"DGCDecode4x1M", gatherDecodeCase(1<<20, 4, func(r int) compress.GatherCompressor {
+			return compress.NewDGC(1<<20, 1<<10, 0, true, int64(r))
+		})},
+		{"QSGDEncode1M", gatherEncodeCase(1<<20, func() compress.GatherCompressor {
+			return compress.NewQSGD(1<<20, 16, 1)
+		})},
+		{"QSGDDecode4x1M", gatherDecodeCase(1<<20, 4, func(r int) compress.GatherCompressor {
+			return compress.NewQSGD(1<<20, 16, int64(r))
+		})},
+		{"TernGradDecode4x1M", gatherDecodeCase(1<<20, 4, func(r int) compress.GatherCompressor {
+			return compress.NewTernGrad(1<<20, int64(r))
+		})},
 		{"PowerCompress512x512r4", benchPowerCompress},
 		{"ACPCompress512x512r4", benchACPCompress},
 		{"MiniVGGStep", benchMiniVGGStep},
@@ -286,8 +307,13 @@ func AlphaName(alpha float64) string {
 
 // RandGrad returns n i.i.d. standard-normal values from a fixed seed — the
 // shared synthetic-gradient generator for every benchmark harness.
-func RandGrad(n int) []float64 {
-	rng := rand.New(rand.NewSource(7))
+func RandGrad(n int) []float64 { return RandGradSeeded(n, 7) }
+
+// RandGradSeeded is RandGrad with an explicit seed: multi-peer decode cases
+// need per-rank gradients, or the sign majority vote degenerates to the
+// all-agree fast path and the bench never measures the general vote tally.
+func RandGradSeeded(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
 	g := make([]float64, n)
 	for i := range g {
 		g[i] = rng.NormFloat64()
@@ -430,13 +456,23 @@ func benchAllGather4x64KB(b *testing.B) {
 	}
 	b.SetBytes(64 * 1024)
 	abort := func(r int) { transports[r].Close() }
+	// Warm the region pools so the timed loop measures the steady state the
+	// trainer sees: decode the gathered region, then Release it so the next
+	// step's gather re-leases the same memory.
+	gather := func(r int) error {
+		g, err := comms[r].AllGather(blobs[r])
+		if err != nil {
+			return err
+		}
+		g.Release()
+		return nil
+	}
+	if err := runRanks(workers, abort, gather); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		err := runRanks(workers, abort, func(r int) error {
-			_, err := comms[r].AllGather(blobs[r])
-			return err
-		})
-		if err != nil {
+		if err := runRanks(workers, abort, gather); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -468,6 +504,47 @@ func benchBroadcast4x256k(b *testing.B) {
 	}
 }
 
+// gatherEncodeCase measures one gather compressor's encode throughput at n
+// elements (steady state: the pooled payload path should report 0
+// allocs/op for the deterministic methods).
+func gatherEncodeCase(n int, mk func() compress.GatherCompressor) func(b *testing.B) {
+	return func(b *testing.B) {
+		comp := mk()
+		grad := RandGrad(n)
+		comp.Encode(0, grad) // warm the pooled payload buffer
+		b.SetBytes(int64(n * 8))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			comp.Encode(i, grad)
+		}
+	}
+}
+
+// gatherDecodeCase measures the fused multi-peer decode: `workers` encoded
+// payloads at n elements merged into the mean gradient in one pass.
+func gatherDecodeCase(n, workers int, mk func(r int) compress.GatherCompressor) func(b *testing.B) {
+	return func(b *testing.B) {
+		blobs := make([][]byte, workers)
+		for r := range blobs {
+			// Distinct per-rank gradients: peers must disagree, so the sign
+			// vote tally (not just its all-agree shortcut) is what's timed.
+			blobs[r] = append([]byte(nil), mk(r).Encode(0, RandGradSeeded(n, int64(7+r)))...)
+		}
+		dec := mk(workers)
+		out := make([]float64, n)
+		if err := dec.Decode(0, blobs, out); err != nil { // warm decode scratch
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(n * 8))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := dec.Decode(i, blobs, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func benchSignEncode1M(b *testing.B) {
 	const n = 1 << 20
 	s := compress.NewSign(n, true)
@@ -485,7 +562,7 @@ func benchSignDecode1M(b *testing.B) {
 	blobs := make([][]byte, workers)
 	for r := range blobs {
 		s := compress.NewSign(n, false)
-		blobs[r] = s.Encode(0, RandGrad(n))
+		blobs[r] = s.Encode(0, RandGradSeeded(n, int64(7+r)))
 	}
 	dec := compress.NewSign(n, false)
 	out := make([]float64, n)
@@ -524,9 +601,11 @@ func benchTopKSampled1M(b *testing.B) {
 // benchmarking (no peers: all-reduce is identity).
 type localCollectives struct{}
 
-func (localCollectives) AllReduceSum([]float64) error         { return nil }
-func (localCollectives) AllGather(b []byte) ([][]byte, error) { return [][]byte{b}, nil }
-func (localCollectives) Size() int                            { return 1 }
+func (localCollectives) AllReduceSum([]float64) error { return nil }
+func (localCollectives) AllGather(b []byte) (compress.Gathered, error) {
+	return compress.PayloadList{b}, nil
+}
+func (localCollectives) Size() int { return 1 }
 
 func benchPowerCompress(b *testing.B) {
 	const n, m, r = 512, 512, 4

@@ -34,18 +34,18 @@ func (p *Pending) finish(err error) {
 }
 
 // GatherPending is the handle of an in-flight asynchronous all-gather; its
-// Wait additionally returns the gathered payloads (shared, read-only — see
-// Communicator.AllGather).
+// Wait additionally returns the gathered result (caller-owned until its
+// Release — see Communicator.AllGather).
 type GatherPending struct {
-	p     Pending
-	blobs [][]byte
+	p Pending
+	g *Gathered
 }
 
 // Wait blocks until the all-gather completes and returns the gathered
-// payloads.
-func (g *GatherPending) Wait() ([][]byte, error) {
+// result (nil on error).
+func (g *GatherPending) Wait() (*Gathered, error) {
 	<-g.p.done
-	return g.blobs, g.p.err
+	return g.g, g.p.err
 }
 
 // Done reports, without blocking, whether the all-gather has completed.
@@ -129,8 +129,8 @@ func (a *AsyncCommunicator) AllGatherAsync(local []byte) *GatherPending {
 	g := &GatherPending{p: Pending{done: make(chan struct{})}}
 	a.submit(asyncOp{
 		run: func() error {
-			blobs, err := a.c.AllGather(local)
-			g.blobs = blobs
+			gathered, err := a.c.AllGather(local)
+			g.g = gathered
 			return err
 		},
 		finish: g.p.finish,

@@ -166,41 +166,52 @@ func (c *Communicator) NaiveAllReduceSum(buf []float64) error {
 	return nil
 }
 
-// AllGather collects every rank's byte payload; result[r] is rank r's
-// payload (result[self] aliases local). Payload sizes may differ per rank —
-// this is what Sign-SGD and Top-k SGD need, and its per-rank traffic is
-// (p-1)*N as in Table II.
+// AllGather collects every rank's byte payload into one contiguous pooled
+// region (rank r's payload at Payload(r)). Payload sizes may differ per
+// rank — this is what Sign-SGD and Top-k SGD need, and its per-rank traffic
+// is (p-1)*N as in Table II.
 //
 // The local payload is copied once into a pooled buffer which every peer
 // receives without further copies (the in-process transport delivers the
-// same bytes to all ranks). Results are therefore shared and read-only:
-// callers that need to mutate a gathered payload must copy it first.
-func (c *Communicator) AllGather(local []byte) ([][]byte, error) {
+// same bytes to all ranks); each receiver then packs the payloads into its
+// own leased region and releases the transit buffers, so the result is
+// caller-owned: read it through the Gathered views and call Release when
+// done to recycle the region. Steady state allocates only the small
+// Gathered handle and, on groups larger than two, the shared send buffer
+// (the pool must forget a buffer several receivers may still be reading);
+// the bulk memory — the packed region — recycles through the pool.
+func (c *Communicator) AllGather(local []byte) (*Gathered, error) {
 	p := c.t.Size()
 	rank := c.t.Rank()
-	out := make([][]byte, p)
-	out[rank] = local
-	if p == 1 {
-		return out, nil
-	}
-	msg := c.t.Lease(len(local))
-	copy(msg, local)
-	c.t.Retain(msg) // shared across peers; receivers own it collectively
-	// Pairwise exchange: at offset d, send to rank+d, receive from rank-d.
-	for d := 1; d < p; d++ {
-		to := (rank + d) % p
-		from := (rank - d + p) % p
-		if err := c.t.SendNoCopy(to, msg); err != nil {
-			return nil, fmt.Errorf("comm: all-gather send to %d: %w", to, err)
+	g := newGathered(c.t, p)
+	g.scratch[rank] = local
+	if p > 1 {
+		msg := c.t.Lease(len(local))
+		copy(msg, local)
+		if p > 2 {
+			c.t.Retain(msg) // shared across several receivers
 		}
-		data, err := c.t.Recv(from)
-		if err != nil {
-			return nil, fmt.Errorf("comm: all-gather recv from %d: %w", from, err)
+		// Pairwise exchange: at offset d, send to rank+d, receive from rank-d.
+		for d := 1; d < p; d++ {
+			to := (rank + d) % p
+			from := (rank - d + p) % p
+			if err := c.t.SendNoCopy(to, msg); err != nil {
+				if p == 2 {
+					c.t.Release(msg) // failed handoff: the lease is still ours
+				}
+				g.abort(rank)
+				return nil, fmt.Errorf("comm: all-gather send to %d: %w", to, err)
+			}
+			data, err := c.t.Recv(from)
+			if err != nil {
+				g.abort(rank)
+				return nil, fmt.Errorf("comm: all-gather recv from %d: %w", from, err)
+			}
+			g.scratch[from] = data
 		}
-		c.t.Retain(data) // the caller keeps gathered payloads indefinitely
-		out[from] = data
 	}
-	return out, nil
+	g.pack(rank)
+	return g, nil
 }
 
 // Broadcast copies buf from root to every rank in place (flat tree: root
@@ -243,9 +254,10 @@ func (c *Communicator) Broadcast(buf []float64, root int) error {
 // Barrier blocks until all ranks have entered it (all-gather of empty
 // payloads).
 func (c *Communicator) Barrier() error {
-	_, err := c.AllGather(nil)
+	g, err := c.AllGather(nil)
 	if err != nil {
 		return fmt.Errorf("comm: barrier: %w", err)
 	}
+	g.Release()
 	return nil
 }

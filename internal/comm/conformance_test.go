@@ -126,17 +126,25 @@ func TestConformanceAllGatherVariableSizes(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			if len(got) != p {
-				return fmt.Errorf("got %d blobs, want %d", len(got), p)
+			defer got.Release()
+			if got.Ranks() != p {
+				return fmt.Errorf("got %d blobs, want %d", got.Ranks(), p)
+			}
+			if len(got.Bytes()) != got.Offsets()[p] {
+				return fmt.Errorf("region %d bytes, offsets end at %d", len(got.Bytes()), got.Offsets()[p])
 			}
 			for q := 0; q < p; q++ {
-				if len(got[q]) != q*3 {
-					return fmt.Errorf("blob %d has len %d, want %d", q, len(got[q]), q*3)
+				blob := got.Payload(q)
+				if len(blob) != q*3 {
+					return fmt.Errorf("blob %d has len %d, want %d", q, len(blob), q*3)
 				}
-				for i, b := range got[q] {
+				for i, b := range blob {
 					if b != byte(q*10+i) {
 						return fmt.Errorf("blob %d byte %d: got %d", q, i, b)
 					}
+				}
+				if view := got.Payloads()[q]; len(view) != len(blob) {
+					return fmt.Errorf("cached view %d has len %d, want %d", q, len(view), len(blob))
 				}
 			}
 			return nil
@@ -286,10 +294,11 @@ func TestConformanceSingleRankShortCircuits(t *testing.T) {
 		if buf[0] != 1 || buf[2] != 3 {
 			t.Fatal("single-rank all-reduce must be identity")
 		}
-		blobs, err := c.AllGather([]byte{9})
-		if err != nil || len(blobs) != 1 || blobs[0][0] != 9 {
-			t.Fatalf("single-rank all-gather wrong: %v %v", blobs, err)
+		g, err := c.AllGather([]byte{9})
+		if err != nil || g.Ranks() != 1 || g.Payload(0)[0] != 9 {
+			t.Fatalf("single-rank all-gather wrong: %v %v", g, err)
 		}
+		g.Release()
 		a := NewAsync(c)
 		defer a.Close()
 		if err := a.AllReduceSumAsync(buf).Wait(); err != nil {
@@ -473,7 +482,7 @@ func TestConformanceAsyncAllGather(t *testing.T) {
 				defer a.Close()
 				local := []byte{byte(r + 1), byte(r + 2)}
 				g := a.AllGatherAsync(local)
-				blobs, err := g.Wait()
+				gathered, err := g.Wait()
 				if err != nil {
 					errs[r] = err
 					for _, tr := range ts {
@@ -481,13 +490,15 @@ func TestConformanceAsyncAllGather(t *testing.T) {
 					}
 					return
 				}
+				defer gathered.Release()
 				if !g.Done() {
 					errs[r] = errors.New("Done() false after Wait returned")
 					return
 				}
 				for q := 0; q < p; q++ {
-					if len(blobs[q]) != 2 || blobs[q][0] != byte(q+1) || blobs[q][1] != byte(q+2) {
-						errs[r] = fmt.Errorf("blob %d wrong: %v", q, blobs[q])
+					blob := gathered.Payload(q)
+					if len(blob) != 2 || blob[0] != byte(q+1) || blob[1] != byte(q+2) {
+						errs[r] = fmt.Errorf("blob %d wrong: %v", q, blob)
 						return
 					}
 				}

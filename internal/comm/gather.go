@@ -1,0 +1,114 @@
+package comm
+
+// Gathered is the result of an all-gather: every rank's payload packed
+// back-to-back into one contiguous region leased from the transport's buffer
+// pool, plus per-rank offsets. Packing the payloads contiguously (instead of
+// returning a fresh [][]byte of retained buffers) is what lets the decode
+// side run fused multi-peer kernels over sequential memory and lets the
+// region recycle: the caller owns the result until Release, after which
+// every view obtained from it is invalid and the backing memory feeds the
+// next collective.
+//
+// The handle itself is a small garbage-collected struct — deliberately NOT
+// pooled, so a stray second Release (or one that races a later gather) can
+// only no-op on a dead handle, never free another caller's live region. The
+// bulk memory (the region) is what recycles, through the transport pool.
+type Gathered struct {
+	t        Transport
+	buf      []byte
+	offs     []int
+	views    [][]byte
+	scratch  [][]byte // per-peer receive staging
+	released bool
+}
+
+// newGathered builds a fresh handle for a p-rank group.
+func newGathered(t Transport, p int) *Gathered {
+	return &Gathered{
+		t:       t,
+		offs:    make([]int, 0, p+1),
+		scratch: make([][]byte, p),
+	}
+}
+
+// Ranks returns the number of gathered payloads (the group size).
+func (g *Gathered) Ranks() int { return len(g.offs) - 1 }
+
+// Payload returns rank r's payload as a view into the contiguous region.
+// Views are read-only and valid until Release.
+func (g *Gathered) Payload(r int) []byte {
+	return g.buf[g.offs[r]:g.offs[r+1]:g.offs[r+1]]
+}
+
+// Payloads returns every rank's payload as views into the contiguous region
+// (built once and cached on the Gathered, so repeated calls allocate
+// nothing new). Views are read-only and valid until Release.
+func (g *Gathered) Payloads() [][]byte {
+	if len(g.views) != g.Ranks() {
+		g.views = g.views[:0]
+		for r := 0; r < g.Ranks(); r++ {
+			g.views = append(g.views, g.Payload(r))
+		}
+	}
+	return g.views
+}
+
+// Bytes returns the whole contiguous region (rank r's payload occupies
+// Offsets()[r]:Offsets()[r+1]).
+func (g *Gathered) Bytes() []byte { return g.buf }
+
+// Offsets returns the p+1 offsets delimiting the per-rank payloads inside
+// Bytes.
+func (g *Gathered) Offsets() []int { return g.offs }
+
+// Release returns the contiguous region to the transport pool. All views
+// into it are invalid afterwards. Safe on a nil receiver (failed gathers
+// return nil) and idempotent: later Releases of the same handle are no-ops.
+func (g *Gathered) Release() {
+	if g == nil || g.released {
+		return
+	}
+	g.released = true
+	if g.t != nil && g.buf != nil {
+		g.t.Release(g.buf)
+	}
+	g.buf = nil
+	g.t = nil
+}
+
+// pack copies the staged per-peer payloads (self's slot holds the caller's
+// local payload) into one leased contiguous region, releasing each received
+// buffer as it is drained.
+func (g *Gathered) pack(self int) {
+	total := 0
+	for _, b := range g.scratch {
+		total += len(b)
+	}
+	g.offs = append(g.offs[:0], 0)
+	g.buf = nil
+	if total > 0 {
+		g.buf = g.t.Lease(total)
+	}
+	off := 0
+	for q, b := range g.scratch {
+		off += copy(g.buf[off:], b)
+		g.offs = append(g.offs, off)
+		if q != self {
+			g.t.Release(b)
+		}
+		g.scratch[q] = nil
+	}
+}
+
+// abort drops staged receive buffers after a failed gather and marks the
+// handle dead.
+func (g *Gathered) abort(self int) {
+	for q, b := range g.scratch {
+		if q != self && b != nil {
+			g.t.Release(b)
+		}
+		g.scratch[q] = nil
+	}
+	g.t = nil
+	g.released = true
+}

@@ -49,6 +49,20 @@ func TestBufPoolRecycles(t *testing.T) {
 	p.retain(z)
 }
 
+// compressCollectives adapts *Communicator to compress.Collectives the way
+// the trainer does (interface-typed Gathered result).
+type compressCollectives struct{ c *Communicator }
+
+func (a compressCollectives) AllReduceSum(buf []float64) error { return a.c.AllReduceSum(buf) }
+func (a compressCollectives) AllGather(local []byte) (compress.Gathered, error) {
+	g, err := a.c.AllGather(local)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+func (a compressCollectives) Size() int { return a.c.Size() }
+
 // trainStepRace runs a compressed data-parallel "training step" on every
 // rank concurrently: parallel matmuls (Power-SGD compress) over the shared
 // tensor worker pool, interleaved with ring all-reduces and a Sign-SGD
@@ -91,17 +105,19 @@ func trainStepRace(t *testing.T, transports []Transport) {
 				}
 				// Low-rank path: two ring all-reduces with parallel matmul
 				// and orthogonalization between them.
-				if err := ps.CompressStep(s, grad, c); err != nil {
+				if err := ps.CompressStep(s, grad, compressCollectives{c}); err != nil {
 					fail(err)
 					return
 				}
-				// Gather path: shared read-only payloads across ranks.
-				blobs, err := c.AllGather(sg.Encode(s, grad))
+				// Gather path: payloads packed into a pooled region per rank.
+				gathered, err := c.AllGather(sg.Encode(s, grad))
 				if err != nil {
 					fail(err)
 					return
 				}
-				if err := sg.Decode(s, blobs, signOut); err != nil {
+				err = sg.Decode(s, gathered.Payloads(), signOut)
+				gathered.Release()
+				if err != nil {
 					fail(err)
 					return
 				}
@@ -137,9 +153,11 @@ func TestTrainStepRaceTCP(t *testing.T) {
 	trainStepRace(t, transports)
 }
 
-// TestAllGatherSharedPayloads verifies the zero-copy all-gather still
-// delivers every rank's payload intact (the in-process transport shares one
-// buffer among all receivers).
+// TestAllGatherSharedPayloads verifies the all-gather delivers every rank's
+// payload intact even though the in-process transport shares one transit
+// buffer among all receivers: each rank packs its own pooled region while
+// the peers are still reading the shared bytes, and the caller's local
+// slice may be reused immediately after the call (the region owns a copy).
 func TestAllGatherSharedPayloads(t *testing.T) {
 	const p = 4
 	transports, err := NewInprocGroup(p, 0)
@@ -147,7 +165,7 @@ func TestAllGatherSharedPayloads(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer transports[0].Close()
-	results := make([][][]byte, p)
+	results := make([]*Gathered, p)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		wg.Add(1)
@@ -160,6 +178,7 @@ func TestAllGatherSharedPayloads(t *testing.T) {
 				t.Error(err)
 				return
 			}
+			clear(local) // views must not alias the caller's payload
 			results[r] = out
 		}(r)
 	}
@@ -167,10 +186,11 @@ func TestAllGatherSharedPayloads(t *testing.T) {
 	for r := 0; r < p; r++ {
 		for src := 0; src < p; src++ {
 			want := bytes.Repeat([]byte{byte(src + 1)}, 16+src)
-			if !bytes.Equal(results[r][src], want) {
-				t.Errorf("rank %d payload from %d: got %v want %v", r, src, results[r][src], want)
+			if !bytes.Equal(results[r].Payload(src), want) {
+				t.Errorf("rank %d payload from %d: got %v want %v", r, src, results[r].Payload(src), want)
 			}
 		}
+		results[r].Release()
 	}
 }
 

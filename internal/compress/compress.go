@@ -27,6 +27,8 @@ package compress
 import (
 	"fmt"
 	"math/rand"
+
+	"acpsgd/internal/tensor"
 )
 
 // AdditiveCompressor produces summable float payloads, the property (§III-C
@@ -56,11 +58,40 @@ type GatherCompressor interface {
 	Decode(step int, blobs [][]byte, grad []float64) error
 }
 
+// Gathered is the view compressors receive of an all-gather's result:
+// per-rank payloads (read-only) plus a Release that hands pooled backing
+// memory back to the transport. comm.Gathered packs the payloads into one
+// contiguous leased region; tests and single-process harnesses use
+// PayloadList.
+type Gathered interface {
+	// Ranks returns the number of gathered payloads.
+	Ranks() int
+	// Payload returns rank r's payload, read-only and valid until Release.
+	Payload(r int) []byte
+	// Release recycles the backing memory; all payload views are invalid
+	// afterwards.
+	Release()
+}
+
+// PayloadList adapts an in-memory [][]byte to the Gathered view (tests,
+// simulators, single-process harnesses). Release is a no-op.
+type PayloadList [][]byte
+
+// Ranks returns the number of payloads.
+func (l PayloadList) Ranks() int { return len(l) }
+
+// Payload returns payload r.
+func (l PayloadList) Payload(r int) []byte { return l[r] }
+
+// Release is a no-op: the payloads are ordinary garbage-collected slices.
+func (PayloadList) Release() {}
+
 // Collectives is the slice of communicator functionality compressors and the
-// trainer need; *comm.Communicator satisfies it.
+// trainer need. *comm.Communicator provides the same methods with its
+// concrete pooled Gathered result; the trainer adapts it to this interface.
 type Collectives interface {
 	AllReduceSum(buf []float64) error
-	AllGather(local []byte) ([][]byte, error)
+	AllGather(local []byte) (Gathered, error)
 	Size() int
 }
 
@@ -88,12 +119,10 @@ func (id *Identity) Compress(_ int, grad []float64) []float64 {
 	return id.buf
 }
 
-// Finalize writes the aggregated mean into grad.
+// Finalize writes the aggregated mean into grad through the fused tensor
+// scale kernel.
 func (id *Identity) Finalize(_ int, aggregated []float64, p int, grad []float64) {
-	inv := 1 / float64(p)
-	for i, v := range aggregated {
-		grad[i] = v * inv
-	}
+	tensor.Scale(1/float64(p), aggregated, grad)
 }
 
 // PayloadLen returns the tensor size.

@@ -74,8 +74,8 @@ func (f *fakeCollectives) AllReduceSum(buf []float64) error {
 	return nil
 }
 
-func (f *fakeCollectives) AllGather(local []byte) ([][]byte, error) {
-	out := [][]byte{local}
+func (f *fakeCollectives) AllGather(local []byte) (Gathered, error) {
+	out := PayloadList{local}
 	out = append(out, f.blobs...)
 	return out, nil
 }

@@ -1,10 +1,22 @@
 package compress
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"acpsgd/internal/tensor"
 )
+
+// dgcAccumulate runs DGC's fused momentum-correction and velocity update
+// over [lo, hi): u ← m·u + g, v ← v + u.
+func dgcAccumulate(u, v, grad []float64, m float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		u[i] = m*u[i] + grad[i]
+		v[i] += u[i]
+	}
+}
 
 // DGC implements Deep Gradient Compression (Lin et al., ICLR 2018, the
 // momentum-corrected Top-k family the paper's related work contrasts with
@@ -41,8 +53,8 @@ type DGC struct {
 	rng      *rand.Rand // quickselect pivots
 
 	// scratch
-	idx  []int
-	mags []float64
+	picker topSelector
+	enc    []byte
 }
 
 var _ GatherCompressor = (*DGC)(nil)
@@ -56,6 +68,7 @@ func NewDGC(n, k int, momentum float64, masking bool, tensorID int64) *DGC {
 	if k > n && n > 0 {
 		k = n
 	}
+	rng := newSeededRNG(tensorID)
 	return &DGC{
 		n:        n,
 		k:        k,
@@ -63,7 +76,8 @@ func NewDGC(n, k int, momentum float64, masking bool, tensorID int64) *DGC {
 		masking:  masking,
 		u:        make([]float64, n),
 		v:        make([]float64, n),
-		rng:      newSeededRNG(tensorID),
+		rng:      rng,
+		picker:   topSelector{rng: rng},
 	}
 }
 
@@ -71,53 +85,38 @@ func NewDGC(n, k int, momentum float64, masking bool, tensorID int64) *DGC {
 func (d *DGC) K() int { return d.k }
 
 // Encode folds the local gradient into the momentum and velocity
-// accumulators and serializes the k largest-magnitude velocity coordinates.
+// accumulators (one fused, sharded sweep) and serializes the k
+// largest-magnitude velocity coordinates straight into the compressor's
+// pooled payload buffer (valid until the next Encode call).
 func (d *DGC) Encode(_ int, grad []float64) []byte {
 	if len(grad) != d.n {
 		panic(fmt.Sprintf("compress: DGC.Encode length %d, want %d", len(grad), d.n))
 	}
-	for i, g := range grad {
-		d.u[i] = d.momentum*d.u[i] + g
-		d.v[i] += d.u[i]
+	u, v, m := d.u, d.v, d.momentum
+	if shards := tensor.ShardCount(d.n, compressWork(d.n)); shards > 1 {
+		tensor.RunShards(d.n, shards, func(_, lo, hi int) {
+			dgcAccumulate(u, v, grad, m, lo, hi)
+		})
+	} else {
+		dgcAccumulate(u, v, grad, m, 0, d.n)
 	}
 
-	selected := d.selectTopK()
-	pairs := make([]sparsePair, len(selected))
+	selected := d.picker.exact(v, d.k)
+	d.enc = grownBytes(d.enc, len(selected)*topkPairBytes)
+	out := d.enc
 	for i, ix := range selected {
-		pairs[i] = sparsePair{idx: ix, val: d.v[ix]}
-		d.v[ix] = 0 // transmitted mass leaves the accumulator
+		binary.LittleEndian.PutUint32(out[i*topkPairBytes:], uint32(ix))
+		binary.LittleEndian.PutUint64(out[i*topkPairBytes+4:], math.Float64bits(v[ix]))
+		v[ix] = 0 // transmitted mass leaves the accumulator
 		if d.masking {
-			d.u[ix] = 0 // momentum factor masking
+			u[ix] = 0 // momentum factor masking
 		}
 	}
-	return encodePairs(pairs)
+	return out
 }
 
-// selectTopK returns the indices of the k largest |v| via quickselect.
-func (d *DGC) selectTopK() []int {
-	if d.k >= d.n {
-		idx := make([]int, d.n)
-		for i := range idx {
-			idx[i] = i
-		}
-		return idx
-	}
-	if cap(d.idx) < d.n {
-		d.idx = make([]int, d.n)
-		d.mags = make([]float64, d.n)
-	}
-	idx := d.idx[:d.n]
-	mags := d.mags[:d.n]
-	for i := range idx {
-		idx[i] = i
-		mags[i] = math.Abs(d.v[i])
-	}
-	quickselectTopK(idx, mags, d.k, d.rng)
-	return idx[:d.k]
-}
-
-// Decode scatter-adds every worker's sparse payload and divides by the
-// worker count, producing the global mean of the sparsified updates.
+// Decode scatter-adds every worker's sparse payload, scaled by 1/p, in one
+// fused pass, producing the global mean of the sparsified updates.
 func (d *DGC) Decode(_ int, blobs [][]byte, grad []float64) error {
 	if len(grad) != d.n {
 		return fmt.Errorf("compress: DGC.Decode length %d, want %d", len(grad), d.n)
@@ -126,23 +125,7 @@ func (d *DGC) Decode(_ int, blobs [][]byte, grad []float64) error {
 	if p == 0 {
 		return fmt.Errorf("compress: DGC.Decode got no payloads")
 	}
-	for i := range grad {
-		grad[i] = 0
-	}
-	for _, b := range blobs {
-		pairs, err := decodePairs(b, d.n)
-		if err != nil {
-			return err
-		}
-		for _, pr := range pairs {
-			grad[pr.idx] += pr.val
-		}
-	}
-	inv := 1 / float64(p)
-	for i := range grad {
-		grad[i] *= inv
-	}
-	return nil
+	return scatterAddPairs(blobs, grad, 1/float64(p), "DGC.Decode")
 }
 
 // AccumulatorNorm returns the L2 norm of the velocity accumulator
@@ -190,6 +173,11 @@ func (dgcFactory) Validate(spec Spec) error {
 	}
 	_, err = p.Bool("masking", true)
 	return err
+}
+
+// WireRate reports DGC's expected wire compression rate.
+func (dgcFactory) WireRate(spec Spec, _ int) float64 {
+	return sparseWireRate(spec.Params.withDefaults(dgcDefaults))
 }
 
 func (dgcFactory) New(spec Spec, t Tensor) (any, error) {

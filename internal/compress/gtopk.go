@@ -153,17 +153,19 @@ func (g *GTopK) CompressStep(step int, grad []float64, c PairwiseCollectives) er
 	} else {
 		// Fallback for non-power-of-two sizes: all-gather then one global
 		// merge-truncate (everyone computes the same deterministic result).
-		blobs, err := c.AllGather(blob)
+		gathered, err := c.AllGather(blob)
 		if err != nil {
 			return fmt.Errorf("compress: gtopk all-gather: %w", err)
 		}
-		for _, b := range blobs {
-			pairs, err := decodePairs(b, g.n)
+		for r := 0; r < gathered.Ranks(); r++ {
+			pairs, err := decodePairs(gathered.Payload(r), g.n)
 			if err != nil {
+				gathered.Release()
 				return err
 			}
 			global = mergeTruncate(global, pairs, g.inner.K())
 		}
+		gathered.Release()
 	}
 
 	// Re-credit the error memory with local mass whose coordinate lost the
@@ -222,6 +224,12 @@ func (gtopkFactory) Validate(spec Spec) error {
 	}
 	_, err := p.Bool("ef", true)
 	return err
+}
+
+// WireRate reports gTop-k's expected wire compression rate (the same
+// (index, value) pair format as Top-k).
+func (gtopkFactory) WireRate(spec Spec, _ int) float64 {
+	return sparseWireRate(spec.Params.withDefaults(gtopkDefaults))
 }
 
 func (gtopkFactory) New(spec Spec, t Tensor) (any, error) {

@@ -63,9 +63,9 @@ type hubView struct {
 }
 
 func (v *hubView) AllReduceSum(buf []float64) error { return nil }
-func (v *hubView) AllGather(local []byte) ([][]byte, error) {
+func (v *hubView) AllGather(local []byte) (Gathered, error) {
 	// Not used on the hypercube path.
-	return [][]byte{local}, nil
+	return PayloadList{local}, nil
 }
 func (v *hubView) Size() int { return v.h.p }
 func (v *hubView) Rank() int { return v.rank }

@@ -1,0 +1,416 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+)
+
+// This file holds the shared hot-path machinery of the compressor kernels:
+// the pooled payload-buffer discipline, the sampled top-k selector, the
+// word-parallel sign-vote kernels and the fused multi-peer sparse decode.
+// The paper's central measurement is that compression/decompression time —
+// not bytes on the wire — is what erodes gradient compression's speedup, so
+// these paths are built like the tensor matmul kernels: allocation-free in
+// steady state, word-at-a-time where the wire format allows it, and sharded
+// across the tensor worker pool above the same serial threshold
+// (tensor.SetParallelThreshold / tensor.SetParallelism apply to them too,
+// with element count standing in for FLOPs).
+//
+// # Pooled payload ownership
+//
+// Every compressor owns one payload buffer and re-leases it on each Encode:
+// the returned []byte is valid until the next Encode call on the same
+// compressor, and callers must consume (or copy) it before then. The
+// trainer's step pipeline honors this by draining each buffer's collective
+// before the next step re-encodes it.
+
+// grownBytes returns a length-n buffer, reusing buf's storage when its
+// capacity allows; growth rounds up to a power of two so repeated
+// variable-size leases (sampled top-k payloads) converge instead of
+// reallocating every step.
+func grownBytes(buf []byte, n int) []byte {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]byte, n, 1<<bits.Len(uint(max(n, 64)-1)))
+}
+
+// grownFloats is grownBytes for float64 scratch.
+func grownFloats(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n, 1<<bits.Len(uint(max(n, 16)-1)))
+}
+
+// grownInts is grownBytes for index scratch.
+func grownInts(buf []int, n int) []int {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int, n, 1<<bits.Len(uint(max(n, 16)-1)))
+}
+
+// --- sampled top-k selection -----------------------------------------------
+
+// prefilterMinN is the vector length below which threshold prefiltering is
+// not worth its sampling cost and selection goes straight to quickselect.
+const prefilterMinN = 1024
+
+// topSelector owns the scratch and RNG for repeated largest-magnitude
+// coordinate selection over a fixed-length vector. All methods return
+// indices into scratch that stays valid until the next selection call.
+type topSelector struct {
+	rng    *rand.Rand
+	idx    []int
+	mags   []float64
+	sample []float64
+}
+
+// allIndices returns [0, n) — the k >= n degenerate selection.
+func (s *topSelector) allIndices(n int) []int {
+	s.idx = grownInts(s.idx, n)
+	for i := range s.idx {
+		s.idx[i] = i
+	}
+	return s.idx
+}
+
+// sampleThreshold estimates the magnitude of |src|'s (mult*k)-th largest
+// element from a random sample: draw max(8k, 1024) magnitudes and take the
+// sample order statistic at the matching rank (footnote 2's multi-sampling
+// estimator, refined on the sample's order statistics instead of by
+// repeated full-vector counting passes).
+func (s *topSelector) sampleThreshold(src []float64, k, mult int) float64 {
+	n := len(src)
+	size := 8 * k
+	if size < 1024 {
+		size = 1024
+	}
+	if size > n {
+		size = n
+	}
+	s.sample = grownFloats(s.sample, size)
+	for i := range s.sample {
+		s.sample[i] = math.Abs(src[s.rng.Intn(n)])
+	}
+	pos := size * mult * k / n
+	if pos < 1 {
+		pos = 1
+	}
+	if pos > size {
+		pos = size
+	}
+	return quickselectVal(s.sample, pos, s.rng)
+}
+
+// exact returns the indices of the k largest |src| (unordered). For large
+// vectors it first estimates a threshold expected to pass ~4k elements,
+// collects that candidate set in one pass and quickselects only the
+// survivors; whenever at least k elements clear the threshold the candidate
+// set provably contains the true top k, and the rare undershoot falls back
+// to a full quickselect.
+func (s *topSelector) exact(src []float64, k int) []int {
+	n := len(src)
+	if k >= n {
+		return s.allIndices(n)
+	}
+	if n >= prefilterMinN && 8*k <= n {
+		thr := s.sampleThreshold(src, k, 4)
+		s.idx = grownInts(s.idx, n)
+		idx := s.idx[:0]
+		for i, v := range src {
+			if math.Abs(v) >= thr {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) >= k {
+			if len(idx) > k {
+				s.fillMags(src, idx)
+				quickselectTopK(idx, s.mags, k, s.rng)
+			}
+			return idx[:k]
+		}
+		// Threshold overshot (heavy ties or an unlucky sample): fall through.
+	}
+	idx := s.allIndices(n)
+	s.mags = grownFloats(s.mags, n)
+	for i, v := range src {
+		s.mags[i] = math.Abs(v)
+	}
+	quickselectTopK(idx, s.mags, k, s.rng)
+	return idx[:k]
+}
+
+// sampled returns between k and 2k indices whose magnitudes are among the
+// largest of |src| (the paper's statistically-selected top-k): a sampled
+// threshold targeting ~2k survivors, one collection pass, and — when the
+// estimate passes more than 2k — a quickselect of the survivors down to 2k.
+// An undershoot below k falls back to exact selection.
+func (s *topSelector) sampled(src []float64, k int) []int {
+	n := len(src)
+	if 4*k >= n || n < prefilterMinN {
+		return s.exact(src, k)
+	}
+	thr := s.sampleThreshold(src, k, 2)
+	s.idx = grownInts(s.idx, n)
+	idx := s.idx[:0]
+	for i, v := range src {
+		if math.Abs(v) >= thr {
+			idx = append(idx, i)
+		}
+	}
+	switch {
+	case len(idx) < k:
+		return s.exact(src, k)
+	case len(idx) <= 2*k:
+		return idx
+	}
+	s.fillMags(src, idx)
+	quickselectTopK(idx, s.mags, 2*k, s.rng)
+	return idx[:2*k]
+}
+
+// fillMags caches |src| for exactly the candidate indices (quickselect keys
+// mags by global index, so only candidate slots need to be valid).
+func (s *topSelector) fillMags(src []float64, idx []int) {
+	s.mags = grownFloats(s.mags, len(src))
+	for _, gi := range idx {
+		s.mags[gi] = math.Abs(src[gi])
+	}
+}
+
+// quickselectVal partitions vals so that the pos-th largest value (1-based)
+// is at vals[pos-1] and returns it. Average O(len(vals)).
+func quickselectVal(vals []float64, pos int, rng *rand.Rand) float64 {
+	lo, hi := 0, len(vals)-1
+	k := pos - 1
+	for lo < hi {
+		p := lo + rng.Intn(hi-lo+1)
+		pivot := vals[p]
+		vals[p], vals[hi] = vals[hi], vals[p]
+		store := lo
+		for i := lo; i < hi; i++ {
+			if vals[i] > pivot {
+				vals[store], vals[i] = vals[i], vals[store]
+				store++
+			}
+		}
+		vals[store], vals[hi] = vals[hi], vals[store]
+		switch {
+		case store == k:
+			return vals[k]
+		case store > k:
+			hi = store - 1
+		default:
+			lo = store + 1
+		}
+	}
+	return vals[k]
+}
+
+// --- word-parallel sign voting ---------------------------------------------
+
+// signWordElems is the element count one packed uint64 sign word covers.
+const signWordElems = 64
+
+// packSignWords packs the signs of src's elements [64*lo, 64*hi) into
+// dstBits word-at-a-time: bit j of word w is set when src[64w+j] >= 0
+// (exactly the scalar convention — NaN packs as negative). With EF enabled,
+// src is the error memory holding gradient+residual and the pass fuses the
+// residual update err[i] = adj[i] - scale*sign(adj[i]) into the same sweep.
+func packSignWords(dstBits []byte, src []float64, scale float64, useEF bool, lo, hi int) {
+	for w := lo; w < hi; w++ {
+		base := w * signWordElems
+		chunk := src[base : base+signWordElems]
+		var word uint64
+		if useEF {
+			for j, v := range chunk {
+				if v >= 0 {
+					word |= 1 << uint(j)
+					chunk[j] = v - scale
+				} else {
+					chunk[j] = v + scale
+				}
+			}
+		} else {
+			for j, v := range chunk {
+				if v >= 0 {
+					word |= 1 << uint(j)
+				}
+			}
+		}
+		binary.LittleEndian.PutUint64(dstBits[w*8:], word)
+	}
+}
+
+// packSignTail packs the ragged tail [lo, n) (fewer than 64 elements, lo a
+// multiple of 64) into its final ceil((n-lo)/8) bytes.
+func packSignTail(dstBits []byte, src []float64, scale float64, useEF bool, lo, n int) {
+	if lo >= n {
+		return
+	}
+	var word uint64
+	for i := lo; i < n; i++ {
+		v := src[i]
+		if v >= 0 {
+			word |= 1 << uint(i-lo)
+			if useEF {
+				src[i] = v - scale
+			}
+		} else if useEF {
+			src[i] = v + scale
+		}
+	}
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], word)
+	copy(dstBits[lo/8:], tmp[:(n-lo+7)/8])
+}
+
+// voteSignWords writes the majority-vote expansion of sign words [lo, hi)
+// into grad: instead of the scalar O(p·n) per-bit tally, each rank's packed
+// word is folded into bit-sliced vote counters with word-wide half-adders
+// (64 elements per ALU op), the counters are compared against the majority
+// threshold T lane-wise, and bits.OnesCount64 on the resulting majority mask
+// short-circuits the all-agree words (the common case for correlated
+// gradients) into straight fills. Supports p <= 255 ranks; larger groups use
+// the scalar fallback in Sign.Decode.
+func voteSignWords(blobs [][]byte, grad []float64, mean float64, T int, lo, hi int) {
+	levels := bits.Len(uint(len(blobs)))
+	vals := [2]float64{-mean, mean}
+	var cnt [8]uint64
+	for w := lo; w < hi; w++ {
+		for l := 0; l < levels; l++ {
+			cnt[l] = 0
+		}
+		for _, b := range blobs {
+			carry := binary.LittleEndian.Uint64(b[8+w*8:])
+			for l := 0; carry != 0; l++ {
+				t := cnt[l] & carry
+				cnt[l] ^= carry
+				carry = t
+			}
+		}
+		maj := geMask(cnt[:levels], uint(T))
+		out := grad[w*signWordElems : w*signWordElems+signWordElems]
+		switch bits.OnesCount64(maj) {
+		case signWordElems:
+			for j := range out {
+				out[j] = mean
+			}
+		case 0:
+			for j := range out {
+				out[j] = -mean
+			}
+		default:
+			for j := range out {
+				out[j] = vals[(maj>>uint(j))&1]
+			}
+		}
+	}
+}
+
+// geMask compares the bit-sliced counters lane-wise against the constant T
+// (lane j's count is Σ_l (cnt[l]>>j&1)<<l) and returns the mask of lanes
+// with count >= T, scanning from the most significant counter bit.
+func geMask(cnt []uint64, T uint) uint64 {
+	ge := uint64(0)
+	eq := ^uint64(0)
+	for l := len(cnt) - 1; l >= 0; l-- {
+		if (T>>uint(l))&1 == 0 {
+			ge |= eq & cnt[l]
+		} else {
+			eq &= cnt[l]
+		}
+	}
+	return ge | eq
+}
+
+// voteSignTail is the scalar tally for the ragged tail [lo, n).
+func voteSignTail(blobs [][]byte, grad []float64, mean float64, T int, lo, n int) {
+	for i := lo; i < n; i++ {
+		votes := 0
+		for _, b := range blobs {
+			if b[8+i/8]&(1<<uint(i%8)) != 0 {
+				votes++
+			}
+		}
+		if votes >= T {
+			grad[i] = mean
+		} else {
+			grad[i] = -mean
+		}
+	}
+}
+
+// --- fused multi-peer sparse decode ----------------------------------------
+
+// scatterAddPairs zeroes grad and scatter-adds every rank's (index, value)
+// payload scaled by `scale` in one fused pass — the multi-peer decode shared
+// by the sparse all-gather methods (the 1/p averaging folds into the adds,
+// saving the final full-vector scale sweep).
+func scatterAddPairs(blobs [][]byte, grad []float64, scale float64, what string) error {
+	clear(grad)
+	n := len(grad)
+	for r, b := range blobs {
+		if len(b)%topkPairBytes != 0 {
+			return fmt.Errorf("compress: %s payload %d has odd length %d", what, r, len(b))
+		}
+		for off := 0; off+topkPairBytes <= len(b); off += topkPairBytes {
+			ix := int(binary.LittleEndian.Uint32(b[off:]))
+			if uint(ix) >= uint(n) {
+				return fmt.Errorf("compress: %s index %d out of range [0,%d)", what, ix, n)
+			}
+			grad[ix] += scale * math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:]))
+		}
+	}
+	return nil
+}
+
+// compressWork converts an element count into the cost units the tensor
+// dispatch threshold uses, so compressor kernels follow the same
+// serial-below-threshold discipline as the matmul kernels.
+func compressWork(n int) int { return n }
+
+// Kernels check ShardCount before building their shard closure — like the
+// matmul kernels, the serial fast path must stay allocation-free, and a
+// closure that ever flows into the worker pool is heap-allocated at its
+// creation site regardless of the branch taken. The pattern is:
+//
+//	if shards := tensor.ShardCount(n, compressWork(n)); shards > 1 {
+//		tensor.RunShards(n, shards, func(_, lo, hi int) { body(..., lo, hi) })
+//	} else {
+//		body(..., 0, n)
+//	}
+
+// addInto accumulates dst[i] += src[i] over [lo, hi) — the fused EF fold.
+func addInto(dst, src []float64, lo, hi int) {
+	d := dst[lo:hi]
+	s := src[lo:hi]
+	for i := range d {
+		d[i] += s[i]
+	}
+}
+
+// signAdjustAbs runs Sign's first pass over [lo, hi): with EF it folds the
+// gradient into the error memory in place; either way it returns the |.| sum
+// of the adjusted range (err when EF, grad otherwise).
+func signAdjustAbs(err, grad []float64, useEF bool, lo, hi int) float64 {
+	var sum float64
+	if useEF {
+		e := err[lo:hi]
+		g := grad[lo:hi]
+		for i, gv := range g {
+			e[i] += gv
+			sum += math.Abs(e[i])
+		}
+	} else {
+		for _, v := range grad[lo:hi] {
+			sum += math.Abs(v)
+		}
+	}
+	return sum
+}

@@ -178,8 +178,8 @@ func (l *lockstepCollectives) AllReduceSum(buf []float64) error {
 	return nil
 }
 
-func (l *lockstepCollectives) AllGather(local []byte) ([][]byte, error) {
-	return [][]byte{local}, nil
+func (l *lockstepCollectives) AllGather(local []byte) (Gathered, error) {
+	return PayloadList{local}, nil
 }
 func (l *lockstepCollectives) Size() int { return 2 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"acpsgd/internal/tensor"
 )
 
 // QSGD implements stochastic quantization (Alistarh et al., paper [16]):
@@ -11,10 +13,20 @@ import (
 // vector's L2 norm, giving an unbiased estimator whose wire format is one
 // byte per element (sign + 7-bit level, s <= 127) plus the norm. Like
 // Sign-SGD it is non-additive and all-gathered (§III-C).
+//
+// Encode stays sequential (the stochastic-rounding RNG stream is a serial
+// dependency) but hoists the per-element division out of the loop and
+// writes into the compressor's pooled payload buffer. Decode is bulk: each
+// rank's 256 possible code bytes expand through a per-rank lookup table
+// (with the 1/p averaging folded in), and the element sweep accumulates all
+// ranks in one fused, sharded pass.
 type QSGD struct {
 	n      int
 	levels int
 	rng    randSource
+
+	enc  []byte    // pooled payload buffer
+	luts []float64 // p*256 per-rank decode tables
 }
 
 // randSource is the minimal random interface quantizers need; it allows
@@ -42,6 +54,8 @@ func qsgdPayloadLen(n int) int { return 8 + n }
 
 // Encode stochastically quantizes grad. The encoding of element i is
 // sign(g_i) * round_stochastic(|g_i|/norm * s) packed as sign bit + level.
+// The returned payload is owned by the compressor and valid until the next
+// Encode call.
 func (q *QSGD) Encode(_ int, grad []float64) []byte {
 	if len(grad) != q.n {
 		panic(fmt.Sprintf("compress: QSGD.Encode length %d, want %d", len(grad), q.n))
@@ -51,14 +65,17 @@ func (q *QSGD) Encode(_ int, grad []float64) []byte {
 		norm += v * v
 	}
 	norm = math.Sqrt(norm)
-	out := make([]byte, qsgdPayloadLen(q.n))
+	q.enc = grownBytes(q.enc, qsgdPayloadLen(q.n))
+	out := q.enc
 	binary.LittleEndian.PutUint64(out, math.Float64bits(norm))
 	if norm == 0 {
+		clear(out[8:])
 		return out
 	}
-	s := float64(q.levels)
+	f := float64(q.levels) / norm
+	codes := out[8:]
 	for i, v := range grad {
-		l := math.Abs(v) / norm * s
+		l := math.Abs(v) * f
 		lower := math.Floor(l)
 		if q.rng.Float64() < l-lower {
 			lower++
@@ -70,7 +87,7 @@ func (q *QSGD) Encode(_ int, grad []float64) []byte {
 		if v < 0 {
 			b |= 0x80
 		}
-		out[8+i] = b
+		codes[i] = b
 	}
 	return out
 }
@@ -87,37 +104,58 @@ func (q *QSGD) Decode(_ int, blobs [][]byte, grad []float64) error {
 		return fmt.Errorf("compress: QSGD.Decode got no payloads")
 	}
 	want := qsgdPayloadLen(q.n)
-	for i := range grad {
-		grad[i] = 0
-	}
+	inv := 1 / float64(p)
 	s := float64(q.levels)
+	q.luts = grownFloats(q.luts, p*256)
 	for r, b := range blobs {
 		if len(b) != want {
 			return fmt.Errorf("compress: QSGD.Decode payload %d has %d bytes, want %d", r, len(b), want)
 		}
 		norm := math.Float64frombits(binary.LittleEndian.Uint64(b))
-		for i := 0; i < q.n; i++ {
-			raw := b[8+i]
-			mag := float64(raw&0x7f) / s * norm
-			if raw&0x80 != 0 {
-				mag = -mag
-			}
-			grad[i] += mag
+		f := norm / s * inv
+		lut := q.luts[r*256 : (r+1)*256]
+		for c := 0; c < 128; c++ {
+			mag := float64(c) * f
+			lut[c] = mag
+			lut[c+128] = -mag
 		}
 	}
-	inv := 1 / float64(p)
-	for i := range grad {
-		grad[i] *= inv
+	luts := q.luts
+	if shards := tensor.ShardCount(q.n, compressWork(q.n)); shards > 1 {
+		tensor.RunShards(q.n, shards, func(_, lo, hi int) {
+			qsgdAccumulate(luts, blobs, grad, lo, hi)
+		})
+	} else {
+		qsgdAccumulate(luts, blobs, grad, 0, q.n)
 	}
 	return nil
+}
+
+// qsgdAccumulate sums every rank's dequantized codes for elements [lo, hi)
+// through the per-rank lookup tables — one fused pass over all peers.
+func qsgdAccumulate(luts []float64, blobs [][]byte, grad []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var acc float64
+		for r := range blobs {
+			acc += luts[r*256+int(blobs[r][8+i])]
+		}
+		grad[i] = acc
+	}
 }
 
 // TernGrad implements ternary quantization (Wen et al., paper [15]): each
 // element becomes -1, 0 or +1 scaled by the vector's max magnitude, with
 // P(±1) = |g_i| / max|g| — an unbiased estimator at 2 bits per element.
+//
+// Decode expands each packed byte (four 2-bit codes) through a static
+// 256-entry table instead of shifting and branching per element, with the
+// 1/p averaging folded into the per-rank scale.
 type TernGrad struct {
 	n   int
 	rng randSource
+
+	enc    []byte    // pooled payload buffer
+	scales []float64 // per-rank decode scales (with 1/p folded in)
 }
 
 var _ GatherCompressor = (*TernGrad)(nil)
@@ -137,7 +175,50 @@ const (
 	ternNeg  = 2
 )
 
-// Encode ternarizes grad.
+// ternAccumulate merges every rank's code bytes [lo, hi) — four elements
+// per byte — through the static ternary table in one fused pass: the four
+// accumulators stay in registers across ranks and grad is written exactly
+// once per element.
+func ternAccumulate(grad []float64, blobs [][]byte, scales []float64, lo, hi int) {
+	for bi := lo; bi < hi; bi++ {
+		var a0, a1, a2, a3 float64
+		for r, b := range blobs {
+			c := b[8+bi]
+			if c == 0 {
+				continue
+			}
+			sc := scales[r]
+			lut := &ternLUT[c]
+			a0 += sc * float64(lut[0])
+			a1 += sc * float64(lut[1])
+			a2 += sc * float64(lut[2])
+			a3 += sc * float64(lut[3])
+		}
+		base := bi * 4
+		grad[base] = a0
+		grad[base+1] = a1
+		grad[base+2] = a2
+		grad[base+3] = a3
+	}
+}
+
+// ternLUT expands one packed byte into its four ternary code values.
+var ternLUT = func() (t [256][4]int8) {
+	for b := 0; b < 256; b++ {
+		for j := 0; j < 4; j++ {
+			switch (b >> uint(2*j)) & 3 {
+			case ternPos:
+				t[b][j] = 1
+			case ternNeg:
+				t[b][j] = -1
+			}
+		}
+	}
+	return
+}()
+
+// Encode ternarizes grad. The returned payload is owned by the compressor
+// and valid until the next Encode call.
 func (t *TernGrad) Encode(_ int, grad []float64) []byte {
 	if len(grad) != t.n {
 		panic(fmt.Sprintf("compress: TernGrad.Encode length %d, want %d", len(grad), t.n))
@@ -148,7 +229,9 @@ func (t *TernGrad) Encode(_ int, grad []float64) []byte {
 			scale = a
 		}
 	}
-	out := make([]byte, ternPayloadLen(t.n))
+	t.enc = grownBytes(t.enc, ternPayloadLen(t.n))
+	out := t.enc
+	clear(out[8:])
 	binary.LittleEndian.PutUint64(out, math.Float64bits(scale))
 	if scale == 0 {
 		return out
@@ -162,9 +245,51 @@ func (t *TernGrad) Encode(_ int, grad []float64) []byte {
 				code = ternNeg
 			}
 		}
-		out[8+i/4] |= code << ((i % 4) * 2)
+		out[8+i/4] |= code << uint((i%4)*2)
 	}
 	return out
+}
+
+// Decode averages every worker's ternary vector into grad.
+func (t *TernGrad) Decode(_ int, blobs [][]byte, grad []float64) error {
+	if len(grad) != t.n {
+		return fmt.Errorf("compress: TernGrad.Decode length %d, want %d", len(grad), t.n)
+	}
+	p := len(blobs)
+	if p == 0 {
+		return fmt.Errorf("compress: TernGrad.Decode got no payloads")
+	}
+	want := ternPayloadLen(t.n)
+	inv := 1 / float64(p)
+	t.scales = grownFloats(t.scales, p)
+	for r, b := range blobs {
+		if len(b) != want {
+			return fmt.Errorf("compress: TernGrad.Decode payload %d has %d bytes, want %d", r, len(b), want)
+		}
+		t.scales[r] = math.Float64frombits(binary.LittleEndian.Uint64(b)) * inv
+	}
+	scales := t.scales
+	full := t.n / 4
+	if shards := tensor.ShardCount(full, compressWork(t.n)); shards > 1 {
+		tensor.RunShards(full, shards, func(_, lo, hi int) {
+			ternAccumulate(grad, blobs, scales, lo, hi)
+		})
+	} else {
+		ternAccumulate(grad, blobs, scales, 0, full)
+	}
+	for i := full * 4; i < t.n; i++ {
+		var acc float64
+		for r, b := range blobs {
+			switch (b[8+i/4] >> uint((i%4)*2)) & 0x3 {
+			case ternPos:
+				acc += scales[r]
+			case ternNeg:
+				acc -= scales[r]
+			}
+		}
+		grad[i] = acc
+	}
+	return nil
 }
 
 // qsgdDefaults is the single source of QSGD's default params.
@@ -202,6 +327,15 @@ func (qsgdFactory) New(spec Spec, t Tensor) (any, error) {
 	return NewQSGD(t.Len(), levels, t.MixedSeed(1<<20)), nil
 }
 
+// WireRate reports QSGD's ~1/4 wire compression rate (one byte per fp32
+// word plus the norm header).
+func (qsgdFactory) WireRate(_ Spec, n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return float64(qsgdPayloadLen(n)) / float64(WireBytesF32*n)
+}
+
 // terngradFactory registers TernGrad ternary quantization.
 type terngradFactory struct{}
 
@@ -221,42 +355,16 @@ func (terngradFactory) New(_ Spec, t Tensor) (any, error) {
 	return NewTernGrad(t.Len(), t.MixedSeed(1<<20)), nil
 }
 
+// WireRate reports TernGrad's ~1/16 wire compression rate (2 bits per fp32
+// word plus the scale header).
+func (terngradFactory) WireRate(_ Spec, n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return float64(ternPayloadLen(n)) / float64(WireBytesF32*n)
+}
+
 func init() {
 	Register(qsgdFactory{})
 	Register(terngradFactory{})
-}
-
-// Decode averages every worker's ternary vector into grad.
-func (t *TernGrad) Decode(_ int, blobs [][]byte, grad []float64) error {
-	if len(grad) != t.n {
-		return fmt.Errorf("compress: TernGrad.Decode length %d, want %d", len(grad), t.n)
-	}
-	p := len(blobs)
-	if p == 0 {
-		return fmt.Errorf("compress: TernGrad.Decode got no payloads")
-	}
-	want := ternPayloadLen(t.n)
-	for i := range grad {
-		grad[i] = 0
-	}
-	for r, b := range blobs {
-		if len(b) != want {
-			return fmt.Errorf("compress: TernGrad.Decode payload %d has %d bytes, want %d", r, len(b), want)
-		}
-		scale := math.Float64frombits(binary.LittleEndian.Uint64(b))
-		for i := 0; i < t.n; i++ {
-			code := (b[8+i/4] >> ((i % 4) * 2)) & 0x3
-			switch code {
-			case ternPos:
-				grad[i] += scale
-			case ternNeg:
-				grad[i] -= scale
-			}
-		}
-	}
-	inv := 1 / float64(p)
-	for i := range grad {
-		grad[i] *= inv
-	}
-	return nil
 }

@@ -133,6 +133,23 @@ type Factory interface {
 	New(spec Spec, t Tensor) (any, error)
 }
 
+// WireBytesF32 is the fp32 wire word size WireRate compression rates are
+// quoted against (the in-memory representation is float64, but the paper's
+// buffer budgets and compression ratios are fp32 terms). The trainer's
+// fusion-budget accounting uses the same constant, so rate and raw-byte
+// bookkeeping can never drift apart.
+const WireBytesF32 = 4
+
+// WireRater is an optional Factory extension: WireRate reports the expected
+// encoded-payload size per raw fp32 wire byte for a tensor of n elements
+// (e.g. ~1/32 for Sign-SGD, 3*ratio for (index, value) sparsifiers). The
+// trainer uses it to scale the gather-path fusion budget the way §IV-B
+// scales the compressed-buffer budget: compressed buffer size = default
+// budget × compression rate.
+type WireRater interface {
+	WireRate(spec Spec, n int) float64
+}
+
 var registry struct {
 	mu      sync.RWMutex
 	entries map[string]Factory // canonical name and aliases → factory

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"acpsgd/internal/tensor"
 )
 
 // Sign implements Sign-SGD with majority vote (Bernstein et al., paper
@@ -13,11 +15,21 @@ import (
 // element-wise majority. The 1-bit payload is the paper's 32x compression
 // ratio; the all-gather pattern is what makes its communication complexity
 // linear in the worker count (Table II).
+//
+// Both kernels are word-parallel: Encode packs 64 sign bits per uint64 store
+// (with the error-feedback residual update fused into the same sweep, so the
+// EF path is two passes total), and Decode tallies all ranks' votes with
+// bit-sliced word-wide counters instead of a per-bit loop. Large tensors
+// shard across the tensor worker pool. Encode writes into a buffer the
+// compressor owns and re-leases each call (see the pooled payload ownership
+// rules in kernels.go).
 type Sign struct {
-	n        int
-	err      []float64 // error-feedback memory
-	adjusted []float64 // grad + err scratch
-	useEF    bool
+	n     int
+	err   []float64 // error-feedback memory (doubles as the adjusted vector)
+	useEF bool
+
+	enc      []byte    // pooled payload buffer
+	partials []float64 // per-shard |.| partial sums
 }
 
 var _ GatherCompressor = (*Sign)(nil)
@@ -27,10 +39,9 @@ var _ GatherCompressor = (*Sign)(nil)
 // ablations).
 func NewSign(n int, useEF bool) *Sign {
 	return &Sign{
-		n:        n,
-		err:      make([]float64, n),
-		adjusted: make([]float64, n),
-		useEF:    useEF,
+		n:     n,
+		err:   make([]float64, n),
+		useEF: useEF,
 	}
 }
 
@@ -40,51 +51,62 @@ func signPayloadLen(n int) int { return 8 + (n+7)/8 }
 
 // Encode packs sign bits of grad+err and the scale mean|grad+err|. The local
 // error memory is updated against the locally compressed value (EF-SignSGD).
+// The returned payload is owned by the compressor and valid until the next
+// Encode call.
 func (s *Sign) Encode(_ int, grad []float64) []byte {
 	if len(grad) != s.n {
 		panic(fmt.Sprintf("compress: Sign.Encode length %d, want %d", len(grad), s.n))
 	}
-	adj := s.adjusted
+	n := s.n
+	// Pass 1: fold the gradient into the error memory (EF) and reduce mean
+	// |adjusted|, sharded with per-shard partial sums.
+	src := grad
 	if s.useEF {
-		for i, g := range grad {
-			adj[i] = g + s.err[i]
-		}
-	} else {
-		copy(adj, grad)
+		src = s.err
 	}
 	var sumAbs float64
-	for _, v := range adj {
-		sumAbs += math.Abs(v)
+	if shards := tensor.ShardCount(n, compressWork(n)); shards > 1 {
+		s.partials = grownFloats(s.partials, shards)
+		partials := s.partials
+		err, useEF := s.err, s.useEF
+		tensor.RunShards(n, shards, func(sh, lo, hi int) {
+			partials[sh] = signAdjustAbs(err, grad, useEF, lo, hi)
+		})
+		for _, v := range partials[:shards] {
+			sumAbs += v
+		}
+	} else {
+		sumAbs = signAdjustAbs(s.err, grad, s.useEF, 0, n)
 	}
 	scale := 0.0
-	if s.n > 0 {
-		scale = sumAbs / float64(s.n)
+	if n > 0 {
+		scale = sumAbs / float64(n)
 	}
-	out := make([]byte, signPayloadLen(s.n))
+
+	s.enc = grownBytes(s.enc, signPayloadLen(n))
+	out := s.enc
 	binary.LittleEndian.PutUint64(out, math.Float64bits(scale))
-	bits := out[8:]
-	for i, v := range adj {
-		if v >= 0 {
-			bits[i/8] |= 1 << (i % 8)
-		}
+	bitBytes := out[8:]
+
+	// Pass 2: word-parallel bit pack, with the EF residual update fused in.
+	words := n / signWordElems
+	if shards := tensor.ShardCount(words, compressWork(n)); shards > 1 {
+		useEF := s.useEF
+		tensor.RunShards(words, shards, func(_, lo, hi int) {
+			packSignWords(bitBytes, src, scale, useEF, lo, hi)
+		})
+	} else {
+		packSignWords(bitBytes, src, scale, s.useEF, 0, words)
 	}
-	if s.useEF {
-		// Local compressed value: scale * sign(adj).
-		for i, v := range adj {
-			c := scale
-			if v < 0 {
-				c = -scale
-			}
-			s.err[i] = v - c
-		}
-	}
+	packSignTail(bitBytes, src, scale, s.useEF, words*signWordElems, n)
 	return out
 }
 
 // Decode takes every worker's payload and writes the majority-vote gradient
 // into grad: sign = majority of sign bits, magnitude = mean of the workers'
 // scales. Ties (possible with an even worker count) go to +1, matching the
-// >= 0 encoding convention.
+// >= 0 encoding convention. The vote tally runs word-parallel over all
+// ranks' payloads in one fused pass (see voteSignWords).
 func (s *Sign) Decode(_ int, blobs [][]byte, grad []float64) error {
 	if len(grad) != s.n {
 		return fmt.Errorf("compress: Sign.Decode length %d, want %d", len(grad), s.n)
@@ -102,19 +124,23 @@ func (s *Sign) Decode(_ int, blobs [][]byte, grad []float64) error {
 		meanScale += math.Float64frombits(binary.LittleEndian.Uint64(b))
 	}
 	meanScale /= float64(p)
-	for i := 0; i < s.n; i++ {
-		votes := 0
-		for _, b := range blobs {
-			if b[8+i/8]&(1<<(i%8)) != 0 {
-				votes++
-			}
-		}
-		if 2*votes >= p {
-			grad[i] = meanScale
-		} else {
-			grad[i] = -meanScale
-		}
+	// Majority threshold: 2*votes >= p <=> votes >= ceil(p/2).
+	T := (p + 1) / 2
+	if p > 255 {
+		// Beyond the bit-sliced counter width; groups this large do not occur
+		// in practice but the scalar tally keeps the contract total.
+		voteSignTail(blobs, grad, meanScale, T, 0, s.n)
+		return nil
 	}
+	words := s.n / signWordElems
+	if shards := tensor.ShardCount(words, compressWork(s.n)); shards > 1 {
+		tensor.RunShards(words, shards, func(_, lo, hi int) {
+			voteSignWords(blobs, grad, meanScale, T, lo, hi)
+		})
+	} else {
+		voteSignWords(blobs, grad, meanScale, T, 0, words)
+	}
+	voteSignTail(blobs, grad, meanScale, T, words*signWordElems, s.n)
 	return nil
 }
 
@@ -155,6 +181,15 @@ func (signFactory) New(spec Spec, t Tensor) (any, error) {
 		return nil, err
 	}
 	return NewSign(t.Len(), ef), nil
+}
+
+// WireRate reports Sign-SGD's ~1/32 wire compression rate (8 scale bytes
+// plus one bit per element, over 4-byte fp32 wire words).
+func (signFactory) WireRate(_ Spec, n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return float64(signPayloadLen(n)) / float64(WireBytesF32*n)
 }
 
 func init() { Register(signFactory{}) }

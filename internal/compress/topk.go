@@ -5,7 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+
+	"acpsgd/internal/tensor"
 )
 
 // Selection chooses how Top-k coordinates are found.
@@ -13,12 +14,12 @@ type Selection int
 
 const (
 	// SelectExact finds the exact k largest-magnitude coordinates
-	// (quickselect). This is the paper's "very computationally inefficient
-	// on GPUs" reference point.
+	// (sampled-threshold prefilter + quickselect of the survivors). This is
+	// the paper's "very computationally inefficient on GPUs" reference point.
 	SelectExact Selection = iota + 1
 	// SelectSampled is the multiple-sampling scheme of footnote 2: estimate
-	// a magnitude threshold from a random sample, then refine it with a
-	// bounded binary search until the selected count is close to k.
+	// a magnitude threshold from a random sample's order statistics and keep
+	// every coordinate above it, truncating to at most 2k.
 	SelectSampled
 )
 
@@ -28,18 +29,24 @@ const (
 // scatter-add them (different workers select different coordinates, which is
 // why the payloads are not additive in transit; §III-C). The Random-k
 // baseline shares the wire format but picks coordinates uniformly.
+//
+// The error memory doubles as the adjusted vector (err += grad, select on
+// err, zero the transmitted slots), so the EF encode path is one fused sweep
+// plus the selection pass. Encode writes into a buffer the compressor owns
+// and re-leases each call (pooled payload ownership, kernels.go); Decode is
+// the fused multi-peer scatter-add with the 1/p averaging folded in.
 type TopK struct {
-	n, k     int
-	sel      Selection
-	random   bool // Random-k instead of Top-k
-	err      []float64
-	adjusted []float64
-	useEF    bool
-	rng      *rand.Rand
+	n, k   int
+	sel    Selection
+	random bool // Random-k instead of Top-k
+	err    []float64
+	useEF  bool
+	rng    *rand.Rand
 
 	// scratch
-	idx  []int
-	mags []float64
+	picker topSelector
+	enc    []byte
+	seen   map[int]struct{} // Random-k dedup
 }
 
 var _ GatherCompressor = (*TopK)(nil)
@@ -53,14 +60,15 @@ func NewTopK(n, k int, sel Selection, useEF bool, tensorID int64) *TopK {
 	if k > n && n > 0 {
 		k = n
 	}
+	rng := newSeededRNG(tensorID)
 	return &TopK{
-		n:        n,
-		k:        k,
-		sel:      sel,
-		err:      make([]float64, n),
-		adjusted: make([]float64, n),
-		useEF:    useEF,
-		rng:      newSeededRNG(tensorID),
+		n:      n,
+		k:      k,
+		sel:    sel,
+		err:    make([]float64, n),
+		useEF:  useEF,
+		rng:    rng,
+		picker: topSelector{rng: rng},
 	}
 }
 
@@ -77,18 +85,25 @@ func (t *TopK) K() int { return t.k }
 const topkPairBytes = 4 + 8 // uint32 index + float64 value
 
 // Encode selects coordinates of grad+err and serializes (index, value)
-// pairs. Error memory keeps the unselected mass.
+// pairs. Error memory keeps the unselected mass. The returned payload is
+// owned by the compressor and valid until the next Encode call.
 func (t *TopK) Encode(_ int, grad []float64) []byte {
 	if len(grad) != t.n {
 		panic(fmt.Sprintf("compress: TopK.Encode length %d, want %d", len(grad), t.n))
 	}
-	adj := t.adjusted
+	src := grad
 	if t.useEF {
-		for i, g := range grad {
-			adj[i] = g + t.err[i]
+		// Fold the new gradient into the error memory; err is now the
+		// adjusted vector and selection reads it directly.
+		err := t.err
+		if shards := tensor.ShardCount(t.n, compressWork(t.n)); shards > 1 {
+			tensor.RunShards(t.n, shards, func(_, lo, hi int) {
+				addInto(err, grad, lo, hi)
+			})
+		} else {
+			addInto(err, grad, 0, t.n)
 		}
-	} else {
-		copy(adj, grad)
+		src = err
 	}
 
 	var selected []int
@@ -96,18 +111,17 @@ func (t *TopK) Encode(_ int, grad []float64) []byte {
 	case t.random:
 		selected = t.selectRandom()
 	case t.sel == SelectSampled:
-		selected = t.selectSampled(adj)
+		selected = t.picker.sampled(src, t.k)
 	default:
-		selected = t.selectExact(adj)
+		selected = t.picker.exact(src, t.k)
 	}
 
-	out := make([]byte, len(selected)*topkPairBytes)
-	if t.useEF {
-		copy(t.err, adj)
-	}
+	t.enc = grownBytes(t.enc, len(selected)*topkPairBytes)
+	out := t.enc
 	for i, ix := range selected {
+		v := src[ix]
 		binary.LittleEndian.PutUint32(out[i*topkPairBytes:], uint32(ix))
-		binary.LittleEndian.PutUint64(out[i*topkPairBytes+4:], math.Float64bits(adj[ix]))
+		binary.LittleEndian.PutUint64(out[i*topkPairBytes+4:], math.Float64bits(v))
 		if t.useEF {
 			t.err[ix] = 0 // transmitted mass leaves the memory
 		}
@@ -115,32 +129,54 @@ func (t *TopK) Encode(_ int, grad []float64) []byte {
 	return out
 }
 
-// selectExact returns the indices of the k largest |adj| via quickselect.
-func (t *TopK) selectExact(adj []float64) []int {
-	n := len(adj)
-	if t.k >= n {
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = i
+// selectRandom picks k distinct coordinates uniformly (Random-k). All
+// workers share the tensor RNG seed but advance it independently, so
+// selections differ across steps; coordinate overlap across workers is not
+// required for correctness because payloads carry explicit indices.
+func (t *TopK) selectRandom() []int {
+	n := t.n
+	t.picker.idx = grownInts(t.picker.idx, t.k)
+	out := t.picker.idx[:0]
+	if t.seen == nil {
+		t.seen = make(map[int]struct{}, t.k)
+	}
+	clear(t.seen)
+	for len(out) < t.k && len(out) < n {
+		i := t.rng.Intn(n)
+		if _, dup := t.seen[i]; dup {
+			continue
 		}
-		return idx
+		t.seen[i] = struct{}{}
+		out = append(out, i)
 	}
-	if cap(t.idx) < n {
-		t.idx = make([]int, n)
-		t.mags = make([]float64, n)
+	return out
+}
+
+// Decode scatter-adds every worker's sparse payload, scaled by 1/p, in one
+// fused pass, producing the global mean of the sparsified gradients.
+func (t *TopK) Decode(_ int, blobs [][]byte, grad []float64) error {
+	if len(grad) != t.n {
+		return fmt.Errorf("compress: TopK.Decode length %d, want %d", len(grad), t.n)
 	}
-	idx := t.idx[:n]
-	mags := t.mags[:n]
-	for i := range idx {
-		idx[i] = i
-		mags[i] = math.Abs(adj[i])
+	p := len(blobs)
+	if p == 0 {
+		return fmt.Errorf("compress: TopK.Decode got no payloads")
 	}
-	quickselectTopK(idx, mags, t.k, t.rng)
-	return idx[:t.k]
+	return scatterAddPairs(blobs, grad, 1/float64(p), "TopK.Decode")
+}
+
+// ErrorNorm returns the L2 norm of the error-feedback memory (diagnostics).
+func (t *TopK) ErrorNorm() float64 {
+	var sum float64
+	for _, v := range t.err {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
 }
 
 // quickselectTopK partitions idx so the first k entries have the largest
-// mags values (unordered). Average O(n).
+// mags values (unordered), keying mags by the values stored in idx.
+// Average O(n).
 func quickselectTopK(idx []int, mags []float64, k int, rng *rand.Rand) {
 	lo, hi := 0, len(idx)-1
 	for lo < hi {
@@ -169,137 +205,6 @@ func quickselectTopK(idx []int, mags []float64, k int, rng *rand.Rand) {
 	}
 }
 
-// selectSampled implements the multiple-sampling threshold estimate: sample
-// magnitudes, pick the (1-k/n) quantile as threshold, then binary-search the
-// threshold until the number of selected coordinates lands in [k, 2k] (or the
-// iteration budget runs out), finally truncating to at most 2k coordinates.
-func (t *TopK) selectSampled(adj []float64) []int {
-	n := len(adj)
-	if t.k >= n {
-		return t.selectExact(adj)
-	}
-	sampleSize := 4 * t.k
-	if sampleSize < 512 {
-		sampleSize = 512
-	}
-	if sampleSize > n {
-		sampleSize = n
-	}
-	sample := make([]float64, sampleSize)
-	for i := range sample {
-		sample[i] = math.Abs(adj[t.rng.Intn(n)])
-	}
-	sort.Float64s(sample)
-	q := float64(t.k) / float64(n)
-	pos := int(float64(sampleSize) * (1 - q))
-	if pos >= sampleSize {
-		pos = sampleSize - 1
-	}
-	if pos < 0 {
-		pos = 0
-	}
-	thr := sample[pos]
-
-	count := countAbove(adj, thr)
-	loThr, hiThr := 0.0, sample[sampleSize-1]
-	for iter := 0; iter < 16 && (count < t.k || count > 2*t.k); iter++ {
-		if count < t.k {
-			hiThr = thr
-		} else {
-			loThr = thr
-		}
-		thr = (loThr + hiThr) / 2
-		count = countAbove(adj, thr)
-	}
-	if count < t.k {
-		// Fallback: the threshold overshot (e.g. heavy ties); relax to the
-		// exact selection so we never under-deliver badly.
-		return t.selectExact(adj)
-	}
-	limit := 2 * t.k
-	out := make([]int, 0, min(count, limit))
-	for i, v := range adj {
-		if math.Abs(v) >= thr {
-			out = append(out, i)
-			if len(out) == limit {
-				break
-			}
-		}
-	}
-	return out
-}
-
-func countAbove(adj []float64, thr float64) int {
-	c := 0
-	for _, v := range adj {
-		if math.Abs(v) >= thr {
-			c++
-		}
-	}
-	return c
-}
-
-// selectRandom picks k distinct coordinates uniformly (Random-k). All
-// workers share the tensor RNG seed but advance it independently, so
-// selections differ across steps; coordinate overlap across workers is not
-// required for correctness because payloads carry explicit indices.
-func (t *TopK) selectRandom() []int {
-	n := t.n
-	out := make([]int, 0, t.k)
-	seen := make(map[int]struct{}, t.k)
-	for len(out) < t.k && len(out) < n {
-		i := t.rng.Intn(n)
-		if _, dup := seen[i]; dup {
-			continue
-		}
-		seen[i] = struct{}{}
-		out = append(out, i)
-	}
-	return out
-}
-
-// Decode scatter-adds every worker's sparse payload and divides by the
-// worker count, producing the global mean of the sparsified gradients.
-func (t *TopK) Decode(_ int, blobs [][]byte, grad []float64) error {
-	if len(grad) != t.n {
-		return fmt.Errorf("compress: TopK.Decode length %d, want %d", len(grad), t.n)
-	}
-	p := len(blobs)
-	if p == 0 {
-		return fmt.Errorf("compress: TopK.Decode got no payloads")
-	}
-	for i := range grad {
-		grad[i] = 0
-	}
-	for r, b := range blobs {
-		if len(b)%topkPairBytes != 0 {
-			return fmt.Errorf("compress: TopK.Decode payload %d has odd length %d", r, len(b))
-		}
-		for off := 0; off < len(b); off += topkPairBytes {
-			ix := int(binary.LittleEndian.Uint32(b[off:]))
-			if ix < 0 || ix >= t.n {
-				return fmt.Errorf("compress: TopK.Decode index %d out of range [0,%d)", ix, t.n)
-			}
-			v := math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:]))
-			grad[ix] += v
-		}
-	}
-	inv := 1 / float64(p)
-	for i := range grad {
-		grad[i] *= inv
-	}
-	return nil
-}
-
-// ErrorNorm returns the L2 norm of the error-feedback memory (diagnostics).
-func (t *TopK) ErrorNorm() float64 {
-	var sum float64
-	for _, v := range t.err {
-		sum += v * v
-	}
-	return math.Sqrt(sum)
-}
-
 // ratioParam reads and range-checks a sparsification density param from a
 // defaults-merged param bag.
 func ratioParam(p Params) (float64, error) {
@@ -323,6 +228,20 @@ func selectionParam(p Params) (Selection, error) {
 		return SelectExact, nil
 	}
 	return SelectSampled, nil
+}
+
+// sparseWireRate is the shared WireRate of the (index, value)-pair methods:
+// ratio coordinates per element at 12 bytes each over 4-byte fp32 words.
+func sparseWireRate(p Params) float64 {
+	ratio, err := ratioParam(p)
+	if err != nil {
+		return 1
+	}
+	rate := ratio * float64(topkPairBytes) / float64(WireBytesF32)
+	if rate > 1 {
+		rate = 1
+	}
+	return rate
 }
 
 // defaultRatio is the paper's 0.1% density for Top-k-family methods.
@@ -380,6 +299,22 @@ func (topkFactory) New(spec Spec, t Tensor) (any, error) {
 	return NewTopK(n, int(ratio*float64(n)), sel, ef, t.MixedSeed(1<<20)), nil
 }
 
+// WireRate reports Top-k's expected wire compression rate. Sampled
+// selection ships between k and 2k pairs per encode, so its rate doubles —
+// the budget promise ("wire payload per buffer <= budget × rate") must hold
+// at the selection's upper bound.
+func (topkFactory) WireRate(spec Spec, _ int) float64 {
+	p := spec.Params.withDefaults(topkDefaults)
+	rate := sparseWireRate(p)
+	if sel, err := selectionParam(p); err == nil && sel == SelectSampled {
+		rate *= 2
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return rate
+}
+
 // randomkDefaults is the single source of Random-k's default params.
 var randomkDefaults = Params{
 	"ratio": defaultRatio,
@@ -421,6 +356,11 @@ func (randomkFactory) New(spec Spec, t Tensor) (any, error) {
 	}
 	n := t.Len()
 	return NewRandomK(n, int(ratio*float64(n)), ef, t.MixedSeed(1<<20)), nil
+}
+
+// WireRate reports Random-k's expected wire compression rate.
+func (randomkFactory) WireRate(spec Spec, _ int) float64 {
+	return sparseWireRate(spec.Params.withDefaults(randomkDefaults))
 }
 
 func init() {

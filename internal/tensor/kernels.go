@@ -47,11 +47,22 @@ func effectiveWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// poolTask is one row-range of a parallel kernel invocation.
+// poolTask is one row-range of a parallel kernel invocation. Exactly one of
+// fn and sfn is set; sfn additionally receives the shard index (RunShards).
 type poolTask struct {
 	fn     func(lo, hi int)
+	sfn    func(shard, lo, hi int)
+	shard  int
 	lo, hi int
 	wg     *sync.WaitGroup
+}
+
+func (t poolTask) run() {
+	if t.sfn != nil {
+		t.sfn(t.shard, t.lo, t.hi)
+	} else {
+		t.fn(t.lo, t.hi)
+	}
 }
 
 var (
@@ -72,7 +83,7 @@ func startPool() {
 	for i := 0; i < n; i++ {
 		go func() {
 			for t := range poolTasks {
-				t.fn(t.lo, t.hi)
+				t.run()
 				t.wg.Done()
 			}
 		}()
@@ -108,12 +119,82 @@ func parallelRows(rows int, fn func(lo, hi int)) {
 	for {
 		select {
 		case t := <-poolTasks:
-			t.fn(t.lo, t.hi)
+			t.run()
 			t.wg.Done()
 		default:
 			wg.Wait()
 			return
 		}
+	}
+}
+
+// ShardCount reports how many contiguous shards a kernel over n units should
+// split into under the package dispatch policy: 1 (serial) when the total
+// work is below the parallel threshold or only one worker is configured,
+// otherwise min(workers, n). Callers that need per-shard state (e.g. partial
+// sums) size it with ShardCount and execute with RunShards. `work` is the
+// kernel's total cost in the same units as SetParallelThreshold.
+func ShardCount(n, work int) int {
+	if !useParallel(n, work) {
+		return 1
+	}
+	w := effectiveWorkers()
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// RunShards runs fn over [0, n) split into exactly `shards` contiguous
+// ranges (the split ShardCount sized), sharing the package worker pool with
+// the matmul kernels. shards <= 1 runs fn(0, 0, n) inline — the serial fast
+// path stays dispatch-free. Like parallelRows, the caller's goroutine
+// executes shard 0 and help-drains the queue while waiting, so concurrent
+// submitters degrade to cooperative serial execution instead of
+// deadlocking.
+func RunShards(n, shards int, fn func(shard, lo, hi int)) {
+	if shards <= 1 || n <= 0 {
+		fn(0, 0, n)
+		return
+	}
+	poolOnce.Do(startPool)
+	if shards > n {
+		shards = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards - 1)
+	for s := 1; s < shards; s++ {
+		poolTasks <- poolTask{sfn: fn, shard: s, lo: s * n / shards, hi: (s + 1) * n / shards, wg: &wg}
+	}
+	fn(0, 0, n/shards)
+	for {
+		select {
+		case t := <-poolTasks:
+			t.run()
+			t.wg.Done()
+		default:
+			wg.Wait()
+			return
+		}
+	}
+}
+
+// Scale writes dst[i] = a*src[i] over equal-length slices — the fused
+// scaled-copy the decode/averaging paths use instead of a divide per
+// element. dst and src may alias.
+func Scale(a float64, src, dst []float64) {
+	if len(src) != len(dst) {
+		panic("tensor: Scale length mismatch")
+	}
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		dst[i] = a * src[i]
+		dst[i+1] = a * src[i+1]
+		dst[i+2] = a * src[i+2]
+		dst[i+3] = a * src[i+3]
+	}
+	for ; i < len(src); i++ {
+		dst[i] = a * src[i]
 	}
 }
 

@@ -1,0 +1,124 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestScaleMatchesScalarAndAliases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 3, 4, 7, 129} {
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		for i, v := range src {
+			want[i] = 0.25 * v
+		}
+		dst := make([]float64, n)
+		Scale(0.25, src, dst)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d elem %d: got %v want %v", n, i, dst[i], want[i])
+			}
+		}
+		// In-place aliasing must work (finalize scales buffers onto themselves).
+		Scale(0.25, src, src)
+		for i := range want {
+			if src[i] != want[i] {
+				t.Fatalf("n=%d aliased elem %d: got %v want %v", n, i, src[i], want[i])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale must panic on length mismatch")
+		}
+	}()
+	Scale(1, make([]float64, 3), make([]float64, 4))
+}
+
+func TestShardCountDispatchPolicy(t *testing.T) {
+	defer SetParallelism(SetParallelism(4))
+	defer SetParallelThreshold(SetParallelThreshold(100))
+	if got := ShardCount(1000, 99); got != 1 {
+		t.Fatalf("below threshold: got %d shards, want 1", got)
+	}
+	if got := ShardCount(1000, 100); got != 4 {
+		t.Fatalf("above threshold: got %d shards, want 4", got)
+	}
+	if got := ShardCount(3, 1000); got != 3 {
+		t.Fatalf("more workers than rows: got %d shards, want 3", got)
+	}
+	SetParallelism(1)
+	if got := ShardCount(1000, 1000); got != 1 {
+		t.Fatalf("single worker: got %d shards, want 1", got)
+	}
+}
+
+func TestRunShardsCoversRangeOnce(t *testing.T) {
+	defer SetParallelism(SetParallelism(4))
+	defer SetParallelThreshold(SetParallelThreshold(1))
+	for _, n := range []int{0, 1, 5, 64, 1000} {
+		for _, shards := range []int{1, 2, 4, 7} {
+			hits := make([]int32, n)
+			seen := make(map[int]bool)
+			var mu sync.Mutex
+			RunShards(n, shards, func(sh, lo, hi int) {
+				mu.Lock()
+				seen[sh] = true
+				mu.Unlock()
+				for i := lo; i < hi; i++ {
+					hits[i]++ // shard ranges are disjoint: no racing increments
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d shards=%d: element %d covered %d times", n, shards, i, h)
+				}
+			}
+			wantShards := shards
+			if shards > n {
+				wantShards = n
+			}
+			if n == 0 || shards <= 1 {
+				wantShards = 1
+			}
+			if len(seen) != wantShards {
+				t.Fatalf("n=%d shards=%d: %d distinct shard ids, want %d", n, shards, len(seen), wantShards)
+			}
+		}
+	}
+}
+
+// TestRunShardsPartialSums is the reduction pattern the compress kernels
+// use: per-shard partials must add up to the serial sum.
+func TestRunShardsPartialSums(t *testing.T) {
+	defer SetParallelism(SetParallelism(4))
+	defer SetParallelThreshold(SetParallelThreshold(1))
+	const n = 10_000
+	vals := make([]float64, n)
+	var want float64
+	for i := range vals {
+		vals[i] = float64(i%13) - 6
+		want += vals[i]
+	}
+	const shards = 4
+	partials := make([]float64, shards)
+	RunShards(n, shards, func(sh, lo, hi int) {
+		var s float64
+		for _, v := range vals[lo:hi] {
+			s += v
+		}
+		partials[sh] = s
+	})
+	var got float64
+	for _, p := range partials {
+		got += p
+	}
+	if got != want {
+		t.Fatalf("sharded sum %v, serial %v", got, want)
+	}
+}

@@ -1,0 +1,115 @@
+package train
+
+import (
+	"math/rand"
+	"testing"
+
+	"acpsgd/internal/compress"
+	"acpsgd/internal/data"
+	"acpsgd/internal/models"
+	"acpsgd/internal/nn"
+)
+
+// budgetCluster builds a tiny 2-worker cluster for the given spec and runs
+// one step so prepareStep has applied the per-step budgets.
+func budgetCluster(t *testing.T, spec string, bufferBytes int) *Cluster {
+	t.Helper()
+	cfg := Config{
+		Spec:           compress.MustSpec(spec),
+		Workers:        2,
+		BatchPerWorker: 8,
+		Epochs:         1,
+		Schedule:       Schedule{BaseLR: 0.01},
+		BufferBytes:    bufferBytes,
+		Seed:           5,
+	}
+	trainSet := data.GaussianMixture(9, 64, 16, 4, 1.0)
+	cluster, err := NewCluster(cfg, func(rng *rand.Rand) *nn.Model {
+		return models.MLP(rng, 16, 32, 4)
+	}, trainSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Step(); err != nil {
+		cluster.Close()
+		t.Fatal(err)
+	}
+	return cluster
+}
+
+// TestGatherBudgetScalesWithCompressionRate pins the §IV-B parity fix: the
+// gather group's fusion budget must be the configured budget scaled by the
+// method's wire compression rate (compressed payloads, not raw gradients,
+// are what the budget meters), exactly as prepareStep scales the additive
+// compressed-buffer budget.
+func TestGatherBudgetScalesWithCompressionRate(t *testing.T) {
+	const bufferBytes = 1 << 20
+	cluster := budgetCluster(t, "sign", bufferBytes)
+	defer cluster.Close()
+	w := cluster.workers[0]
+
+	f, spec, err := compress.Resolve(compress.MustSpec("sign"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := f.(compress.WireRater).WireRate(spec, w.totalElems)
+	want := int(float64(bufferBytes) * rate)
+	if want < 1 {
+		want = 1
+	}
+	if got := w.gatherGrp.budget; got != want {
+		t.Fatalf("sign gather budget = %d, want %d (rate %.4f of %d)", got, want, rate, bufferBytes)
+	}
+	// Sanity: the scaled budget is dramatically below the raw budget (~32x
+	// for Sign-SGD), which is what makes the wire payload per buffer equal
+	// budget×rate.
+	if w.gatherGrp.budget*16 > bufferBytes {
+		t.Fatalf("sign gather budget %d is not compression-scaled vs %d", w.gatherGrp.budget, bufferBytes)
+	}
+	// Accounting must scale by the same rate, so layer grouping (raw bytes
+	// per buffer) stays at the configured budget — compression must not
+	// change which layers fuse together.
+	if got := w.gatherGrp.rate; got != rate {
+		t.Fatalf("sign gather accounting rate = %v, want %v", got, rate)
+	}
+}
+
+// TestGatherGroupRateScaledAccounting pins the seal condition itself: with
+// budget and accounting both scaled by the compression rate, the raw
+// gradient coverage per buffer matches a raw-budget group exactly.
+func TestGatherGroupRateScaledAccounting(t *testing.T) {
+	const rawBudget = 1024 // bytes: 256 fp32 elements
+	mkParam := func() *nn.Param { return &nn.Param{} }
+	grads := make([][]float64, 8)
+	for i := range grads {
+		grads[i] = make([]float64, 64) // 256 raw wire bytes each
+	}
+	sealsOf := func(rate float64) int {
+		var sealed int
+		g := newGatherGroup(int(rawBudget*rate), func(*gatherBuffer) { sealed++ })
+		g.rate = rate
+		for i := range grads {
+			g.add(mkParam(), grads[i])
+		}
+		g.flush()
+		return sealed
+	}
+	raw := sealsOf(1)
+	scaled := sealsOf(1.0 / 32)
+	if raw != scaled {
+		t.Fatalf("rate-scaled group sealed %d buffers, raw group %d — layer grouping must not change with compression", scaled, raw)
+	}
+}
+
+// TestGatherBudgetUnscaledWithoutRater: methods that do not declare a wire
+// rate keep the raw budget.
+func TestGatherBudgetUnscaledWithoutRater(t *testing.T) {
+	const bufferBytes = 1 << 20
+	cluster := budgetCluster(t, "ssgd", bufferBytes)
+	defer cluster.Close()
+	w := cluster.workers[0]
+	// ssgd is not gather-scoped; its gather group budget stays raw.
+	if got := w.gatherGrp.budget; got != bufferBytes {
+		t.Fatalf("ssgd gather budget = %d, want %d", got, bufferBytes)
+	}
+}

@@ -8,8 +8,11 @@ import (
 
 // wireBytesPerElem models the fp32 wire format of the paper's setting for
 // fusion-buffer budgeting (the in-memory representation is float64, but
-// buffer sizes like "25MB" are meaningful in the paper's fp32 terms).
-const wireBytesPerElem = 4
+// buffer sizes like "25MB" are meaningful in the paper's fp32 terms). It is
+// the same constant WireRate quotes compression rates against — sharing it
+// keeps the gather group's rate-scaled accounting consistent by
+// construction.
+const wireBytesPerElem = compress.WireBytesF32
 
 // DefaultBufferBytes is PyTorch-DDP's default 25MB fusion buffer (§IV-B).
 const DefaultBufferBytes = 25 * 1024 * 1024
@@ -49,8 +52,10 @@ type gatherBuffer struct {
 	index   int    // stable buffer index for per-buffer compressor state
 	blob    []byte // local encoded payload, produced at seal time
 	pending *comm.GatherPending
-	blobs   [][]byte
-	err     error
+	// gathered holds the sealed all-gather result (one contiguous pooled
+	// region) from drain until finalize decodes and releases it.
+	gathered *comm.Gathered
+	err      error
 }
 
 // fusionGroup accumulates payloads into buffers of at most budget bytes and
@@ -111,9 +116,18 @@ func (g *fusionGroup) reset() {
 	g.sealed = g.sealed[:0]
 }
 
-// gatherGroup is the analogue of fusionGroup for raw-gradient packing.
+// gatherGroup is the analogue of fusionGroup for raw-gradient packing. Its
+// buffers hold raw gradients but ship compressed payloads, so sealing
+// accounts the estimated encoded size (raw wire bytes × the method's
+// compression rate) against a budget scaled by the same rate — §IV-B's
+// "compressed buffer size = default budget × compression rate", exactly
+// parallel to how compGroup meters compressed payloads against its scaled
+// budget. The two scalings cancel into the same raw layer coverage as the
+// uncompressed path, which is the paper's point: compression must not
+// change which layers fuse together.
 type gatherGroup struct {
 	budget  int
+	rate    float64 // expected encoded bytes per raw wire byte (1 = raw)
 	cur     *gatherBuffer
 	curB    int
 	sealed  []*gatherBuffer
@@ -122,11 +136,11 @@ type gatherGroup struct {
 }
 
 func newGatherGroup(budgetBytes int, onSeal func(*gatherBuffer)) *gatherGroup {
-	return &gatherGroup{budget: budgetBytes, onSeal: onSeal}
+	return &gatherGroup{budget: budgetBytes, rate: 1, onSeal: onSeal}
 }
 
 func (g *gatherGroup) add(param *nn.Param, grad []float64) {
-	bytes := len(grad) * wireBytesPerElem
+	bytes := int(float64(len(grad)*wireBytesPerElem) * g.rate)
 	if g.cur != nil && g.curB+bytes > g.budget {
 		g.seal()
 	}

@@ -47,6 +47,7 @@ type worker struct {
 	matrixParams []*nn.Param
 	isMatrix     map[*nn.Param]bool
 	matElems     int
+	totalElems   int
 	// Per-tensor compressor state, built lazily through cfg.fac. Exactly
 	// one of these is populated, per the method's Scope and Pattern.
 	additive   map[*nn.Param]compress.AdditiveCompressor
@@ -94,6 +95,7 @@ func newWorker(rank int, cfg *Config, model *nn.Model, c *comm.Communicator, sha
 	}
 
 	for i, p := range model.Params() {
+		w.totalElems += len(p.Grad.Data)
 		if !isMatrixParam(p) {
 			continue
 		}
@@ -236,14 +238,21 @@ func (w *worker) pairwiseFor(buf *gatherBuffer) (compress.PairwiseBlockingCompre
 }
 
 // prepareStep resets fusion groups and applies the compression-rate-scaled
-// compressed buffer budget (§IV-B: compressed buffer size = default budget ×
-// compression rate — for ACP-SGD the rate alternates between the P and Q
-// parities, which PayloadLen(step) reports).
+// compressed buffer budgets (§IV-B: compressed buffer size = default budget
+// × compression rate — for ACP-SGD the rate alternates between the P and Q
+// parities, which PayloadLen(step) reports; gather methods declare their
+// rate through the factory's WireRate, since their buffers seal on
+// raw-gradient bytes but ship compressed payloads).
 func (w *worker) prepareStep() {
 	w.rawGroup.reset()
 	w.compGroup.reset()
 	w.gatherGrp.reset()
 	w.launches = w.launches[:0]
+	// Budget and accounting scale by the same rate (see gatherGroup), so the
+	// wire payload per buffer is budget×rate while layer grouping matches
+	// the uncompressed path.
+	w.gatherGrp.rate = w.gatherRate()
+	w.gatherGrp.budget = w.scaledBudget(w.gatherGrp.rate)
 	if len(w.additive) == 0 || w.matElems == 0 {
 		return
 	}
@@ -253,12 +262,31 @@ func (w *worker) prepareStep() {
 			payload += st.PayloadLen(w.step)
 		}
 	}
-	rate := float64(payload) / float64(w.matElems)
+	w.compGroup.budget = w.scaledBudget(float64(payload) / float64(w.matElems))
+}
+
+// gatherRate reports the method's expected wire compression rate for the
+// gather path (1 when the factory declares none).
+func (w *worker) gatherRate() float64 {
+	if w.cfg.info.Scope != compress.ScopeBuffer || w.totalElems == 0 {
+		return 1
+	}
+	rater, ok := w.cfg.fac.(compress.WireRater)
+	if !ok {
+		return 1
+	}
+	return rater.WireRate(w.cfg.spec, w.totalElems)
+}
+
+// scaledBudget applies a compression rate to the configured fusion budget,
+// clamping to at least one byte so fusion stays enabled unless NoFusion
+// asked for per-tensor communication.
+func (w *worker) scaledBudget(rate float64) int {
 	budget := int(float64(w.cfg.bufferBytes()) * rate)
 	if budget < 1 && !w.cfg.NoFusion {
 		budget = 1
 	}
-	w.compGroup.budget = budget
+	return budget
 }
 
 // hook returns the WFBP gradient hook implied by the method's traits.
@@ -338,7 +366,7 @@ func (w *worker) runStep() (float64, error) {
 	case compress.PatternBlocking:
 		for i := len(w.matrixParams) - 1; i >= 0; i-- {
 			p := w.matrixParams[i]
-			if err := w.blocking[p].CompressStep(w.step, p.Grad.Data, w.com); err != nil {
+			if err := w.blocking[p].CompressStep(w.step, p.Grad.Data, comCollectives{w.com}); err != nil {
 				return 0, fmt.Errorf("train: rank %d %s %s: %w", w.rank, w.cfg.spec.Name, p.Name, err)
 			}
 		}
@@ -348,7 +376,7 @@ func (w *worker) runStep() (float64, error) {
 			if err != nil {
 				return 0, err
 			}
-			if err := pc.CompressStep(w.step, buf.packed, w.com); err != nil {
+			if err := pc.CompressStep(w.step, buf.packed, comCollectives{w.com}); err != nil {
 				return 0, fmt.Errorf("train: rank %d %s: %w", w.rank, w.cfg.spec.Name, err)
 			}
 		}
@@ -385,7 +413,7 @@ func (w *worker) drain() error {
 	}
 	for _, buf := range w.gatherGrp.sealed {
 		if buf.pending != nil {
-			buf.blobs, buf.err = buf.pending.Wait()
+			buf.gathered, buf.err = buf.pending.Wait()
 			buf.pending = nil
 		}
 		fail(buf.err, "all-gather")
@@ -409,10 +437,7 @@ func (w *worker) finalize() error {
 					e.comp.Finalize(w.step, agg, p, e.param.Grad.Data)
 					continue
 				}
-				inv := 1 / float64(p)
-				for i, v := range agg {
-					e.param.Grad.Data[i] = v * inv
-				}
+				tensor.Scale(1/float64(p), agg, e.param.Grad.Data)
 			}
 		}
 	}
@@ -422,10 +447,14 @@ func (w *worker) finalize() error {
 		}
 		// Pairwise-pattern buffers already hold the decompressed global mean
 		// in packed (CompressStep replaced it in place); gather buffers still
-		// need the decode pass over the collected blobs.
+		// need the fused decode pass over the sealed gather region, whose
+		// pooled memory recycles the moment the decode consumes it.
 		if w.cfg.info.Pattern != compress.PatternPairwise {
 			comp := w.gatherComp[buf.index]
-			if err := comp.Decode(w.step, buf.blobs, buf.packed); err != nil {
+			err := comp.Decode(w.step, buf.gathered.Payloads(), buf.packed)
+			buf.gathered.Release()
+			buf.gathered = nil
+			if err != nil {
 				return fmt.Errorf("train: rank %d decode: %w", w.rank, err)
 			}
 		}
@@ -434,6 +463,29 @@ func (w *worker) finalize() error {
 		}
 	}
 	return nil
+}
+
+// comCollectives adapts *comm.Communicator to the compressor-facing
+// Collectives interfaces: comm returns its concrete pooled Gathered, the
+// compressors program against the interface.
+type comCollectives struct{ c *comm.Communicator }
+
+func (a comCollectives) AllReduceSum(buf []float64) error { return a.c.AllReduceSum(buf) }
+
+func (a comCollectives) AllGather(local []byte) (compress.Gathered, error) {
+	g, err := a.c.AllGather(local)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (a comCollectives) Size() int { return a.c.Size() }
+
+func (a comCollectives) Rank() int { return a.c.Rank() }
+
+func (a comCollectives) ExchangeWith(peer int, data []byte) ([]byte, error) {
+	return a.c.ExchangeWith(peer, data)
 }
 
 // evaluate computes accuracy of the worker's model over a dataset, batching
