@@ -12,6 +12,7 @@
 package acpsgd_test
 
 import (
+	"fmt"
 	"testing"
 
 	"acpsgd/internal/bench"
@@ -77,6 +78,20 @@ func BenchmarkRingAllReduceAsync4x1M(b *testing.B) { suite(b, "RingAllReduceAsyn
 func BenchmarkOverlapStep(b *testing.B) {
 	for _, mode := range bench.OverlapModes {
 		b.Run(mode.String(), func(b *testing.B) { suite(b, "OverlapStep/"+mode.String()) })
+	}
+}
+
+func BenchmarkPipelinedAllReduce4x1M(b *testing.B) { suite(b, "PipelinedAllReduce4x1M") }
+
+// BenchmarkPipelinedStep times one synchronized 2-worker QSGD training step
+// on an alpha-beta-injected transport across pipeline chunk counts:
+// chunks>0 overlaps encode/wire/decode inside every fusion buffer and should
+// beat the unpipelined chunks=0 replay baseline. Sub-benchmark names
+// (chunks=N) match the suite case names acpbench -baseline records.
+func BenchmarkPipelinedStep(b *testing.B) {
+	for _, chunks := range bench.PipelineChunkCounts {
+		name := fmt.Sprintf("chunks=%d", chunks)
+		b.Run(name, func(b *testing.B) { suite(b, "PipelinedStep/"+name) })
 	}
 }
 

@@ -34,22 +34,24 @@ func run(args []string) int {
 	noFusion := fs.Bool("no-fusion", false, "disable tensor fusion")
 	slowOrth := fs.Bool("slow-orth", false, "original Power-SGD orthogonalization cost")
 	overlap := fs.Bool("overlap", true, "overlap communication with back-propagation (false = launch after backward)")
+	chunks := fs.Int("chunks", 0, "pipeline chunks per fusion buffer in the cost model (0 = unpipelined)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	r, err := core.SimulateIteration(core.IterationConfig{
-		Model:       *model,
-		Method:      *method,
-		Mode:        *mode,
-		Workers:     *workers,
-		Batch:       *batch,
-		Rank:        *rank,
-		Network:     *network,
-		BufferBytes: *bufferMB * 1024 * 1024,
-		NoFusion:    *noFusion,
-		SlowOrth:    *slowOrth,
-		NoOverlap:   !*overlap,
+		Model:          *model,
+		Method:         *method,
+		Mode:           *mode,
+		Workers:        *workers,
+		Batch:          *batch,
+		Rank:           *rank,
+		Network:        *network,
+		BufferBytes:    *bufferMB * 1024 * 1024,
+		NoFusion:       *noFusion,
+		SlowOrth:       *slowOrth,
+		NoOverlap:      !*overlap,
+		PipelineChunks: *chunks,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acpsim: %v\n", err)

@@ -43,6 +43,7 @@ func run(args []string) int {
 	seed := fs.Int64("seed", 42, "random seed")
 	tcp := fs.Bool("tcp", false, "run collectives over loopback TCP instead of channels")
 	overlap := fs.Bool("overlap", true, "overlap collectives with back-propagation (wait-free backprop); results are bit-identical either way")
+	chunks := fs.Int("chunks", 0, "pipeline chunks per fusion buffer (0 = unpipelined); results are bit-identical for every value")
 	examples := fs.Int("examples", 2048, "training examples (synthetic dataset)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,6 +68,7 @@ func run(args []string) int {
 		Seed:           *seed,
 		UseTCP:         *tcp,
 		NoOverlap:      !*overlap,
+		PipelineChunks: *chunks,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acptrain: %v\n", err)

@@ -1,7 +1,11 @@
 // Buffer-size tuning study (paper Fig. 10 and §IV-B): sweep the tensor
 // fusion buffer size for Power-SGD* and ACP-SGD on BERT-Large and show why
 // ACP-SGD's compression-rate-scaled buffers make the 25MB default robust
-// across ranks.
+// across ranks. The second half sweeps the fusion buffer against the
+// pipeline chunk count (-chunks on acpsim/acptrain): larger buffers leave
+// more encode/wire/decode serialization inside each buffer for chunk
+// pipelining to reclaim, while chunking a tiny buffer only adds per-chunk
+// latency — the paper's fusion×pipelining interaction (§III-B).
 package main
 
 import (
@@ -45,4 +49,39 @@ func main() {
 	}
 	fmt.Println("ACP-SGD stays near its optimum across buffer sizes because the")
 	fmt.Println("compressed buffer budget is scaled by the compression rate (§IV-B).")
+	fmt.Println()
+
+	// Fusion × pipelining: chunk the buckets of a decode-heavy gather method
+	// (Sign-SGD) at several buffer sizes. Chunk pipelining pays off where
+	// fusion created big serialized encode→wire→decode spans.
+	// 8 GPUs: Sign-SGD's vote workspace OOMs at 32 (Fig. 2), and the sweep
+	// is about the chunking interaction, not the memory wall.
+	chunkCounts := []int{0, 2, 4, 8, 16}
+	fmt.Printf("Sign-SGD fusion x pipelining (8 GPUs, 10GbE):\n")
+	fmt.Printf("%-12s", "buffer(MB)")
+	for _, ch := range chunkCounts {
+		fmt.Printf(" %-10s", fmt.Sprintf("chunks=%d", ch))
+	}
+	fmt.Println()
+	for _, mb := range []int{5, 25, 100, 500} {
+		fmt.Printf("%-12d", mb)
+		for _, ch := range chunkCounts {
+			r, err := core.SimulateIteration(core.IterationConfig{
+				Model:          *model,
+				Method:         "sign",
+				Mode:           "wfbp+tf",
+				Workers:        8,
+				BufferBytes:    mb * 1024 * 1024,
+				PipelineChunks: ch,
+			})
+			if err != nil {
+				log.Fatalf("simulate: %v", err)
+			}
+			fmt.Printf(" %-10s", fmt.Sprintf("%.0fms", r.TotalSec*1e3))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Chunking splits each buffer's encode/wire/decode so they overlap")
+	fmt.Println("(paper §III-B); sweep -chunks on acptrain/acpsim to reproduce.")
 }

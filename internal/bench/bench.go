@@ -44,6 +44,7 @@ func Suite() []Case {
 		{"RingAllReduce8x64k", allReduceCase(8, 64*1024)},
 		{"RingAllReduce4x1M", allReduceCase(4, 1024*1024)},
 		{"RingAllReduceAsync4x1M", benchAsyncAllReduce4x1M},
+		{"PipelinedAllReduce4x1M", benchPipelinedAllReduce4x1M},
 		{"AllGather4x64KB", benchAllGather4x64KB},
 		{"Broadcast4x256k", benchBroadcast4x256k},
 		{"SignEncode1M", benchSignEncode1M},
@@ -106,7 +107,123 @@ func Suite() []Case {
 			F:    overlapStepCase(mode),
 		})
 	}
+	for _, chunks := range PipelineChunkCounts {
+		cases = append(cases, Case{
+			Name: "PipelinedStep/chunks=" + strconv.Itoa(chunks),
+			F:    pipelinedStepCase(chunks),
+		})
+	}
 	return cases
+}
+
+// PipelineChunkCounts are the chunk counts the end-to-end pipelined-step
+// bench sweeps: the unpipelined replay baseline and two pipelined depths.
+var PipelineChunkCounts = []int{0, 4, 16}
+
+// pipelinedStepCase measures one full synchronized training step of a
+// 2-worker QSGD cluster on a bandwidth-injected in-process transport (16MB/s
+// per link — size-proportional wire delay that costs no CPU, the beta term
+// of the alpha-beta model). QSGD is the natural subject: its encode is a
+// serial stochastic-rounding sweep and its decode a per-rank LUT expansion.
+// The default 25MB fusion budget fuses the whole model into ONE buffer, so
+// the unpipelined step serializes encode → wire → decode back to back at the
+// end of backward — exactly the span tensor fusion creates and chunk
+// pipelining reclaims (§III-B): with PipelineChunks>0 chunk c rides the wire
+// while chunk c+1 is encoding and chunk c-1 is decoding. GOMAXPROCS and
+// serial kernels are pinned as in overlapStepCase.
+func pipelinedStepCase(chunks int) func(b *testing.B) {
+	return func(b *testing.B) {
+		const (
+			workers  = 2
+			features = 64
+			hidden   = 256
+			classes  = 10
+		)
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(max(2*workers, runtime.GOMAXPROCS(0))))
+		defer tensor.SetParallelism(tensor.SetParallelism(1))
+		trainSet := data.GaussianMixture(31, 512, features, classes, 1.0)
+		cfg := train.Config{
+			Spec:           compress.MustSpec("qsgd"),
+			Workers:        workers,
+			BatchPerWorker: 4,
+			Epochs:         1,
+			Momentum:       0.9,
+			Schedule:       train.Schedule{BaseLR: 0.05},
+			PipelineChunks: chunks,
+			Seed:           7,
+			NewTransports: func(p int) ([]comm.Transport, error) {
+				ts, err := comm.NewInprocGroup(p, 0)
+				if err != nil {
+					return nil, err
+				}
+				pacer := comm.NewBandwidthPacer(16e6)
+				for i := range ts {
+					ts[i] = pacer.Wrap(ts[i])
+				}
+				return ts, nil
+			},
+		}
+		build := func(rng *rand.Rand) *nn.Model {
+			return models.MLP(rng, features,
+				hidden, hidden, hidden, hidden, hidden,
+				hidden, hidden, hidden, hidden, hidden, classes)
+		}
+		cluster, err := train.NewCluster(cfg, build, trainSet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cluster.Close()
+		if _, err := cluster.Step(); err != nil { // warm pools and compressor state
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchPipelinedAllReduce4x1M is RingAllReduce4x1M through the segment-
+// pipelined schedule (8 segments): on a memory-speed transport it measures
+// the tag/segmentation overhead of the pipelined protocol relative to the
+// plain ring, which the committed baseline keeps honest.
+func benchPipelinedAllReduce4x1M(b *testing.B) {
+	const workers, elems, segments = 4, 1024 * 1024, 8
+	transports, err := comm.NewInprocGroup(workers, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comms := make([]*comm.Communicator, workers)
+	bufs := make([][]float64, workers)
+	for r := range comms {
+		comms[r] = comm.NewCommunicator(transports[r])
+		bufs[r] = make([]float64, elems)
+	}
+	abort := func(r int) { transports[r].Close() }
+	if err := runRanks(workers, abort, func(r int) error {
+		return comms[r].AllReduceSumPipelined(bufs[r], segments)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * elems))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for r := 0; r < workers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				if err := comms[r].AllReduceSumPipelined(bufs[r], segments); err != nil {
+					b.Error(err)
+					transports[r].Close()
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
 }
 
 // OverlapModes are the comm-launch schedules the end-to-end train-step bench

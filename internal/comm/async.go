@@ -1,7 +1,9 @@
 package comm
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Pending is the handle of an in-flight asynchronous collective launched by
@@ -117,6 +119,108 @@ func (a *AsyncCommunicator) AllReduceSumAsync(buf []float64) *Pending {
 	p := &Pending{done: make(chan struct{})}
 	a.submit(asyncOp{
 		run:    func() error { return a.c.AllReduceSum(buf) },
+		finish: p.finish,
+	})
+	return p
+}
+
+// PipelinedGather is the handle of a chunk-pipelined all-gather: the caller
+// feeds local chunk blobs as it produces them (Feed) and consumes each
+// chunk's gathered result in chunk order (Next) while later chunks are
+// still in flight. The underlying collective posts every chunk's sends the
+// moment its blob is fed — without waiting for earlier chunks' receives —
+// which is what distinguishes it from submitting m independent all-gathers
+// on the FIFO launch queue (there, chunk c+1's sends would queue behind
+// chunk c's receive and the wire would drain in lockstep with the
+// consumer).
+//
+// Contract: exactly m chunks must be fed; Feed never blocks (the feed
+// buffer holds all m chunks), and the fed blob must stay valid until the
+// chunk's result is consumed. Next must be called at most m times; after an
+// error it returns the collective's failure. Call Drain when abandoning the
+// handle early so undelivered chunk results release their pooled regions.
+type PipelinedGather struct {
+	m        int
+	feed     chan []byte
+	out      chan *Gathered
+	p        Pending
+	launched atomic.Bool
+}
+
+// NewPipelinedGather builds a detached m-chunk gather handle. It performs no
+// communication until launched (AsyncCommunicator.LaunchPipelinedGather), so
+// the deferred-launch (overlap-off) schedule can create and feed it during
+// backward and replay the launch later.
+func NewPipelinedGather(m int) *PipelinedGather {
+	return &PipelinedGather{
+		m:    m,
+		feed: make(chan []byte, m),
+		out:  make(chan *Gathered, m),
+		p:    Pending{done: make(chan struct{})},
+	}
+}
+
+// Feed supplies the next chunk's local blob. Never blocks before m chunks.
+func (g *PipelinedGather) Feed(blob []byte) { g.feed <- blob }
+
+// Next blocks until the next chunk's gathered result lands and returns it
+// (caller-owned until its Release). After the collective fails — or is
+// abandoned by a communicator shutdown — it returns the error instead.
+func (g *PipelinedGather) Next() (*Gathered, error) {
+	if gathered, ok := <-g.out; ok {
+		return gathered, nil
+	}
+	if err := g.p.Wait(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("comm: pipelined gather: Next called more than %d times", g.m)
+}
+
+// Drain waits for the collective to settle and releases any chunk results
+// the consumer never took, so pooled regions cannot leak after an error. A
+// handle that was never launched has nothing in flight and drains
+// immediately (only call Drain once the launch decision is final — a
+// concurrent Launch races the no-op return).
+func (g *PipelinedGather) Drain() {
+	if !g.launched.Load() {
+		return
+	}
+	<-g.p.done
+	for gathered := range g.out {
+		gathered.Release()
+	}
+}
+
+// LaunchPipelinedGather submits the handle's collective to the FIFO launch
+// queue. The communication goroutine pulls chunk blobs from the feed as the
+// producer supplies them and delivers each chunk's gathered result through
+// the handle as soon as every rank's chunk lands.
+func (a *AsyncCommunicator) LaunchPipelinedGather(g *PipelinedGather) {
+	g.launched.Store(true)
+	a.submit(asyncOp{
+		run: func() error {
+			return a.c.AllGatherPipelined(g.m,
+				func(int) []byte { return <-g.feed },
+				func(_ int, gathered *Gathered) error {
+					g.out <- gathered // never blocks: buffer holds all m results
+					return nil
+				})
+		},
+		finish: func(err error) {
+			g.p.finish(err)
+			close(g.out)
+		},
+	})
+}
+
+// AllReduceSumPipelinedAsync launches AllReduceSumPipelined(buf, m) on the
+// communication goroutine and returns immediately. buf is owned by the
+// transport until the returned handle's Wait returns. The result is
+// bit-identical to AllReduceSumAsync for every m.
+func (a *AsyncCommunicator) AllReduceSumPipelinedAsync(buf []float64, m int) *Pending {
+	p := &Pending{done: make(chan struct{})}
+	a.submit(asyncOp{
+		run:    func() error { return a.c.AllReduceSumPipelined(buf, m) },
 		finish: p.finish,
 	})
 	return p

@@ -166,30 +166,37 @@ func (c *Communicator) NaiveAllReduceSum(buf []float64) error {
 	return nil
 }
 
-// AllGather collects every rank's byte payload into one contiguous pooled
-// region (rank r's payload at Payload(r)). Payload sizes may differ per
-// rank — this is what Sign-SGD and Top-k SGD need, and its per-rank traffic
-// is (p-1)*N as in Table II.
+// AllGather collects every rank's byte payload (rank r's payload at
+// Payload(r)). Payload sizes may differ per rank — this is what Sign-SGD and
+// Top-k SGD need, and its per-rank traffic is (p-1)*N as in Table II.
 //
 // The local payload is copied once into a pooled buffer which every peer
 // receives without further copies (the in-process transport delivers the
-// same bytes to all ranks); each receiver then packs the payloads into its
-// own leased region and releases the transit buffers, so the result is
-// caller-owned: read it through the Gathered views and call Release when
-// done to recycle the region. Steady state allocates only the small
-// Gathered handle and, on groups larger than two, the shared send buffer
-// (the pool must forget a buffer several receivers may still be reading);
-// the bulk memory — the packed region — recycles through the pool.
+// same bytes to all ranks); received payloads are served as views over the
+// receive buffers — no pack pass — and the result is caller-owned: read it
+// through the Gathered views and call Release when done to recycle the
+// buffers (or call Bytes to lazily pack a contiguous region). Steady state
+// allocates only the small Gathered handle and, on groups larger than two,
+// the shared send buffer (the pool must forget a buffer several receivers
+// may still be reading); the self-copy and any packed region recycle through
+// the pool.
 func (c *Communicator) AllGather(local []byte) (*Gathered, error) {
 	p := c.t.Size()
 	rank := c.t.Rank()
 	g := newGathered(c.t, p)
-	g.scratch[rank] = local
 	if p > 1 {
 		msg := c.t.Lease(len(local))
 		copy(msg, local)
 		if p > 2 {
-			c.t.Retain(msg) // shared across several receivers
+			// Shared across several receivers: the pool must forget it, and the
+			// sender may keep reading its own (read-only) copy as the self view.
+			c.t.Retain(msg)
+			g.setPayload(rank, msg, msg) // Release is a safe no-op on retained buffers
+		} else {
+			// p == 2 hands msg to the single peer; stage a separate self copy.
+			self := c.t.Lease(len(local))
+			copy(self, local)
+			g.setPayload(rank, self, self)
 		}
 		// Pairwise exchange: at offset d, send to rank+d, receive from rank-d.
 		for d := 1; d < p; d++ {
@@ -199,18 +206,22 @@ func (c *Communicator) AllGather(local []byte) (*Gathered, error) {
 				if p == 2 {
 					c.t.Release(msg) // failed handoff: the lease is still ours
 				}
-				g.abort(rank)
+				g.abort()
 				return nil, fmt.Errorf("comm: all-gather send to %d: %w", to, err)
 			}
 			data, err := c.t.Recv(from)
 			if err != nil {
-				g.abort(rank)
+				g.abort()
 				return nil, fmt.Errorf("comm: all-gather recv from %d: %w", from, err)
 			}
-			g.scratch[from] = data
+			g.setPayload(from, data, data)
 		}
+	} else {
+		self := c.t.Lease(len(local))
+		copy(self, local)
+		g.setPayload(rank, self, self)
 	}
-	g.pack(rank)
+	g.finish()
 	return g, nil
 }
 

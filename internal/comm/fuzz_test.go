@@ -6,6 +6,54 @@ import (
 	"testing"
 )
 
+// FuzzChunkPartition drives the pipelined ring's segment partition with
+// arbitrary n/p/m: the p×m sub-ranges must tile [0, n) exactly — every
+// element covered exactly once, sub-ranges in order, never negative-length —
+// and each segment must refine its ring chunk (so the pipelined schedule
+// preserves the unpipelined accumulation order). Empty sub-ranges are legal
+// (the tagged protocol ships a header-only message for them, so there is no
+// empty-send protocol violation to guard against at the transport level).
+func FuzzChunkPartition(f *testing.F) {
+	f.Add(0, 1, 1)
+	f.Add(1, 2, 3)
+	f.Add(257, 4, 8)
+	f.Add(5, 7, 64)   // n < p*m: most sub-ranges empty
+	f.Add(1000, 3, 1) // m=1 degenerates to the plain ring chunks
+	f.Add(1<<20, 8, 16)
+	f.Fuzz(func(t *testing.T, n, p, m int) {
+		if n < 0 || n > 1<<22 || p < 1 || p > 64 || m < 1 || m > 1024 {
+			t.Skip()
+		}
+		covered := 0
+		for c := 0; c < p; c++ {
+			clo, chi := chunkRange(n, p, c)
+			if clo != covered || chi < clo || chi > n {
+				t.Fatalf("chunk %d range [%d,%d) breaks tiling at %d", c, clo, chi, covered)
+			}
+			segCovered := clo
+			for j := 0; j < m; j++ {
+				lo, hi := pipeSegment(n, p, m, c, j)
+				if lo != segCovered || hi < lo || hi > chi {
+					t.Fatalf("chunk %d segment %d range [%d,%d) breaks tiling at %d (chunk [%d,%d))",
+						c, j, lo, hi, segCovered, clo, chi)
+				}
+				slo, shi := segmentRange(clo, chi, m, j)
+				if slo != lo || shi != hi {
+					t.Fatalf("pipeSegment and segmentRange disagree: [%d,%d) vs [%d,%d)", lo, hi, slo, shi)
+				}
+				segCovered = hi
+			}
+			if segCovered != chi {
+				t.Fatalf("chunk %d segments end at %d, chunk ends at %d", c, segCovered, chi)
+			}
+			covered = chi
+		}
+		if covered != n {
+			t.Fatalf("chunks end at %d, want %d", covered, n)
+		}
+	})
+}
+
 // FuzzFloatCodec drives the wire codec with arbitrary byte payloads: decode
 // followed by encode must reproduce the input bit-for-bit (including NaN
 // payloads and negative zeros — the codec moves IEEE-754 bit patterns, not

@@ -1,24 +1,30 @@
 package comm
 
-// Gathered is the result of an all-gather: every rank's payload packed
-// back-to-back into one contiguous region leased from the transport's buffer
-// pool, plus per-rank offsets. Packing the payloads contiguously (instead of
-// returning a fresh [][]byte of retained buffers) is what lets the decode
-// side run fused multi-peer kernels over sequential memory and lets the
-// region recycle: the caller owns the result until Release, after which
-// every view obtained from it is invalid and the backing memory feeds the
-// next collective.
+// Gathered is the result of an all-gather: every rank's payload, readable
+// through per-rank views, owned by the caller until Release (after which the
+// backing memory feeds the next collective).
+//
+// The views are served straight from the receive buffers — the gather does
+// NOT copy payloads into a contiguous region up front. The fused multi-peer
+// decode kernels consume per-rank views, so the common consumer (the
+// trainer's finalize path) never pays a pack pass; callers that do need one
+// contiguous region (Bytes) trigger a lazy pack on first use, which copies
+// the views into a single leased region and releases the receive buffers.
+// This is what recovered the contiguous-pack overhead the PR 4 baseline
+// documented on AllGather4x64KB: when the gathered region is consumed as a
+// single segment of per-rank views, no bulk copy happens at all.
 //
 // The handle itself is a small garbage-collected struct — deliberately NOT
 // pooled, so a stray second Release (or one that races a later gather) can
 // only no-op on a dead handle, never free another caller's live region. The
-// bulk memory (the region) is what recycles, through the transport pool.
+// bulk memory (receive buffers and the lazily packed region) is what
+// recycles, through the transport pool.
 type Gathered struct {
 	t        Transport
-	buf      []byte
-	offs     []int
-	views    [][]byte
-	scratch  [][]byte // per-peer receive staging
+	views    [][]byte // per-rank payload views (read-only)
+	backing  [][]byte // pool buffers the views alias, released on Release
+	offs     []int    // p+1 cumulative payload offsets
+	buf      []byte   // contiguous region, built lazily by Bytes
 	released bool
 }
 
@@ -26,89 +32,108 @@ type Gathered struct {
 func newGathered(t Transport, p int) *Gathered {
 	return &Gathered{
 		t:       t,
+		views:   make([][]byte, p),
+		backing: make([][]byte, p),
 		offs:    make([]int, 0, p+1),
-		scratch: make([][]byte, p),
 	}
 }
 
 // Ranks returns the number of gathered payloads (the group size).
-func (g *Gathered) Ranks() int { return len(g.offs) - 1 }
+func (g *Gathered) Ranks() int { return len(g.views) }
 
-// Payload returns rank r's payload as a view into the contiguous region.
+// Payload returns rank r's payload. Views are read-only and valid until
+// Release.
+func (g *Gathered) Payload(r int) []byte { return g.views[r] }
+
+// Payloads returns every rank's payload as a view slice (no allocation).
 // Views are read-only and valid until Release.
-func (g *Gathered) Payload(r int) []byte {
-	return g.buf[g.offs[r]:g.offs[r+1]:g.offs[r+1]]
-}
+func (g *Gathered) Payloads() [][]byte { return g.views }
 
-// Payloads returns every rank's payload as views into the contiguous region
-// (built once and cached on the Gathered, so repeated calls allocate
-// nothing new). Views are read-only and valid until Release.
-func (g *Gathered) Payloads() [][]byte {
-	if len(g.views) != g.Ranks() {
-		g.views = g.views[:0]
-		for r := 0; r < g.Ranks(); r++ {
-			g.views = append(g.views, g.Payload(r))
-		}
-	}
-	return g.views
+// Bytes returns the whole payload set as one contiguous region (rank r's
+// payload occupies Offsets()[r]:Offsets()[r+1]). The region is packed lazily
+// on first call: the per-rank receive buffers are copied into one leased
+// region and released, and the views re-point into it.
+func (g *Gathered) Bytes() []byte {
+	g.ensurePacked()
+	return g.buf
 }
-
-// Bytes returns the whole contiguous region (rank r's payload occupies
-// Offsets()[r]:Offsets()[r+1]).
-func (g *Gathered) Bytes() []byte { return g.buf }
 
 // Offsets returns the p+1 offsets delimiting the per-rank payloads inside
 // Bytes.
 func (g *Gathered) Offsets() []int { return g.offs }
 
-// Release returns the contiguous region to the transport pool. All views
-// into it are invalid afterwards. Safe on a nil receiver (failed gathers
-// return nil) and idempotent: later Releases of the same handle are no-ops.
+// setPayload stages rank r's payload: view is what Payload(r) serves, back
+// is the pool buffer the view aliases (released on Release; nil when the
+// view does not alias a releasable buffer).
+func (g *Gathered) setPayload(r int, view, back []byte) {
+	g.views[r] = view
+	g.backing[r] = back
+}
+
+// finish computes the cumulative offsets once every payload is staged.
+func (g *Gathered) finish() {
+	g.offs = append(g.offs[:0], 0)
+	total := 0
+	for _, v := range g.views {
+		total += len(v)
+		g.offs = append(g.offs, total)
+	}
+}
+
+// ensurePacked copies the staged views into one contiguous leased region
+// and re-points the views into it. The receive buffers are NOT released
+// until Release — views handed out before the pack stay valid, exactly as
+// Payload documents — so a packed handle briefly holds both copies.
+func (g *Gathered) ensurePacked() {
+	if g.buf != nil || g.released || g.t == nil {
+		return
+	}
+	total := g.offs[len(g.offs)-1]
+	if total == 0 {
+		return
+	}
+	g.buf = g.t.Lease(total)
+	off := 0
+	for r, v := range g.views {
+		off += copy(g.buf[off:], v)
+		g.views[r] = g.buf[g.offs[r]:g.offs[r+1]:g.offs[r+1]]
+	}
+}
+
+// Release returns the backing memory to the transport pool. All views are
+// invalid afterwards. Safe on a nil receiver (failed gathers return nil) and
+// idempotent: later Releases of the same handle are no-ops.
 func (g *Gathered) Release() {
 	if g == nil || g.released {
 		return
 	}
 	g.released = true
-	if g.t != nil && g.buf != nil {
-		g.t.Release(g.buf)
-	}
-	g.buf = nil
-	g.t = nil
-}
-
-// pack copies the staged per-peer payloads (self's slot holds the caller's
-// local payload) into one leased contiguous region, releasing each received
-// buffer as it is drained.
-func (g *Gathered) pack(self int) {
-	total := 0
-	for _, b := range g.scratch {
-		total += len(b)
-	}
-	g.offs = append(g.offs[:0], 0)
-	g.buf = nil
-	if total > 0 {
-		g.buf = g.t.Lease(total)
-	}
-	off := 0
-	for q, b := range g.scratch {
-		off += copy(g.buf[off:], b)
-		g.offs = append(g.offs, off)
-		if q != self {
-			g.t.Release(b)
+	if g.t != nil {
+		for r, b := range g.backing {
+			if b != nil {
+				g.t.Release(b)
+				g.backing[r] = nil
+			}
 		}
-		g.scratch[q] = nil
+		if g.buf != nil {
+			g.t.Release(g.buf)
+		}
 	}
+	g.buf = nil
+	g.views = nil
+	g.t = nil
 }
 
 // abort drops staged receive buffers after a failed gather and marks the
 // handle dead.
-func (g *Gathered) abort(self int) {
-	for q, b := range g.scratch {
-		if q != self && b != nil {
+func (g *Gathered) abort() {
+	for r, b := range g.backing {
+		if b != nil {
 			g.t.Release(b)
+			g.backing[r] = nil
 		}
-		g.scratch[q] = nil
 	}
+	g.views = nil
 	g.t = nil
 	g.released = true
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"acpsgd/internal/tensor"
 )
@@ -55,9 +56,12 @@ type DGC struct {
 	// scratch
 	picker topSelector
 	enc    []byte
+
+	chunkOffs []int // per-chunk byte offsets into enc (chunked encode)
 }
 
 var _ GatherCompressor = (*DGC)(nil)
+var _ ChunkedGatherCompressor = (*DGC)(nil)
 
 // NewDGC returns a DGC compressor for a tensor of n elements transmitting k
 // coordinates per step with the given momentum-correction factor.
@@ -92,6 +96,17 @@ func (d *DGC) Encode(_ int, grad []float64) []byte {
 	if len(grad) != d.n {
 		panic(fmt.Sprintf("compress: DGC.Encode length %d, want %d", len(grad), d.n))
 	}
+	d.accumulate(grad)
+	selected := d.picker.exact(d.v, d.k)
+	d.enc = grownBytes(d.enc, len(selected)*topkPairBytes)
+	d.serialize(selected)
+	return d.enc
+}
+
+// accumulate runs the fused momentum-correction/velocity sweep, sharded
+// above the serial threshold. Shared verbatim by the unchunked and chunked
+// encode paths so their accumulator state evolves identically.
+func (d *DGC) accumulate(grad []float64) {
 	u, v, m := d.u, d.v, d.momentum
 	if shards := tensor.ShardCount(d.n, compressWork(d.n)); shards > 1 {
 		tensor.RunShards(d.n, shards, func(_, lo, hi int) {
@@ -100,10 +115,14 @@ func (d *DGC) Encode(_ int, grad []float64) []byte {
 	} else {
 		dgcAccumulate(u, v, grad, m, 0, d.n)
 	}
+}
 
-	selected := d.picker.exact(v, d.k)
-	d.enc = grownBytes(d.enc, len(selected)*topkPairBytes)
-	out := d.enc
+// serialize writes the selected velocity coordinates as (index, value)
+// pairs into the pooled payload buffer, clearing the transmitted slots
+// (shared by the unchunked and chunked encode paths — per-index effects are
+// identical whatever the pair order).
+func (d *DGC) serialize(selected []int) {
+	u, v, out := d.u, d.v, d.enc
 	for i, ix := range selected {
 		binary.LittleEndian.PutUint32(out[i*topkPairBytes:], uint32(ix))
 		binary.LittleEndian.PutUint64(out[i*topkPairBytes+4:], math.Float64bits(v[ix]))
@@ -112,7 +131,41 @@ func (d *DGC) Encode(_ int, grad []float64) []byte {
 			u[ix] = 0 // momentum factor masking
 		}
 	}
-	return out
+}
+
+// ChunkBounds partitions the tensor into m near-equal pipeline chunks.
+func (d *DGC) ChunkBounds(m int) []int { return ChunkBounds(d.n, m, 1) }
+
+// EncodeChunk returns the (index, value) pairs falling inside chunk c. The
+// chunk-0 call runs the whole encode (the accumulator update and selection
+// are global) and serializes the pairs grouped by chunk, exactly like
+// TopK.EncodeChunk.
+func (d *DGC) EncodeChunk(_ int, grad []float64, bounds []int, c int) []byte {
+	if c == 0 {
+		if len(grad) != d.n {
+			panic(fmt.Sprintf("compress: DGC.EncodeChunk length %d, want %d", len(grad), d.n))
+		}
+		d.accumulate(grad)
+		selected := d.picker.exact(d.v, d.k)
+		sort.Ints(selected)
+		d.enc = grownBytes(d.enc, len(selected)*topkPairBytes)
+		d.serialize(selected)
+		d.chunkOffs = pairChunkOffsets(d.chunkOffs, selected, bounds)
+	}
+	return d.enc[d.chunkOffs[c]:d.chunkOffs[c+1]]
+}
+
+// DecodeChunk scatter-adds every rank's chunk-c pairs into
+// grad[bounds[c]:bounds[c+1]], zeroing only that range.
+func (d *DGC) DecodeChunk(_ int, blobs [][]byte, grad []float64, bounds []int, c int) error {
+	if len(grad) != d.n {
+		return fmt.Errorf("compress: DGC.DecodeChunk length %d, want %d", len(grad), d.n)
+	}
+	p := len(blobs)
+	if p == 0 {
+		return fmt.Errorf("compress: DGC.DecodeChunk got no payloads")
+	}
+	return scatterAddPairsRange(blobs, grad, 1/float64(p), bounds[c], bounds[c+1], "DGC.DecodeChunk")
 }
 
 // Decode scatter-adds every worker's sparse payload, scaled by 1/p, in one

@@ -54,6 +54,18 @@ func grownInts(buf []int, n int) []int {
 	return make([]int, n, 1<<bits.Len(uint(max(n, 16)-1)))
 }
 
+// grownChunkBufs resizes a per-chunk (or per-rank) buffer table to m
+// entries, preserving the buffers already grown so their capacity keeps
+// recycling across steps.
+func grownChunkBufs(bufs [][]byte, m int) [][]byte {
+	if cap(bufs) >= m {
+		return bufs[:m]
+	}
+	out := make([][]byte, m)
+	copy(out, bufs)
+	return out
+}
+
 // --- sampled top-k selection -----------------------------------------------
 
 // prefilterMinN is the vector length below which threshold prefiltering is
@@ -363,6 +375,28 @@ func scatterAddPairs(blobs [][]byte, grad []float64, scale float64, what string)
 			ix := int(binary.LittleEndian.Uint32(b[off:]))
 			if uint(ix) >= uint(n) {
 				return fmt.Errorf("compress: %s index %d out of range [0,%d)", what, ix, n)
+			}
+			grad[ix] += scale * math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:]))
+		}
+	}
+	return nil
+}
+
+// scatterAddPairsRange is scatterAddPairs restricted to the element range
+// [lo, hi): it zeroes only that range, requires every pair's index to fall
+// inside it, and accumulates ranks in the same order as the full-buffer
+// decode — which is what keeps chunked sparse decode bit-identical to
+// unchunked (each element sees the same additions in the same rank order).
+func scatterAddPairsRange(blobs [][]byte, grad []float64, scale float64, lo, hi int, what string) error {
+	clear(grad[lo:hi])
+	for r, b := range blobs {
+		if len(b)%topkPairBytes != 0 {
+			return fmt.Errorf("compress: %s payload %d has odd length %d", what, r, len(b))
+		}
+		for off := 0; off+topkPairBytes <= len(b); off += topkPairBytes {
+			ix := int(binary.LittleEndian.Uint32(b[off:]))
+			if ix < lo || ix >= hi {
+				return fmt.Errorf("compress: %s index %d outside chunk [%d,%d)", what, ix, lo, hi)
 			}
 			grad[ix] += scale * math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:]))
 		}

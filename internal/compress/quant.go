@@ -27,6 +27,10 @@ type QSGD struct {
 
 	enc  []byte    // pooled payload buffer
 	luts []float64 // p*256 per-rank decode tables
+
+	encChunks  []byte   // chunked-encode payload arena
+	chunkViews [][]byte // per-chunk payload views into encChunks
+	chunkNorm  float64  // norm computed by the chunk-0 pre-pass
 }
 
 // randSource is the minimal random interface quantizers need; it allows
@@ -36,6 +40,7 @@ type randSource interface {
 }
 
 var _ GatherCompressor = (*QSGD)(nil)
+var _ ChunkedGatherCompressor = (*QSGD)(nil)
 
 // NewQSGD returns a QSGD compressor with the given number of quantization
 // levels (clamped to [1, 127]).
@@ -60,11 +65,7 @@ func (q *QSGD) Encode(_ int, grad []float64) []byte {
 	if len(grad) != q.n {
 		panic(fmt.Sprintf("compress: QSGD.Encode length %d, want %d", len(grad), q.n))
 	}
-	var norm float64
-	for _, v := range grad {
-		norm += v * v
-	}
-	norm = math.Sqrt(norm)
+	norm := qsgdNorm(grad)
 	q.enc = grownBytes(q.enc, qsgdPayloadLen(q.n))
 	out := q.enc
 	binary.LittleEndian.PutUint64(out, math.Float64bits(norm))
@@ -72,8 +73,25 @@ func (q *QSGD) Encode(_ int, grad []float64) []byte {
 		clear(out[8:])
 		return out
 	}
-	f := float64(q.levels) / norm
-	codes := out[8:]
+	q.quantizeRange(out[8:], grad, float64(q.levels)/norm)
+	return out
+}
+
+// qsgdNorm is the L2 reduction of encode's pre-pass, shared by the
+// unchunked and chunked paths.
+func qsgdNorm(grad []float64) float64 {
+	var norm float64
+	for _, v := range grad {
+		norm += v * v
+	}
+	return math.Sqrt(norm)
+}
+
+// quantizeRange stochastically rounds grad into codes. The RNG stream is a
+// serial dependency, so the chunked path calls this chunk-by-chunk in order
+// and consumes exactly the element sequence of the unchunked encode —
+// bit-identical codes either way.
+func (q *QSGD) quantizeRange(codes []byte, grad []float64, f float64) {
 	for i, v := range grad {
 		l := math.Abs(v) * f
 		lower := math.Floor(l)
@@ -89,7 +107,85 @@ func (q *QSGD) Encode(_ int, grad []float64) []byte {
 		}
 		codes[i] = b
 	}
+}
+
+// ChunkBounds partitions the tensor into m near-equal pipeline chunks (one
+// code byte per element needs no alignment).
+func (q *QSGD) ChunkBounds(m int) []int { return ChunkBounds(q.n, m, 1) }
+
+// EncodeChunk quantizes elements [bounds[c], bounds[c+1]) into chunk c's
+// pooled payload: an 8-byte norm header (the whole-buffer L2 norm computed
+// by the chunk-0 pre-pass, shared by every chunk so they decode
+// independently) plus one code byte per element. Unlike the sparse methods,
+// the quantization compute itself pipelines chunk-by-chunk.
+func (q *QSGD) EncodeChunk(_ int, grad []float64, bounds []int, c int) []byte {
+	if len(grad) != q.n {
+		panic(fmt.Sprintf("compress: QSGD.EncodeChunk length %d, want %d", len(grad), q.n))
+	}
+	m := len(bounds) - 1
+	if c == 0 {
+		q.chunkNorm = qsgdNorm(grad)
+		q.encChunks = grownBytes(q.encChunks, qsgdPayloadLen(q.n)+8*(m-1))
+		q.chunkViews = grownChunkBufs(q.chunkViews, m)
+		off := 0
+		for j := 0; j < m; j++ {
+			l := qsgdPayloadLen(bounds[j+1] - bounds[j])
+			q.chunkViews[j] = q.encChunks[off : off+l : off+l]
+			off += l
+		}
+	}
+	lo, hi := bounds[c], bounds[c+1]
+	out := q.chunkViews[c]
+	binary.LittleEndian.PutUint64(out, math.Float64bits(q.chunkNorm))
+	if q.chunkNorm == 0 {
+		clear(out[8:])
+		return out
+	}
+	q.quantizeRange(out[8:], grad[lo:hi], float64(q.levels)/q.chunkNorm)
 	return out
+}
+
+// DecodeChunk merges every rank's chunk-c codes into
+// grad[bounds[c]:bounds[c+1]] through the same per-rank lookup tables as the
+// unchunked decode (the chunk headers carry the same norms, so the tables —
+// and the accumulated bits — are identical).
+func (q *QSGD) DecodeChunk(_ int, blobs [][]byte, grad []float64, bounds []int, c int) error {
+	if len(grad) != q.n {
+		return fmt.Errorf("compress: QSGD.DecodeChunk length %d, want %d", len(grad), q.n)
+	}
+	p := len(blobs)
+	if p == 0 {
+		return fmt.Errorf("compress: QSGD.DecodeChunk got no payloads")
+	}
+	lo, hi := bounds[c], bounds[c+1]
+	want := qsgdPayloadLen(hi - lo)
+	inv := 1 / float64(p)
+	s := float64(q.levels)
+	q.luts = grownFloats(q.luts, p*256)
+	for r, b := range blobs {
+		if len(b) != want {
+			return fmt.Errorf("compress: QSGD.DecodeChunk payload %d has %d bytes, want %d", r, len(b), want)
+		}
+		norm := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		f := norm / s * inv
+		lut := q.luts[r*256 : (r+1)*256]
+		for code := 0; code < 128; code++ {
+			mag := float64(code) * f
+			lut[code] = mag
+			lut[code+128] = -mag
+		}
+	}
+	luts := q.luts
+	out := grad[lo:hi]
+	n := hi - lo
+	if shards := tensor.ShardCount(n, compressWork(n)); shards > 1 {
+		tensor.RunShards(n, shards, func(_, slo, shi int) {
+			qsgdAccumulate(luts, blobs, out, slo, shi)
+		})
+	} else {
+		qsgdAccumulate(luts, blobs, out, 0, n)
+	}
+	return nil
 }
 
 // Decode averages every worker's dequantized vector into grad. Because each

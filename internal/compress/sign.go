@@ -30,9 +30,14 @@ type Sign struct {
 
 	enc      []byte    // pooled payload buffer
 	partials []float64 // per-shard |.| partial sums
+
+	encChunks  []byte   // chunked-encode payload arena
+	chunkViews [][]byte // per-chunk payload views into encChunks
+	chunkScale float64  // scale computed by the chunk-0 pre-pass
 }
 
 var _ GatherCompressor = (*Sign)(nil)
+var _ ChunkedGatherCompressor = (*Sign)(nil)
 
 // NewSign returns a Sign-SGD compressor for a tensor of n elements.
 // Error feedback is enabled by default (disabling it is only useful for
@@ -57,13 +62,21 @@ func (s *Sign) Encode(_ int, grad []float64) []byte {
 	if len(grad) != s.n {
 		panic(fmt.Sprintf("compress: Sign.Encode length %d, want %d", len(grad), s.n))
 	}
+	scale := s.adjustScale(grad)
+	s.enc = grownBytes(s.enc, signPayloadLen(s.n))
+	out := s.enc
+	binary.LittleEndian.PutUint64(out, math.Float64bits(scale))
+	s.packRange(out[8:], grad, scale, 0, s.n)
+	return out
+}
+
+// adjustScale runs encode pass 1: fold the gradient into the error memory
+// (EF) and reduce mean |adjusted|, sharded with per-shard partial sums. Both
+// the unchunked Encode and the chunk-0 pre-pass of EncodeChunk run exactly
+// this code, which is what keeps the two paths' scales (and therefore every
+// downstream bit) identical.
+func (s *Sign) adjustScale(grad []float64) float64 {
 	n := s.n
-	// Pass 1: fold the gradient into the error memory (EF) and reduce mean
-	// |adjusted|, sharded with per-shard partial sums.
-	src := grad
-	if s.useEF {
-		src = s.err
-	}
 	var sumAbs float64
 	if shards := tensor.ShardCount(n, compressWork(n)); shards > 1 {
 		s.partials = grownFloats(s.partials, shards)
@@ -78,28 +91,32 @@ func (s *Sign) Encode(_ int, grad []float64) []byte {
 	} else {
 		sumAbs = signAdjustAbs(s.err, grad, s.useEF, 0, n)
 	}
-	scale := 0.0
-	if n > 0 {
-		scale = sumAbs / float64(n)
+	if n == 0 {
+		return 0
 	}
+	return sumAbs / float64(n)
+}
 
-	s.enc = grownBytes(s.enc, signPayloadLen(n))
-	out := s.enc
-	binary.LittleEndian.PutUint64(out, math.Float64bits(scale))
-	bitBytes := out[8:]
-
-	// Pass 2: word-parallel bit pack, with the EF residual update fused in.
+// packRange runs encode pass 2 over elements [lo, hi) (lo a multiple of 64):
+// the word-parallel bit pack with the EF residual update fused in, writing
+// into bitBytes whose bit 0 is element lo.
+func (s *Sign) packRange(bitBytes []byte, grad []float64, scale float64, lo, hi int) {
+	src := grad
+	if s.useEF {
+		src = s.err
+	}
+	src = src[lo:hi]
+	n := hi - lo
 	words := n / signWordElems
 	if shards := tensor.ShardCount(words, compressWork(n)); shards > 1 {
 		useEF := s.useEF
-		tensor.RunShards(words, shards, func(_, lo, hi int) {
-			packSignWords(bitBytes, src, scale, useEF, lo, hi)
+		tensor.RunShards(words, shards, func(_, wlo, whi int) {
+			packSignWords(bitBytes, src, scale, useEF, wlo, whi)
 		})
 	} else {
 		packSignWords(bitBytes, src, scale, s.useEF, 0, words)
 	}
 	packSignTail(bitBytes, src, scale, s.useEF, words*signWordElems, n)
-	return out
 }
 
 // Decode takes every worker's payload and writes the majority-vote gradient
@@ -126,21 +143,92 @@ func (s *Sign) Decode(_ int, blobs [][]byte, grad []float64) error {
 	meanScale /= float64(p)
 	// Majority threshold: 2*votes >= p <=> votes >= ceil(p/2).
 	T := (p + 1) / 2
-	if p > 255 {
+	voteRange(blobs, grad, meanScale, T)
+	return nil
+}
+
+// voteRange tallies the majority vote of blobs' bit payloads (bit 0 =
+// out[0]) into out: the word-parallel kernel above the bit-sliced counter
+// width, the scalar tally beyond it and for the ragged tail.
+func voteRange(blobs [][]byte, out []float64, meanScale float64, T int) {
+	n := len(out)
+	if len(blobs) > 255 {
 		// Beyond the bit-sliced counter width; groups this large do not occur
 		// in practice but the scalar tally keeps the contract total.
-		voteSignTail(blobs, grad, meanScale, T, 0, s.n)
-		return nil
+		voteSignTail(blobs, out, meanScale, T, 0, n)
+		return
 	}
-	words := s.n / signWordElems
-	if shards := tensor.ShardCount(words, compressWork(s.n)); shards > 1 {
+	words := n / signWordElems
+	if shards := tensor.ShardCount(words, compressWork(n)); shards > 1 {
 		tensor.RunShards(words, shards, func(_, lo, hi int) {
-			voteSignWords(blobs, grad, meanScale, T, lo, hi)
+			voteSignWords(blobs, out, meanScale, T, lo, hi)
 		})
 	} else {
-		voteSignWords(blobs, grad, meanScale, T, 0, words)
+		voteSignWords(blobs, out, meanScale, T, 0, words)
 	}
-	voteSignTail(blobs, grad, meanScale, T, words*signWordElems, s.n)
+	voteSignTail(blobs, out, meanScale, T, words*signWordElems, n)
+}
+
+// ChunkBounds aligns chunk boundaries to the 64-element sign words so every
+// chunk's bit payload is a whole number of packed words.
+func (s *Sign) ChunkBounds(m int) []int { return ChunkBounds(s.n, m, signWordElems) }
+
+// EncodeChunk encodes elements [bounds[c], bounds[c+1]). The chunk-0 call
+// runs the whole-buffer pre-pass (EF fold + scale reduction — exactly
+// Encode's pass 1) and carves the per-chunk payload arena; every chunk's
+// payload carries the shared scale header plus its own bit words, so chunks
+// decode independently. Chunk payloads stay valid until the next step's
+// chunk-0 call.
+func (s *Sign) EncodeChunk(_ int, grad []float64, bounds []int, c int) []byte {
+	if len(grad) != s.n {
+		panic(fmt.Sprintf("compress: Sign.EncodeChunk length %d, want %d", len(grad), s.n))
+	}
+	m := len(bounds) - 1
+	if c == 0 {
+		s.chunkScale = s.adjustScale(grad)
+		total := 0
+		for j := 0; j < m; j++ {
+			total += signPayloadLen(bounds[j+1] - bounds[j])
+		}
+		s.encChunks = grownBytes(s.encChunks, total)
+		s.chunkViews = grownChunkBufs(s.chunkViews, m)
+		off := 0
+		for j := 0; j < m; j++ {
+			l := signPayloadLen(bounds[j+1] - bounds[j])
+			s.chunkViews[j] = s.encChunks[off : off+l : off+l]
+			off += l
+		}
+	}
+	out := s.chunkViews[c]
+	binary.LittleEndian.PutUint64(out, math.Float64bits(s.chunkScale))
+	s.packRange(out[8:], grad, s.chunkScale, bounds[c], bounds[c+1])
+	return out
+}
+
+// DecodeChunk merges every rank's chunk-c payload into grad[bounds[c]:
+// bounds[c+1]] — the same majority-vote kernel over the chunk's words, with
+// the mean scale recomputed from the chunk headers (every chunk carries the
+// same per-rank scales, so the result is bit-identical to the unchunked
+// Decode).
+func (s *Sign) DecodeChunk(_ int, blobs [][]byte, grad []float64, bounds []int, c int) error {
+	if len(grad) != s.n {
+		return fmt.Errorf("compress: Sign.DecodeChunk length %d, want %d", len(grad), s.n)
+	}
+	lo, hi := bounds[c], bounds[c+1]
+	p := len(blobs)
+	if p == 0 {
+		return fmt.Errorf("compress: Sign.DecodeChunk got no payloads")
+	}
+	want := signPayloadLen(hi - lo)
+	var meanScale float64
+	for r, b := range blobs {
+		if len(b) != want {
+			return fmt.Errorf("compress: Sign.DecodeChunk payload %d has %d bytes, want %d", r, len(b), want)
+		}
+		meanScale += math.Float64frombits(binary.LittleEndian.Uint64(b))
+	}
+	meanScale /= float64(p)
+	voteRange(blobs, grad[lo:hi], meanScale, (p+1)/2)
 	return nil
 }
 

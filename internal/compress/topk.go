@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"acpsgd/internal/tensor"
 )
@@ -47,9 +48,12 @@ type TopK struct {
 	picker topSelector
 	enc    []byte
 	seen   map[int]struct{} // Random-k dedup
+
+	chunkOffs []int // per-chunk byte offsets into enc (chunked encode)
 }
 
 var _ GatherCompressor = (*TopK)(nil)
+var _ ChunkedGatherCompressor = (*TopK)(nil)
 
 // NewTopK returns a Top-k compressor for a tensor of n elements selecting k
 // coordinates per step.
@@ -91,31 +95,17 @@ func (t *TopK) Encode(_ int, grad []float64) []byte {
 	if len(grad) != t.n {
 		panic(fmt.Sprintf("compress: TopK.Encode length %d, want %d", len(grad), t.n))
 	}
-	src := grad
-	if t.useEF {
-		// Fold the new gradient into the error memory; err is now the
-		// adjusted vector and selection reads it directly.
-		err := t.err
-		if shards := tensor.ShardCount(t.n, compressWork(t.n)); shards > 1 {
-			tensor.RunShards(t.n, shards, func(_, lo, hi int) {
-				addInto(err, grad, lo, hi)
-			})
-		} else {
-			addInto(err, grad, 0, t.n)
-		}
-		src = err
-	}
+	src := t.foldEF(grad)
+	selected := t.selectFrom(src)
+	t.serialize(src, selected)
+	return t.enc
+}
 
-	var selected []int
-	switch {
-	case t.random:
-		selected = t.selectRandom()
-	case t.sel == SelectSampled:
-		selected = t.picker.sampled(src, t.k)
-	default:
-		selected = t.picker.exact(src, t.k)
-	}
-
+// serialize writes the selected coordinates as (index, value) pairs into
+// the pooled payload buffer, clearing the transmitted EF slots (shared by
+// the unchunked and chunked encode paths — per-index effects are identical
+// whatever the pair order).
+func (t *TopK) serialize(src []float64, selected []int) {
 	t.enc = grownBytes(t.enc, len(selected)*topkPairBytes)
 	out := t.enc
 	for i, ix := range selected {
@@ -126,7 +116,39 @@ func (t *TopK) Encode(_ int, grad []float64) []byte {
 			t.err[ix] = 0 // transmitted mass leaves the memory
 		}
 	}
-	return out
+}
+
+// foldEF folds the new gradient into the error memory (err is then the
+// adjusted vector selection reads directly) and returns the selection
+// source. Shared verbatim by the unchunked and chunked encode paths so their
+// EF state (and therefore every downstream bit) evolves identically.
+func (t *TopK) foldEF(grad []float64) []float64 {
+	if !t.useEF {
+		return grad
+	}
+	err := t.err
+	if shards := tensor.ShardCount(t.n, compressWork(t.n)); shards > 1 {
+		tensor.RunShards(t.n, shards, func(_, lo, hi int) {
+			addInto(err, grad, lo, hi)
+		})
+	} else {
+		addInto(err, grad, 0, t.n)
+	}
+	return err
+}
+
+// selectFrom runs the configured coordinate selection. The RNG stream it
+// consumes is identical whichever encode path calls it — the root of the
+// chunked path's bit-identity.
+func (t *TopK) selectFrom(src []float64) []int {
+	switch {
+	case t.random:
+		return t.selectRandom()
+	case t.sel == SelectSampled:
+		return t.picker.sampled(src, t.k)
+	default:
+		return t.picker.exact(src, t.k)
+	}
 }
 
 // selectRandom picks k distinct coordinates uniformly (Random-k). All
@@ -150,6 +172,66 @@ func (t *TopK) selectRandom() []int {
 		out = append(out, i)
 	}
 	return out
+}
+
+// ChunkBounds partitions the tensor into m near-equal pipeline chunks
+// (sparse payloads need no alignment).
+func (t *TopK) ChunkBounds(m int) []int { return ChunkBounds(t.n, m, 1) }
+
+// EncodeChunk returns the (index, value) pairs falling inside chunk c. The
+// chunk-0 call runs the whole encode — EF fold, selection and the EF update
+// are global by nature — and serializes the pairs grouped by chunk
+// (ascending index), so later chunks are pure payload views: the wire and
+// the decode pipeline per chunk, the selection does not. The result decodes
+// bit-identically to the unchunked payload because scatter-add order per
+// element is rank order either way.
+func (t *TopK) EncodeChunk(_ int, grad []float64, bounds []int, c int) []byte {
+	if c == 0 {
+		t.encodeChunkedPrepass(grad, bounds)
+	}
+	return t.enc[t.chunkOffs[c]:t.chunkOffs[c+1]]
+}
+
+// encodeChunkedPrepass is Encode with the pair stream sorted ascending and
+// split at the chunk bounds.
+func (t *TopK) encodeChunkedPrepass(grad []float64, bounds []int) {
+	if len(grad) != t.n {
+		panic(fmt.Sprintf("compress: TopK.EncodeChunk length %d, want %d", len(grad), t.n))
+	}
+	src := t.foldEF(grad)
+	selected := t.selectFrom(src)
+	sort.Ints(selected)
+	t.serialize(src, selected)
+	t.chunkOffs = pairChunkOffsets(t.chunkOffs, selected, bounds)
+}
+
+// pairChunkOffsets computes per-chunk byte offsets into an ascending
+// (index, value) pair stream: chunk j's pairs occupy offs[j]:offs[j+1].
+func pairChunkOffsets(offs, sortedIdx, bounds []int) []int {
+	m := len(bounds) - 1
+	offs = grownInts(offs, m+1)
+	offs[0] = 0
+	pos := 0
+	for j := 1; j <= m; j++ {
+		for pos < len(sortedIdx) && sortedIdx[pos] < bounds[j] {
+			pos++
+		}
+		offs[j] = pos * topkPairBytes
+	}
+	return offs
+}
+
+// DecodeChunk scatter-adds every rank's chunk-c pairs into
+// grad[bounds[c]:bounds[c+1]], zeroing only that range.
+func (t *TopK) DecodeChunk(_ int, blobs [][]byte, grad []float64, bounds []int, c int) error {
+	if len(grad) != t.n {
+		return fmt.Errorf("compress: TopK.DecodeChunk length %d, want %d", len(grad), t.n)
+	}
+	p := len(blobs)
+	if p == 0 {
+		return fmt.Errorf("compress: TopK.DecodeChunk got no payloads")
+	}
+	return scatterAddPairsRange(blobs, grad, 1/float64(p), bounds[c], bounds[c+1], "TopK.DecodeChunk")
 }
 
 // Decode scatter-adds every worker's sparse payload, scaled by 1/p, in one

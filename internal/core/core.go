@@ -61,6 +61,11 @@ type TrainConfig struct {
 	// the full backward pass (bit-identical to the default overlapped
 	// schedule, but slower — a measurement/debugging knob).
 	NoOverlap bool
+	// PipelineChunks splits every fusion buffer's encode/wire/decode into
+	// that many pipelined chunks (0 = unpipelined). All chunk counts are
+	// bit-identical; the knob trades per-chunk launch/latency overhead for
+	// overlap inside each buffer.
+	PipelineChunks int
 }
 
 func (c *TrainConfig) withDefaults() TrainConfig {
@@ -214,13 +219,14 @@ func Train(cfg TrainConfig) (*train.History, error) {
 			WarmupEpochs: c.WarmupEpochs,
 			DecayEpochs:  c.DecayEpochs,
 		},
-		RankR:        c.Rank,
-		TopKRatio:    c.TopKRatio,
-		DisableEF:    c.DisableEF,
-		DisableReuse: c.DisableReuse,
-		Overlap:      overlapMode(c.NoOverlap),
-		Seed:         c.Seed,
-		UseTCP:       c.UseTCP,
+		RankR:          c.Rank,
+		TopKRatio:      c.TopKRatio,
+		DisableEF:      c.DisableEF,
+		DisableReuse:   c.DisableReuse,
+		Overlap:        overlapMode(c.NoOverlap),
+		PipelineChunks: c.PipelineChunks,
+		Seed:           c.Seed,
+		UseTCP:         c.UseTCP,
 	}, build, trainSet, testSet)
 }
 
@@ -252,6 +258,9 @@ type IterationConfig struct {
 	// Overlap=off schedule) in the performance model, so predicted and
 	// measured overlap gains can be compared.
 	NoOverlap bool
+	// PipelineChunks mirrors the trainer's intra-buffer chunk pipelining in
+	// the cost model (per-chunk collectives and encode/decode tasks).
+	PipelineChunks int
 }
 
 // overlapMode maps the facade's boolean onto the trainer's knob.
@@ -295,19 +304,20 @@ func SimulateIteration(cfg IterationConfig) (sim.Result, error) {
 		ratio, _ = mspec.Params.Float("ratio", 0)
 	}
 	return sim.Simulate(sim.Config{
-		Model:       spec,
-		Method:      method,
-		Mode:        mode,
-		Workers:     workers,
-		Batch:       cfg.Batch,
-		Rank:        rank,
-		TopKRatio:   ratio,
-		Net:         net,
-		GPU:         sim.DefaultGPU(),
-		BufferBytes: cfg.BufferBytes,
-		NoFusion:    cfg.NoFusion,
-		SlowOrth:    cfg.SlowOrth,
-		NoOverlap:   cfg.NoOverlap,
+		Model:          spec,
+		Method:         method,
+		Mode:           mode,
+		Workers:        workers,
+		Batch:          cfg.Batch,
+		Rank:           rank,
+		TopKRatio:      ratio,
+		Net:            net,
+		GPU:            sim.DefaultGPU(),
+		BufferBytes:    cfg.BufferBytes,
+		NoFusion:       cfg.NoFusion,
+		SlowOrth:       cfg.SlowOrth,
+		NoOverlap:      cfg.NoOverlap,
+		PipelineChunks: cfg.PipelineChunks,
 	})
 }
 

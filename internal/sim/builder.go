@@ -212,10 +212,35 @@ func (b *builder) deferCommAfterBackward() {
 	}
 }
 
+// chunks resolves the pipelining degree: 1 when the knob is off.
+func (b *builder) chunks() int {
+	if b.cfg.PipelineChunks > 1 {
+		return b.cfg.PipelineChunks
+	}
+	return 1
+}
+
 // allReduce appends an all-reduce task for `bytes` and records the payload.
 func (b *builder) allReduce(bytes float64, deps ...*task) *task {
 	b.payloadBytes += bytes
 	return b.eng.add(netStream, kindComm, b.cfg.Net.AllReduceTime(b.cfg.Workers, bytes), deps...)
+}
+
+// allReduceChunked appends the bucket's all-reduce as PipelineChunks
+// per-chunk tasks (in order on the network stream) and returns the last —
+// the pipelined ring: same volume, one extra alpha set per chunk, finer
+// overlap with whatever else is runnable. With chunking off it is a plain
+// allReduce.
+func (b *builder) allReduceChunked(bytes float64, deps ...*task) *task {
+	m := b.chunks()
+	if m == 1 {
+		return b.allReduce(bytes, deps...)
+	}
+	var last *task
+	for c := 0; c < m; c++ {
+		last = b.allReduce(bytes/float64(m), deps...)
+	}
+	return last
 }
 
 // allGather appends an all-gather task for a per-worker payload of `bytes`.
@@ -260,7 +285,7 @@ func (b *builder) buildSSGD() {
 		var lastBwd *task
 		flush := func() {
 			if bucketBytes > 0 {
-				b.allReduce(bucketBytes, lastBwd)
+				b.allReduceChunked(bucketBytes, lastBwd)
 				bucketBytes = 0
 			}
 		}
@@ -308,8 +333,9 @@ func (b *builder) buildGather() {
 		b.eng.add(mainStream, kindCompress, b.decodeDur(elems), ag)
 	default:
 		budget := b.cfg.bufferBudget(1)
+		m := b.chunks()
 		type bucket struct {
-			comm  *task
+			comm  []*task // per-chunk all-gather tasks
 			elems int
 		}
 		var buckets []bucket
@@ -319,9 +345,20 @@ func (b *builder) buildGather() {
 			if bucketElems == 0 {
 				return
 			}
-			enc := b.eng.add(mainStream, kindCompress, b.encodeDur(bucketElems))
-			ag := b.allGather(bucketBytes, enc)
-			buckets = append(buckets, bucket{comm: ag, elems: bucketElems})
+			// Chunk pipeline inside the bucket: encode chunk c (main stream,
+			// inline with backward), all-gather chunk c, and later decode
+			// chunk c as soon as it lands — so chunk c's decode overlaps
+			// chunk c+1's wire time while every chunk pays its own hop
+			// alphas and kernel launches. m == 1 is the unpipelined graph.
+			// Chunk element counts use the exact chunkRange-style split so
+			// compute cost never truncates away at high chunk counts.
+			bk := bucket{elems: bucketElems}
+			for c := 0; c < m; c++ {
+				chunkElems := (c+1)*bucketElems/m - c*bucketElems/m
+				enc := b.eng.add(mainStream, kindCompress, b.encodeDur(chunkElems))
+				bk.comm = append(bk.comm, b.allGather(bucketBytes/float64(m), enc))
+			}
+			buckets = append(buckets, bk)
 			bucketBytes = 0
 			bucketElems = 0
 		}
@@ -335,7 +372,11 @@ func (b *builder) buildGather() {
 		}
 		flush()
 		for _, bk := range buckets {
-			b.eng.add(mainStream, kindCompress, b.decodeDur(bk.elems), bk.comm)
+			mm := len(bk.comm)
+			for c, ag := range bk.comm {
+				chunkElems := (c+1)*bk.elems/mm - c*bk.elems/mm
+				b.eng.add(mainStream, kindCompress, b.decodeDur(chunkElems), ag)
+			}
 		}
 	}
 }
@@ -384,7 +425,10 @@ func (b *builder) buildACP() {
 			if bucketBytes == 0 {
 				return
 			}
-			ar := b.allReduce(bucketBytes, lastMain)
+			// The pipelined ring splits the bucket's all-reduce; the P·Qᵀ
+			// reconstruction still waits for the whole bucket, mirroring the
+			// trainer (additive finalize is not chunked).
+			ar := b.allReduceChunked(bucketBytes, lastMain)
 			buckets = append(buckets, bucket{comm: ar, decompressDur: bucketDecomp})
 			bucketBytes = 0
 			bucketDecomp = 0

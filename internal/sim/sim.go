@@ -100,6 +100,14 @@ type Config struct {
 	// predicted and measured step times compare like for like. It differs
 	// from ModeNaive, which also changes how tensors are packed.
 	NoOverlap bool
+	// PipelineChunks mirrors train.Config.PipelineChunks in the cost model:
+	// each fusion bucket's collective (and, for the gather methods, its
+	// encode/decode) splits into PipelineChunks per-chunk tasks, so chunk
+	// c's decode overlaps chunk c+1's wire time while every chunk pays its
+	// own alpha (ring-hop latency) term — the paper's pipelining trade-off
+	// (§III-B). 0 (or 1) keeps the unpipelined task graph. Applies to the
+	// WFBP modes (ModeNaive has no per-bucket pipeline to chunk).
+	PipelineChunks int
 
 	// parity selects ACP's P step (0) or Q step (1); Simulate averages
 	// both automatically.
@@ -137,6 +145,9 @@ func (cfg *Config) validate() error {
 	}
 	if cfg.Net.Bandwidth <= 0 && cfg.Workers > 1 {
 		return fmt.Errorf("sim: network not configured")
+	}
+	if cfg.PipelineChunks < 0 {
+		return fmt.Errorf("sim: pipeline chunks must be >= 0, got %d", cfg.PipelineChunks)
 	}
 	return nil
 }

@@ -84,6 +84,16 @@ type Config struct {
 	// schedule; see the Overlap type. Both schedules are bit-identical.
 	Overlap Overlap
 
+	// PipelineChunks enables intra-buffer chunk pipelining (the paper's
+	// third system optimization, §III-B): a sealed buffer is encoded,
+	// shipped and decoded in PipelineChunks chunks so compression compute
+	// overlaps wire time inside every buffer. Additive buffers run the
+	// pipelined ring all-reduce; gather buffers launch one collective per
+	// encoded chunk and decode chunks as they land. 0 (or 1) keeps today's
+	// unpipelined path. Every chunk count produces bit-identical models —
+	// the unpipelined path is the replay baseline, asserted in tests.
+	PipelineChunks int
+
 	// Seed makes runs reproducible; all replicas derive their identical
 	// initial weights from it.
 	Seed int64
@@ -118,6 +128,9 @@ func (cfg *Config) validate() error {
 	case OverlapOn, OverlapOff:
 	default:
 		return fmt.Errorf("train: unknown overlap mode %v", cfg.Overlap)
+	}
+	if cfg.PipelineChunks < 0 {
+		return fmt.Errorf("train: pipeline chunks must be >= 0, got %d", cfg.PipelineChunks)
 	}
 	spec := cfg.Spec
 	if spec.Name == "" {

@@ -54,6 +54,9 @@ type worker struct {
 	blocking   map[*nn.Param]compress.BlockingCompressor
 	gatherComp map[int]compress.GatherCompressor
 	pairwise   map[int]compress.PairwiseBlockingCompressor
+	// chunked caches the chunk-pipelined view of each buffer's gather
+	// compressor (PipelineChunks > 1 only).
+	chunked map[int]compress.ChunkedGatherCompressor
 
 	rawGroup  *fusionGroup
 	compGroup *fusionGroup
@@ -92,6 +95,7 @@ func newWorker(rank int, cfg *Config, model *nn.Model, c *comm.Communicator, sha
 		blocking:   make(map[*nn.Param]compress.BlockingCompressor),
 		gatherComp: make(map[int]compress.GatherCompressor),
 		pairwise:   make(map[int]compress.PairwiseBlockingCompressor),
+		chunked:    make(map[int]compress.ChunkedGatherCompressor),
 	}
 
 	for i, p := range model.Params() {
@@ -171,8 +175,14 @@ func (w *worker) schedule(launch func()) {
 	launch()
 }
 
-// sealAdditive launches the ring all-reduce for a sealed fused buffer.
+// sealAdditive launches the ring all-reduce for a sealed fused buffer —
+// pipelined over PipelineChunks segments when the knob is set (bit-identical
+// to the plain ring, see comm.AllReduceSumPipelined).
 func (w *worker) sealAdditive(buf *additiveBuffer) {
+	if m := w.cfg.PipelineChunks; m > 1 {
+		w.schedule(func() { buf.pending = w.async.AllReduceSumPipelinedAsync(buf.data, m) })
+		return
+	}
 	w.schedule(func() { buf.pending = w.async.AllReduceSumAsync(buf.data) })
 }
 
@@ -181,6 +191,14 @@ func (w *worker) sealAdditive(buf *additiveBuffer) {
 // all-gather. Pairwise-pattern buffers (gTop-k) are deferred: their
 // hypercube reduction is interactive and runs after back-propagation, like
 // Power-SGD's chain.
+//
+// With PipelineChunks set, sealing launches a per-chunk pipeline instead:
+// chunk c's collective is submitted the moment chunk c is encoded, so with
+// overlap on the wire carries chunk c while the worker is still encoding
+// chunk c+1 — and drain later decodes chunk c while chunk c+1 is still in
+// flight. With overlap off the per-chunk launches replay in the identical
+// order after backward, preserving the bit-identity guarantee across all
+// four knob combinations.
 func (w *worker) sealGather(buf *gatherBuffer) {
 	if w.cfg.info.Pattern == compress.PatternPairwise {
 		return
@@ -190,8 +208,32 @@ func (w *worker) sealGather(buf *gatherBuffer) {
 		buf.err = err
 		return
 	}
+	if m := w.cfg.PipelineChunks; m > 1 {
+		cc := w.chunkedFor(buf, comp)
+		buf.bounds = cc.ChunkBounds(m)
+		buf.pipedGath = comm.NewPipelinedGather(m)
+		// Launch before encoding so the collective forwards chunk c while
+		// chunk c+1 is still being encoded (with overlap off the launch is
+		// replayed after backward; the fed chunks wait in the handle).
+		w.schedule(func() { w.async.LaunchPipelinedGather(buf.pipedGath) })
+		for c := 0; c < m; c++ {
+			buf.pipedGath.Feed(cc.EncodeChunk(w.step, buf.packed, buf.bounds, c))
+		}
+		return
+	}
 	buf.blob = comp.Encode(w.step, buf.packed)
 	w.schedule(func() { buf.pending = w.async.AllGatherAsync(buf.blob) })
+}
+
+// chunkedFor returns (caching per buffer) the chunk-pipelined view of the
+// buffer's gather compressor.
+func (w *worker) chunkedFor(buf *gatherBuffer, comp compress.GatherCompressor) compress.ChunkedGatherCompressor {
+	if cc, ok := w.chunked[buf.index]; ok {
+		return cc
+	}
+	cc := compress.Chunked(comp, len(buf.packed))
+	w.chunked[buf.index] = cc
+	return cc
 }
 
 // bufferTensor describes a packed gather buffer to the factory. Buffer
@@ -412,6 +454,11 @@ func (w *worker) drain() error {
 		}
 	}
 	for _, buf := range w.gatherGrp.sealed {
+		if buf.pipedGath != nil {
+			w.drainChunked(buf)
+			fail(buf.err, "all-gather")
+			continue
+		}
 		if buf.pending != nil {
 			buf.gathered, buf.err = buf.pending.Wait()
 			buf.pending = nil
@@ -419,6 +466,35 @@ func (w *worker) drain() error {
 		fail(buf.err, "all-gather")
 	}
 	return first
+}
+
+// drainChunked consumes the buffer's pipelined gather chunk by chunk,
+// running the fused decode for each chunk the moment it lands — while later
+// chunks are still on the wire, serviced by the communication goroutine.
+// This is the decode half of intra-buffer pipelining; each chunk's pooled
+// region recycles as soon as its decode consumes it. On error the handle is
+// drained so no chunk result is left holding pooled memory.
+func (w *worker) drainChunked(buf *gatherBuffer) {
+	cc := w.chunked[buf.index]
+	m := len(buf.bounds) - 1
+	for c := 0; c < m; c++ {
+		g, err := buf.pipedGath.Next()
+		if err != nil {
+			if buf.err == nil {
+				buf.err = err
+			}
+			break
+		}
+		if buf.err == nil {
+			if derr := cc.DecodeChunk(w.step, g.Payloads(), buf.packed, buf.bounds, c); derr != nil {
+				buf.err = derr
+			}
+		}
+		g.Release()
+	}
+	buf.pipedGath.Drain()
+	buf.pipedGath = nil
+	buf.decoded = buf.err == nil
 }
 
 // finalize scatters aggregated payloads back into parameter gradients.
@@ -446,10 +522,12 @@ func (w *worker) finalize() error {
 			return fmt.Errorf("train: rank %d all-gather: %w", w.rank, buf.err)
 		}
 		// Pairwise-pattern buffers already hold the decompressed global mean
-		// in packed (CompressStep replaced it in place); gather buffers still
-		// need the fused decode pass over the sealed gather region, whose
-		// pooled memory recycles the moment the decode consumes it.
-		if w.cfg.info.Pattern != compress.PatternPairwise {
+		// in packed (CompressStep replaced it in place); chunk-pipelined
+		// buffers were decoded incrementally in drain; unpipelined gather
+		// buffers still need the fused decode pass over the sealed gather
+		// region, whose pooled memory recycles the moment the decode
+		// consumes it.
+		if w.cfg.info.Pattern != compress.PatternPairwise && !buf.decoded {
 			comp := w.gatherComp[buf.index]
 			err := comp.Decode(w.step, buf.gathered.Payloads(), buf.packed)
 			buf.gathered.Release()
