@@ -1,0 +1,238 @@
+// Package analysis implements acpvet, the repo's static enforcement of the
+// ownership and lifetime contracts its performance story is built on. The
+// transports hand out pooled leases that every caller must balance with
+// Release, Retain or SendNoCopy; async collectives return handles that must
+// be waited; compressors own and re-lease their Encode payloads; and
+// long-lived goroutines must be shutdown-aware. Violations of any of these
+// surface only as races, leaks or silent perf regressions at run time — the
+// analyzers in this package surface them at vet time instead.
+//
+// The suite is a stdlib-only reimplementation of the golang.org/x/tools
+// go/analysis shape (Analyzer / Pass / Diagnostic, an analysistest-style
+// harness, and a unitchecker-protocol driver in cmd/acpvet) so it runs in
+// hermetic environments without the x/tools dependency.
+//
+// # Analyzers
+//
+//   - leasecheck: every Transport.Lease / Recv / Gathered acquisition is
+//     matched by Release, Retain or SendNoCopy on every control-flow path,
+//     including error returns; flags use-after-Release and releasing a
+//     re-sliced or appended buffer (the pool keys buffers by their first
+//     element, so a buffer released through a shifted or reallocated header
+//     silently leaks).
+//   - handlecheck: every async-collective handle (a value with a
+//     Wait() ... error method returned by a *Async call) reaches Wait on
+//     every path, and the Wait error is not discarded.
+//   - payloadown: compressor Encode/EncodeChunk payloads stay
+//     compressor-owned — callers must not mutate them, must not store them
+//     into struct fields, and must not write to a buffer after handing it
+//     to SendNoCopy (Retain first to share read-only).
+//   - chanlife: goroutine service loops must not block on a bare channel
+//     operation with no shutdown alternative — a send or receive inside an
+//     infinite for loop must sit in a select with a second case (the done /
+//     close channel), or range over a closable channel.
+//
+// Analyzers match code by structure (method names plus signatures plus the
+// surrounding method set), not by import path, so they survive refactors and
+// apply equally to test fakes that implement the same contracts.
+//
+// # Suppressions
+//
+// A finding that is sanctioned — the code is correct for a reason the
+// analyzer cannot see — is silenced by an ignore directive on the flagged
+// line or the line above it:
+//
+//	//acpvet:ignore <reason>
+//
+// The reason is mandatory; a bare directive is itself reported. Helpers that
+// borrow a pooled buffer without taking ownership (encode-into, length
+// checks) are declared with a //acpvet:borrows directive on their
+// declaration so leasecheck keeps the obligation with the caller.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, the stdlib-only analogue of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass holds everything an analyzer needs to check one package: the parsed
+// files, full type information, and a Report sink. The same Pass shape is
+// fed by the standalone loader, the analysistest harness, and the
+// go vet -vettool unitchecker driver.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Report records a diagnostic. The driver filters suppressed lines.
+	Report func(Diagnostic)
+
+	ignores map[string]map[int]string // filename -> line -> reason
+	borrows map[*types.Func]bool      // same-package funcs declared //acpvet:borrows
+	decls   map[*types.Func]*ast.FuncDecl
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// ignoreDirective is the suppression marker; borrowDirective marks a
+// declaration whose pooled-buffer parameters are borrowed, not owned.
+const (
+	ignoreDirective = "//acpvet:ignore"
+	borrowDirective = "//acpvet:borrows"
+)
+
+// prepare indexes the package's directives and declarations. Called once by
+// the drivers before analyzers run.
+func (p *Pass) prepare() {
+	p.ignores = make(map[string]map[int]string)
+	p.borrows = make(map[*types.Func]bool)
+	p.decls = make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		fname := p.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				// A following line comment (e.g. a test's // want) is not a reason.
+				if i := strings.Index(reason, "//"); i >= 0 {
+					reason = strings.TrimSpace(reason[:i])
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				m := p.ignores[fname]
+				if m == nil {
+					m = make(map[int]string)
+					p.ignores[fname] = m
+				}
+				m[line] = reason
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			p.decls[obj] = fd
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if strings.HasPrefix(c.Text, borrowDirective) {
+						p.borrows[obj] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// suppressed reports whether a diagnostic at pos is covered by an ignore
+// directive on its line or the line above. An empty reason does not
+// suppress — RunAnalyzers flags it separately.
+func (p *Pass) suppressed(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	m := p.ignores[position.Filename]
+	if m == nil {
+		return false
+	}
+	if r, ok := m[position.Line]; ok && r != "" {
+		return true
+	}
+	if r, ok := m[position.Line-1]; ok && r != "" {
+		return true
+	}
+	return false
+}
+
+// funcDecl returns the package-local declaration of fn, if any.
+func (p *Pass) funcDecl(fn *types.Func) *ast.FuncDecl { return p.decls[fn] }
+
+// isBorrowFunc reports whether calls to fn borrow their buffer arguments
+// (same-package functions marked //acpvet:borrows).
+func (p *Pass) isBorrowFunc(fn *types.Func) bool { return p.borrows[fn] }
+
+// All returns the registered analyzer suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{LeaseCheck, HandleCheck, PayloadOwn, ChanLife}
+}
+
+// RunAnalyzers runs each analyzer over the loaded package and returns the
+// surviving (non-suppressed) diagnostics sorted by position. Bare ignore
+// directives (no reason) are reported as findings of their own, so the
+// escape hatch cannot silently rot.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	base := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+	base.prepare()
+	for _, a := range analyzers {
+		pass := *base
+		pass.Analyzer = a
+		pass.Report = func(d Diagnostic) {
+			if d.Category == "" {
+				d.Category = a.Name
+			}
+			if !base.suppressed(d.Pos) {
+				out = append(out, d)
+			}
+		}
+		if err := a.Run(&pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Types.Path(), err)
+		}
+	}
+	for fname, lines := range base.ignores {
+		for line, reason := range lines {
+			if reason == "" {
+				out = append(out, Diagnostic{
+					Pos:      posAt(pkg, fname, line),
+					Category: "acpvet",
+					Message:  "acpvet:ignore directive needs a reason",
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// posAt recovers a token.Pos for a (file, line) pair, best effort.
+func posAt(pkg *Package, fname string, line int) token.Pos {
+	var pos token.Pos
+	pkg.Fset.Iterate(func(f *token.File) bool {
+		if f.Name() == fname {
+			if line <= f.LineCount() {
+				pos = f.LineStart(line)
+			}
+			return false
+		}
+		return true
+	})
+	return pos
+}

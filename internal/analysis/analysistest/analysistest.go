@@ -1,0 +1,126 @@
+// Package analysistest runs acpvet analyzers over testdata packages and
+// checks their diagnostics against `// want` annotations, mirroring the
+// golang.org/x/tools analysistest contract with only the stdlib.
+//
+// A want annotation sits on the line the diagnostic is expected on:
+//
+//	t.Lease(8) // want `carries a pool obligation`
+//
+// The backquoted (or double-quoted) strings are regular expressions; several
+// may follow one want. Lines without annotations must produce no
+// diagnostics, and every annotation must be matched — both directions fail
+// the test.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"acpsgd/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one want annotation: a message pattern expected at a line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package rooted at dir and checks the analyzers' diagnostics
+// against its want annotations.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loading %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range parsePatterns(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if w := match(wants, pos.Filename, pos.Line, d.Message); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func match(wants []*expectation, file string, line int, msg string) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// parsePatterns extracts the Go string literals following a want keyword.
+func parsePatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			// Find the closing quote, honoring escapes.
+			i := 1
+			for i < len(s) && (s[i] != '"' || s[i-1] == '\\') {
+				i++
+			}
+			if i >= len(s) {
+				return out
+			}
+			if unq, err := strconv.Unquote(s[:i+1]); err == nil {
+				out = append(out, unq)
+			}
+			s = strings.TrimSpace(s[i+1:])
+		default:
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"acpsgd/internal/analysis"
+	"acpsgd/internal/analysis/analysistest"
+)
+
+func TestLeaseCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/leasepkg", analysis.LeaseCheck)
+}
+
+func TestHandleCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/handlepkg", analysis.HandleCheck)
+}
+
+func TestPayloadOwn(t *testing.T) {
+	analysistest.Run(t, "testdata/src/payloadpkg", analysis.PayloadOwn)
+}
+
+func TestChanLife(t *testing.T) {
+	analysistest.Run(t, "testdata/src/chanpkg", analysis.ChanLife)
+}
+
+// TestRepoClean is the integration gate CI leans on: the whole tree must
+// come out clean under the full suite (true positives fixed, sanctioned
+// patterns suppressed with reasons).
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analysis.All())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s: %s", pkg.Path, pkg.Fset.Position(d.Pos), d.Message)
+		}
+	}
+}

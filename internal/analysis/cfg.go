@@ -1,0 +1,372 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is a compact control-flow-graph builder over function bodies —
+// the stdlib-only analogue of golang.org/x/tools/go/cfg, specialized for the
+// forward dataflow the lease/handle/payload analyzers run. Blocks hold
+// simple statements and branch conditions in execution order; edges carry
+// the branch condition (with polarity) so the dataflow can refine states on
+// error-check branches (`if err != nil`).
+
+// edge is a control transfer to a block, optionally guarded by cond: the
+// edge is taken when cond evaluates to !neg.
+type edge struct {
+	to   *block
+	cond ast.Expr
+	neg  bool
+}
+
+// block is a straight-line run of AST nodes with guarded successors.
+type block struct {
+	index int
+	nodes []ast.Node
+	succs []edge
+	// isExit marks blocks whose control leaves the function (return, or
+	// falling off the end of the body).
+	isExit bool
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	blocks []*block
+	entry  *block
+	defers []*ast.CallExpr
+}
+
+type cfgBuilder struct {
+	g   *funcCFG
+	cur *block
+	// break/continue targets, innermost last.
+	breaks    []*block
+	continues []*block
+	// labeled statements: label -> (break target, continue target).
+	labelBreak    map[string]*block
+	labelContinue map[string]*block
+}
+
+// buildCFG constructs the CFG of body. It handles the statement forms that
+// occur in ordinary Go (if/for/range/switch/type-switch/select/return/
+// break/continue/defer/go/labels); goto is approximated as a terminator.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{
+		g:             &funcCFG{},
+		labelBreak:    make(map[string]*block),
+		labelContinue: make(map[string]*block),
+	}
+	b.cur = b.newBlock()
+	b.g.entry = b.cur
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.cur.isExit = true
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// jump adds an unconditional edge from the current block (if live) to dst.
+func (b *cfgBuilder) jump(dst *block) {
+	if b.cur != nil {
+		b.cur.succs = append(b.cur.succs, edge{to: dst})
+	}
+}
+
+// branch adds a conditional edge pair from the current block.
+func (b *cfgBuilder) branch(cond ast.Expr, yes, no *block) {
+	if b.cur != nil {
+		b.cur.succs = append(b.cur.succs,
+			edge{to: yes, cond: cond},
+			edge{to: no, cond: cond, neg: true})
+	}
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	if b.cur == nil {
+		// Unreachable code after return/branch: park it in a detached block
+		// so its nodes still exist (no edges in).
+		b.cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		then := b.newBlock()
+		join := b.newBlock()
+		els := join
+		if s.Else != nil {
+			els = b.newBlock()
+		}
+		b.branch(s.Cond, then, els)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.jump(join)
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else, "")
+			b.jump(join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		header := b.newBlock()
+		bodyBlk := b.newBlock()
+		exit := b.newBlock()
+		post := header
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.jump(header)
+		b.cur = header
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.branch(s.Cond, bodyBlk, exit)
+		} else {
+			b.jump(bodyBlk) // infinite loop: exit reachable only via break
+		}
+		b.pushLoop(exit, post, label)
+		b.cur = bodyBlk
+		b.stmtList(s.Body.List)
+		b.popLoop(label)
+		if s.Post != nil {
+			b.jump(post)
+			b.cur = post
+			b.add(s.Post)
+			b.jump(header)
+		} else {
+			b.jump(header)
+		}
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		header := b.newBlock()
+		bodyBlk := b.newBlock()
+		exit := b.newBlock()
+		b.jump(header)
+		b.cur = header
+		// The per-iteration key/value assignment is irrelevant to the
+		// trackers (range vars are never acquisitions), so only the ranged
+		// operand (added above) appears in the graph.
+		header.succs = append(header.succs, edge{to: bodyBlk}, edge{to: exit})
+		b.pushLoop(exit, header, label)
+		b.cur = bodyBlk
+		b.stmtList(s.Body.List)
+		b.popLoop(label)
+		b.jump(header)
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, label, nil)
+
+	case *ast.SelectStmt:
+		exit := b.newBlock()
+		b.breaks = append(b.breaks, exit)
+		if label != "" {
+			b.labelBreak[label] = exit
+		}
+		head := b.cur
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			blk := b.newBlock()
+			head.succs = append(head.succs, edge{to: blk})
+			b.cur = blk
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(exit)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if len(s.Body.List) == 0 {
+			head.succs = append(head.succs, edge{to: exit})
+		}
+		b.cur = exit
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur.isExit = true
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if tgt := b.branchTarget(s, b.breaks, b.labelBreak); tgt != nil {
+				b.jump(tgt)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if tgt := b.branchTarget(s, b.continues, b.labelContinue); tgt != nil {
+				b.jump(tgt)
+			}
+			b.cur = nil
+		case token.GOTO, token.FALLTHROUGH:
+			// fallthrough is handled in switchBody; goto is rare enough to
+			// treat as a terminator (sound for leak checks: the path ends).
+			b.cur = nil
+		}
+
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.DeferStmt:
+		b.g.defers = append(b.g.defers, s.Call)
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if noReturnCall(s.X) {
+			// The call terminates the goroutine (t.Fatal, panic, os.Exit...):
+			// the path ends here without reaching the function's exit, so
+			// obligations held on it are not leaks.
+			b.cur = nil
+		}
+
+	default:
+		b.add(s)
+	}
+}
+
+// noReturnCall reports whether the expression is a call that never returns.
+// Detection is syntactic — panic, os.Exit, runtime.Goexit, and the
+// conventional terminator method names of testing.T/B and the log package
+// (Fatal, Fatalf, Fatalln, FailNow, Skip, Skipf, SkipNow) on any receiver —
+// which is the right precision for a repo-local vet tool: these names are
+// terminators by strong convention, and a miss only costs a spurious path.
+func noReturnCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fn.Sel.Name {
+		case "Fatal", "Fatalf", "Fatalln", "FailNow", "Skip", "Skipf", "SkipNow", "Goexit":
+			return true
+		case "Exit":
+			id, ok := fn.X.(*ast.Ident)
+			return ok && id.Name == "os"
+		}
+	}
+	return false
+}
+
+// switchBody wires the case clauses of a switch or type switch.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string, _ *block) {
+	head := b.cur
+	exit := b.newBlock()
+	b.breaks = append(b.breaks, exit)
+	if label != "" {
+		b.labelBreak[label] = exit
+	}
+	hasDefault := false
+	var caseBlocks []*block
+	var clauses []*ast.CaseClause
+	for _, clause := range body.List {
+		cc := clause.(*ast.CaseClause)
+		blk := b.newBlock()
+		head.succs = append(head.succs, edge{to: blk})
+		caseBlocks = append(caseBlocks, blk)
+		clauses = append(clauses, cc)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cc := range clauses {
+		b.cur = caseBlocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		// A terminal `fallthrough` transfers into the next case body.
+		body := cc.Body
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = i+1 < len(caseBlocks)
+				body = body[:n-1]
+			}
+		}
+		b.stmtList(body)
+		if fallsThrough {
+			b.jump(caseBlocks[i+1])
+			b.cur = nil
+		} else {
+			b.jump(exit)
+		}
+	}
+	if !hasDefault {
+		head.succs = append(head.succs, edge{to: exit})
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = exit
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *block, label string) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if label != "" {
+		b.labelBreak[label] = brk
+		b.labelContinue[label] = cont
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	if label != "" {
+		delete(b.labelBreak, label)
+		delete(b.labelContinue, label)
+	}
+}
+
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, stack []*block, labeled map[string]*block) *block {
+	if s.Label != nil {
+		return labeled[s.Label.Name]
+	}
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ChanLife enforces goroutine shutdown-awareness: a goroutine whose service
+// loop blocks on a bare channel operation — a send or receive that is not
+// one case of a multi-way select and not a range over a closable channel —
+// can never observe Close and leaks (the PR 3 deadlock class: the launch
+// loop blocked forever on a feed channel nobody would ever close). Every
+// blocking point inside an infinite loop must have a shutdown alternative:
+// a second select case on the done/closed channel, a default, or range
+// (which exits on close).
+var ChanLife = &Analyzer{
+	Name: "chanlife",
+	Doc: "check that goroutine service loops select on a shutdown channel " +
+		"instead of blocking on a bare channel operation forever",
+	Run: runChanLife,
+}
+
+func runChanLife(pass *Pass) error {
+	// Collect every function body that is launched as a goroutine: inline
+	// literals and same-package named functions/methods.
+	launched := make(map[*ast.BlockStmt]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				launched[fun.Body] = true
+			default:
+				ci := resolveCall(pass.Info, g.Call)
+				if ci.fn != nil {
+					if decl := pass.funcDecl(ci.fn); decl != nil && decl.Body != nil {
+						launched[decl.Body] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for body := range launched {
+		checkGoroutineBody(pass, body)
+	}
+	return nil
+}
+
+// checkGoroutineBody looks for infinite loops in a goroutine body and flags
+// bare blocking channel operations inside them.
+func checkGoroutineBody(pass *Pass, body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || !isInfiniteLoop(loop) {
+			return true
+		}
+		checkLoopBody(pass, loop.Body)
+		return false // checkLoopBody recurses into nested loops itself
+	})
+}
+
+// isInfiniteLoop reports whether the for statement can only be left by
+// break/return: no condition, or a constant-true condition.
+func isInfiniteLoop(loop *ast.ForStmt) bool {
+	if loop.Cond == nil {
+		return true
+	}
+	id, ok := ast.Unparen(loop.Cond).(*ast.Ident)
+	return ok && id.Name == "true"
+}
+
+// checkLoopBody flags bare blocking channel operations in stmts, skipping
+// operations that sit under a select with an alternative and skipping nested
+// function literals.
+func checkLoopBody(pass *Pass, body *ast.BlockStmt) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			// A select with ≥2 cases or a default has a shutdown (or at
+			// least a non-blocking) alternative; a single-case select is
+			// just a bare channel op in disguise.
+			alternatives := len(n.Body.List)
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if alternatives >= 2 || hasDefault {
+				// Bodies of the cases may still contain their own bare ops.
+				for _, c := range n.Body.List {
+					cc := c.(*ast.CommClause)
+					for _, s := range cc.Body {
+						ast.Inspect(s, walk)
+					}
+				}
+				return false
+			}
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm != nil {
+					pass.Reportf(cc.Comm.Pos(), "single-case select blocks this goroutine forever if the channel goes quiet; add a case on the shutdown channel")
+				}
+				for _, s := range cc.Body {
+					ast.Inspect(s, walk)
+				}
+			}
+			return false
+		case *ast.RangeStmt:
+			// range over a channel exits when the channel closes: sanctioned.
+			ast.Inspect(n.Body, walk)
+			return false
+		case *ast.SendStmt:
+			if isChanExpr(pass.Info, n.Chan) {
+				pass.Reportf(n.Pos(), "bare channel send inside a goroutine service loop blocks forever if the receiver is gone; select on the shutdown channel too")
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && isChanExpr(pass.Info, n.X) {
+				pass.Reportf(n.Pos(), "bare channel receive inside a goroutine service loop blocks forever if the sender is gone; select on the shutdown channel too")
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// isChanExpr reports whether e's static type is a channel.
+func isChanExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

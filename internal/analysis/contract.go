@@ -1,0 +1,366 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file recognizes the repo's ownership contracts structurally — by
+// method names, signatures and surrounding method sets — instead of by
+// import path, so the analyzers survive package moves and apply to test
+// fakes implementing the same contracts.
+
+// lookupMethod finds a method named name (exported or unexported spelling)
+// in T's method set, looking through pointers.
+func lookupMethod(T types.Type, names ...string) *types.Func {
+	if T == nil {
+		return nil
+	}
+	for _, name := range names {
+		obj, _, _ := types.LookupFieldOrMethod(T, true, nil, name)
+		if f, ok := obj.(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isByteSlice reports whether t is []byte.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isErrorType reports whether t is the error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isTransportLike reports whether T carries the pooled-buffer contract: a
+// Lease(int) []byte (or unexported lease) together with a Release([]byte).
+func isTransportLike(T types.Type) bool {
+	lease := lookupMethod(T, "Lease", "lease")
+	release := lookupMethod(T, "Release", "release")
+	if lease == nil || release == nil {
+		return false
+	}
+	sig, ok := lease.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isByteSlice(sig.Results().At(0).Type())
+}
+
+// isGatheredLike reports whether T is an all-gather result handle: it has a
+// niladic Release and a Payload(int) []byte (the compress.Gathered /
+// comm.Gathered shape).
+func isGatheredLike(T types.Type) bool {
+	release := lookupMethod(T, "Release")
+	payload := lookupMethod(T, "Payload")
+	if release == nil || payload == nil {
+		return false
+	}
+	rsig, ok := release.Type().(*types.Signature)
+	if !ok || rsig.Params().Len() != 0 {
+		return false
+	}
+	psig, ok := payload.Type().(*types.Signature)
+	return ok && psig.Results().Len() == 1 && isByteSlice(psig.Results().At(0).Type())
+}
+
+// isHandleLike reports whether T is an async-collective handle: it has a
+// Wait method whose last result is error.
+func isHandleLike(T types.Type) bool {
+	wait := lookupMethod(T, "Wait")
+	if wait == nil {
+		return false
+	}
+	sig, ok := wait.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() == 0 {
+		return false
+	}
+	return isErrorType(sig.Results().At(sig.Results().Len() - 1).Type())
+}
+
+// callInfo describes a resolved call expression.
+type callInfo struct {
+	call *ast.CallExpr
+	fn   *types.Func // callee, nil for builtins and fn-typed values
+	recv ast.Expr    // receiver expression for method calls
+	name string      // callee name ("" if unresolvable)
+}
+
+// resolveCall classifies a call expression using type info.
+func resolveCall(info *types.Info, call *ast.CallExpr) callInfo {
+	ci := callInfo{call: call}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				ci.fn = f
+				ci.recv = fun.X
+				ci.name = f.Name()
+				return ci
+			}
+		}
+		// Package-qualified call (fmt.Errorf) or field of func type.
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			ci.fn = obj
+			ci.name = obj.Name()
+		} else {
+			ci.name = fun.Sel.Name
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			ci.fn = obj
+		}
+		ci.name = fun.Name
+	}
+	return ci
+}
+
+// recvType returns the static type of a method call's receiver expression.
+func (ci callInfo) recvType(info *types.Info) types.Type {
+	if ci.recv == nil {
+		return nil
+	}
+	tv, ok := info.Types[ci.recv]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// isLeaseAcq reports whether the call acquires a pooled lease:
+// transport.Lease(n) (or pool.lease(n)).
+func isLeaseAcq(info *types.Info, ci callInfo) bool {
+	if ci.recv == nil || (ci.name != "Lease" && ci.name != "lease") {
+		return false
+	}
+	return isTransportLike(ci.recvType(info))
+}
+
+// isRecvAcq reports whether the call acquires a pooled receive buffer:
+// transport.Recv(from) returning ([]byte, error) on a transport-like
+// receiver.
+func isRecvAcq(info *types.Info, ci callInfo) bool {
+	if ci.recv == nil || ci.name != "Recv" || ci.fn == nil {
+		return false
+	}
+	sig, ok := ci.fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 2 {
+		return false
+	}
+	return isByteSlice(sig.Results().At(0).Type()) &&
+		isErrorType(sig.Results().At(1).Type()) &&
+		isTransportLike(ci.recvType(info))
+}
+
+// gatheredResult reports whether the call's first result is a gathered
+// handle, and whether an error result accompanies it.
+func gatheredResult(info *types.Info, ci callInfo) (isGathered, hasErr bool) {
+	if ci.fn == nil {
+		return false, false
+	}
+	sig, ok := ci.fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 || sig.Results().Len() > 2 {
+		return false, false
+	}
+	if !isGatheredLike(sig.Results().At(0).Type()) {
+		return false, false
+	}
+	return true, sig.Results().Len() == 2 && isErrorType(sig.Results().At(1).Type())
+}
+
+// isHandleAcq reports whether the call returns an async handle the caller
+// must Wait: a single result whose type is handle-like, from a call whose
+// name marks an async launch.
+func isHandleAcq(info *types.Info, ci callInfo) bool {
+	if ci.fn == nil || !strings.HasSuffix(ci.name, "Async") {
+		return false
+	}
+	sig, ok := ci.fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	return isHandleLike(sig.Results().At(0).Type())
+}
+
+// isEncodeAcq reports whether the call produces a compressor-owned payload:
+// a method named Encode or EncodeChunk returning []byte on a receiver that
+// also knows how to decode (the GatherCompressor / ChunkedGatherCompressor
+// shape).
+func isEncodeAcq(info *types.Info, ci callInfo) bool {
+	if ci.recv == nil || (ci.name != "Encode" && ci.name != "EncodeChunk") {
+		return false
+	}
+	sig, ok := ci.fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 || !isByteSlice(sig.Results().At(0).Type()) {
+		return false
+	}
+	T := ci.recvType(info)
+	return lookupMethod(T, "Decode") != nil || lookupMethod(T, "DecodeChunk") != nil
+}
+
+// releaseKind classifies ownership-discharging calls on tracked buffers.
+type releaseKind int
+
+const (
+	opNone releaseKind = iota
+	opRelease
+	opRetain
+	opSendNoCopy
+)
+
+// bufferOp reports whether the call is Release/Retain/SendNoCopy on a
+// transport-like receiver, returning the operated-on argument expression.
+func bufferOp(info *types.Info, ci callInfo) (releaseKind, ast.Expr) {
+	if ci.recv == nil || !isTransportLike(ci.recvType(info)) {
+		return opNone, nil
+	}
+	switch ci.name {
+	case "Release", "release":
+		if len(ci.call.Args) == 1 {
+			return opRelease, ci.call.Args[0]
+		}
+	case "Retain", "retain":
+		if len(ci.call.Args) == 1 {
+			return opRetain, ci.call.Args[0]
+		}
+	case "SendNoCopy":
+		if len(ci.call.Args) == 2 {
+			return opSendNoCopy, ci.call.Args[1]
+		}
+	}
+	return opNone, nil
+}
+
+// isGatheredRelease reports whether the call is g.Release() on a
+// gathered-like receiver (also matching abort, the internal failure path).
+func isGatheredRelease(info *types.Info, ci callInfo) bool {
+	if ci.recv == nil || (ci.name != "Release" && ci.name != "abort") {
+		return false
+	}
+	if len(ci.call.Args) != 0 {
+		return false
+	}
+	return isGatheredLike(ci.recvType(info))
+}
+
+// borrowsArgs reports whether the called function borrows its slice
+// arguments without taking ownership: io and encoding/binary helpers, the
+// io.Reader/io.Writer method shape, and same-package functions annotated
+// //acpvet:borrows.
+func (p *Pass) borrowsArgs(ci callInfo) bool {
+	if ci.fn == nil {
+		return false
+	}
+	if pkg := ci.fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "io", "encoding/binary":
+			return true
+		}
+	}
+	if p.isBorrowFunc(ci.fn) {
+		return true
+	}
+	// The io.Reader/io.Writer contract: implementations must not retain p.
+	if ci.recv != nil && (ci.name == "Read" || ci.name == "Write") {
+		sig, ok := ci.fn.Type().(*types.Signature)
+		if ok && sig.Params().Len() == 1 && isByteSlice(sig.Params().At(0).Type()) &&
+			sig.Results().Len() == 2 && isErrorType(sig.Results().At(1).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// objOf resolves an expression to the variable object it names, unwrapping
+// parens. Returns nil for anything but a plain identifier.
+func objOf(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return nil
+	}
+	return obj
+}
+
+// errCond matches a branch condition of the form `x != nil` / `x == nil`
+// where x names a variable; it returns the variable and whether the
+// *condition-true* edge means x is non-nil.
+func errCond(info *types.Info, cond ast.Expr) (obj types.Object, trueMeansNonNil, ok bool) {
+	be, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil, false, false
+	}
+	var operand ast.Expr
+	if isNilIdent(info, be.X) {
+		operand = be.Y
+	} else if isNilIdent(info, be.Y) {
+		operand = be.X
+	} else {
+		return nil, false, false
+	}
+	obj = objOf(info, operand)
+	if obj == nil {
+		return nil, false, false
+	}
+	return obj, be.Op == token.NEQ, true
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// inspectShallow walks n without descending into nested function literals;
+// the callback still sees the *ast.FuncLit node itself (to record captures)
+// but not its body.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if !fn(n) {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		return true
+	})
+}
+
+// funcBodies yields every function body in the file set of the pass —
+// declarations and function literals — with its enclosing type info.
+func (p *Pass) funcBodies(visit func(name string, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					visit(n.Name.Name, n.Body)
+				}
+				return true
+			case *ast.FuncLit:
+				visit("func literal", n.Body)
+				return true
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,335 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+)
+
+// HandleCheck enforces the async-collective contract: every handle returned
+// by an *Async launch (a value with a `Wait() ... error` method) must reach
+// a Wait on every control-flow path, and the Wait error must not be
+// discarded. Pipelined-gather handles (Feed/Next/Drain) must likewise reach
+// Drain. A handle that is dropped on an error path leaves its collective
+// running against buffers the caller is about to reuse.
+var HandleCheck = &Analyzer{
+	Name: "handlecheck",
+	Doc: "check that async collective handles are waited (and pipelined " +
+		"gathers drained) on every control-flow path, with Wait errors checked",
+	Run: runHandleCheck,
+}
+
+// Handle states: a two-point lattice (live obligation / settled), joined by
+// bitwise or so a path that may leak keeps the obligation visible.
+const (
+	hLive uint8 = 1 << iota
+	hDone
+)
+
+type handleFlow struct {
+	pass     *Pass
+	acquired map[types.Object]token.Pos
+	deferred map[types.Object]bool
+	report   bool
+	reported map[token.Pos]bool
+}
+
+func runHandleCheck(pass *Pass) error {
+	pass.funcBodies(func(_ string, body *ast.BlockStmt) {
+		f := &handleFlow{
+			pass:     pass,
+			acquired: make(map[types.Object]token.Pos),
+			deferred: make(map[types.Object]bool),
+			reported: make(map[token.Pos]bool),
+		}
+		f.run(body)
+	})
+	return nil
+}
+
+// isPipelinedAcq reports whether the call constructs a pipelined-gather
+// handle: a single result whose type has Feed, Next and a niladic Drain.
+func isPipelinedAcq(info *types.Info, ci callInfo) bool {
+	if ci.fn == nil {
+		return false
+	}
+	sig, ok := ci.fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	T := sig.Results().At(0).Type()
+	drain := lookupMethod(T, "Drain")
+	if drain == nil || lookupMethod(T, "Feed") == nil || lookupMethod(T, "Next") == nil {
+		return false
+	}
+	dsig, ok := drain.Type().(*types.Signature)
+	return ok && dsig.Params().Len() == 0
+}
+
+// isSettle reports whether the call settles the obligation on its receiver:
+// Wait on an async handle or Drain on a pipelined gather.
+func isSettle(info *types.Info, ci callInfo) bool {
+	if ci.recv == nil || len(ci.call.Args) != 0 {
+		return false
+	}
+	switch ci.name {
+	case "Wait":
+		return isHandleLike(ci.recvType(info))
+	case "Drain":
+		T := ci.recvType(info)
+		return lookupMethod(T, "Feed") != nil && lookupMethod(T, "Next") != nil
+	}
+	return false
+}
+
+func (f *handleFlow) run(body *ast.BlockStmt) {
+	g := buildCFG(body)
+	for _, d := range g.defers {
+		ci := resolveCall(f.pass.Info, d)
+		if isSettle(f.pass.Info, ci) {
+			if obj := objOf(f.pass.Info, ci.recv); obj != nil {
+				f.deferred[obj] = true
+			}
+		}
+	}
+	in := make([]map[types.Object]uint8, len(g.blocks))
+	for i := range in {
+		in[i] = make(map[types.Object]uint8)
+	}
+	work := make([]*block, len(g.blocks))
+	onWork := make(map[int]bool, len(g.blocks))
+	copy(work, g.blocks)
+	for _, blk := range g.blocks {
+		onWork[blk.index] = true
+	}
+	join := func(dst, src map[types.Object]uint8) bool {
+		changed := false
+		for obj, st := range src {
+			if m := dst[obj] | st; m != dst[obj] {
+				dst[obj] = m
+				changed = true
+			}
+		}
+		return changed
+	}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		onWork[blk.index] = false
+		out := maps.Clone(in[blk.index])
+		f.transferBlock(blk, out)
+		for _, e := range blk.succs {
+			if join(in[e.to.index], out) && !onWork[e.to.index] {
+				work = append(work, e.to)
+				onWork[e.to.index] = true
+			}
+		}
+	}
+	f.report = true
+	for _, blk := range g.blocks {
+		out := maps.Clone(in[blk.index])
+		f.transferBlock(blk, out)
+		if blk.isExit {
+			for obj, st := range out {
+				if st&hLive != 0 && !f.deferred[obj] {
+					f.reportOnce(f.acquired[obj], "async handle %s is not waited on every path to this function's return; its collective keeps running against the caller's buffers", obj.Name())
+				}
+			}
+		}
+	}
+}
+
+func (f *handleFlow) transferBlock(blk *block, st map[types.Object]uint8) {
+	for _, n := range blk.nodes {
+		f.transferNode(n, st)
+	}
+}
+
+func (f *handleFlow) transferNode(n ast.Node, st map[types.Object]uint8) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// Handle acquisitions bind; Wait results bind the error check.
+		if len(n.Rhs) == 1 {
+			if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+				ci := resolveCall(f.pass.Info, call)
+				if isHandleAcq(f.pass.Info, ci) || isPipelinedAcq(f.pass.Info, ci) {
+					f.settleMentions(call.Args, st)
+					if len(n.Lhs) == 1 {
+						if obj := objOf(f.pass.Info, n.Lhs[0]); obj != nil {
+							st[obj] = hLive
+							if _, seen := f.acquired[obj]; !seen {
+								f.acquired[obj] = n.Pos()
+							}
+							return
+						}
+						// Stored into a field/container: the obligation moves
+						// with the handle (the bucketed-overlap shape).
+						if id, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident); !ok || id.Name != "_" {
+							return
+						}
+					}
+					f.reportOnce(n.Pos(), "async handle from %s is dropped; Wait it", ci.name)
+					return
+				}
+				if isSettle(f.pass.Info, ci) {
+					f.settle(ci, st)
+					// `g, _ := pending.Wait()` / `_ = h.Wait()`: error blanked.
+					if f.waitErrorBlanked(n, ci) {
+						f.reportOnce(n.Pos(), "error from %s.Wait is discarded; a failed collective must not look like a clean one", exprText(ci.recv))
+					}
+					return
+				}
+			}
+		}
+		f.scanMentions(n, st)
+	case *ast.DeferStmt:
+		ci := resolveCall(f.pass.Info, n.Call)
+		if isSettle(f.pass.Info, ci) {
+			return // credited via f.deferred at exits
+		}
+		f.scanMentions(n, st)
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			ci := resolveCall(f.pass.Info, call)
+			if isSettle(f.pass.Info, ci) {
+				f.settle(ci, st)
+				if f.waitReturnsError(ci) {
+					f.reportOnce(n.Pos(), "error from %s.%s is discarded; a failed collective must not look like a clean one", exprText(ci.recv), ci.name)
+				}
+				return
+			}
+			if isHandleAcq(f.pass.Info, ci) || isPipelinedAcq(f.pass.Info, ci) {
+				f.reportOnce(n.Pos(), "async handle from %s is dropped; Wait it", ci.name)
+				return
+			}
+		}
+		f.scanMentions(n, st)
+	default:
+		f.scanMentions(n, st)
+	}
+}
+
+// settle marks the receiver handle as waited.
+func (f *handleFlow) settle(ci callInfo, st map[types.Object]uint8) {
+	if obj := objOf(f.pass.Info, ci.recv); obj != nil {
+		if v, tracked := st[obj]; tracked {
+			st[obj] = v&^hLive | hDone
+		}
+	}
+}
+
+// waitReturnsError reports whether the settle call produces an error result
+// (Drain is fire-and-forget; Wait always errors).
+func (f *handleFlow) waitReturnsError(ci callInfo) bool {
+	if ci.fn == nil {
+		return false
+	}
+	sig, ok := ci.fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return isErrorType(sig.Results().At(sig.Results().Len() - 1).Type())
+}
+
+// waitErrorBlanked reports whether an assignment of a Wait call discards the
+// error result through a blank identifier.
+func (f *handleFlow) waitErrorBlanked(as *ast.AssignStmt, ci callInfo) bool {
+	if !f.waitReturnsError(ci) || len(as.Lhs) == 0 {
+		return false
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	return ok && last.Name == "_"
+}
+
+// settleMentions marks tracked handles mentioned in the expressions as
+// escaped (passed along; someone else owns the Wait now).
+func (f *handleFlow) settleMentions(exprs []ast.Expr, st map[types.Object]uint8) {
+	for _, e := range exprs {
+		f.scanMentions(e, st)
+	}
+}
+
+// scanMentions is the conservative default: any mention of a tracked handle
+// outside a recognized settle transfers the obligation elsewhere (field
+// store, argument pass, return, closure capture) and stops tracking it —
+// except a bare nil comparison, which is only a test.
+func (f *handleFlow) scanMentions(n ast.Node, st map[types.Object]uint8) {
+	if n == nil {
+		return
+	}
+	if obj, _, ok := errCond(f.pass.Info, asExpr(n)); ok {
+		if _, tracked := st[obj]; tracked {
+			return
+		}
+	}
+	inspectShallow(n, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok {
+			ci := resolveCall(f.pass.Info, call)
+			if isSettle(f.pass.Info, ci) {
+				f.settle(ci, st)
+				// keep walking the args, skip the receiver
+				for _, a := range call.Args {
+					f.scanMentions(a, st)
+				}
+				return false
+			}
+			// A method call on a tracked handle (Feed, Done, ...) reads it
+			// without transferring the Wait obligation.
+			if obj := objOf(f.pass.Info, ci.recv); obj != nil {
+				if _, tracked := st[obj]; tracked {
+					for _, a := range call.Args {
+						f.scanMentions(a, st)
+					}
+					return false
+				}
+			}
+		}
+		if id, ok := c.(*ast.Ident); ok {
+			if obj := objOf(f.pass.Info, id); obj != nil {
+				if v, tracked := st[obj]; tracked {
+					st[obj] = v&^hLive | hDone
+				}
+			}
+		}
+		if lit, ok := c.(*ast.FuncLit); ok {
+			inspectShallow(lit.Body, func(b ast.Node) bool {
+				if id, ok := b.(*ast.Ident); ok {
+					if obj := objOf(f.pass.Info, id); obj != nil {
+						if v, tracked := st[obj]; tracked {
+							st[obj] = v&^hLive | hDone
+						}
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+}
+
+func asExpr(n ast.Node) ast.Expr {
+	if e, ok := n.(ast.Expr); ok {
+		return e
+	}
+	return nil
+}
+
+func exprText(e ast.Expr) string {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "handle"
+}
+
+func (f *handleFlow) reportOnce(pos token.Pos, format string, args ...any) {
+	if !f.report || f.reported[pos] {
+		return
+	}
+	f.reported[pos] = true
+	f.pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,682 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+)
+
+// LeaseCheck enforces the pooled-buffer ownership contract: every
+// Transport.Lease / Recv acquisition and every Gathered handle must reach a
+// Release, Retain or SendNoCopy on every control-flow path (error returns
+// included), buffers must not be used after Release, and a buffer must not
+// be released through a re-sliced or appended header (the pool keys buffers
+// by their first element, so such a release silently leaks).
+var LeaseCheck = &Analyzer{
+	Name: "leasecheck",
+	Doc: "check that pooled transport buffers and gathered results are " +
+		"released, retained or sent on every control-flow path",
+	Run: runLeaseCheck,
+}
+
+// varState is the per-variable lattice of the lease dataflow, a bitmask so
+// joins are a bitwise or.
+type varState uint8
+
+const (
+	stLive     varState = 1 << iota // obligation pending
+	stPending                       // handed to SendNoCopy, outcome tied to err var
+	stReleased                      // released; further use is a violation
+	stDone                          // escaped, retained or delivered — no obligation
+	stResliced                      // modifier: header no longer at the pool key
+)
+
+// lcLink pairs an error variable with the tracked value its nil-ness
+// refines: on acquisition errors the value is nil (nothing to release), on
+// SendNoCopy errors the lease bounces back to the caller.
+type lcLink struct {
+	target types.Object
+	send   bool // true: SendNoCopy pairing; false: acquisition pairing
+}
+
+// lcState is the dataflow fact at a program point.
+type lcState struct {
+	vars  map[types.Object]varState
+	links map[types.Object]lcLink
+}
+
+func newLCState() *lcState {
+	return &lcState{vars: make(map[types.Object]varState), links: make(map[types.Object]lcLink)}
+}
+
+func (s *lcState) clone() *lcState {
+	return &lcState{vars: maps.Clone(s.vars), links: maps.Clone(s.links)}
+}
+
+// join merges another state in, reporting whether anything changed.
+func (s *lcState) join(o *lcState) bool {
+	changed := false
+	for obj, st := range o.vars {
+		if merged := s.vars[obj] | st; merged != s.vars[obj] {
+			s.vars[obj] = merged
+			changed = true
+		}
+	}
+	for obj, l := range o.links {
+		if cur, ok := s.links[obj]; !ok {
+			s.links[obj] = l
+			changed = true
+		} else if cur != l {
+			delete(s.links, obj) // conflicting pairings: drop the refinement
+			changed = true
+		}
+	}
+	return changed
+}
+
+// acqSite records where and as what a tracked value was acquired.
+type acqSite struct {
+	pos  token.Pos
+	what string
+}
+
+// leaseFlow is the per-function analysis driver.
+type leaseFlow struct {
+	pass     *Pass
+	acquired map[types.Object]acqSite
+	deferRel map[types.Object]bool // discharged by a defer
+	report   bool
+	reported map[token.Pos]string
+}
+
+func runLeaseCheck(pass *Pass) error {
+	pass.funcBodies(func(_ string, body *ast.BlockStmt) {
+		f := &leaseFlow{
+			pass:     pass,
+			acquired: make(map[types.Object]acqSite),
+			deferRel: make(map[types.Object]bool),
+			reported: make(map[token.Pos]string),
+		}
+		f.run(body)
+	})
+	return nil
+}
+
+func (f *leaseFlow) run(body *ast.BlockStmt) {
+	g := buildCFG(body)
+	f.collectDeferReleases(g)
+
+	in := make([]*lcState, len(g.blocks))
+	for i := range in {
+		in[i] = newLCState()
+	}
+	// Fixpoint: propagate states forward until stable, then one reporting
+	// pass over the stabilized facts. Every block is seeded onto the
+	// worklist — enqueueing only on state change would never process blocks
+	// whose predecessors produce empty states.
+	work := make([]*block, len(g.blocks))
+	onWork := make(map[int]bool, len(g.blocks))
+	copy(work, g.blocks)
+	for _, blk := range g.blocks {
+		onWork[blk.index] = true
+	}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		onWork[blk.index] = false
+		out := in[blk.index].clone()
+		f.transferBlock(blk, out)
+		for _, e := range blk.succs {
+			next := out
+			if e.cond != nil {
+				next = out.clone()
+				f.refineEdge(e, next)
+			}
+			if in[e.to.index].join(next) && !onWork[e.to.index] {
+				work = append(work, e.to)
+				onWork[e.to.index] = true
+			}
+		}
+	}
+	f.report = true
+	for _, blk := range g.blocks {
+		out := in[blk.index].clone()
+		f.transferBlock(blk, out)
+		if blk.isExit {
+			f.checkExit(out)
+		}
+	}
+}
+
+// collectDeferReleases records tracked-object discharges performed by
+// deferred calls (directly or inside a deferred closure).
+func (f *leaseFlow) collectDeferReleases(g *funcCFG) {
+	note := func(call *ast.CallExpr) {
+		ci := resolveCall(f.pass.Info, call)
+		if kind, arg := bufferOp(f.pass.Info, ci); kind == opRelease || kind == opRetain {
+			if obj := objOf(f.pass.Info, arg); obj != nil {
+				f.deferRel[obj] = true
+			}
+		}
+		if isGatheredRelease(f.pass.Info, ci) {
+			if obj := objOf(f.pass.Info, ci.recv); obj != nil {
+				f.deferRel[obj] = true
+			}
+		}
+	}
+	for _, d := range g.defers {
+		note(d)
+		if lit, ok := d.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					note(c)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// refineEdge applies a branch condition to the state: `err != nil` /
+// `err == nil` branches resolve acquisition and send pairings, and a nil
+// check on a tracked handle itself clears the obligation on its nil edge.
+func (f *leaseFlow) refineEdge(e edge, st *lcState) {
+	obj, trueMeansNonNil, ok := errCond(f.pass.Info, e.cond)
+	if !ok {
+		return
+	}
+	edgeNonNil := trueMeansNonNil != e.neg
+	if l, linked := st.links[obj]; linked {
+		v := st.vars[l.target]
+		if l.send {
+			// SendNoCopy failed: the lease is the caller's again.
+			if v&stPending != 0 {
+				v &^= stPending
+				if edgeNonNil {
+					v |= stLive
+				} else {
+					v |= stDone
+				}
+				st.vars[l.target] = v
+			}
+		} else if edgeNonNil && v&stLive != 0 {
+			// Acquisition failed: the handle/buffer is nil, nothing owed.
+			st.vars[l.target] = v&^stLive | stDone
+		}
+		return
+	}
+	if v, tracked := st.vars[obj]; tracked && !edgeNonNil && v&stLive != 0 {
+		st.vars[obj] = v&^stLive | stDone
+	}
+}
+
+func (f *leaseFlow) transferBlock(blk *block, st *lcState) {
+	for _, n := range blk.nodes {
+		f.transferNode(n, st)
+	}
+}
+
+func (f *leaseFlow) transferNode(n ast.Node, st *lcState) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		f.assign(n, st)
+	case *ast.DeferStmt:
+		// Deferred discharges apply at exits (collectDeferReleases); other
+		// deferred calls capture their arguments now.
+		ci := resolveCall(f.pass.Info, n.Call)
+		if kind, _ := bufferOp(f.pass.Info, ci); kind != opNone {
+			return
+		}
+		if isGatheredRelease(f.pass.Info, ci) {
+			return
+		}
+		if _, isLit := n.Call.Fun.(*ast.FuncLit); isLit {
+			f.scanExpr(n.Call.Fun, true, st)
+			return
+		}
+		for _, a := range n.Call.Args {
+			f.scanExpr(a, true, st)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			f.scanExpr(r, true, st)
+		}
+	case *ast.SendStmt:
+		f.scanExpr(n.Chan, false, st)
+		f.scanExpr(n.Value, true, st)
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			ci := resolveCall(f.pass.Info, call)
+			if f.isAcquisition(ci) {
+				f.reportOnce(call.Pos(), "result of %s carries a pool obligation but is discarded", ci.name)
+			}
+		}
+		f.scanExpr(n.X, false, st)
+	case *ast.GoStmt:
+		f.scanExpr(n.Call.Fun, true, st)
+		for _, a := range n.Call.Args {
+			f.scanExpr(a, true, st)
+		}
+	case *ast.IncDecStmt:
+		f.scanExpr(n.X, false, st)
+	case ast.Expr:
+		f.scanExpr(n, false, st)
+	case ast.Stmt:
+		// Conservative default for statement forms the transfer does not
+		// model: any tracked value mentioned inside escapes.
+		inspectShallow(n, func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok {
+				if obj := objOf(f.pass.Info, id); obj != nil {
+					f.use(obj, id.Pos(), true, st)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isAcquisition reports whether the call produces a value the contract
+// obliges the caller to settle.
+func (f *leaseFlow) isAcquisition(ci callInfo) bool {
+	if isLeaseAcq(f.pass.Info, ci) || isRecvAcq(f.pass.Info, ci) {
+		return true
+	}
+	g, _ := gatheredResult(f.pass.Info, ci)
+	return g
+}
+
+// assign handles acquisition bindings, self-slice/append rebindings, and
+// generic escapes through assignment.
+func (f *leaseFlow) assign(as *ast.AssignStmt, st *lcState) {
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			ci := resolveCall(f.pass.Info, call)
+			if f.bindAcquisition(as, call, ci, st) {
+				return
+			}
+			// err := t.SendNoCopy(to, v): pair the error with the lease.
+			if kind, argExpr := bufferOp(f.pass.Info, ci); kind == opSendNoCopy && len(as.Lhs) == 1 {
+				if errObj := objOf(f.pass.Info, as.Lhs[0]); errObj != nil {
+					f.sendNoCopy(argExpr, errObj, st)
+					f.scanExpr(call.Args[0], false, st) // the destination rank
+					return
+				}
+			}
+		}
+		// v = v[lo:hi] / v = append(v, ...): rebinding that moves or may
+		// move the buffer header off its pool key.
+		if len(as.Lhs) == 1 {
+			if obj := objOf(f.pass.Info, as.Lhs[0]); obj != nil {
+				if v, tracked := st.vars[obj]; tracked && f.selfDerived(obj, as.Rhs[0], st) {
+					_ = v
+					return
+				}
+			}
+		}
+	}
+	for _, r := range as.Rhs {
+		f.scanExpr(r, true, st)
+	}
+	for _, l := range as.Lhs {
+		if obj := objOf(f.pass.Info, l); obj != nil {
+			if v, tracked := st.vars[obj]; tracked && v&stLive != 0 && as.Tok != token.DEFINE {
+				f.reportObj(obj, "%s is overwritten while it still owes the pool a Release/Retain/SendNoCopy", obj.Name())
+			}
+			delete(st.vars, obj)
+			delete(st.links, obj)
+			continue
+		}
+		// Assignments through fields/indices: the written value escaped via
+		// the RHS scan above; nothing to bind.
+		if _, ok := l.(*ast.Ident); !ok {
+			f.scanExpr(l, false, st)
+		}
+	}
+}
+
+// bindAcquisition starts tracking the LHS of an acquisition assignment.
+// Returns true when the assignment was fully handled.
+func (f *leaseFlow) bindAcquisition(as *ast.AssignStmt, call *ast.CallExpr, ci callInfo, st *lcState) bool {
+	var what string
+	var hasErr bool
+	switch {
+	case isLeaseAcq(f.pass.Info, ci):
+		what = "leased buffer"
+	case isRecvAcq(f.pass.Info, ci):
+		what, hasErr = "received buffer", true
+	default:
+		g, e := gatheredResult(f.pass.Info, ci)
+		if !g {
+			return false
+		}
+		what, hasErr = "gathered result", e
+	}
+	for _, a := range call.Args {
+		f.scanExpr(a, true, st)
+	}
+	wantLHS := 1
+	if hasErr {
+		wantLHS = 2
+	}
+	if len(as.Lhs) != wantLHS {
+		return true // compile error territory; leave it alone
+	}
+	obj := objOf(f.pass.Info, as.Lhs[0])
+	if obj == nil {
+		// A store into a field or container transfers the obligation with
+		// the value; only a blank identifier genuinely drops it.
+		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok && id.Name == "_" {
+			f.reportOnce(as.Pos(), "%s from %s is dropped; Release, Retain or SendNoCopy it", what, ci.name)
+		}
+		return true
+	}
+	st.vars[obj] = stLive
+	if _, seen := f.acquired[obj]; !seen {
+		f.acquired[obj] = acqSite{pos: as.Pos(), what: what}
+	}
+	if hasErr {
+		if errObj := objOf(f.pass.Info, as.Lhs[1]); errObj != nil {
+			st.links[errObj] = lcLink{target: obj}
+		}
+	}
+	return true
+}
+
+// selfDerived handles `v = v[...]` and `v = append(v, ...)`; returns true
+// when the assignment was consumed.
+func (f *leaseFlow) selfDerived(obj types.Object, rhs ast.Expr, st *lcState) bool {
+	switch r := ast.Unparen(rhs).(type) {
+	case *ast.SliceExpr:
+		if objOf(f.pass.Info, r.X) != obj {
+			return false
+		}
+		if r.Low != nil && !isZeroLiteral(r.Low) {
+			st.vars[obj] |= stResliced
+		}
+		return true
+	case *ast.CallExpr:
+		if id, ok := r.Fun.(*ast.Ident); ok && id.Name == "append" && len(r.Args) > 0 &&
+			objOf(f.pass.Info, r.Args[0]) == obj {
+			for _, a := range r.Args[1:] {
+				f.scanExpr(a, false, st)
+			}
+			st.vars[obj] |= stResliced
+			return true
+		}
+	}
+	return false
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+// sendNoCopy transitions the sent buffer; errObj (may be nil) receives the
+// pairing for branch refinement.
+func (f *leaseFlow) sendNoCopy(argExpr ast.Expr, errObj types.Object, st *lcState) {
+	obj := objOf(f.pass.Info, argExpr)
+	if obj == nil {
+		f.scanExpr(argExpr, true, st)
+		return
+	}
+	v, tracked := st.vars[obj]
+	if !tracked {
+		return
+	}
+	if v&stReleased != 0 {
+		f.reportObj(obj, "%s is sent after Release", obj.Name())
+	}
+	if v&stLive != 0 {
+		v &^= stLive
+		if errObj != nil {
+			v |= stPending
+			st.links[errObj] = lcLink{target: obj, send: true}
+		} else {
+			v |= stDone
+		}
+		st.vars[obj] = v
+	}
+}
+
+// scanExpr walks an expression, classifying each tracked-variable mention as
+// a use and, when esc is set, as an ownership escape.
+func (f *leaseFlow) scanExpr(e ast.Expr, esc bool, st *lcState) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := objOf(f.pass.Info, e); obj != nil {
+			f.use(obj, e.Pos(), esc, st)
+		}
+	case *ast.CallExpr:
+		f.scanCall(e, st)
+	case *ast.FuncLit:
+		// Captured tracked values escape into the closure.
+		inspectShallow(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := objOf(f.pass.Info, id); obj != nil {
+					if _, tracked := st.vars[obj]; tracked {
+						f.use(obj, id.Pos(), true, st)
+					}
+				}
+			}
+			return true
+		})
+	case *ast.SliceExpr:
+		f.scanExpr(e.X, esc, st)
+		f.scanExpr(e.Low, false, st)
+		f.scanExpr(e.High, false, st)
+		f.scanExpr(e.Max, false, st)
+	case *ast.IndexExpr:
+		f.scanExpr(e.X, false, st)
+		f.scanExpr(e.Index, false, st)
+	case *ast.SelectorExpr:
+		f.scanExpr(e.X, false, st)
+	case *ast.UnaryExpr:
+		f.scanExpr(e.X, e.Op == token.AND || esc, st)
+	case *ast.BinaryExpr:
+		f.scanExpr(e.X, false, st)
+		f.scanExpr(e.Y, false, st)
+	case *ast.ParenExpr:
+		f.scanExpr(e.X, esc, st)
+	case *ast.StarExpr:
+		f.scanExpr(e.X, esc, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			f.scanExpr(el, true, st)
+		}
+	case *ast.KeyValueExpr:
+		f.scanExpr(e.Key, false, st)
+		f.scanExpr(e.Value, true, st)
+	case *ast.TypeAssertExpr:
+		f.scanExpr(e.X, esc, st)
+	case nil:
+	default:
+		inspectShallow(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := objOf(f.pass.Info, id); obj != nil {
+					f.use(obj, id.Pos(), true, st)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// scanCall models ownership effects of one call expression.
+func (f *leaseFlow) scanCall(call *ast.CallExpr, st *lcState) {
+	ci := resolveCall(f.pass.Info, call)
+
+	// Builtins first: len/cap/copy inspect, append may re-head.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "len", "cap":
+			// len/cap read the slice header, not the pooled bytes, so they
+			// are legal even on a released buffer (error messages do this).
+			for _, a := range call.Args {
+				if objOf(f.pass.Info, a) == nil {
+					f.scanExpr(a, false, st)
+				}
+			}
+			return
+		case "copy", "print", "println", "min", "max", "clear":
+			for _, a := range call.Args {
+				f.scanExpr(a, false, st)
+			}
+			return
+		case "append":
+			if len(call.Args) > 0 {
+				if obj := objOf(f.pass.Info, call.Args[0]); obj != nil {
+					if _, tracked := st.vars[obj]; tracked {
+						st.vars[obj] |= stResliced
+					}
+				}
+				f.scanExpr(call.Args[0], false, st)
+				for _, a := range call.Args[1:] {
+					f.scanExpr(a, false, st)
+				}
+			}
+			return
+		}
+	}
+
+	if kind, arg := bufferOp(f.pass.Info, ci); kind != opNone {
+		f.scanExpr(ci.recv, false, st)
+		switch kind {
+		case opRelease:
+			f.releaseArg(arg, st)
+		case opRetain:
+			if obj := objOf(f.pass.Info, arg); obj != nil {
+				if v, tracked := st.vars[obj]; tracked {
+					st.vars[obj] = v&^(stLive|stPending) | stDone
+				}
+			} else {
+				f.scanExpr(arg, false, st)
+			}
+		case opSendNoCopy:
+			f.scanExpr(call.Args[0], false, st)
+			f.sendNoCopy(arg, nil, st)
+		}
+		return
+	}
+	if isGatheredRelease(f.pass.Info, ci) {
+		if obj := objOf(f.pass.Info, ci.recv); obj != nil {
+			if v, tracked := st.vars[obj]; tracked {
+				st.vars[obj] = v&^(stLive|stPending) | stReleased
+				return
+			}
+		}
+		f.scanExpr(ci.recv, false, st)
+		return
+	}
+
+	// Method calls on a tracked gathered handle (Payloads, Bytes, ...) are
+	// reads, not escapes.
+	if ci.recv != nil {
+		if obj := objOf(f.pass.Info, ci.recv); obj != nil {
+			if _, tracked := st.vars[obj]; tracked {
+				f.use(obj, ci.recv.Pos(), false, st)
+			} else {
+				f.scanExpr(ci.recv, false, st)
+			}
+		} else {
+			f.scanExpr(ci.recv, false, st)
+		}
+	} else {
+		f.scanExpr(call.Fun, false, st)
+	}
+	argEsc := !f.pass.borrowsArgs(ci)
+	for _, a := range call.Args {
+		f.scanExpr(a, argEsc, st)
+	}
+}
+
+// releaseArg handles Release(x): the re-slice family of violations plus the
+// state transition.
+func (f *leaseFlow) releaseArg(arg ast.Expr, st *lcState) {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.SliceExpr:
+		if a.Low != nil && !isZeroLiteral(a.Low) {
+			f.reportOnce(a.Pos(), "releasing a re-sliced buffer: the pool keys buffers by their first element, so this release silently leaks")
+		}
+		if obj := objOf(f.pass.Info, a.X); obj != nil {
+			f.releaseObj(obj, st)
+			return
+		}
+	case *ast.CallExpr:
+		if id, ok := a.Fun.(*ast.Ident); ok && id.Name == "append" {
+			f.reportOnce(a.Pos(), "releasing an append result: append may reallocate, the pool will not recognize the buffer")
+			return
+		}
+	case *ast.Ident:
+		if obj := objOf(f.pass.Info, a); obj != nil {
+			f.releaseObj(obj, st)
+			return
+		}
+	}
+	f.scanExpr(arg, false, st)
+}
+
+func (f *leaseFlow) releaseObj(obj types.Object, st *lcState) {
+	v, tracked := st.vars[obj]
+	if !tracked {
+		return
+	}
+	if v&stResliced != 0 {
+		f.reportObj(obj, "releasing %s after it was re-sliced or appended: the pool keys buffers by their first element, so this release silently leaks", obj.Name())
+	}
+	st.vars[obj] = v&^(stLive|stPending|stResliced) | stReleased
+}
+
+// use records a read of a tracked value; esc additionally discharges the
+// obligation (ownership moved somewhere the analysis cannot follow).
+func (f *leaseFlow) use(obj types.Object, pos token.Pos, esc bool, st *lcState) {
+	v, tracked := st.vars[obj]
+	if !tracked {
+		return
+	}
+	if v&stReleased != 0 && v&(stLive|stPending|stDone) == 0 {
+		f.reportOnce(pos, "use of %s after Release: the pool may already have re-leased it", obj.Name())
+	}
+	if esc {
+		st.vars[obj] = v&^(stLive|stPending) | stDone
+	}
+}
+
+// checkExit reports tracked values still live when control leaves the
+// function, after honoring deferred discharges.
+func (f *leaseFlow) checkExit(st *lcState) {
+	for obj, v := range st.vars {
+		if v&stLive == 0 || f.deferRel[obj] {
+			continue
+		}
+		site, ok := f.acquired[obj]
+		if !ok {
+			continue
+		}
+		f.reportOnce(site.pos, "%s %s is not released, retained or sent on every path to this function's return", site.what, obj.Name())
+	}
+}
+
+func (f *leaseFlow) reportObj(obj types.Object, format string, args ...any) {
+	pos := obj.Pos()
+	if site, ok := f.acquired[obj]; ok {
+		pos = site.pos
+	}
+	f.reportOnce(pos, format, args...)
+}
+
+func (f *leaseFlow) reportOnce(pos token.Pos, format string, args ...any) {
+	if !f.report {
+		return
+	}
+	key := format
+	if f.reported[pos] == key {
+		return
+	}
+	f.reported[pos] = key
+	f.pass.Reportf(pos, format, args...)
+}

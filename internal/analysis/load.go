@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` for the given patterns in dir
+// and returns the decoded package stream.
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Export,Standard,GoFiles,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup adapts a path->export-file map to the gc importer's lookup
+// interface.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// newInfo allocates a fully populated types.Info.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// typeCheck parses and checks one package from source, resolving imports
+// through the export map.
+func typeCheck(path string, files []string, fset *token.FileSet, exports map[string]string) (*Package, error) {
+	var parsed []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", f, err)
+		}
+		parsed = append(parsed, af)
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", exportLookup(exports)),
+		Error:    func(error) {}, // collect best-effort; first hard error returned below
+	}
+	tpkg, err := conf.Check(path, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
+	}
+	dir := ""
+	if len(files) > 0 {
+		dir = filepath.Dir(files[0])
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: parsed, Types: tpkg, Info: info}, nil
+}
+
+// Load lists, parses and type-checks the packages matching patterns
+// (relative to dir, "" = cwd), excluding dependencies. Each target package
+// is checked from source; its dependencies are resolved from compiler export
+// data, so loading works fully offline.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	targets := make(map[string]bool)
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	// `go list -deps` puts dependencies first; targets are the packages the
+	// patterns matched, which `go list` cannot mark directly — re-list
+	// without -deps to identify them.
+	shallow, err := goListShallow(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range shallow {
+		targets[p.ImportPath] = true
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range listed {
+		if !targets[p.ImportPath] || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := typeCheck(p.ImportPath, files, fset, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = p.Dir
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goListShallow lists just the matched packages (no -deps, no -export).
+func goListShallow(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// VetConfig mirrors the JSON config the go command hands a -vettool for each
+// package unit (cmd/go/internal/work's vetConfig).
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// LoadVetUnit type-checks the single package unit described by a go vet
+// config file. Imports resolve through the config's ImportMap/PackageFile
+// export-data tables, exactly as the x/tools unitchecker does.
+func LoadVetUnit(cfg *VetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, f := range cfg.GoFiles {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, af)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, cfg.Compiler, lookup),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {},
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", cfg.ImportPath, err)
+	}
+	return &Package{Path: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: parsed, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+)
+
+// PayloadOwn enforces the compressor payload-lifetime contract: the []byte
+// returned by Encode/EncodeChunk stays compressor-owned. Callers may read it
+// and hand it to the transport, but must not mutate it, must not store it
+// into struct fields (the compressor re-leases the backing buffer on the
+// next step, so a stored payload silently goes stale), and must not write to
+// any pooled buffer after SendNoCopy unless they Retained it first.
+var PayloadOwn = &Analyzer{
+	Name: "payloadown",
+	Doc: "check that compressor Encode payloads are not mutated or stored " +
+		"past their re-lease point, and that buffers are not written after SendNoCopy",
+	Run: runPayloadOwn,
+}
+
+// Send states for the SendNoCopy-write rule.
+const (
+	poSent     uint8 = 1 << iota // handed to SendNoCopy without Retain
+	poRetained                   // Retained: caller holds its own reference
+)
+
+func runPayloadOwn(pass *Pass) error {
+	pass.funcBodies(func(_ string, body *ast.BlockStmt) {
+		checkPayloadEscapes(pass, body)
+		(&sendFlow{pass: pass, reported: make(map[token.Pos]bool)}).run(body)
+	})
+	return nil
+}
+
+// checkPayloadEscapes is the flow-insensitive half: find Encode payloads and
+// flag field stores and mutations anywhere in the function.
+func checkPayloadEscapes(pass *Pass, body *ast.BlockStmt) {
+	payloads := make(map[types.Object]bool)
+	// First sweep: collect payload bindings and flag payloads stored
+	// directly into fields or element slots.
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, r := range as.Rhs {
+			call, ok := ast.Unparen(r).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			ci := resolveCall(pass.Info, call)
+			if !isEncodeAcq(pass.Info, ci) {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			switch lhs := ast.Unparen(as.Lhs[i]).(type) {
+			case *ast.Ident:
+				if obj := objOf(pass.Info, lhs); obj != nil {
+					payloads[obj] = true
+				}
+			case *ast.SelectorExpr:
+				pass.Reportf(as.Pos(), "compressor payload from %s is stored into a field; the compressor re-leases its backing buffer, so the stored slice goes stale", ci.name)
+			case *ast.IndexExpr:
+				pass.Reportf(as.Pos(), "compressor payload from %s is stored into a container; the compressor re-leases its backing buffer, so the stored slice goes stale", ci.name)
+			}
+		}
+		return true
+	})
+	if len(payloads) == 0 {
+		return
+	}
+	// Second sweep: mutations of and stores from the tracked payload vars.
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if idx, ok := ast.Unparen(l).(*ast.IndexExpr); ok {
+					if obj := objOf(pass.Info, idx.X); obj != nil && payloads[obj] {
+						pass.Reportf(l.Pos(), "write into compressor payload %s; Encode results are compressor-owned and read-only", objName(obj))
+					}
+				}
+				if sel, ok := ast.Unparen(l).(*ast.SelectorExpr); ok {
+					_ = sel
+					for _, r := range n.Rhs {
+						if obj := objOf(pass.Info, r); obj != nil && payloads[obj] {
+							pass.Reportf(l.Pos(), "compressor payload %s is stored into a field; the compressor re-leases its backing buffer, so the stored slice goes stale", objName(obj))
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && len(n.Args) > 0 {
+				target := objOf(pass.Info, n.Args[0])
+				if target == nil || !payloads[target] {
+					return true
+				}
+				switch id.Name {
+				case "append":
+					pass.Reportf(n.Pos(), "append to compressor payload %s; Encode results are compressor-owned and read-only", objName(target))
+				case "copy", "clear":
+					pass.Reportf(n.Pos(), "%s writes into compressor payload %s; Encode results are compressor-owned and read-only", id.Name, objName(target))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func objName(obj types.Object) string { return obj.Name() }
+
+// sendFlow is the flow-sensitive half: after t.SendNoCopy(to, v) the
+// transport and the receiver share v's bytes, so writes to v are a data race
+// until the buffer cycles back through the pool — unless the caller
+// Retained v, in which case it holds its own reference. Re-sending a sent
+// buffer is sanctioned (read-only sharing: the p=2 gather recycle).
+type sendFlow struct {
+	pass     *Pass
+	report   bool
+	reported map[token.Pos]bool
+}
+
+func (f *sendFlow) run(body *ast.BlockStmt) {
+	g := buildCFG(body)
+	in := make([]map[types.Object]uint8, len(g.blocks))
+	for i := range in {
+		in[i] = make(map[types.Object]uint8)
+	}
+	join := func(dst, src map[types.Object]uint8) bool {
+		changed := false
+		for obj, st := range src {
+			if m := dst[obj] | st; m != dst[obj] {
+				dst[obj] = m
+				changed = true
+			}
+		}
+		return changed
+	}
+	work := make([]*block, len(g.blocks))
+	onWork := make(map[int]bool, len(g.blocks))
+	copy(work, g.blocks)
+	for _, blk := range g.blocks {
+		onWork[blk.index] = true
+	}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		onWork[blk.index] = false
+		out := maps.Clone(in[blk.index])
+		f.transferBlock(blk, out)
+		for _, e := range blk.succs {
+			if join(in[e.to.index], out) && !onWork[e.to.index] {
+				work = append(work, e.to)
+				onWork[e.to.index] = true
+			}
+		}
+	}
+	f.report = true
+	for _, blk := range g.blocks {
+		out := maps.Clone(in[blk.index])
+		f.transferBlock(blk, out)
+	}
+}
+
+func (f *sendFlow) transferBlock(blk *block, st map[types.Object]uint8) {
+	for _, n := range blk.nodes {
+		f.transferNode(n, st)
+	}
+}
+
+func (f *sendFlow) transferNode(n ast.Node, st map[types.Object]uint8) {
+	// Writes first: index-assigns on sent buffers.
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if idx, ok := ast.Unparen(l).(*ast.IndexExpr); ok {
+				f.noteWrite(idx.X, idx.Pos(), st)
+			}
+		}
+		// Rebinding a sent variable starts a fresh buffer.
+		for _, l := range as.Lhs {
+			if obj := objOf(f.pass.Info, l); obj != nil {
+				if !isSelfSlice(f.pass.Info, as, obj) {
+					delete(st, obj)
+				}
+			}
+		}
+	}
+	inspectShallow(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && len(call.Args) > 0 {
+			switch id.Name {
+			case "copy", "clear":
+				f.noteWrite(call.Args[0], call.Pos(), st)
+			case "append":
+				f.noteWrite(call.Args[0], call.Pos(), st)
+			}
+			return true
+		}
+		ci := resolveCall(f.pass.Info, call)
+		kind, arg := bufferOp(f.pass.Info, ci)
+		obj := objOf(f.pass.Info, arg)
+		switch kind {
+		case opSendNoCopy:
+			if obj != nil && st[obj]&poRetained == 0 {
+				st[obj] |= poSent
+			}
+		case opRetain:
+			if obj != nil {
+				st[obj] |= poRetained
+			}
+		case opRelease:
+			if obj != nil {
+				delete(st, obj)
+			}
+		}
+		return true
+	})
+}
+
+// noteWrite flags a write through e when e names a sent, un-Retained buffer.
+func (f *sendFlow) noteWrite(e ast.Expr, pos token.Pos, st map[types.Object]uint8) {
+	base := ast.Unparen(e)
+	if sl, ok := base.(*ast.SliceExpr); ok {
+		base = sl.X
+	}
+	obj := objOf(f.pass.Info, base)
+	if obj == nil {
+		return
+	}
+	if v := st[obj]; v&poSent != 0 && v&poRetained == 0 {
+		f.reportOnce(pos, "write to %s after SendNoCopy: the transport and receiver share its bytes; Retain it first to keep a private reference", obj.Name())
+	}
+}
+
+// isSelfSlice reports whether the single-RHS assignment rebinding obj is a
+// re-slice of obj itself (v = v[:n]) — same backing buffer, keep the state.
+func isSelfSlice(info *types.Info, as *ast.AssignStmt, obj types.Object) bool {
+	if len(as.Rhs) != 1 {
+		return false
+	}
+	sl, ok := ast.Unparen(as.Rhs[0]).(*ast.SliceExpr)
+	if !ok {
+		return false
+	}
+	return objOf(info, sl.X) == obj
+}
+
+func (f *sendFlow) reportOnce(pos token.Pos, format string, args ...any) {
+	if !f.report || f.reported[pos] {
+		return
+	}
+	f.reported[pos] = true
+	f.pass.Reportf(pos, format, args...)
+}

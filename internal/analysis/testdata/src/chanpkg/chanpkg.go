@@ -1,0 +1,107 @@
+// Package chanpkg exercises the chanlife analyzer: goroutine service loops
+// that block on bare channel operations with no shutdown alternative, next
+// to the sanctioned select-on-done and range-over-channel shapes.
+package chanpkg
+
+func spawnBareRecv(ch chan int) {
+	go func() {
+		for {
+			v := <-ch // want `bare channel receive inside a goroutine service loop`
+			_ = v
+		}
+	}()
+}
+
+func spawnBareSend(ch chan int) {
+	go func() {
+		for {
+			ch <- 1 // want `bare channel send inside a goroutine service loop`
+		}
+	}()
+}
+
+func spawnSingleSelect(ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ch: // want `single-case select blocks this goroutine forever`
+			}
+		}
+	}()
+}
+
+func spawnForTrue(ch chan int) {
+	go func() {
+		for true {
+			<-ch // want `bare channel receive inside a goroutine service loop`
+		}
+	}()
+}
+
+// pump is launched by name below; the named function's loop is checked too.
+func pump(ch chan int) {
+	for {
+		ch <- 2 // want `bare channel send inside a goroutine service loop`
+	}
+}
+
+func spawnNamed(ch chan int) { go pump(ch) }
+
+// --- sanctioned patterns ---
+
+// selectWithDone is the tcp reader/writer shape: every blocking point has a
+// shutdown case.
+func selectWithDone(ch chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// selectWithDefault never blocks.
+func selectWithDefault(ch chan int) {
+	go func() {
+		for {
+			select {
+			case ch <- 1:
+			default:
+				return
+			}
+		}
+	}()
+}
+
+// rangeOverChannel exits when the channel closes.
+func rangeOverChannel(tasks chan func()) {
+	go func() {
+		for task := range tasks {
+			task()
+		}
+	}()
+}
+
+// notAGoroutine blocks on the caller's stack; callers choose how long to
+// wait, so the loop is not chanlife's business.
+func notAGoroutine(ch chan int) {
+	for {
+		v := <-ch
+		if v == 0 {
+			return
+		}
+	}
+}
+
+// boundedLoop has a real condition and terminates.
+func boundedLoop(ch chan int, n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			<-ch
+		}
+	}()
+}

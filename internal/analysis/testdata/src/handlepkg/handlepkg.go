@@ -1,0 +1,120 @@
+// Package handlepkg exercises the handlecheck analyzer: async collective
+// handles that are dropped, leaked on error paths, or waited with their
+// error discarded, next to the sanctioned wait/drain patterns.
+package handlepkg
+
+type fakeError string
+
+func (e fakeError) Error() string { return string(e) }
+
+var errFail = fakeError("fail")
+
+func bad() bool { return false }
+
+type pending struct{}
+
+func (p *pending) Wait() error { return nil }
+func (p *pending) Done() bool  { return true }
+
+type gathered struct{}
+
+func (g *gathered) Release()             {}
+func (g *gathered) Payload(i int) []byte { return nil }
+
+type gatherPending struct{}
+
+func (g *gatherPending) Wait() (*gathered, error) { return nil, nil }
+
+type asyncComm struct{}
+
+func (a *asyncComm) AllReduceSumAsync(buf []float64) *pending   { return nil }
+func (a *asyncComm) AllGatherAsync(local []byte) *gatherPending { return nil }
+
+type piped struct{}
+
+func (p *piped) Feed(blob []byte)         {}
+func (p *piped) Next() (*gathered, error) { return nil, nil }
+func (p *piped) Drain()                   {}
+
+func newPiped(m int) *piped { return &piped{} }
+
+type holder struct{ h *pending }
+
+// --- violations ---
+
+func dropHandle(a *asyncComm, buf []float64) {
+	a.AllReduceSumAsync(buf) // want `async handle from AllReduceSumAsync is dropped`
+}
+
+func leakOnError(a *asyncComm, buf []float64) error {
+	h := a.AllReduceSumAsync(buf) // want `async handle h is not waited on every path`
+	if bad() {
+		return errFail
+	}
+	return h.Wait()
+}
+
+func discardWaitError(a *asyncComm, buf []float64) {
+	h := a.AllReduceSumAsync(buf)
+	h.Wait() // want `error from h.Wait is discarded`
+}
+
+func blankWaitError(a *asyncComm, local []byte) *gathered {
+	g := a.AllGatherAsync(local)
+	res, _ := g.Wait() // want `error from g.Wait is discarded`
+	return res
+}
+
+func fedNotDrained() {
+	p := newPiped(4) // want `async handle p is not waited on every path`
+	p.Feed(nil)
+}
+
+// --- sanctioned patterns ---
+
+// waited checks the Wait error on the only path.
+func waited(a *asyncComm, buf []float64) error {
+	h := a.AllReduceSumAsync(buf)
+	if err := h.Wait(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// waitedBothPaths settles the handle before every return.
+func waitedBothPaths(a *asyncComm, buf []float64) error {
+	h := a.AllReduceSumAsync(buf)
+	if bad() {
+		return h.Wait()
+	}
+	return h.Wait()
+}
+
+// drained feeds then drains the pipelined handle.
+func drained() {
+	p := newPiped(4)
+	p.Feed(nil)
+	p.Drain()
+}
+
+// deferredWait settles through a defer.
+func deferredWait(a *asyncComm, buf []float64) {
+	h := a.AllReduceSumAsync(buf)
+	defer h.Wait()
+}
+
+// storedHandle transfers the obligation to the holder; another function
+// waits it (the bucketed-overlap scheduler shape).
+func storedHandle(a *asyncComm, w *holder, buf []float64) {
+	w.h = a.AllReduceSumAsync(buf)
+}
+
+// gatherWaited consumes the gathered result and checks the error.
+func gatherWaited(a *asyncComm, local []byte) (*gathered, error) {
+	g := a.AllGatherAsync(local)
+	res, err := g.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,187 @@
+// Package leasepkg exercises the leasecheck analyzer: pooled-buffer
+// acquisitions that leak, are used after release, or are released through a
+// shifted header, next to the sanctioned ownership patterns from the real
+// transports.
+package leasepkg
+
+// fakeTransport carries the pooled-buffer contract shape leasecheck matches
+// structurally (Lease/Release plus friends), with no imports.
+type fakeTransport struct{}
+
+func (t *fakeTransport) Lease(n int) []byte                { return make([]byte, n) }
+func (t *fakeTransport) Release(b []byte)                  {}
+func (t *fakeTransport) Retain(b []byte)                   {}
+func (t *fakeTransport) SendNoCopy(to int, b []byte) error { return nil }
+func (t *fakeTransport) Recv(from int) ([]byte, error)     { return nil, nil }
+
+type gathered struct{}
+
+func (g *gathered) Release()             {}
+func (g *gathered) Payload(i int) []byte { return nil }
+
+func allGather(t *fakeTransport, local []byte) (*gathered, error) { return &gathered{}, nil }
+
+type fakeError string
+
+func (e fakeError) Error() string { return string(e) }
+
+var errFail = fakeError("fail")
+
+func bad() bool     { return false }
+func sink(b []byte) {}
+
+// --- violations ---
+
+func leakOnError(t *fakeTransport) error {
+	buf := t.Lease(8) // want `leased buffer buf is not released, retained or sent on every path`
+	if bad() {
+		return errFail
+	}
+	t.Release(buf)
+	return nil
+}
+
+func discardLease(t *fakeTransport) {
+	t.Lease(8) // want `carries a pool obligation but is discarded`
+}
+
+func useAfterRelease(t *fakeTransport) byte {
+	buf := t.Lease(8)
+	t.Release(buf)
+	return buf[0] // want `use of buf after Release`
+}
+
+func releaseShifted(t *fakeTransport) {
+	buf := t.Lease(16)
+	t.Release(buf[4:]) // want `releasing a re-sliced buffer`
+}
+
+func resliceThenRelease(t *fakeTransport) {
+	buf := t.Lease(16) // want `after it was re-sliced or appended`
+	buf = buf[4:]
+	t.Release(buf)
+}
+
+func appendThenRelease(t *fakeTransport) {
+	buf := t.Lease(16) // want `after it was re-sliced or appended`
+	buf = append(buf, 1)
+	t.Release(buf)
+}
+
+func overwriteLive(t *fakeTransport, other []byte) {
+	buf := t.Lease(8) // want `overwritten while it still owes`
+	buf = other
+	t.Release(buf)
+}
+
+func recvLeakMidValidation(t *fakeTransport) error {
+	data, err := t.Recv(1) // want `received buffer data is not released, retained or sent on every path`
+	if err != nil {
+		return err
+	}
+	if len(data) < 4 {
+		return errFail
+	}
+	t.Release(data)
+	return nil
+}
+
+func gatherLeakMidValidation(t *fakeTransport) error {
+	g, err := allGather(t, nil) // want `gathered result g is not released, retained or sent on every path`
+	if err != nil {
+		return err
+	}
+	if g.Payload(0) == nil {
+		return errFail
+	}
+	g.Release()
+	return nil
+}
+
+func bareIgnore(t *fakeTransport) {
+	t.Lease(8) //acpvet:ignore // want `carries a pool obligation` `needs a reason`
+}
+
+// --- sanctioned patterns ---
+
+// recvThenRelease is the canonical receive: the error branch returns with a
+// nil buffer, the success path releases.
+func recvThenRelease(t *fakeTransport) error {
+	data, err := t.Recv(1)
+	if err != nil {
+		return err
+	}
+	sink(data)
+	t.Release(data)
+	return nil
+}
+
+// sendOwned is the sendChunkNoCopy shape: SendNoCopy consumes the lease on
+// success and bounces it back on failure, where it is released.
+func sendOwned(t *fakeTransport, vals []byte) error {
+	msg := t.Lease(len(vals))
+	copy(msg, vals)
+	if err := t.SendNoCopy(2, msg); err != nil {
+		t.Release(msg)
+		return err
+	}
+	return nil
+}
+
+// retainShare is the p>2 all-gather shape: Retain keeps a caller reference
+// across the zero-copy send, balanced by a later Release.
+func retainShare(t *fakeTransport) {
+	msg := t.Lease(4)
+	t.Retain(msg)
+	_ = t.SendNoCopy(1, msg)
+	t.Release(msg)
+}
+
+// deferRelease discharges through a defer on every path.
+func deferRelease(t *fakeTransport) error {
+	buf := t.Lease(8)
+	defer t.Release(buf)
+	if bad() {
+		return errFail
+	}
+	return nil
+}
+
+// gatherDeferred releases the gathered handle through a defer.
+func gatherDeferred(t *fakeTransport) error {
+	g, err := allGather(t, nil)
+	if err != nil {
+		return err
+	}
+	defer g.Release()
+	sink(g.Payload(0))
+	return nil
+}
+
+// escapeToCaller hands the lease (and its obligation) to the caller.
+func escapeToCaller(t *fakeTransport) []byte {
+	buf := t.Lease(8)
+	return buf
+}
+
+// ignoredLeak is sanctioned by an ignore directive with a reason.
+func ignoredLeak(t *fakeTransport) {
+	t.Lease(8) //acpvet:ignore exercising the pool's weak-pointer reclamation
+}
+
+// fullReslice keeps the header on the pool key: v[:n] and v[0:] are fine.
+func fullReslice(t *fakeTransport) {
+	buf := t.Lease(16)
+	buf = buf[:8]
+	t.Release(buf[0:])
+}
+
+// dieOnBadPath ends the failure path with panic: a terminated goroutine
+// holds no leak, so only the surviving path needs the Release.
+func dieOnBadPath(t *fakeTransport) {
+	buf := t.Lease(8)
+	if buf[0] == 0 {
+		panic("corrupt lease")
+	}
+	t.Release(buf)
+}

@@ -1,0 +1,112 @@
+// Package payloadpkg exercises the payloadown analyzer: compressor-owned
+// Encode payloads that are mutated or stored past their re-lease point, and
+// pooled buffers written after a zero-copy send, next to the sanctioned
+// read-only sharing patterns.
+package payloadpkg
+
+type fakeTransport struct{}
+
+func (t *fakeTransport) Lease(n int) []byte                { return make([]byte, n) }
+func (t *fakeTransport) Release(b []byte)                  {}
+func (t *fakeTransport) Retain(b []byte)                   {}
+func (t *fakeTransport) SendNoCopy(to int, b []byte) error { return nil }
+
+// codec carries the GatherCompressor shape: Encode hands out a pooled
+// payload it will re-lease on the next step.
+type codec struct{}
+
+func (c *codec) Encode(step uint64, vals []float64) []byte { return nil }
+func (c *codec) Decode(step uint64, payloads [][]byte, out []float64) error {
+	return nil
+}
+
+type holder struct {
+	blob  []byte
+	blobs [][]byte
+}
+
+func sink(b []byte) {}
+
+// --- violations ---
+
+func storeFieldDirect(c *codec, h *holder, vals []float64) {
+	h.blob = c.Encode(1, vals) // want `stored into a field`
+}
+
+func storeFieldLater(c *codec, h *holder, vals []float64) {
+	p := c.Encode(1, vals)
+	h.blob = p // want `stored into a field`
+}
+
+func storeContainer(c *codec, h *holder, vals []float64) {
+	h.blobs[0] = c.Encode(1, vals) // want `stored into a container`
+}
+
+func mutatePayload(c *codec, vals []float64) {
+	p := c.Encode(1, vals)
+	p[0] = 1 // want `write into compressor payload`
+	sink(p)
+}
+
+func appendPayload(c *codec, vals []float64) []byte {
+	p := c.Encode(1, vals)
+	return append(p, 0) // want `append to compressor payload`
+}
+
+func copyIntoPayload(c *codec, vals []float64, src []byte) {
+	p := c.Encode(1, vals)
+	copy(p, src) // want `copy writes into compressor payload`
+}
+
+func writeAfterSend(t *fakeTransport) {
+	buf := t.Lease(8)
+	_ = t.SendNoCopy(1, buf)
+	buf[0] = 1 // want `write to buf after SendNoCopy`
+	t.Release(buf)
+}
+
+func copyAfterSend(t *fakeTransport, src []byte) {
+	buf := t.Lease(8)
+	_ = t.SendNoCopy(1, buf)
+	copy(buf, src) // want `write to buf after SendNoCopy`
+}
+
+// --- sanctioned patterns ---
+
+// sendPayload hands the payload to the transport and reads it afterwards:
+// reads are fine, the bytes are shared read-only.
+func sendPayload(t *fakeTransport, c *codec, vals []float64) byte {
+	p := c.Encode(1, vals)
+	_ = t.SendNoCopy(1, p)
+	return p[0]
+}
+
+// retainThenWrite keeps a private reference before the send, so the later
+// write targets the caller's own copy of the obligation.
+func retainThenWrite(t *fakeTransport) {
+	buf := t.Lease(8)
+	t.Retain(buf)
+	_ = t.SendNoCopy(1, buf)
+	buf[0] = 1
+	t.Release(buf)
+}
+
+// recycleResend is the p=2 gather recycle: re-sending an already-sent buffer
+// is read-only sharing and needs no Retain.
+func recycleResend(t *fakeTransport) {
+	buf := t.Lease(8)
+	for i := 0; i < 2; i++ {
+		_ = t.SendNoCopy(i, buf)
+	}
+	t.Release(buf)
+}
+
+// freshLeaseAfterSend rebinds the variable to a new lease; writes to the new
+// buffer are unrelated to the sent one.
+func freshLeaseAfterSend(t *fakeTransport) {
+	buf := t.Lease(8)
+	_ = t.SendNoCopy(1, buf)
+	buf = t.Lease(8)
+	buf[0] = 1
+	t.Release(buf)
+}

@@ -679,6 +679,7 @@ func benchSignDecode1M(b *testing.B) {
 	blobs := make([][]byte, workers)
 	for r := range blobs {
 		s := compress.NewSign(n, false)
+		//acpvet:ignore each compressor encodes exactly once, so its payload is never re-leased
 		blobs[r] = s.Encode(0, RandGradSeeded(n, int64(7+r)))
 	}
 	dec := compress.NewSign(n, false)

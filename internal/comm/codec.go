@@ -20,6 +20,8 @@ var hostLittleEndian = func() bool {
 
 // floatPayloadLen validates that a received payload carries exactly `want`
 // float64 words.
+//
+//acpvet:borrows
 func floatPayloadLen(payload []byte, want int) error {
 	if len(payload) != 8*want {
 		return fmt.Errorf("comm: float payload %d bytes, want %d (%d elements)", len(payload), 8*want, want)
@@ -29,6 +31,8 @@ func floatPayloadLen(payload []byte, want int) error {
 
 // encodeFloatsInto serializes src into dst, which must be exactly
 // 8*len(src) bytes (a leased send buffer).
+//
+//acpvet:borrows
 func encodeFloatsInto(dst []byte, src []float64) {
 	if len(dst) != 8*len(src) {
 		panic(fmt.Sprintf("comm: encode buffer %d bytes for %d floats", len(dst), len(src)))
@@ -46,6 +50,8 @@ func encodeFloatsInto(dst []byte, src []float64) {
 }
 
 // decodeFloatsInto deserializes src (exactly 8*len(dst) bytes) into dst.
+//
+//acpvet:borrows
 func decodeFloatsInto(dst []float64, src []byte) {
 	if len(src) != 8*len(dst) {
 		panic(fmt.Sprintf("comm: decode payload %d bytes for %d floats", len(src), len(dst)))
@@ -66,6 +72,8 @@ func decodeFloatsInto(dst []float64, src []byte) {
 // the fused decode+reduce of the ring reduce-scatter, which previously
 // decoded into a scratch slice and then added it. src must be exactly
 // 8*len(dst) bytes.
+//
+//acpvet:borrows
 func addFloatsFrom(dst []float64, src []byte) {
 	if len(src) != 8*len(dst) {
 		panic(fmt.Sprintf("comm: reduce payload %d bytes for %d floats", len(src), len(dst)))

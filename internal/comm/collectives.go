@@ -77,6 +77,7 @@ func (c *Communicator) AllReduceSum(buf []float64) error {
 		}
 		rlo, rhi := chunkRange(len(buf), p, recvChunk)
 		if err := floatPayloadLen(data, rhi-rlo); err != nil {
+			c.t.Release(data)
 			return fmt.Errorf("comm: all-reduce rs step %d: %w", s, err)
 		}
 		addFloatsFrom(buf[rlo:rhi], data)
@@ -97,6 +98,7 @@ func (c *Communicator) AllReduceSum(buf []float64) error {
 		}
 		rlo, rhi := chunkRange(len(buf), p, recvChunk)
 		if err := floatPayloadLen(data, rhi-rlo); err != nil {
+			c.t.Release(data)
 			return fmt.Errorf("comm: all-reduce ag step %d: %w", s, err)
 		}
 		decodeFloatsInto(buf[rlo:rhi], data)
@@ -134,6 +136,7 @@ func (c *Communicator) NaiveAllReduceSum(buf []float64) error {
 				return fmt.Errorf("comm: naive recv from %d: %w", src, err)
 			}
 			if err := floatPayloadLen(data, len(buf)); err != nil {
+				c.t.Release(data)
 				return fmt.Errorf("comm: naive gather: %w", err)
 			}
 			addFloatsFrom(buf, data)
@@ -159,6 +162,7 @@ func (c *Communicator) NaiveAllReduceSum(buf []float64) error {
 		return fmt.Errorf("comm: naive recv from root: %w", err)
 	}
 	if err := floatPayloadLen(data, len(buf)); err != nil {
+		c.t.Release(data)
 		return fmt.Errorf("comm: naive bcast: %w", err)
 	}
 	decodeFloatsInto(buf, data)
@@ -185,6 +189,7 @@ func (c *Communicator) AllGather(local []byte) (*Gathered, error) {
 	rank := c.t.Rank()
 	g := newGathered(c.t, p)
 	if p > 1 {
+		//acpvet:ignore p>1 here, so the exchange loop always runs and settles msg on every path
 		msg := c.t.Lease(len(local))
 		copy(msg, local)
 		if p > 2 {
@@ -203,9 +208,9 @@ func (c *Communicator) AllGather(local []byte) (*Gathered, error) {
 			to := (rank + d) % p
 			from := (rank - d + p) % p
 			if err := c.t.SendNoCopy(to, msg); err != nil {
-				if p == 2 {
-					c.t.Release(msg) // failed handoff: the lease is still ours
-				}
+				// Failed handoff: the p==2 lease is still ours; on p>2 the
+				// buffer is retained and Release is a safe no-op.
+				c.t.Release(msg)
 				g.abort()
 				return nil, fmt.Errorf("comm: all-gather send to %d: %w", to, err)
 			}
@@ -255,6 +260,7 @@ func (c *Communicator) Broadcast(buf []float64, root int) error {
 		return fmt.Errorf("comm: broadcast recv: %w", err)
 	}
 	if err := floatPayloadLen(data, len(buf)); err != nil {
+		c.t.Release(data)
 		return fmt.Errorf("comm: broadcast: %w", err)
 	}
 	decodeFloatsInto(buf, data)

@@ -33,6 +33,7 @@ func (c *Communicator) ReduceScatterSum(buf []float64) (lo, hi int, err error) {
 		}
 		rlo, rhi := chunkRange(len(buf), p, recvChunk)
 		if err := floatPayloadLen(data, rhi-rlo); err != nil {
+			c.t.Release(data)
 			return 0, 0, fmt.Errorf("comm: reduce-scatter step %d: %w", s, err)
 		}
 		addFloatsFrom(buf[rlo:rhi], data)
@@ -67,6 +68,7 @@ func (c *Communicator) RingAllGatherFloats(local []float64) ([][]float64, error)
 			return nil, fmt.Errorf("comm: ring all-gather recv step %d: %w", s, err)
 		}
 		if err := floatPayloadLen(data, len(local)); err != nil {
+			c.t.Release(data)
 			return nil, fmt.Errorf("comm: ring all-gather step %d: %w", s, err)
 		}
 		recvOwner := ((rank-s-1)%p + p) % p
@@ -120,6 +122,7 @@ func (c *Communicator) TreeBroadcast(buf []float64, root int) error {
 			return fmt.Errorf("comm: tree broadcast recv: %w", err)
 		}
 		if err := floatPayloadLen(data, len(buf)); err != nil {
+			c.t.Release(data)
 			return fmt.Errorf("comm: tree broadcast: %w", err)
 		}
 		decodeFloatsInto(buf, data)

@@ -338,10 +338,12 @@ func TestConformancePeerValidation(t *testing.T) {
 		if err := ts[0].Send(9, nil); err == nil {
 			t.Fatal("expected out-of-range send rejection")
 		}
-		if _, err := ts[0].Recv(0); err == nil {
+		if data, err := ts[0].Recv(0); err == nil {
+			ts[0].Release(data)
 			t.Fatal("expected self-recv rejection")
 		}
-		if _, err := ts[0].Recv(-1); err == nil {
+		if data, err := ts[0].Recv(-1); err == nil {
+			ts[0].Release(data)
 			t.Fatal("expected out-of-range recv rejection")
 		}
 	})
@@ -376,6 +378,7 @@ func TestConformanceLeaseDeliversBytes(t *testing.T) {
 		ts[1].Release(got)
 		ts[1].Release(make([]byte, 32))
 		if len(got) > 8 {
+			//acpvet:ignore deliberate probe: releasing a sub-slice must be runtime-safe (a silent no-op), which is exactly what this asserts
 			ts[1].Release(got[8:])
 		}
 	})
@@ -394,6 +397,7 @@ func TestConformanceRetainKeepsBuffer(t *testing.T) {
 		if buf[0] != 211 {
 			t.Fatal("retained buffer contents changed")
 		}
+		ts[0].Release(again)
 		// Zero-length operations are safe everywhere.
 		z := ts[0].Lease(0)
 		ts[0].Release(z)
@@ -404,9 +408,10 @@ func TestConformanceRetainKeepsBuffer(t *testing.T) {
 func TestConformanceLeaseRecyclesAfterRelease(t *testing.T) {
 	forEachTransport(t, 2, func(t *testing.T, ts []Transport) {
 		a := ts[0].Lease(100)
+		pa := &a[:cap(a)][0] // capture identity before the release invalidates a
 		ts[0].Release(a)
 		b := ts[0].Lease(90) // same size class
-		if &b[:cap(b)][0] != &a[:cap(a)][0] {
+		if &b[:cap(b)][0] != pa {
 			t.Fatal("release/lease did not recycle the buffer")
 		}
 		ts[0].Release(b)
@@ -609,7 +614,10 @@ func TestConformanceRecvAfterCloseFails(t *testing.T) {
 	forEachTransport(t, 2, func(t *testing.T, ts []Transport) {
 		done := make(chan error, 1)
 		go func() {
-			_, err := ts[0].Recv(1)
+			data, err := ts[0].Recv(1)
+			if err == nil {
+				ts[0].Release(data)
+			}
 			done <- err
 		}()
 		time.Sleep(5 * time.Millisecond)
@@ -621,6 +629,64 @@ func TestConformanceRecvAfterCloseFails(t *testing.T) {
 			}
 		case <-time.After(10 * time.Second):
 			t.Fatal("Recv did not unblock after close")
+		}
+	})
+}
+
+// leaseAccountant is the introspection hook both transports implement for
+// runtime leak accounting: the number of pool buffers on lease or in flight.
+type leaseAccountant interface{ Outstanding() int }
+
+// TestConformanceNoLeak is the runtime half of the pooled-buffer contract
+// acpvet enforces statically: after a workload touching every collective
+// family drains, the group holds zero outstanding leases — every buffer was
+// either released back to its pool or retained out of it. TCP send buffers
+// recycle asynchronously (writer goroutines release them after the socket
+// write), so the assertion polls until the accounting settles.
+func TestConformanceNoLeak(t *testing.T) {
+	const p, n = 3, 257
+	forEachTransport(t, p, func(t *testing.T, ts []Transport) {
+		runGroup(t, ts, func(c *Communicator) error {
+			buf := make([]float64, n)
+			for i := range buf {
+				buf[i] = float64(c.Rank()*1000 + i)
+			}
+			if err := c.AllReduceSum(buf); err != nil {
+				return err
+			}
+			if err := c.NaiveAllReduceSum(buf); err != nil {
+				return err
+			}
+			if err := c.Broadcast(buf, 0); err != nil {
+				return err
+			}
+			if err := c.AllReduceSumPipelined(buf, 4); err != nil {
+				return err
+			}
+			g, err := c.AllGather([]byte{byte(c.Rank()), 7, 9})
+			if err != nil {
+				return err
+			}
+			g.Release()
+			return c.Barrier()
+		})
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			total := 0
+			for _, tr := range ts {
+				acct, ok := tr.(leaseAccountant)
+				if !ok {
+					t.Fatalf("transport %T does not expose lease accounting", tr)
+				}
+				total += acct.Outstanding()
+			}
+			if total == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%d pool buffers still outstanding after the workload drained", total)
+			}
+			time.Sleep(time.Millisecond)
 		}
 	})
 }

@@ -48,12 +48,16 @@ const pipelineWindow = 8
 const pipeTagBytes = 8
 
 // putPipeTag writes the (segment, step) header.
+//
+//acpvet:borrows
 func putPipeTag(dst []byte, seg, step int) {
 	binary.LittleEndian.PutUint32(dst, uint32(seg))
 	binary.LittleEndian.PutUint32(dst[4:], uint32(step))
 }
 
 // pipeTag reads the (segment, step) header.
+//
+//acpvet:borrows
 func pipeTag(msg []byte) (seg, step int) {
 	return int(binary.LittleEndian.Uint32(msg)), int(binary.LittleEndian.Uint32(msg[4:]))
 }
@@ -205,6 +209,7 @@ func (c *Communicator) AllGatherPipelined(m int, source func(i int) []byte, sink
 			g.setPayload(rank, self, self)
 			return nil
 		}
+		//acpvet:ignore p>1 here, so the peer-send loop always runs and settles msg on every path
 		msg := c.t.Lease(pipeTagBytes + len(blob))
 		putPipeTag(msg, i, 0)
 		copy(msg[pipeTagBytes:], blob)
@@ -219,9 +224,9 @@ func (c *Communicator) AllGatherPipelined(m int, source func(i int) []byte, sink
 		for d := 1; d < p; d++ {
 			to := (rank + d) % p
 			if err := c.t.SendNoCopy(to, msg); err != nil {
-				if p == 2 {
-					c.t.Release(msg)
-				}
+				// Failed handoff: the p==2 lease is still ours; on p>2 the
+				// buffer is retained and Release is a safe no-op.
+				c.t.Release(msg)
 				return fmt.Errorf("comm: pipelined all-gather send chunk %d to %d: %w", i, to, err)
 			}
 		}

@@ -90,16 +90,21 @@ func TestConformancePipelinedAllReduceAsync(t *testing.T) {
 				h2 := a.AllReduceSumAsync(plain)
 				if err := h1.Wait(); err != nil {
 					errs[r] = err
+					// Unblock h2's collective before draining it below.
 					for _, tr := range ts {
 						tr.Close()
+					}
+				}
+				if err := h2.Wait(); err != nil {
+					if errs[r] == nil {
+						errs[r] = err
+						for _, tr := range ts {
+							tr.Close()
+						}
 					}
 					return
 				}
-				if err := h2.Wait(); err != nil {
-					errs[r] = err
-					for _, tr := range ts {
-						tr.Close()
-					}
+				if errs[r] != nil {
 					return
 				}
 				for i := range piped {

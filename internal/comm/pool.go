@@ -11,12 +11,39 @@ import (
 // releases the received buffer after accumulating it, and the freed buffer
 // feeds the next step's lease. Buffers are binned by power-of-two capacity.
 //
-// The pool tracks which buffers it handed out (`out`). Release returns a
-// tracked buffer to its bin and ignores anything else, so releasing a
-// foreign or already-retained slice is always safe. Retain removes a buffer
-// from tracking: callers that keep a received payload (e.g. AllGather
-// results) retain it, the garbage collector takes over, and the pool cannot
-// hand the same memory to anyone else.
+// # The pooled-buffer ownership contract (normative)
+//
+// These are the rules every holder of a pooled buffer — obtained from
+// Lease, returned by Recv, or served through a Gathered view — must follow.
+// The acpvet leasecheck analyzer enforces them statically over this module
+// (`go vet -vettool` in CI), and TestConformanceNoLeak asserts the runtime
+// consequence: zero outstanding leases once a workload drains.
+//
+//  1. Every acquisition must be settled on every control-flow path,
+//     including error returns: Release it, Retain it, hand it to
+//     SendNoCopy, or transfer it onward (return it, store it into a
+//     result structure, pass it to a function that takes ownership).
+//  2. SendNoCopy transfers ownership to the transport only when it
+//     succeeds. If it returns an error the buffer is still yours —
+//     release it.
+//  3. After Release the buffer may be re-leased to anyone at any moment:
+//     no reads, no writes, no second settle. (len/cap of the dead slice
+//     header are fine; the bytes are not.)
+//  4. Release and Retain operate on the buffer as leased. The pool keys
+//     buffers by their backing array, so releasing a re-sliced view with a
+//     shifted start (buf[4:]) or an append-grown copy silently leaks the
+//     original. Releasing a full-width reslice (buf[:n], buf[0:]) is fine.
+//  5. Release is idempotent and safe on foreign or retained buffers: the
+//     pool ignores anything it is not currently tracking. Code may lean on
+//     this to release unconditionally where only some paths own the buffer.
+//  6. Retain removes the buffer from tracking: the garbage collector takes
+//     over and the pool can never hand that memory to anyone else. This is
+//     how shared payloads (broadcast roots, AllGather send buffers) stay
+//     valid while several receivers read them.
+//
+// A site that intentionally bends a rule carries an
+// `//acpvet:ignore <reason>` directive on its line (or the line above);
+// the reason is mandatory and the directive itself is reported when bare.
 //
 // The in-process transport shares one pool per group (a buffer released by
 // the receiving rank is re-leased by any sender); the TCP transport owns one
@@ -24,9 +51,12 @@ import (
 // buffers after the caller's Release).
 //
 // Tracking uses weak pointers so a receiver that simply drops a payload
-// (legal per the Transport contract) does not pin the backing array: the
-// garbage collector reclaims the buffer and the stale tracking entry is
-// swept the next time the table grows past its high-water mark.
+// does not pin the backing array: the garbage collector reclaims the buffer
+// and the stale tracking entry is swept the next time the table grows past
+// its high-water mark. A drop is therefore memory-safe — but it is still a
+// rule-1 violation (the buffer never recycles), which is why leasecheck
+// flags it and outstanding() deliberately counts dropped-and-collected
+// entries until the sweep.
 type bufPool struct {
 	mu   sync.Mutex
 	free map[int][][]byte                // capacity class -> reusable buffers
@@ -106,6 +136,17 @@ func (p *bufPool) release(buf []byte) {
 		p.free[class] = append(p.free[class], full)
 	}
 	p.mu.Unlock()
+}
+
+// outstanding returns the number of buffers currently on lease or in flight
+// — entries that left the pool and were neither released nor retained. It
+// deliberately does not sweep dead weak pointers first: a buffer that was
+// dropped and garbage-collected is still a contract violation, and counting
+// it is exactly what the leak assertions want.
+func (p *bufPool) outstanding() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.out)
 }
 
 // retain removes a buffer from pool tracking so the caller may keep it

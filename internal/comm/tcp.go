@@ -225,6 +225,12 @@ func (t *tcpTransport) Release(buf []byte) { t.pool.release(buf) }
 // Retain removes a buffer from pool tracking so the caller may keep it.
 func (t *tcpTransport) Retain(buf []byte) { t.pool.retain(buf) }
 
+// Outstanding reports this rank's pool buffers still on lease or in flight.
+// Send buffers recycle asynchronously (the writer goroutine releases them
+// after the socket write), so callers asserting zero must let the writers
+// drain first.
+func (t *tcpTransport) Outstanding() int { return t.pool.outstanding() }
+
 func (t *tcpTransport) Send(to int, data []byte) error {
 	if to < 0 || to >= t.size || to == t.rank {
 		return fmt.Errorf("comm: bad peer %d", to)

@@ -177,6 +177,12 @@ func (t *inprocTransport) Release(buf []byte) { t.g.pool.release(buf) }
 // Retain removes a buffer from pool tracking so the caller may keep it.
 func (t *inprocTransport) Retain(buf []byte) { t.g.pool.retain(buf) }
 
+// Outstanding reports the group's pool buffers still on lease or in flight
+// (the pool is shared group-wide, so every rank reports the same number).
+// Zero after a drained workload is the runtime half of the pooled-buffer
+// contract; TestConformanceNoLeak asserts it per group.
+func (t *inprocTransport) Outstanding() int { return t.g.pool.outstanding() }
+
 func (t *inprocTransport) checkPeer(peer int) error {
 	if peer < 0 || peer >= t.g.size {
 		return fmt.Errorf("comm: peer rank %d out of range [0,%d)", peer, t.g.size)

@@ -50,8 +50,30 @@ type AdditiveCompressor interface {
 // GatherCompressor produces opaque byte payloads that are all-gathered
 // (Sign-SGD, Top-k): compressed values from different workers cannot be
 // summed in transit (§III-C).
+//
+// # Payload lifetime contract (normative)
+//
+// The slice Encode (and EncodeChunk) returns is owned by the compressor —
+// most implementations serve views of one pooled buffer that the next
+// Encode reuses. Callers must treat it as a borrowed, read-only view:
+//
+//  1. Do not store it into a struct field or container that outlives the
+//     call site; hand it straight to the collective (which copies it into
+//     a transport lease) or keep it in a local that dies before the
+//     compressor's next Encode.
+//  2. Do not mutate it: no element writes, no append, no copy into it.
+//     The compressor may reuse the same bytes for its own state.
+//  3. After handing a transport lease containing payload bytes to
+//     SendNoCopy, do not write to that lease unless it was Retained first.
+//
+// The acpvet payloadown analyzer enforces these rules statically; the rare
+// sanctioned exception (a one-shot compressor that never encodes again, an
+// adapter serving sub-views inside the validity window) carries an
+// `//acpvet:ignore <reason>` directive.
 type GatherCompressor interface {
-	// Encode compresses the local gradient for this step.
+	// Encode compresses the local gradient for this step. The returned
+	// payload is owned by the compressor and valid only until its next
+	// Encode/EncodeChunk — see the payload lifetime contract above.
 	Encode(step int, grad []float64) []byte
 	// Decode merges every worker's payload into the global mean gradient,
 	// written over grad.

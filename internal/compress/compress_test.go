@@ -112,6 +112,7 @@ func TestSignMajorityVote(t *testing.T) {
 	blobs := make([][]byte, 3)
 	for w := range grads {
 		sw := NewSign(n, false)
+		//acpvet:ignore each worker compressor encodes exactly once, so its payload is never re-leased
 		blobs[w] = sw.Encode(0, grads[w])
 	}
 	dec := NewSign(n, false)

@@ -50,8 +50,7 @@ type gatherEntry struct {
 type gatherBuffer struct {
 	packed  []float64
 	entries []gatherEntry
-	index   int    // stable buffer index for per-buffer compressor state
-	blob    []byte // local encoded payload, produced at seal time
+	index   int // stable buffer index for per-buffer compressor state
 	pending *comm.GatherPending
 	// gathered holds the sealed all-gather result from drain until finalize
 	// decodes and releases it.

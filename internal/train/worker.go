@@ -221,8 +221,11 @@ func (w *worker) sealGather(buf *gatherBuffer) {
 		}
 		return
 	}
-	buf.blob = comp.Encode(w.step, buf.packed)
-	w.schedule(func() { buf.pending = w.async.AllGatherAsync(buf.blob) })
+	// The encoded payload is compressor-owned and re-leased on the next
+	// step; keep it on the stack for the launch closure instead of parking
+	// it in the buffer struct, where it would outlive its validity window.
+	blob := comp.Encode(w.step, buf.packed)
+	w.schedule(func() { buf.pending = w.async.AllGatherAsync(blob) })
 }
 
 // chunkedFor returns (caching per buffer) the chunk-pipelined view of the
