@@ -45,30 +45,38 @@ func run(args []string) int {
 	overlap := fs.Bool("overlap", true, "overlap collectives with back-propagation (wait-free backprop); results are bit-identical either way")
 	chunks := fs.Int("chunks", 0, "pipeline chunks per fusion buffer (0 = unpipelined); results are bit-identical for every value")
 	examples := fs.Int("examples", 2048, "training examples (synthetic dataset)")
+	elastic := fs.Bool("elastic", false, "elastic runtime: heartbeat membership, periodic checkpoints, recovery at the surviving size on rank failure")
+	ckptEvery := fs.Int("checkpoint-every", 8, "elastic snapshot interval in steps")
+	minWorkers := fs.Int("min-workers", 1, "smallest group elastic recovery may re-form")
+	ckptDir := fs.String("checkpoint-dir", "", "persist rank 0's elastic snapshot to this directory (checkpoint.gob)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	hist, err := core.Train(core.TrainConfig{
-		Method:         *method,
-		Model:          *model,
-		Workers:        *workers,
-		BatchPerWorker: *batch,
-		Epochs:         *epochs,
-		LR:             *lr,
-		Momentum:       0.9,
-		WarmupEpochs:   max(1, *epochs/8),
-		DecayEpochs:    []int{*epochs / 2, *epochs * 3 / 4},
-		Rank:           *rank,
-		TopKRatio:      *topk,
-		DisableEF:      *noEF,
-		DisableReuse:   *noReuse,
-		TrainExamples:  *examples,
-		TestExamples:   *examples / 4,
-		Seed:           *seed,
-		UseTCP:         *tcp,
-		NoOverlap:      !*overlap,
-		PipelineChunks: *chunks,
+		Method:          *method,
+		Model:           *model,
+		Workers:         *workers,
+		BatchPerWorker:  *batch,
+		Epochs:          *epochs,
+		LR:              *lr,
+		Momentum:        0.9,
+		WarmupEpochs:    max(1, *epochs/8),
+		DecayEpochs:     []int{*epochs / 2, *epochs * 3 / 4},
+		Rank:            *rank,
+		TopKRatio:       *topk,
+		DisableEF:       *noEF,
+		DisableReuse:    *noReuse,
+		TrainExamples:   *examples,
+		TestExamples:    *examples / 4,
+		Seed:            *seed,
+		UseTCP:          *tcp,
+		NoOverlap:       !*overlap,
+		PipelineChunks:  *chunks,
+		Elastic:         *elastic,
+		CheckpointEvery: *ckptEvery,
+		MinWorkers:      *minWorkers,
+		CheckpointDir:   *ckptDir,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acptrain: %v\n", err)

@@ -3,6 +3,7 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,11 +11,12 @@ import (
 
 // This file holds Transport decorators used by benchmarks and tests:
 // WithLatency models a slow interconnect on top of the in-process transport
-// (so overlap benchmarks have communication worth hiding), and
-// WithFaultAfter injects deterministic communication failures (so error
-// paths through the overlap scheduler can be exercised without real network
-// faults). Both delegate the pooled-buffer contract verbatim to the wrapped
-// transport.
+// (so overlap benchmarks have communication worth hiding), WithFaultAfter
+// injects deterministic communication failures (so error paths through the
+// overlap scheduler can be exercised without real network faults), and
+// WithFlaky injects seeded transient faults (so the elastic runtime's
+// retry-within-epoch path can be exercised deterministically). All delegate
+// the pooled-buffer contract verbatim to the wrapped transport.
 
 // ErrInjected is the sentinel wrapped by every failure a fault-injected
 // transport produces; test assertions match it with errors.Is.
@@ -191,6 +193,66 @@ func (f *faultTransport) SendNoCopy(to int, buf []byte) error {
 
 func (f *faultTransport) Recv(from int) ([]byte, error) {
 	if err := f.spend("recv", from); err != nil {
+		return nil, err
+	}
+	return f.Transport.Recv(from)
+}
+
+// flakyTransport fails each point-to-point operation independently with a
+// fixed probability, from a seeded RNG.
+type flakyTransport struct {
+	Transport
+	mu  sync.Mutex
+	rng *rand.Rand
+	p   float64
+}
+
+// WithFlaky wraps t so every Send/SendNoCopy/Recv fails independently with
+// probability p, drawn from a seeded RNG — the transient-fault complement to
+// WithFaultAfter's terminal budget. The same (seed, operation sequence)
+// always yields the same failure pattern, so flaky-link tests are exactly
+// reproducible. Failures wrap ErrInjected.
+//
+// Ownership on failure follows the Transport contract precisely: a failed
+// SendNoCopy leaves the lease with the caller (release it), and a failed
+// Recv consumes nothing — the message, if any, stays queued for the next
+// Recv, like a dropped-then-retransmitted packet. A non-positive p returns t
+// unchanged.
+func WithFlaky(t Transport, p float64, seed int64) Transport {
+	if p <= 0 {
+		return t
+	}
+	return &flakyTransport{Transport: t, rng: rand.New(rand.NewSource(seed)), p: p}
+}
+
+// roll draws one failure decision. The RNG is mutex-guarded: a transport's
+// Send runs on the comm goroutine while tests may drive Recv elsewhere.
+func (f *flakyTransport) roll(op string, peer int) error {
+	f.mu.Lock()
+	x := f.rng.Float64()
+	f.mu.Unlock()
+	if x < f.p {
+		return fmt.Errorf("comm: flaky %s peer %d: %w", op, peer, ErrInjected)
+	}
+	return nil
+}
+
+func (f *flakyTransport) Send(to int, data []byte) error {
+	if err := f.roll("send", to); err != nil {
+		return err
+	}
+	return f.Transport.Send(to, data)
+}
+
+func (f *flakyTransport) SendNoCopy(to int, buf []byte) error {
+	if err := f.roll("send", to); err != nil {
+		return err
+	}
+	return f.Transport.SendNoCopy(to, buf)
+}
+
+func (f *flakyTransport) Recv(from int) ([]byte, error) {
+	if err := f.roll("recv", from); err != nil {
 		return nil, err
 	}
 	return f.Transport.Recv(from)

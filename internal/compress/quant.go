@@ -23,6 +23,7 @@ import (
 type QSGD struct {
 	n      int
 	levels int
+	seed   int64 // RNG rebase key; see rng.go
 	rng    randSource
 
 	enc  []byte    // pooled payload buffer
@@ -51,7 +52,7 @@ func NewQSGD(n, levels int, tensorID int64) *QSGD {
 	if levels > 127 {
 		levels = 127
 	}
-	return &QSGD{n: n, levels: levels, rng: newSeededRNG(tensorID)}
+	return &QSGD{n: n, levels: levels, seed: tensorID, rng: newStepRNG()}
 }
 
 // qsgdPayloadLen is 8 bytes of norm plus one byte per element.
@@ -61,10 +62,11 @@ func qsgdPayloadLen(n int) int { return 8 + n }
 // sign(g_i) * round_stochastic(|g_i|/norm * s) packed as sign bit + level.
 // The returned payload is owned by the compressor and valid until the next
 // Encode call.
-func (q *QSGD) Encode(_ int, grad []float64) []byte {
+func (q *QSGD) Encode(step int, grad []float64) []byte {
 	if len(grad) != q.n {
 		panic(fmt.Sprintf("compress: QSGD.Encode length %d, want %d", len(grad), q.n))
 	}
+	reseed(q.rng, q.seed, step)
 	norm := qsgdNorm(grad)
 	q.enc = grownBytes(q.enc, qsgdPayloadLen(q.n))
 	out := q.enc
@@ -118,12 +120,13 @@ func (q *QSGD) ChunkBounds(m int) []int { return ChunkBounds(q.n, m, 1) }
 // by the chunk-0 pre-pass, shared by every chunk so they decode
 // independently) plus one code byte per element. Unlike the sparse methods,
 // the quantization compute itself pipelines chunk-by-chunk.
-func (q *QSGD) EncodeChunk(_ int, grad []float64, bounds []int, c int) []byte {
+func (q *QSGD) EncodeChunk(step int, grad []float64, bounds []int, c int) []byte {
 	if len(grad) != q.n {
 		panic(fmt.Sprintf("compress: QSGD.EncodeChunk length %d, want %d", len(grad), q.n))
 	}
 	m := len(bounds) - 1
 	if c == 0 {
+		reseed(q.rng, q.seed, step)
 		q.chunkNorm = qsgdNorm(grad)
 		q.encChunks = grownBytes(q.encChunks, qsgdPayloadLen(q.n)+8*(m-1))
 		q.chunkViews = grownChunkBufs(q.chunkViews, m)
@@ -247,8 +250,9 @@ func qsgdAccumulate(luts []float64, blobs [][]byte, grad []float64, lo, hi int) 
 // 256-entry table instead of shifting and branching per element, with the
 // 1/p averaging folded into the per-rank scale.
 type TernGrad struct {
-	n   int
-	rng randSource
+	n    int
+	seed int64 // RNG rebase key; see rng.go
+	rng  randSource
 
 	enc    []byte    // pooled payload buffer
 	scales []float64 // per-rank decode scales (with 1/p folded in)
@@ -258,7 +262,7 @@ var _ GatherCompressor = (*TernGrad)(nil)
 
 // NewTernGrad returns a TernGrad compressor for n elements.
 func NewTernGrad(n int, tensorID int64) *TernGrad {
-	return &TernGrad{n: n, rng: newSeededRNG(tensorID)}
+	return &TernGrad{n: n, seed: tensorID, rng: newStepRNG()}
 }
 
 // ternPayloadLen is 8 bytes of scale plus 2 bits per element.
@@ -315,10 +319,11 @@ var ternLUT = func() (t [256][4]int8) {
 
 // Encode ternarizes grad. The returned payload is owned by the compressor
 // and valid until the next Encode call.
-func (t *TernGrad) Encode(_ int, grad []float64) []byte {
+func (t *TernGrad) Encode(step int, grad []float64) []byte {
 	if len(grad) != t.n {
 		panic(fmt.Sprintf("compress: TernGrad.Encode length %d, want %d", len(grad), t.n))
 	}
+	reseed(t.rng, t.seed, step)
 	var scale float64
 	for _, v := range grad {
 		if a := math.Abs(v); a > scale {

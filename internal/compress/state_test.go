@@ -1,0 +1,138 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// snapshotState deep-copies a compressor's exported state vectors.
+func snapshotState(s Stateful) map[string][]float64 {
+	snap := make(map[string][]float64)
+	for _, v := range s.StateVectors() {
+		snap[v.Name] = append([]float64(nil), v.Data...)
+	}
+	return snap
+}
+
+// restoreState copies a snapshot back into a compressor's live views — the
+// same copy-into-place the trainer's checkpoint restore performs.
+func restoreState(t *testing.T, s Stateful, snap map[string][]float64) {
+	t.Helper()
+	for _, v := range s.StateVectors() {
+		data, ok := snap[v.Name]
+		if !ok {
+			t.Fatalf("snapshot missing state vector %q", v.Name)
+		}
+		if len(data) != len(v.Data) {
+			t.Fatalf("state vector %q length %d, want %d", v.Name, len(data), len(v.Data))
+		}
+		copy(v.Data, data)
+	}
+}
+
+// singleCollectives is the p=1 Collectives: all-reduce and all-gather of one
+// worker are identity operations, which keeps the blocking compressors
+// deterministic without a transport.
+type singleCollectives struct{}
+
+func (singleCollectives) AllReduceSum([]float64) error         { return nil }
+func (singleCollectives) AllGather(b []byte) (Gathered, error) { return PayloadList{b}, nil }
+func (singleCollectives) Size() int                            { return 1 }
+
+// TestStateVectorsRestoreContinuation: for every Stateful compressor, copying
+// the state vectors out after k steps and into a fresh instance must make the
+// fresh instance's subsequent outputs bit-identical to the uninterrupted
+// original — the property the elastic trainer's checkpoint restore depends
+// on. This only holds because cross-step state is exactly {StateVectors} ∪
+// {step number}: randomized decisions are rebased per step (rng.go), so the
+// RNG needs no checkpointing.
+func TestStateVectorsRestoreContinuation(t *testing.T) {
+	const (
+		rows, cols = 12, 8
+		n          = rows * cols
+		warm, cont = 5, 3
+	)
+	// step runs one compress step and returns the aggregated output.
+	type harness struct {
+		name string
+		make func() Stateful
+		step func(c Stateful, step int, grad []float64) []float64
+	}
+	gatherStep := func(c Stateful, step int, grad []float64) []float64 {
+		g := c.(GatherCompressor)
+		blob := append([]byte(nil), g.Encode(step, grad)...)
+		out := make([]float64, len(grad))
+		if err := g.Decode(step, [][]byte{blob}, out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	blockingStep := func(c Stateful, step int, grad []float64) []float64 {
+		out := append([]float64(nil), grad...)
+		if err := c.(BlockingCompressor).CompressStep(step, out, singleCollectives{}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	additiveStep := func(c Stateful, step int, grad []float64) []float64 {
+		a := c.(AdditiveCompressor)
+		payload := append([]float64(nil), a.Compress(step, grad)...)
+		out := make([]float64, len(grad))
+		a.Finalize(step, payload, 1, out)
+		return out
+	}
+	harnesses := []harness{
+		{"sign", func() Stateful { return NewSign(n, true) }, gatherStep},
+		{"topk-sampled", func() Stateful { return NewTopK(n, 6, SelectSampled, true, 42) }, gatherStep},
+		{"topk-exact", func() Stateful { return NewTopK(n, 6, SelectExact, true, 42) }, gatherStep},
+		{"dgc", func() Stateful { return NewDGC(n, 6, 0.9, true, 42) }, gatherStep},
+		{"power", func() Stateful { return NewPowerSGD(rows, cols, 2, true, 42) }, blockingStep},
+		{"acp", func() Stateful { return NewACP(rows, cols, 2, true, true, 42) }, additiveStep},
+	}
+	for _, h := range harnesses {
+		t.Run(h.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			grads := make([][]float64, warm+cont)
+			for i := range grads {
+				g := make([]float64, n)
+				for j := range g {
+					g[j] = rng.NormFloat64()
+				}
+				grads[i] = g
+			}
+
+			a := h.make()
+			for s := 0; s < warm; s++ {
+				h.step(a, s, grads[s])
+			}
+			snap := snapshotState(a)
+
+			b := h.make()
+			restoreState(t, b, snap)
+			for s := warm; s < warm+cont; s++ {
+				outA := h.step(a, s, grads[s])
+				outB := h.step(b, s, grads[s])
+				for j := range outA {
+					if outA[j] != outB[j] {
+						t.Fatalf("step %d output[%d] diverged after restore: %g vs %g", s, j, outA[j], outB[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStepSeedDistinct: the rebase key must differ across steps and tensors
+// (a collision would replay one step's randomness in another).
+func TestStepSeedDistinct(t *testing.T) {
+	seen := make(map[int64]bool)
+	for tensor := int64(0); tensor < 8; tensor++ {
+		for step := 0; step < 64; step++ {
+			s := stepSeed(tensor, step)
+			if seen[s] {
+				t.Fatalf("stepSeed collision at tensor %d step %d", tensor, step)
+			}
+			seen[s] = true
+		}
+	}
+}

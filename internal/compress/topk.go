@@ -42,6 +42,7 @@ type TopK struct {
 	random bool // Random-k instead of Top-k
 	err    []float64
 	useEF  bool
+	seed   int64 // RNG rebase key; see rng.go
 	rng    *rand.Rand
 
 	// scratch
@@ -64,13 +65,14 @@ func NewTopK(n, k int, sel Selection, useEF bool, tensorID int64) *TopK {
 	if k > n && n > 0 {
 		k = n
 	}
-	rng := newSeededRNG(tensorID)
+	rng := newStepRNG()
 	return &TopK{
 		n:      n,
 		k:      k,
 		sel:    sel,
 		err:    make([]float64, n),
 		useEF:  useEF,
+		seed:   tensorID,
 		rng:    rng,
 		picker: topSelector{rng: rng},
 	}
@@ -91,10 +93,11 @@ const topkPairBytes = 4 + 8 // uint32 index + float64 value
 // Encode selects coordinates of grad+err and serializes (index, value)
 // pairs. Error memory keeps the unselected mass. The returned payload is
 // owned by the compressor and valid until the next Encode call.
-func (t *TopK) Encode(_ int, grad []float64) []byte {
+func (t *TopK) Encode(step int, grad []float64) []byte {
 	if len(grad) != t.n {
 		panic(fmt.Sprintf("compress: TopK.Encode length %d, want %d", len(grad), t.n))
 	}
+	reseed(t.rng, t.seed, step)
 	src := t.foldEF(grad)
 	selected := t.selectFrom(src)
 	t.serialize(src, selected)
@@ -185,19 +188,20 @@ func (t *TopK) ChunkBounds(m int) []int { return ChunkBounds(t.n, m, 1) }
 // the decode pipeline per chunk, the selection does not. The result decodes
 // bit-identically to the unchunked payload because scatter-add order per
 // element is rank order either way.
-func (t *TopK) EncodeChunk(_ int, grad []float64, bounds []int, c int) []byte {
+func (t *TopK) EncodeChunk(step int, grad []float64, bounds []int, c int) []byte {
 	if c == 0 {
-		t.encodeChunkedPrepass(grad, bounds)
+		t.encodeChunkedPrepass(step, grad, bounds)
 	}
 	return t.enc[t.chunkOffs[c]:t.chunkOffs[c+1]]
 }
 
 // encodeChunkedPrepass is Encode with the pair stream sorted ascending and
 // split at the chunk bounds.
-func (t *TopK) encodeChunkedPrepass(grad []float64, bounds []int) {
+func (t *TopK) encodeChunkedPrepass(step int, grad []float64, bounds []int) {
 	if len(grad) != t.n {
 		panic(fmt.Sprintf("compress: TopK.EncodeChunk length %d, want %d", len(grad), t.n))
 	}
+	reseed(t.rng, t.seed, step)
 	src := t.foldEF(grad)
 	selected := t.selectFrom(src)
 	sort.Ints(selected)

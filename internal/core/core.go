@@ -66,6 +66,21 @@ type TrainConfig struct {
 	// bit-identical; the knob trades per-chunk launch/latency overhead for
 	// overlap inside each buffer.
 	PipelineChunks int
+
+	// Elastic turns on the elastic cluster runtime: heartbeat-tracked
+	// membership epochs, periodic full-state checkpoints, and recovery at
+	// the surviving size when a rank fails, instead of group death.
+	Elastic bool
+	// CheckpointEvery is the elastic snapshot interval in steps (0 = the
+	// runtime default of 8). Only meaningful with Elastic.
+	CheckpointEvery int
+	// MinWorkers is the smallest group recovery may re-form (0 = 1). Only
+	// meaningful with Elastic.
+	MinWorkers int
+	// CheckpointDir, when non-empty, additionally persists rank 0's
+	// snapshot to CheckpointDir/checkpoint.gob at every checkpoint. Only
+	// meaningful with Elastic.
+	CheckpointDir string
 }
 
 func (c *TrainConfig) withDefaults() TrainConfig {
@@ -225,8 +240,14 @@ func Train(cfg TrainConfig) (*train.History, error) {
 		DisableReuse:   c.DisableReuse,
 		Overlap:        overlapMode(c.NoOverlap),
 		PipelineChunks: c.PipelineChunks,
-		Seed:           c.Seed,
-		UseTCP:         c.UseTCP,
+		Elastic: train.ElasticConfig{
+			Enabled:         c.Elastic,
+			CheckpointEvery: c.CheckpointEvery,
+			MinWorkers:      c.MinWorkers,
+			Dir:             c.CheckpointDir,
+		},
+		Seed:   c.Seed,
+		UseTCP: c.UseTCP,
 	}, build, trainSet, testSet)
 }
 

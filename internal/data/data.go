@@ -215,6 +215,25 @@ func (b *Batcher) Next() (*tensor.Matrix, []int) {
 	return b.x, b.label
 }
 
+// Skip advances the batcher past n batches without materializing them,
+// consuming the permutation (and reshuffling at epoch boundaries) exactly as
+// n Next calls would. A restored worker uses it to fast-forward a fresh
+// batcher to its checkpointed step, so resumed training sees the same sample
+// stream an uninterrupted run would.
+func (b *Batcher) Skip(n int) {
+	for remaining := n * b.size; remaining > 0; {
+		if b.pos >= len(b.perm) {
+			b.reshuffle()
+		}
+		take := len(b.perm) - b.pos
+		if take > remaining {
+			take = remaining
+		}
+		b.pos += take
+		remaining -= take
+	}
+}
+
 // StepsPerEpoch returns the number of batches per pass over the data.
 func (b *Batcher) StepsPerEpoch() int {
 	s := b.d.Len() / b.size

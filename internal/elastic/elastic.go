@@ -1,0 +1,315 @@
+// Package elastic is the minimal control plane of the elastic cluster
+// runtime: a Coordinator that owns monotonically increasing membership
+// epochs, and Member handles that register against it and heartbeat for as
+// long as their worker is alive.
+//
+// The model is deliberately small. Membership is a flat set of string IDs.
+// Every change — a member registering, leaving gracefully, being reported
+// failed, or missing enough heartbeats — bumps the epoch number and produces
+// a new membership snapshot. Consumers (train.Cluster) treat an epoch as the
+// scope of every rank-addressed resource: the transport group, the worker
+// set and the data sharding are all rebuilt when the epoch changes, never
+// patched in place. That epoch-scoping is what turns a rank failure from
+// group death into a re-form: survivors tear down the old epoch's
+// collectives, wait for membership to settle (Stabilize), and build the next
+// epoch at the new size.
+//
+// Liveness is heartbeat-based: a background monitor expels members whose
+// last heartbeat is older than the configured timeout, so a crashed worker
+// needs no cooperation to leave the group. ReportFailure expels a member
+// immediately when the failure is already attributed (a transport error
+// pinned to a rank), skipping the timeout.
+package elastic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by coordinator operations after Close.
+var ErrClosed = errors.New("elastic: coordinator closed")
+
+// ErrEvicted is returned by Heartbeat when the member has been expelled from
+// the group (heartbeat timeout or ReportFailure); the member should stop
+// beating and tear itself down.
+var ErrEvicted = errors.New("elastic: member evicted")
+
+// DefaultHeartbeatTimeout is the liveness window used when NewCoordinator is
+// given a non-positive timeout. It is sized for in-process clusters; real
+// deployments over a network would use seconds.
+const DefaultHeartbeatTimeout = 250 * time.Millisecond
+
+// Epoch is one membership generation: a monotonically increasing number and
+// the sorted member set it covers. Epoch values are immutable snapshots.
+type Epoch struct {
+	Num     uint64
+	Members []string
+}
+
+// Size returns the number of members in the epoch.
+func (e Epoch) Size() int { return len(e.Members) }
+
+// Has reports whether id is a member of the epoch.
+func (e Epoch) Has(id string) bool {
+	for _, m := range e.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+type memberState struct {
+	last time.Time // last heartbeat
+}
+
+// Coordinator owns the membership epoch. All methods are safe for concurrent
+// use. A background monitor goroutine expels members that miss heartbeats;
+// Close stops it.
+type Coordinator struct {
+	timeout time.Duration
+
+	mu      sync.Mutex
+	epoch   uint64
+	members map[string]*memberState
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCoordinator creates a coordinator whose members must heartbeat at least
+// once per timeout window to stay in the group (non-positive timeout uses
+// DefaultHeartbeatTimeout). The expiry monitor starts immediately; Close it.
+func NewCoordinator(timeout time.Duration) *Coordinator {
+	if timeout <= 0 {
+		timeout = DefaultHeartbeatTimeout
+	}
+	c := &Coordinator{
+		timeout: timeout,
+		members: make(map[string]*memberState),
+		done:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.monitor()
+	return c
+}
+
+// monitor periodically expels members whose heartbeats went stale, declaring
+// a new epoch when membership changes — heartbeat-timeout failure detection
+// runs even when no one is asking.
+func (c *Coordinator) monitor() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.tickEvery())
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case now := <-tick.C:
+			c.mu.Lock()
+			c.expireLocked(now)
+			c.mu.Unlock()
+		}
+	}
+}
+
+// tickEvery is the monitor's scan period: a quarter of the timeout bounds
+// expulsion latency at ~1.25 timeouts worst case.
+func (c *Coordinator) tickEvery() time.Duration {
+	e := c.timeout / 4
+	if e < time.Millisecond {
+		e = time.Millisecond
+	}
+	return e
+}
+
+// expireLocked removes members whose last heartbeat is older than the
+// timeout. Caller holds mu.
+func (c *Coordinator) expireLocked(now time.Time) {
+	changed := false
+	for id, m := range c.members {
+		if now.Sub(m.last) > c.timeout {
+			delete(c.members, id)
+			changed = true
+		}
+	}
+	if changed {
+		c.epoch++
+	}
+}
+
+// epochLocked snapshots the current epoch. Caller holds mu.
+func (c *Coordinator) epochLocked() Epoch {
+	ids := make([]string, 0, len(c.members))
+	for id := range c.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return Epoch{Num: c.epoch, Members: ids}
+}
+
+// Register adds a member and declares a new epoch containing it. Member IDs
+// must be unique among live members.
+func (c *Coordinator) Register(id string) (Epoch, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Epoch{}, ErrClosed
+	}
+	if _, dup := c.members[id]; dup {
+		return Epoch{}, fmt.Errorf("elastic: member %q already registered", id)
+	}
+	c.members[id] = &memberState{last: time.Now()}
+	c.epoch++
+	return c.epochLocked(), nil
+}
+
+// Heartbeat refreshes a member's liveness. An expelled member receives
+// ErrEvicted and must stop beating.
+func (c *Coordinator) Heartbeat(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	m, ok := c.members[id]
+	if !ok {
+		return ErrEvicted
+	}
+	m.last = time.Now()
+	return nil
+}
+
+// Deregister removes a member gracefully (a drained rank), declaring a new
+// epoch. Unknown IDs are a no-op.
+func (c *Coordinator) Deregister(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.members[id]; !ok {
+		return
+	}
+	delete(c.members, id)
+	c.epoch++
+}
+
+// ReportFailure expels a member immediately — failure already attributed, no
+// need to wait out the heartbeat timeout — and declares a new epoch.
+func (c *Coordinator) ReportFailure(id string, _ error) {
+	c.Deregister(id)
+}
+
+// Epoch returns the current membership snapshot.
+func (c *Coordinator) Epoch() Epoch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochLocked()
+}
+
+// Stabilize blocks for at least one full heartbeat timeout, letting the
+// monitor expel every member that had already stopped beating when the call
+// was made, then returns the settled epoch. This is the recovery barrier:
+// after a group abort the caller cannot tell a crashed rank from a transient
+// link fault, but any rank whose heartbeats stopped before Stabilize began
+// is guaranteed to be out of the returned epoch, while live ranks (still
+// beating) are guaranteed to be in it.
+func (c *Coordinator) Stabilize() (Epoch, error) {
+	deadline := time.Now().Add(c.timeout + 2*c.tickEvery())
+	for {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return Epoch{}, ErrClosed
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(c.tickEvery())
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Epoch{}, ErrClosed
+	}
+	c.expireLocked(time.Now())
+	return c.epochLocked(), nil
+}
+
+// Close shuts the coordinator down: the monitor stops and every subsequent
+// operation fails with ErrClosed.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.done)
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// Member is one worker's control-plane handle: it registers with the
+// coordinator and heartbeats on a background goroutine until killed.
+type Member struct {
+	c    *Coordinator
+	id   string
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// Join registers id with the coordinator and starts its heartbeat loop,
+// beating every `every` (non-positive defaults to a quarter of the
+// coordinator's timeout — comfortably inside the liveness window).
+func Join(c *Coordinator, id string, every time.Duration) (*Member, error) {
+	if every <= 0 {
+		every = c.tickEvery()
+	}
+	if _, err := c.Register(id); err != nil {
+		return nil, err
+	}
+	m := &Member{c: c, id: id, stop: make(chan struct{})}
+	m.wg.Add(1)
+	go m.beat(every)
+	return m, nil
+}
+
+// beat heartbeats until stopped or evicted.
+func (m *Member) beat(every time.Duration) {
+	defer m.wg.Done()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			if err := m.c.Heartbeat(m.id); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// ID returns the member's identity.
+func (m *Member) ID() string { return m.id }
+
+// Kill stops the heartbeat loop without telling the coordinator — a
+// simulated crash. The coordinator expels the member once its heartbeat
+// timeout elapses. Idempotent; returns after the loop has exited.
+func (m *Member) Kill() {
+	m.once.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}
+
+// Leave stops the heartbeat loop and deregisters gracefully (an immediate
+// epoch change, no timeout wait). Idempotent.
+func (m *Member) Leave() {
+	m.Kill()
+	m.c.Deregister(m.id)
+}

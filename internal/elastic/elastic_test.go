@@ -1,0 +1,169 @@
+package elastic
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// testTimeout is short so liveness tests run fast but long enough that a
+// busy CI box cannot miss a whole window between heartbeats.
+const testTimeout = 80 * time.Millisecond
+
+// TestEpochsMonotonic: every membership change — register, graceful leave,
+// reported failure — bumps the epoch number, and the member sets are exact.
+func TestEpochsMonotonic(t *testing.T) {
+	c := NewCoordinator(testTimeout)
+	defer c.Close()
+
+	e1, err := c.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.Register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Num <= e1.Num {
+		t.Fatalf("epoch did not advance on register: %d then %d", e1.Num, e2.Num)
+	}
+	if e2.Size() != 2 || !e2.Has("a") || !e2.Has("b") {
+		t.Fatalf("unexpected membership %v", e2.Members)
+	}
+
+	c.Deregister("a")
+	e3 := c.Epoch()
+	if e3.Num <= e2.Num || e3.Has("a") || !e3.Has("b") {
+		t.Fatalf("deregister not reflected: epoch %d members %v", e3.Num, e3.Members)
+	}
+
+	c.ReportFailure("b", errors.New("boom"))
+	e4 := c.Epoch()
+	if e4.Num <= e3.Num || e4.Size() != 0 {
+		t.Fatalf("reported failure not reflected: epoch %d members %v", e4.Num, e4.Members)
+	}
+
+	// Re-registering a departed ID is legal (a rank rejoining).
+	if _, err := c.Register("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register("a"); err == nil {
+		t.Fatal("duplicate live registration should fail")
+	}
+}
+
+// TestHeartbeatExpiry: a member that stops beating is expelled by the
+// background monitor after the timeout; members that keep beating stay.
+func TestHeartbeatExpiry(t *testing.T) {
+	c := NewCoordinator(testTimeout)
+	defer c.Close()
+
+	live, err := Join(c, "live", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Kill()
+	dead, err := Join(c, "dead", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Epoch()
+	dead.Kill()
+
+	deadline := time.Now().Add(10 * testTimeout)
+	for {
+		ep := c.Epoch()
+		if !ep.Has("dead") {
+			if !ep.Has("live") {
+				t.Fatalf("live member expelled alongside dead one: %v", ep.Members)
+			}
+			if ep.Num <= before.Num {
+				t.Fatalf("expulsion did not bump epoch: %d then %d", before.Num, ep.Num)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead member still in epoch %v after %v", ep.Members, 10*testTimeout)
+		}
+		time.Sleep(testTimeout / 8)
+	}
+}
+
+// TestStabilize: after a simulated crash, Stabilize returns an epoch that
+// excludes the crashed member and includes every live one — the barrier the
+// trainer's recovery path relies on.
+func TestStabilize(t *testing.T) {
+	c := NewCoordinator(testTimeout)
+	defer c.Close()
+
+	ids := []string{"w0", "w1", "w2", "w3"}
+	members := make([]*Member, len(ids))
+	for i, id := range ids {
+		m, err := Join(c, id, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = m
+		defer m.Kill()
+	}
+	members[2].Kill() // crash: stops beating, no deregistration
+
+	ep, err := c.Stabilize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Has("w2") {
+		t.Fatalf("crashed member survived stabilize: %v", ep.Members)
+	}
+	if ep.Size() != 3 {
+		t.Fatalf("expected 3 survivors, got %v", ep.Members)
+	}
+}
+
+// TestEvictedHeartbeat: heartbeats from an expelled member fail with
+// ErrEvicted, and its Member loop exits on its own.
+func TestEvictedHeartbeat(t *testing.T) {
+	c := NewCoordinator(testTimeout)
+	defer c.Close()
+	if _, err := c.Register("x"); err != nil {
+		t.Fatal(err)
+	}
+	c.ReportFailure("x", errors.New("gone"))
+	if err := c.Heartbeat("x"); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("expected ErrEvicted, got %v", err)
+	}
+}
+
+// TestCoordinatorClose: operations after Close fail with ErrClosed, and
+// Close is idempotent and member-safe.
+func TestCoordinatorClose(t *testing.T) {
+	c := NewCoordinator(testTimeout)
+	m, err := Join(c, "x", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close()
+	if _, err := c.Register("y"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+	if _, err := c.Stabilize(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("expected ErrClosed from Stabilize, got %v", err)
+	}
+	m.Kill() // heartbeat loop must have exited; Kill must not hang
+	m.Leave()
+}
+
+// TestMemberLeave: graceful leave deregisters immediately — no timeout wait.
+func TestMemberLeave(t *testing.T) {
+	c := NewCoordinator(time.Hour) // timeout never fires; only Leave can remove
+	defer c.Close()
+	m, err := Join(c, "x", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Leave()
+	if ep := c.Epoch(); ep.Has("x") {
+		t.Fatalf("member still present after Leave: %v", ep.Members)
+	}
+}

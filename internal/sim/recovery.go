@@ -1,0 +1,111 @@
+package sim
+
+import "fmt"
+
+// This file models the cost of one elastic-runtime recovery (the
+// train.Cluster failure path: detect → re-form → restore → replay), so the
+// checkpoint interval and heartbeat knobs can be tuned analytically: a short
+// CheckpointEvery pays snapshot overhead every interval, a long one pays
+// replayed steps at every failure. The estimator composes the same
+// alpha-beta Network and iteration model as Simulate.
+
+// RecoveryConfig describes the elastic runtime knobs the estimate covers,
+// mirroring train.ElasticConfig in seconds/steps.
+type RecoveryConfig struct {
+	// CheckpointEverySteps is the periodic snapshot interval
+	// (train.ElasticConfig.CheckpointEvery).
+	CheckpointEverySteps int
+	// HeartbeatTimeoutSec is the liveness window: a crash is detected, at
+	// worst, one full window plus a monitor tick after the last heartbeat,
+	// and the membership barrier (Stabilize) waits out one more window.
+	HeartbeatTimeoutSec float64
+	// BackoffSec is the re-form backoff paid before membership settles.
+	BackoffSec float64
+	// RestoreBandwidth is the per-worker byte rate at which checkpointed
+	// state is restored (copy from the in-memory snapshot, or disk read for
+	// a process restart). 0 skips the restore term.
+	RestoreBandwidth float64
+}
+
+func (rc *RecoveryConfig) validate() error {
+	if rc.CheckpointEverySteps < 1 {
+		return fmt.Errorf("sim: recovery checkpoint interval must be >= 1, got %d", rc.CheckpointEverySteps)
+	}
+	if rc.HeartbeatTimeoutSec < 0 || rc.BackoffSec < 0 || rc.RestoreBandwidth < 0 {
+		return fmt.Errorf("sim: recovery config has negative terms")
+	}
+	return nil
+}
+
+// RecoveryResult breaks one recovery into the phases of the runtime's
+// failure path.
+type RecoveryResult struct {
+	// DetectSec is the failure-detection window: heartbeat timeout plus the
+	// membership barrier (Stabilize waits out a second full window so every
+	// pre-dead rank is expelled from the settled epoch).
+	DetectSec float64
+	// ReformSec is backoff plus the transport-group rebuild (one ring of
+	// alpha-cost connection setup among the survivors).
+	ReformSec float64
+	// RestoreSec is the per-worker checkpoint restore (weights + momentum +
+	// residual state over RestoreBandwidth).
+	RestoreSec float64
+	// ReplaySec is the work lost since the last checkpoint: in expectation
+	// half the checkpoint interval, re-run at the shrunk group's step time.
+	ReplaySec float64
+	// TotalSec is the sum of the phases.
+	TotalSec float64
+	// StepSecAfter is the per-iteration time at the surviving group size,
+	// from the same model Simulate uses.
+	StepSecAfter float64
+}
+
+// EstimateRecovery predicts the wall-clock cost of one recovery for the
+// training iteration described by cfg when one worker fails. The surviving
+// group has cfg.Workers-1 ranks; cfg must describe at least 2 workers.
+func EstimateRecovery(cfg Config, rc RecoveryConfig) (RecoveryResult, error) {
+	if err := rc.validate(); err != nil {
+		return RecoveryResult{}, err
+	}
+	if cfg.Workers < 2 {
+		return RecoveryResult{}, fmt.Errorf("sim: recovery needs >= 2 workers, got %d", cfg.Workers)
+	}
+
+	survivors := cfg.Workers - 1
+	after := cfg
+	after.Workers = survivors
+	res, err := Simulate(after)
+	if err != nil {
+		return RecoveryResult{}, err
+	}
+	if res.OOM {
+		return RecoveryResult{}, fmt.Errorf("sim: surviving group of %d does not fit in GPU memory", survivors)
+	}
+
+	r := RecoveryResult{StepSecAfter: res.TotalSec}
+
+	// Detection: the monitor expels a silent rank after at most one timeout
+	// plus a tick (timeout/4), and Stabilize then waits out one more full
+	// window as the membership barrier.
+	r.DetectSec = rc.HeartbeatTimeoutSec * 2.25
+
+	// Re-form: the backoff, then survivor transports reconnect — modeled as
+	// one alpha per ring hop around the new ring.
+	r.ReformSec = rc.BackoffSec + float64(survivors)*cfg.Net.Alpha
+
+	// Restore: each survivor copies its full training state back in. The
+	// state is weights + momentum (2x raw fp64 tensor bytes) plus residual
+	// vectors on the same order as one more copy.
+	if rc.RestoreBandwidth > 0 {
+		stateBytes := 3 * 8 * float64(cfg.Model.NumParams())
+		r.RestoreSec = stateBytes / rc.RestoreBandwidth
+	}
+
+	// Replay: work since the last checkpoint is lost; in expectation the
+	// failure lands mid-interval, so half the interval is re-run at the
+	// shrunk group's step time.
+	r.ReplaySec = 0.5 * float64(rc.CheckpointEverySteps) * res.TotalSec
+
+	r.TotalSec = r.DetectSec + r.ReformSec + r.RestoreSec + r.ReplaySec
+	return r, nil
+}

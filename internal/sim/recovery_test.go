@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"acpsgd/internal/models"
+)
+
+func recoveryBase() (Config, RecoveryConfig) {
+	cfg := Config{
+		Model:   models.ResNet50(),
+		Method:  MethodACP,
+		Mode:    ModeWFBPTF,
+		Workers: 32,
+		Net:     Net10GbE(),
+		GPU:     DefaultGPU(),
+	}
+	rc := RecoveryConfig{
+		CheckpointEverySteps: 8,
+		HeartbeatTimeoutSec:  0.25,
+		BackoffSec:           0.025,
+		RestoreBandwidth:     10e9, // memory-speed snapshot copy
+	}
+	return cfg, rc
+}
+
+func TestEstimateRecoveryBreakdown(t *testing.T) {
+	cfg, rc := recoveryBase()
+	r, err := EstimateRecovery(cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"detect":  r.DetectSec,
+		"reform":  r.ReformSec,
+		"restore": r.RestoreSec,
+		"replay":  r.ReplaySec,
+		"step":    r.StepSecAfter,
+	} {
+		if v <= 0 {
+			t.Fatalf("phase %s should be positive, got %g", name, v)
+		}
+	}
+	sum := r.DetectSec + r.ReformSec + r.RestoreSec + r.ReplaySec
+	if diff := r.TotalSec - sum; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("total %g does not match phase sum %g", r.TotalSec, sum)
+	}
+	// Detection covers at least the heartbeat window plus the stabilize
+	// barrier (two windows in total).
+	if r.DetectSec < 2*rc.HeartbeatTimeoutSec {
+		t.Fatalf("detect %g below two heartbeat windows", r.DetectSec)
+	}
+}
+
+// TestEstimateRecoveryCheckpointTradeoff: the analytic model must reproduce
+// the knob's defining trade-off — a longer checkpoint interval strictly
+// increases the expected replay (and total) cost of a failure.
+func TestEstimateRecoveryCheckpointTradeoff(t *testing.T) {
+	cfg, rc := recoveryBase()
+	short, err := EstimateRecovery(cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.CheckpointEverySteps = 64
+	long, err := EstimateRecovery(cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.ReplaySec <= short.ReplaySec {
+		t.Fatalf("replay cost should grow with the interval: %g vs %g", long.ReplaySec, short.ReplaySec)
+	}
+	if long.TotalSec <= short.TotalSec {
+		t.Fatalf("total cost should grow with the interval: %g vs %g", long.TotalSec, short.TotalSec)
+	}
+	// Non-replay phases are interval-independent.
+	if long.DetectSec != short.DetectSec || long.ReformSec != short.ReformSec || long.RestoreSec != short.RestoreSec {
+		t.Fatal("non-replay phases must not depend on the checkpoint interval")
+	}
+}
+
+// TestEstimateRecoveryReplayUsesShrunkGroup: replay is charged at the
+// surviving group's step time, which the estimator also reports.
+func TestEstimateRecoveryReplayUsesShrunkGroup(t *testing.T) {
+	cfg, rc := recoveryBase()
+	r, err := EstimateRecovery(cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := cfg
+	after.Workers = cfg.Workers - 1
+	want, err := Simulate(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StepSecAfter != want.TotalSec {
+		t.Fatalf("step time after shrink %g, want %g", r.StepSecAfter, want.TotalSec)
+	}
+	wantReplay := 0.5 * float64(rc.CheckpointEverySteps) * want.TotalSec
+	if diff := r.ReplaySec - wantReplay; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("replay %g, want %g", r.ReplaySec, wantReplay)
+	}
+}
+
+func TestEstimateRecoveryValidation(t *testing.T) {
+	cfg, rc := recoveryBase()
+	cases := []struct {
+		name   string
+		mutate func(*Config, *RecoveryConfig)
+	}{
+		{"zero interval", func(_ *Config, rc *RecoveryConfig) { rc.CheckpointEverySteps = 0 }},
+		{"negative timeout", func(_ *Config, rc *RecoveryConfig) { rc.HeartbeatTimeoutSec = -1 }},
+		{"single worker", func(c *Config, _ *RecoveryConfig) { c.Workers = 1 }},
+		{"bad sim config", func(c *Config, _ *RecoveryConfig) { c.Model = nil }},
+	}
+	for _, tc := range cases {
+		c, r := cfg, rc
+		tc.mutate(&c, &r)
+		if _, err := EstimateRecovery(c, r); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}

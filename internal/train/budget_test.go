@@ -46,7 +46,7 @@ func TestGatherBudgetScalesWithCompressionRate(t *testing.T) {
 	const bufferBytes = 1 << 20
 	cluster := budgetCluster(t, "sign", bufferBytes)
 	defer cluster.Close()
-	w := cluster.workers[0]
+	w := cluster.grp.workers[0]
 
 	f, spec, err := compress.Resolve(compress.MustSpec("sign"))
 	if err != nil {
@@ -107,7 +107,7 @@ func TestGatherBudgetUnscaledWithoutRater(t *testing.T) {
 	const bufferBytes = 1 << 20
 	cluster := budgetCluster(t, "ssgd", bufferBytes)
 	defer cluster.Close()
-	w := cluster.workers[0]
+	w := cluster.grp.workers[0]
 	// ssgd is not gather-scoped; its gather group budget stays raw.
 	if got := w.gatherGrp.budget; got != bufferBytes {
 		t.Fatalf("ssgd gather budget = %d, want %d", got, bufferBytes)

@@ -4,14 +4,33 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"acpsgd/internal/nn"
 )
 
-// Checkpoint is a serializable snapshot of model weights, keyed by parameter
-// name so checkpoints survive refactorings that preserve naming.
+// Checkpoint is a serializable snapshot of one replica's training state,
+// keyed by parameter name so checkpoints survive refactorings that preserve
+// naming. Beyond the weights it carries everything a faithful continuation
+// needs: the optimizer's momentum, the step counter, and every stateful
+// compressor's cross-step vectors (error-feedback residuals, DGC momentum
+// correction, reused low-rank factors). Weight-only checkpoints written
+// before these fields existed still gob-decode — the extra fields come back
+// nil and restore as zero state.
 type Checkpoint struct {
 	Params map[string]checkpointTensor
+	// Momentum is the optimizer velocity by parameter name. Nil for legacy
+	// weight-only checkpoints and for parameters the optimizer never
+	// touched; both restore as zero velocity.
+	Momentum map[string]checkpointTensor
+	// Residuals holds compressor state vectors keyed
+	// "<compressor key>/<vector name>", where the trainer's compressor keys
+	// are "p:<param name>" (per-parameter state) and "b:<buffer index>"
+	// (per-buffer state). Nil for legacy checkpoints.
+	Residuals map[string][]float64
+	// Step is the 0-based training step counter at capture time.
+	Step int
 }
 
 type checkpointTensor struct {
@@ -19,30 +38,40 @@ type checkpointTensor struct {
 	Data       []float64
 }
 
-// SaveCheckpoint writes the model's weights to w (gob encoding).
-func SaveCheckpoint(w io.Writer, model *nn.Model) error {
-	ck := Checkpoint{Params: make(map[string]checkpointTensor, len(model.Params()))}
+// Capture snapshots the model's weights, the optimizer's momentum (opt may
+// be nil for a weights-only snapshot) and the step counter into a fresh
+// Checkpoint. Compressor residuals are added by the caller (the worker owns
+// the compressor states).
+func Capture(model *nn.Model, opt *SGD, step int) (*Checkpoint, error) {
+	ck := &Checkpoint{
+		Params:    make(map[string]checkpointTensor, len(model.Params())),
+		Momentum:  make(map[string]checkpointTensor),
+		Residuals: make(map[string][]float64),
+		Step:      step,
+	}
 	for _, p := range model.Params() {
 		if _, dup := ck.Params[p.Name]; dup {
-			return fmt.Errorf("train: duplicate parameter name %q", p.Name)
+			return nil, fmt.Errorf("train: duplicate parameter name %q", p.Name)
 		}
 		data := make([]float64, len(p.W.Data))
 		copy(data, p.W.Data)
 		ck.Params[p.Name] = checkpointTensor{Rows: p.W.Rows, Cols: p.W.Cols, Data: data}
+		if opt != nil {
+			if v := opt.Velocity(p); v != nil {
+				vd := make([]float64, len(v.Data))
+				copy(vd, v.Data)
+				ck.Momentum[p.Name] = checkpointTensor{Rows: v.Rows, Cols: v.Cols, Data: vd}
+			}
+		}
 	}
-	if err := gob.NewEncoder(w).Encode(ck); err != nil {
-		return fmt.Errorf("train: encode checkpoint: %w", err)
-	}
-	return nil
+	return ck, nil
 }
 
-// LoadCheckpoint restores weights from r into model. Every model parameter
-// must be present with a matching shape.
-func LoadCheckpoint(r io.Reader, model *nn.Model) error {
-	var ck Checkpoint
-	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
-		return fmt.Errorf("train: decode checkpoint: %w", err)
-	}
+// Apply restores the checkpoint into model (weights) and, when opt is
+// non-nil, the optimizer (momentum). Every model parameter must be present
+// in Params with a matching shape; parameters absent from Momentum restore
+// as zero velocity (the legacy weight-only format).
+func (ck *Checkpoint) Apply(model *nn.Model, opt *SGD) error {
 	for _, p := range model.Params() {
 		t, ok := ck.Params[p.Name]
 		if !ok {
@@ -54,5 +83,86 @@ func LoadCheckpoint(r io.Reader, model *nn.Model) error {
 		}
 		copy(p.W.Data, t.Data)
 	}
+	if opt == nil {
+		return nil
+	}
+	for _, p := range model.Params() {
+		v, ok := ck.Momentum[p.Name]
+		if !ok {
+			continue
+		}
+		if err := opt.SetVelocity(p, v.Data); err != nil {
+			return fmt.Errorf("train: checkpoint momentum for %q: %w", p.Name, err)
+		}
+	}
 	return nil
+}
+
+// Write gob-encodes the checkpoint.
+func (ck *Checkpoint) Write(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(ck); err != nil {
+		return fmt.Errorf("train: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint decodes a checkpoint written by Write — or by the legacy
+// weight-only SaveCheckpoint, whose Momentum, Residuals and Step fields
+// decode as zero values.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("train: decode checkpoint: %w", err)
+	}
+	return &ck, nil
+}
+
+// WriteFile atomically persists the checkpoint at path (write to a
+// temporary file in the same directory, then rename), so a crash mid-write
+// never clobbers the previous checkpoint. The directory is created if
+// missing.
+func (ck *Checkpoint) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("train: checkpoint dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("train: checkpoint temp file: %w", err)
+	}
+	if err := ck.Write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("train: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("train: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// SaveCheckpoint writes the model's weights to w (gob encoding). It remains
+// the weight-only convenience wrapper; full-state snapshots go through
+// Capture + Write.
+func SaveCheckpoint(w io.Writer, model *nn.Model) error {
+	ck, err := Capture(model, nil, 0)
+	if err != nil {
+		return err
+	}
+	return ck.Write(w)
+}
+
+// LoadCheckpoint restores weights from r into model. Every model parameter
+// must be present with a matching shape.
+func LoadCheckpoint(r io.Reader, model *nn.Model) error {
+	ck, err := ReadCheckpoint(r)
+	if err != nil {
+		return err
+	}
+	return ck.Apply(model, nil)
 }

@@ -2,8 +2,11 @@ package train
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"acpsgd/internal/compress"
@@ -83,6 +86,154 @@ func TestCheckpointCorruptStream(t *testing.T) {
 	model := nn.NewModel(nn.NewDense("fc", 2, 2, rng))
 	if err := LoadCheckpoint(bytes.NewReader([]byte("garbage")), model); err == nil {
 		t.Fatal("expected decode error")
+	}
+}
+
+// TestCheckpointFullStateRoundTrip: Capture/Write/ReadCheckpoint/Apply must
+// restore weights, optimizer momentum, step counter and residual vectors
+// bit-exactly.
+func TestCheckpointFullStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	model := nn.NewModel(nn.NewDense("fc1", 4, 8, rng), nn.NewDense("fc2", 8, 3, rng))
+	opt := NewSGD(0.9, 0)
+	opt.SetLR(0.1)
+	// A couple of optimizer steps on synthetic gradients builds velocity.
+	for s := 0; s < 2; s++ {
+		for _, p := range model.Params() {
+			for j := range p.Grad.Data {
+				p.Grad.Data[j] = rng.NormFloat64()
+			}
+		}
+		if err := opt.Step(model.Params()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ck, err := Capture(model, opt, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Residuals["b:0/ef"] = []float64{1.5, -2.25, 0.125}
+	var buf bytes.Buffer
+	if err := ck.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 17 {
+		t.Fatalf("step counter: got %d, want 17", got.Step)
+	}
+	for i, v := range got.Residuals["b:0/ef"] {
+		if v != ck.Residuals["b:0/ef"][i] {
+			t.Fatalf("residual[%d] not restored: %g", i, v)
+		}
+	}
+
+	rng2 := rand.New(rand.NewSource(99))
+	model2 := nn.NewModel(nn.NewDense("fc1", 4, 8, rng2), nn.NewDense("fc2", 8, 3, rng2))
+	opt2 := NewSGD(0.9, 0)
+	if err := got.Apply(model2, opt2); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range model.Params() {
+		q := model2.Params()[i]
+		for j := range p.W.Data {
+			if p.W.Data[j] != q.W.Data[j] {
+				t.Fatalf("weight %s[%d] not restored", p.Name, j)
+			}
+		}
+		v, v2 := opt.Velocity(p), opt2.Velocity(q)
+		if v == nil || v2 == nil {
+			t.Fatalf("velocity for %s missing after restore", p.Name)
+		}
+		for j := range v.Data {
+			if v.Data[j] != v2.Data[j] {
+				t.Fatalf("velocity %s[%d] not restored: %g vs %g", p.Name, j, v.Data[j], v2.Data[j])
+			}
+		}
+	}
+}
+
+// TestCheckpointLegacyWeightOnly: a stream written in the pre-elastic
+// weight-only format (just a Params map) must still decode — Momentum,
+// Residuals and Step come back zero and Apply restores weights with zero
+// velocity.
+func TestCheckpointLegacyWeightOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	model := nn.NewModel(nn.NewDense("fc", 4, 4, rng))
+	legacy := struct{ Params map[string]checkpointTensor }{
+		Params: map[string]checkpointTensor{},
+	}
+	for _, p := range model.Params() {
+		legacy.Params[p.Name] = checkpointTensor{
+			Rows: p.W.Rows, Cols: p.W.Cols,
+			Data: append([]float64(nil), p.W.Data...),
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(legacy); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatalf("legacy stream should decode: %v", err)
+	}
+	if ck.Step != 0 || len(ck.Momentum) != 0 || len(ck.Residuals) != 0 {
+		t.Fatalf("legacy stream grew state: step=%d momentum=%d residuals=%d",
+			ck.Step, len(ck.Momentum), len(ck.Residuals))
+	}
+	dst := nn.NewModel(nn.NewDense("fc", 4, 4, rand.New(rand.NewSource(13))))
+	opt := NewSGD(0.9, 0)
+	if err := ck.Apply(dst, opt); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range model.Params() {
+		q := dst.Params()[i]
+		for j := range p.W.Data {
+			if p.W.Data[j] != q.W.Data[j] {
+				t.Fatalf("weight %s[%d] not restored from legacy stream", p.Name, j)
+			}
+		}
+	}
+}
+
+// TestCheckpointWriteFile: WriteFile lands atomically (no temp droppings) and
+// overwrites a previous checkpoint in place.
+func TestCheckpointWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint.gob")
+	rng := rand.New(rand.NewSource(14))
+	model := nn.NewModel(nn.NewDense("fc", 3, 3, rng))
+	for i := 0; i < 2; i++ { // twice: fresh write, then overwrite
+		ck, err := Capture(model, nil, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ck.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "checkpoint.gob" {
+		t.Fatalf("atomic write left droppings: %v", entries)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ck, err := ReadCheckpoint(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Step != 1 {
+		t.Fatalf("overwrite did not win: step %d", ck.Step)
 	}
 }
 

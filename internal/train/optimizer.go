@@ -92,6 +92,28 @@ func (o *SGD) LR() float64 { return o.lr }
 // replica synchronization.
 func (o *SGD) SetClipNorm(c float64) { o.clipNorm = c }
 
+// Velocity returns the live momentum tensor for p, or nil if no Step has
+// touched it yet (zero velocity). The returned matrix is the optimizer's
+// own state; callers snapshot by copying, never by aliasing.
+func (o *SGD) Velocity(p *nn.Param) *tensor.Matrix { return o.velocity[p] }
+
+// SetVelocity overwrites p's momentum state with a copy of data (length must
+// match the parameter), creating the slot if the optimizer has not stepped
+// yet — the restore half of checkpointing: a resumed run continues the
+// momentum trajectory instead of restarting it from zero.
+func (o *SGD) SetVelocity(p *nn.Param, data []float64) error {
+	if len(data) != len(p.Grad.Data) {
+		return fmt.Errorf("train: velocity for %s has %d elements, want %d", p.Name, len(data), len(p.Grad.Data))
+	}
+	v, ok := o.velocity[p]
+	if !ok {
+		v = tensor.New(p.Grad.Rows, p.Grad.Cols)
+		o.velocity[p] = v
+	}
+	copy(v.Data, data)
+	return nil
+}
+
 // Step applies one update: v ← μ·v + (g + wd·w); w ← w − lr·v.
 func (o *SGD) Step(params []*nn.Param) error {
 	if o.lr < 0 {

@@ -10,6 +10,7 @@ import (
 	"acpsgd/internal/comm"
 	"acpsgd/internal/compress"
 	"acpsgd/internal/data"
+	"acpsgd/internal/elastic"
 	"acpsgd/internal/nn"
 )
 
@@ -94,6 +95,12 @@ type Config struct {
 	// the unpipelined path is the replay baseline, asserted in tests.
 	PipelineChunks int
 
+	// Elastic enables the elastic cluster runtime: coordinator-managed
+	// membership epochs with heartbeats, periodic full-state checkpoints,
+	// and checkpoint-based recovery on rank failure instead of group death.
+	// See ElasticConfig.
+	Elastic ElasticConfig
+
 	// Seed makes runs reproducible; all replicas derive their identical
 	// initial weights from it.
 	Seed int64
@@ -131,6 +138,9 @@ func (cfg *Config) validate() error {
 	}
 	if cfg.PipelineChunks < 0 {
 		return fmt.Errorf("train: pipeline chunks must be >= 0, got %d", cfg.PipelineChunks)
+	}
+	if err := cfg.Elastic.validate(cfg.Workers); err != nil {
+		return err
 	}
 	spec := cfg.Spec
 	if spec.Name == "" {
@@ -214,102 +224,130 @@ func (h *History) BestTestAcc() float64 {
 	return best
 }
 
-// Cluster is a live group of synchronized data-parallel workers that step in
-// lockstep — the exported stepping surface under Run. Benchmarks drive
-// Step() directly to time individual iterations; tests use it to inspect
-// models between steps. A Cluster owns its transports and workers; always
-// Close it.
-type Cluster struct {
-	cfg        Config
-	workers    []*worker
-	transports []comm.Transport
+// ErrClusterDead is the stable sentinel Step returns once the cluster is
+// terminally dead: after a non-elastic abort, after Close, or after an
+// elastic cluster exhausts its recovery budget or shrinks below MinWorkers.
+// The first failing Step still reports the root-cause error (so callers see
+// what went wrong); every later Step wraps ErrClusterDead, so callers can
+// distinguish "this epoch failed but the cluster may recover" from "dead"
+// with errors.Is instead of pattern-matching transport errors.
+var ErrClusterDead = errors.New("train: cluster dead")
 
+// epochGroup is one membership epoch's worth of runtime state: the worker
+// set, the transport group wiring them, and the abort machinery. Workers and
+// transports are epoch-scoped — on any membership change the cluster tears
+// the whole group down and builds a fresh one at the new size, never patching
+// ranks in place. That ownership model is what makes recovery (and, later,
+// join/drain and topology changes) a rebuild instead of a special case.
+type epochGroup struct {
+	epoch         uint64
+	memberIDs     []string
+	workers       []*worker
+	transports    []comm.Transport
 	stepsPerEpoch int
 	abortOnce     sync.Once
 	closeOnce     sync.Once
 }
 
-// NewCluster validates the config, builds the transport group (one rank per
-// worker) and constructs every replica from the same seed, so workers start
-// identical.
-func NewCluster(cfg Config, build func(rng *rand.Rand) *nn.Model, trainSet *data.Dataset) (*Cluster, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
+// Cluster is a live group of synchronized data-parallel workers that step in
+// lockstep — the exported stepping surface under Run. Benchmarks drive
+// Step() directly to time individual iterations; tests use it to inspect
+// models between steps. A Cluster owns its transports and workers; always
+// Close it.
+//
+// With Config.Elastic enabled the worker set is epoch-scoped: a coordinator
+// tracks membership by heartbeat, periodic checkpoints capture full training
+// state, and a failed rank triggers a re-form at the surviving size from the
+// last checkpoint instead of killing the group (see ElasticConfig).
+type Cluster struct {
+	cfg      Config
+	build    func(rng *rand.Rand) *nn.Model
+	trainSet *data.Dataset
 
+	// mu guards the current-epoch group pointer and the elastic bookkeeping
+	// below against concurrent Step/Close/recovery.
+	mu  sync.Mutex
+	grp *epochGroup
+
+	// Elastic control plane (nil / empty when Elastic is disabled).
+	coord      *elastic.Coordinator
+	members    map[string]*elastic.Member
+	snaps      map[string]*Checkpoint // per-member state at the last checkpoint
+	recoveries int
+	sinceCkpt  int
+
+	deadErr error // root cause once terminally dead
+	closed  bool
+}
+
+// newEpochGroup builds the transport group and worker set for one membership
+// epoch: p = len(memberIDs) ranks, data re-sharded p ways, every worker
+// restored from its member's snapshot when one exists (nil snaps on the
+// first epoch).
+func newEpochGroup(cfg *Config, build func(rng *rand.Rand) *nn.Model, trainSet *data.Dataset,
+	epoch uint64, memberIDs []string, snaps map[string]*Checkpoint) (*epochGroup, error) {
+	p := len(memberIDs)
 	var transports []comm.Transport
 	var err error
 	switch {
 	case cfg.NewTransports != nil:
-		transports, err = cfg.NewTransports(cfg.Workers)
-		if err == nil && len(transports) != cfg.Workers {
+		transports, err = cfg.NewTransports(p)
+		if err == nil && len(transports) != p {
 			for _, t := range transports {
 				t.Close()
 			}
-			err = fmt.Errorf("train: NewTransports built %d transports for %d workers", len(transports), cfg.Workers)
+			err = fmt.Errorf("train: NewTransports built %d transports for %d workers", len(transports), p)
 		}
 	case cfg.UseTCP:
-		transports, err = comm.NewTCPGroup(cfg.Workers)
+		transports, err = comm.NewTCPGroup(p)
 	default:
-		transports, err = comm.NewInprocGroup(cfg.Workers, 0)
+		transports, err = comm.NewInprocGroup(p, 0)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("train: transport: %w", err)
 	}
 
-	c := &Cluster{cfg: cfg, transports: transports}
-	for r := 0; r < cfg.Workers; r++ {
+	g := &epochGroup{epoch: epoch, memberIDs: memberIDs, transports: transports}
+	for r := 0; r < p; r++ {
 		model := build(rand.New(rand.NewSource(cfg.Seed)))
-		shard, err := trainSet.Shard(r, cfg.Workers)
+		shard, err := trainSet.Shard(r, p)
 		if err != nil {
-			c.Close()
+			g.shutdown()
 			return nil, err
 		}
-		w, err := newWorker(r, &c.cfg, model, comm.NewCommunicator(transports[r]), shard)
+		w, err := newWorker(r, cfg, model, comm.NewCommunicator(transports[r]), shard)
 		if err != nil {
-			c.Close()
+			g.shutdown()
 			return nil, err
 		}
-		c.workers = append(c.workers, w)
+		if snap := snaps[memberIDs[r]]; snap != nil {
+			if err := w.restore(snap); err != nil {
+				w.close()
+				g.shutdown()
+				return nil, err
+			}
+		}
+		g.workers = append(g.workers, w)
 	}
-	c.stepsPerEpoch = c.workers[0].batch.StepsPerEpoch()
-	return c, nil
+	g.stepsPerEpoch = g.workers[0].batch.StepsPerEpoch()
+	return g, nil
 }
 
-// StepsPerEpoch returns the number of steps that cover one epoch of the
-// sharded training set.
-func (c *Cluster) StepsPerEpoch() int { return c.stepsPerEpoch }
-
-// Size returns the number of workers.
-func (c *Cluster) Size() int { return len(c.workers) }
-
-// SetLR sets every worker's learning rate.
-func (c *Cluster) SetLR(lr float64) {
-	for _, w := range c.workers {
-		w.opt.SetLR(lr)
-	}
-}
-
-// Model returns the given rank's model (live; the next Step mutates it).
-func (c *Cluster) Model(rank int) *nn.Model { return c.workers[rank].model }
-
-// Step runs one synchronized training step on every worker and returns
-// worker 0's batch loss. A failing rank aborts the whole group — the
-// transports close so peers blocked in collectives fail fast instead of
-// deadlocking — and Step reports the root cause (preferring a rank's own
-// error over the ErrClosed its peers observe during teardown). After an
-// error the cluster is dead; further Steps fail.
-func (c *Cluster) Step() (float64, error) {
-	losses := make([]float64, len(c.workers))
-	errs := make([]error, len(c.workers))
+// step runs one synchronized training step on every worker of the epoch and
+// returns worker 0's batch loss. A failing rank aborts the group so peers
+// blocked in collectives fail fast instead of deadlocking; the root cause is
+// preferred over the ErrClosed peers observe during teardown.
+func (g *epochGroup) step() (float64, error) {
+	losses := make([]float64, len(g.workers))
+	errs := make([]error, len(g.workers))
 	var wg sync.WaitGroup
-	for r, w := range c.workers {
+	for r, w := range g.workers {
 		wg.Add(1)
 		go func(r int, w *worker) {
 			defer wg.Done()
 			losses[r], errs[r] = w.runStep()
 			if errs[r] != nil {
-				c.abort()
+				g.abort()
 			}
 		}(r, w)
 	}
@@ -318,6 +356,158 @@ func (c *Cluster) Step() (float64, error) {
 		return 0, err
 	}
 	return losses[0], nil
+}
+
+// abort tears the epoch's transport group down so every rank's in-flight
+// collective fails fast; idempotent.
+func (g *epochGroup) abort() {
+	g.abortOnce.Do(func() {
+		for _, t := range g.transports {
+			t.Close()
+		}
+	})
+}
+
+// shutdown aborts the transports (unblocking in-flight collectives) and then
+// releases every worker's communication goroutine; idempotent.
+func (g *epochGroup) shutdown() {
+	g.closeOnce.Do(func() {
+		g.abort()
+		for _, w := range g.workers {
+			w.close()
+		}
+	})
+}
+
+// NewCluster validates the config, builds the epoch-0 transport group (one
+// rank per worker) and constructs every replica from the same seed, so
+// workers start identical. With Elastic enabled it also starts the
+// coordinator, registers one heartbeating member per worker, and takes the
+// initial full-state checkpoint so recovery always has a restore point.
+func NewCluster(cfg Config, build func(rng *rand.Rand) *nn.Model, trainSet *data.Dataset) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, build: build, trainSet: trainSet}
+
+	memberIDs := make([]string, cfg.Workers)
+	for r := range memberIDs {
+		memberIDs[r] = fmt.Sprintf("w%d", r)
+	}
+	var epoch uint64
+	if cfg.Elastic.Enabled {
+		c.coord = elastic.NewCoordinator(cfg.Elastic.HeartbeatTimeout)
+		c.members = make(map[string]*elastic.Member, cfg.Workers)
+		c.snaps = make(map[string]*Checkpoint, cfg.Workers)
+		for _, id := range memberIDs {
+			m, err := elastic.Join(c.coord, id, cfg.Elastic.HeartbeatEvery)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("train: %w", err)
+			}
+			c.members[id] = m
+		}
+		epoch = c.coord.Epoch().Num
+	}
+
+	grp, err := newEpochGroup(&c.cfg, build, trainSet, epoch, memberIDs, nil)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.grp = grp
+	if cfg.Elastic.Enabled {
+		if err := c.checkpointNow(); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// StepsPerEpoch returns the number of steps that cover one epoch of the
+// sharded training set at the current group size (it grows when an elastic
+// cluster shrinks, since each survivor's shard covers more of the set).
+func (c *Cluster) StepsPerEpoch() int { return c.group().stepsPerEpoch }
+
+// Size returns the number of workers in the current membership epoch.
+func (c *Cluster) Size() int { return len(c.group().workers) }
+
+// Epoch returns the current membership epoch number (0 when Elastic is
+// disabled — the fixed group never changes membership).
+func (c *Cluster) Epoch() uint64 { return c.group().epoch }
+
+// group snapshots the current epoch group pointer.
+func (c *Cluster) group() *epochGroup {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.grp
+}
+
+// SetLR sets every worker's learning rate. The value sticks across
+// recoveries: restored workers inherit it from the checkpointed caller loop
+// calling SetLR again each epoch (Run does).
+func (c *Cluster) SetLR(lr float64) {
+	g := c.group()
+	for _, w := range g.workers {
+		w.opt.SetLR(lr)
+	}
+}
+
+// Model returns the given rank's model (live; the next Step mutates it, and
+// an elastic recovery replaces it — re-fetch after Step errors).
+func (c *Cluster) Model(rank int) *nn.Model { return c.group().workers[rank].model }
+
+// Step runs one synchronized training step and returns worker 0's batch
+// loss.
+//
+// Without Elastic, a failing rank aborts the whole group and Step reports
+// the root cause; the cluster is then dead and every later Step returns
+// ErrClusterDead.
+//
+// With Elastic, a failed step triggers recovery: the epoch's transports and
+// workers are torn down, membership settles through the coordinator
+// (heartbeat-dead ranks are expelled), a fresh group forms at the surviving
+// size, every worker restores from the last checkpoint, and the step is
+// retried. Recovery consumes the retry budget; when it is exhausted, the
+// survivors drop below MinWorkers, or the group cannot re-form, Step returns
+// an error wrapping both the root cause and ErrClusterDead.
+func (c *Cluster) Step() (float64, error) {
+	for {
+		c.mu.Lock()
+		if c.closed || c.deadErr != nil {
+			err := c.deadLocked()
+			c.mu.Unlock()
+			return 0, err
+		}
+		g := c.grp
+		c.mu.Unlock()
+
+		loss, err := g.step()
+		if err == nil {
+			if cerr := c.noteStepDone(); cerr != nil {
+				return 0, cerr
+			}
+			return loss, nil
+		}
+		if !c.cfg.Elastic.Enabled {
+			c.mu.Lock()
+			c.deadErr = err
+			c.mu.Unlock()
+			return 0, err
+		}
+		if rerr := c.recover(err); rerr != nil {
+			return 0, rerr
+		}
+	}
+}
+
+// deadLocked formulates the stable post-mortem error. Caller holds mu.
+func (c *Cluster) deadLocked() error {
+	if c.deadErr != nil {
+		return fmt.Errorf("%w (last failure: %v)", ErrClusterDead, c.deadErr)
+	}
+	return fmt.Errorf("%w (closed)", ErrClusterDead)
 }
 
 // firstStepError picks the most causal rank error: the lowest rank whose
@@ -341,31 +531,40 @@ func firstStepError(errs []error) error {
 
 // Evaluate computes worker 0's test accuracy (replicas are identical, so one
 // rank suffices).
-func (c *Cluster) Evaluate(d *data.Dataset) float64 { return c.workers[0].evaluate(d) }
+func (c *Cluster) Evaluate(d *data.Dataset) float64 { return c.group().workers[0].evaluate(d) }
 
 // CheckSync verifies the data-parallel invariant that every worker's weights
 // are identical.
-func (c *Cluster) CheckSync() error { return checkReplicasInSync(c.workers) }
+func (c *Cluster) CheckSync() error { return checkReplicasInSync(c.group().workers) }
 
-// abort tears the transport group down so every rank's in-flight collective
-// fails fast; idempotent.
-func (c *Cluster) abort() {
-	c.abortOnce.Do(func() {
-		for _, t := range c.transports {
-			t.Close()
-		}
-	})
-}
-
-// Close shuts the cluster down: transports first (unblocking any in-flight
-// collective), then each worker's communication goroutine.
+// Close shuts the cluster down: the current epoch's transports first
+// (unblocking any in-flight collective), then each worker's communication
+// goroutine, then the elastic control plane. Safe to call concurrently with
+// Step and with an in-flight recovery — a recovery that loses the race
+// discards its freshly built group instead of installing it.
 func (c *Cluster) Close() {
-	c.closeOnce.Do(func() {
-		c.abort()
-		for _, w := range c.workers {
-			w.close()
-		}
-	})
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	g := c.grp
+	members := make([]*elastic.Member, 0, len(c.members))
+	for _, m := range c.members {
+		members = append(members, m)
+	}
+	c.mu.Unlock()
+
+	if g != nil {
+		g.shutdown()
+	}
+	for _, m := range members {
+		m.Kill()
+	}
+	if c.coord != nil {
+		c.coord.Close()
+	}
 }
 
 // Run trains build()'s model with cfg over trainSet, evaluating on testSet.
@@ -386,8 +585,12 @@ func Run(cfg Config, build func(rng *rand.Rand) *nn.Model, trainSet, testSet *da
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		lr := cfg.Schedule.LR(epoch)
 		c.SetLR(lr)
+		// Re-read the epoch length every data epoch: an elastic recovery
+		// re-shards the training set, so each survivor's shard (and with it
+		// the steps per epoch) grows when the group shrinks.
+		steps := c.StepsPerEpoch()
 		var epochLoss float64
-		for s := 0; s < c.stepsPerEpoch; s++ {
+		for s := 0; s < steps; s++ {
 			loss, err := c.Step()
 			if err != nil {
 				return nil, fmt.Errorf("train: epoch %d step %d: %w", epoch, s, err)
@@ -400,7 +603,7 @@ func Run(cfg Config, build func(rng *rand.Rand) *nn.Model, trainSet, testSet *da
 		hist.Stats = append(hist.Stats, EpochStat{
 			Epoch:     epoch,
 			LR:        lr,
-			TrainLoss: epochLoss / float64(c.stepsPerEpoch),
+			TrainLoss: epochLoss / float64(steps),
 			TestAcc:   lastAcc,
 		})
 	}

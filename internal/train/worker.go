@@ -2,6 +2,7 @@ package train
 
 import (
 	"fmt"
+	"strconv"
 
 	"acpsgd/internal/comm"
 	"acpsgd/internal/compress"
@@ -66,6 +67,11 @@ type worker struct {
 	// Overlap is off; with Overlap on each launch fires at seal time and
 	// the slice stays empty.
 	launches []func()
+
+	// resid holds checkpointed compressor state vectors awaiting their
+	// compressor (per-buffer compressors are created lazily on first seal;
+	// see worker.restore and applyState). Nil outside recovery.
+	resid map[string][]float64
 
 	step int
 }
@@ -260,6 +266,9 @@ func (w *worker) gatherCompressorFor(buf *gatherBuffer) (compress.GatherCompress
 	if !ok {
 		return nil, fmt.Errorf("train: method %s is not gather-based (built %T)", w.cfg.spec.Name, st)
 	}
+	if err := w.applyState("b:"+strconv.Itoa(buf.index), c); err != nil {
+		return nil, err
+	}
 	w.gatherComp[buf.index] = c
 	return c, nil
 }
@@ -277,6 +286,9 @@ func (w *worker) pairwiseFor(buf *gatherBuffer) (compress.PairwiseBlockingCompre
 	c, ok := st.(compress.PairwiseBlockingCompressor)
 	if !ok {
 		return nil, fmt.Errorf("train: method %s is not pairwise-blocking (built %T)", w.cfg.spec.Name, st)
+	}
+	if err := w.applyState("b:"+strconv.Itoa(buf.index), c); err != nil {
+		return nil, err
 	}
 	w.pairwise[buf.index] = c
 	return c, nil
