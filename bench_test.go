@@ -122,6 +122,11 @@ func BenchmarkMatMulTB256(b *testing.B)         { suite(b, "MatMulTB256") }
 func BenchmarkMiniVGGStep(b *testing.B)         { suite(b, "MiniVGGStep") }
 func BenchmarkSimulateIteration(b *testing.B)   { suite(b, "SimulateBERTACP32") }
 
+// BenchmarkFleetEngine1000 prices a 1000-node chaos scenario end to end —
+// the fleet-scale scenario engine's perf gate (CI diffs it against the
+// committed fleet baseline).
+func BenchmarkFleetEngine1000(b *testing.B) { suite(b, "FleetEngine1000") }
+
 // --- ablation benches (DESIGN.md §7) --------------------------------------
 
 // BenchmarkAblationInterference sweeps the GPU interference rate and

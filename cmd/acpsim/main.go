@@ -6,6 +6,16 @@
 //	acpsim -model resnet152 -method power -mode wfbp          # Fig. 9 cell
 //	acpsim -model bert-large -method acp:rank=256 -buffer 50
 //	acpsim -model resnet50 -method topk:ratio=0.01
+//
+// With -scenario it instead executes a declarative fleet-scale run — a
+// generated heterogeneous fleet with seeded failure injection — and prints
+// the machine-readable report:
+//
+//	acpsim -scenario scenarios/1000-node-chaos.json
+//	acpsim -scenario scenarios/zone-outage.json -seed 7 -report out.json
+//
+// A scenario plus a seed is bit-reproducible: the same pair always prints
+// byte-identical JSON.
 package main
 
 import (
@@ -14,6 +24,7 @@ import (
 	"os"
 
 	"acpsgd/internal/core"
+	"acpsgd/internal/sim"
 )
 
 func main() {
@@ -35,8 +46,15 @@ func run(args []string) int {
 	slowOrth := fs.Bool("slow-orth", false, "original Power-SGD orthogonalization cost")
 	overlap := fs.Bool("overlap", true, "overlap communication with back-propagation (false = launch after backward)")
 	chunks := fs.Int("chunks", 0, "pipeline chunks per fusion buffer in the cost model (0 = unpipelined)")
+	scenario := fs.String("scenario", "", "fleet scenario file; switches to fleet-simulation mode")
+	seed := fs.Int64("seed", 0, "override the scenario's seed (0 = use the file's)")
+	report := fs.String("report", "", "also write the scenario report to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *scenario != "" {
+		return runScenario(*scenario, *seed, *report)
 	}
 
 	r, err := core.SimulateIteration(core.IterationConfig{
@@ -65,8 +83,42 @@ func run(args []string) int {
 	fmt.Printf("iteration        %8.1f ms\n", r.TotalSec*1e3)
 	fmt.Printf("  ff&bp          %8.1f ms\n", r.FFBPSec*1e3)
 	fmt.Printf("  compression    %8.1f ms\n", r.CompressSec*1e3)
+	fmt.Printf("    encode       %8.1f ms\n", r.EncodeSec*1e3)
+	fmt.Printf("    decode       %8.1f ms\n", r.DecodeSec*1e3)
+	fmt.Printf("  comm (wire)    %8.1f ms\n", r.WireSec*1e3)
 	fmt.Printf("  comm (exposed) %8.1f ms\n", r.CommSec*1e3)
 	fmt.Printf("payload          %8.1f MB/iter (%.0fx compression)\n", r.PayloadBytes/1e6, r.CompressionRat)
 	fmt.Printf("gpu memory est.  %8.1f GB\n", r.MemoryBytes/1e9)
+	return 0
+}
+
+// runScenario executes a declarative fleet scenario and prints its canonical
+// report bytes to stdout (and optionally to -report).
+func runScenario(path string, seed int64, reportPath string) int {
+	sc, err := sim.LoadScenario(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acpsim: %v\n", err)
+		return 1
+	}
+	if seed == 0 {
+		seed = sc.Seed
+	}
+	rep, err := sim.RunScenarioSeed(sc, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acpsim: %v\n", err)
+		return 1
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acpsim: %v\n", err)
+		return 1
+	}
+	os.Stdout.Write(data)
+	if reportPath != "" {
+		if err := os.WriteFile(reportPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "acpsim: %v\n", err)
+			return 1
+		}
+	}
 	return 0
 }

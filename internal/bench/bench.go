@@ -76,6 +76,7 @@ func Suite() []Case {
 		{"ACPCompress512x512r4", benchACPCompress},
 		{"MiniVGGStep", benchMiniVGGStep},
 		{"SimulateBERTACP32", benchSimulateBERTACP32},
+		{"FleetEngine1000", benchFleetEngine1000},
 	}
 	for _, rate := range InterferenceRates {
 		cases = append(cases, Case{
@@ -765,6 +766,46 @@ func benchMiniVGGStep(b *testing.B) {
 		model.ZeroGrads()
 		_, d := loss.Forward(model.Forward(x), labels)
 		model.Backward(d, nil)
+	}
+}
+
+// benchFleetEngine1000 runs a full 1000-node chaos scenario per iteration —
+// the fleet generator, the seeded fault sampler, and 300 priced steps with
+// enough membership churn to defeat a single memo hit. It is the perf gate
+// for the scenario engine: a regression in the engine pool, the bottleneck
+// memoization, or the sampler's draw loop shows up here first.
+func benchFleetEngine1000(b *testing.B) {
+	sc := &sim.Scenario{
+		Name:   "bench-fleet-1000",
+		Seed:   42,
+		Steps:  300,
+		Model:  "resnet50",
+		Method: "acp",
+		Fleet: sim.FleetSpec{
+			Nodes: 1000,
+			Templates: []sim.NodeTemplate{
+				{Name: "fast", Weight: 3, ComputeScale: 0.5, BandwidthGbps: 25},
+				{Name: "mid", Weight: 6},
+				{Name: "slow", Weight: 1, Network: "1gbe"},
+			},
+			Zones: map[string]float64{"a": 1, "b": 1, "c": 1, "d": 1},
+		},
+		Faults: sim.FaultSpec{
+			CrashPer1kSteps:     0.05,
+			TransientPer1kSteps: 0.1,
+			CascadeFactor:       2,
+		},
+		Recovery: sim.RecoverySpec{MinNodes: 100},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sim.RunScenario(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Steps == 0 {
+			b.Fatal("scenario priced no steps")
+		}
 	}
 }
 

@@ -328,9 +328,9 @@ func (b *builder) buildGather() {
 			elems += t.spec.Elems()
 			bytes += b.payloadBytesFor(t)
 		}
-		enc := b.eng.add(mainStream, kindCompress, b.encodeDur(elems), last)
+		enc := b.eng.add(mainStream, kindEncode, b.encodeDur(elems), last)
 		ag := b.allGather(bytes, enc)
-		b.eng.add(mainStream, kindCompress, b.decodeDur(elems), ag)
+		b.eng.add(mainStream, kindDecode, b.decodeDur(elems), ag)
 	default:
 		budget := b.cfg.bufferBudget(1)
 		m := b.chunks()
@@ -355,7 +355,7 @@ func (b *builder) buildGather() {
 			bk := bucket{elems: bucketElems}
 			for c := 0; c < m; c++ {
 				chunkElems := (c+1)*bucketElems/m - c*bucketElems/m
-				enc := b.eng.add(mainStream, kindCompress, b.encodeDur(chunkElems))
+				enc := b.eng.add(mainStream, kindEncode, b.encodeDur(chunkElems))
 				bk.comm = append(bk.comm, b.allGather(bucketBytes/float64(m), enc))
 			}
 			buckets = append(buckets, bk)
@@ -375,7 +375,7 @@ func (b *builder) buildGather() {
 			mm := len(bk.comm)
 			for c, ag := range bk.comm {
 				chunkElems := (c+1)*bk.elems/mm - c*bk.elems/mm
-				b.eng.add(mainStream, kindCompress, b.decodeDur(chunkElems), ag)
+				b.eng.add(mainStream, kindDecode, b.decodeDur(chunkElems), ag)
 			}
 		}
 	}
@@ -406,12 +406,12 @@ func (b *builder) buildACP() {
 				decompressDur += b.acpDecompressDur(t)
 			}
 		}
-		comp := b.eng.add(mainStream, kindCompress, compressDur, last)
+		comp := b.eng.add(mainStream, kindEncode, compressDur, last)
 		var lastAR *task
 		for _, t := range b.tensors {
 			lastAR = b.allReduce(b.payloadBytesFor(t), comp)
 		}
-		b.eng.add(mainStream, kindCompress, decompressDur, lastAR)
+		b.eng.add(mainStream, kindDecode, decompressDur, lastAR)
 	default:
 		budget := b.cfg.bufferBudget(b.acpRate())
 		type bucket struct {
@@ -439,7 +439,7 @@ func (b *builder) buildACP() {
 				// Inline compression on the main stream right after the
 				// gradient is ready (Fig. 4(c)): sequential with BP, no
 				// stream interference.
-				lastMain = b.eng.add(mainStream, kindCompress, b.acpCompressDur(t))
+				lastMain = b.eng.add(mainStream, kindEncode, b.acpCompressDur(t))
 				bucketDecomp += b.acpDecompressDur(t)
 			}
 			bucketBytes += b.payloadBytesFor(t)
@@ -449,7 +449,7 @@ func (b *builder) buildACP() {
 		}
 		flush()
 		for _, bk := range buckets {
-			b.eng.add(mainStream, kindCompress, bk.decompressDur, bk.comm)
+			b.eng.add(mainStream, kindDecode, bk.decompressDur, bk.comm)
 		}
 	}
 }
@@ -492,17 +492,17 @@ func (b *builder) buildPower() {
 		if vecBytes > 0 {
 			b.allReduce(vecBytes, last)
 		}
-		s1 := b.eng.add(mainStream, kindCompress, stage1, last)
+		s1 := b.eng.add(mainStream, kindEncode, stage1, last)
 		var arPs []*task
 		for _, k := range order {
 			arPs = append(arPs, b.allReduce(groupP[k], s1))
 		}
-		s2 := b.eng.add(mainStream, kindCompress, stage2, arPs...)
+		s2 := b.eng.add(mainStream, kindEncode, stage2, arPs...)
 		var arQs []*task
 		for _, k := range order {
 			arQs = append(arQs, b.allReduce(groupQ[k], s2))
 		}
-		b.eng.add(mainStream, kindCompress, stage3, arQs...)
+		b.eng.add(mainStream, kindDecode, stage3, arQs...)
 	default:
 		// Power-SGD* (PyTorch DDP comm hook): buckets of raw gradient
 		// bytes; per bucket the blocking chain P-compute → all-reduce P →
@@ -521,11 +521,11 @@ func (b *builder) buildPower() {
 				b.allReduce(vecBytes, lastBwd)
 			}
 			if pBytes > 0 {
-				s1 := b.eng.add(sideStream, kindCompress, s1d, lastBwd)
+				s1 := b.eng.add(sideStream, kindEncode, s1d, lastBwd)
 				arp := b.allReduce(pBytes, s1)
-				s2 := b.eng.add(sideStream, kindCompress, s2d, arp)
+				s2 := b.eng.add(sideStream, kindEncode, s2d, arp)
 				arq := b.allReduce(qBytes, s2)
-				b.eng.add(sideStream, kindCompress, s3d, arq)
+				b.eng.add(sideStream, kindDecode, s3d, arq)
 			}
 			rawB, pBytes, qBytes, vecBytes = 0, 0, 0, 0
 			s1d, s2d, s3d = 0, 0, 0

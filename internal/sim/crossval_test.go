@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"acpsgd/internal/comm"
+	"acpsgd/internal/compress"
+	"acpsgd/internal/data"
+	"acpsgd/internal/nn"
+	"acpsgd/internal/train"
+)
+
+// TestScenarioCrossValidatesElasticRuntime lines the scenario engine up
+// against the real elastic runtime on the facts both sides can state
+// exactly: how many recoveries a given failure history costs and how many
+// workers survive it. A 4-rank train.Cluster suffers a transient link fault
+// on rank 1 (flaky transport, first epoch only — the rank keeps
+// heartbeating, so the group re-forms at full size) and then a crash of
+// rank 2 (KillRank — the group shrinks to 3). The simulated scenario
+// scripts the same two events and must agree on the recovery count, the
+// survivor count, and the crash/transient classification.
+func TestScenarioCrossValidatesElasticRuntime(t *testing.T) {
+	const (
+		workers      = 4
+		flakyRank    = 1
+		crashRank    = 2
+		stepsBetween = 4 // successful steps between the two injected failures
+	)
+
+	// --- real side: an elastic cluster with the scripted failure history.
+	cfg := train.Config{
+		Spec:           compress.MustSpec("ssgd"),
+		Workers:        workers,
+		BatchPerWorker: 16,
+		Epochs:         1,
+		Momentum:       0.9,
+		Schedule:       train.Schedule{BaseLR: 0.05},
+		Overlap:        train.OverlapOn,
+		Seed:           7,
+		Elastic: train.ElasticConfig{
+			Enabled:          true,
+			CheckpointEvery:  2,
+			MaxRecoveries:    4,
+			Backoff:          5 * time.Millisecond,
+			HeartbeatTimeout: 200 * time.Millisecond,
+		},
+	}
+	var builds int32
+	cfg.NewTransports = func(p int) ([]comm.Transport, error) {
+		ts, err := comm.NewInprocGroup(p, 0)
+		if err != nil {
+			return nil, err
+		}
+		// Epoch 1 only: rank 1's transport fails every operation, so the
+		// very first step hits a transient link fault while the rank keeps
+		// heartbeating. Re-formed epochs get clean transports.
+		if atomic.AddInt32(&builds, 1) == 1 {
+			ts[flakyRank] = comm.WithFlaky(ts[flakyRank], 1, 42)
+		}
+		return ts, nil
+	}
+	build := func(rng *rand.Rand) *nn.Model {
+		return nn.NewModel(
+			nn.NewDense("fc1", 16, 16, rng),
+			nn.NewReLU("act"),
+			nn.NewDense("head", 16, 4, rng),
+		)
+	}
+	trainSet := data.GaussianMixture(1001, 256, 16, 4, 1.0)
+	c, err := train.NewCluster(cfg, build, trainSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetLR(0.05)
+
+	// Step 1 rides through the transient recovery inside the call.
+	for i := 0; i < 1+stepsBetween; i++ {
+		if _, err := c.Step(); err != nil {
+			t.Fatalf("step %d: %v", i+1, err)
+		}
+	}
+	if got := c.Size(); got != workers {
+		t.Fatalf("transient fault changed the group size: %d, want %d", got, workers)
+	}
+	if got := c.Recoveries(); got != 1 {
+		t.Fatalf("after the transient: %d recoveries, want 1", got)
+	}
+
+	c.KillRank(crashRank)
+	// The next step rides through the crash recovery.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Step(); err != nil {
+			t.Fatalf("post-kill step %d: %v", i+1, err)
+		}
+	}
+
+	realRecoveries := c.Recoveries()
+	realSurvivors := c.Size()
+	if realRecoveries != 2 {
+		t.Fatalf("real run: %d recoveries, want 2 (one transient, one crash)", realRecoveries)
+	}
+	if realSurvivors != workers-1 {
+		t.Fatalf("real run: %d survivors, want %d", realSurvivors, workers-1)
+	}
+
+	// --- simulated side: the same failure history as a scripted scenario.
+	// The transient lands on step 1 (the flaky transport fails the first
+	// collective); the crash lands after the in-between steps.
+	crashStep := 1 + stepsBetween + 1
+	sc := &Scenario{
+		Name:   "crossval",
+		Seed:   42,
+		Steps:  crashStep + 2,
+		Model:  "resnet50",
+		Method: "ssgd",
+		Fleet: FleetSpec{
+			Nodes:     workers,
+			Templates: []NodeTemplate{{Name: "gpu", Weight: 1}},
+		},
+		Faults: FaultSpec{Scripted: []ScriptedFault{
+			{Step: 1, Kind: FaultTransient, Node: flakyRank},
+			{Step: crashStep, Kind: FaultCrash, Node: crashRank},
+		}},
+		Recovery: RecoverySpec{CheckpointEverySteps: 2},
+	}
+	rep, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Recoveries != realRecoveries {
+		t.Fatalf("recovery count disagrees: sim %d vs real %d", rep.Recoveries, realRecoveries)
+	}
+	if rep.FinalSurvivors != realSurvivors {
+		t.Fatalf("survivor count disagrees: sim %d vs real %d", rep.FinalSurvivors, realSurvivors)
+	}
+	if rep.Transients != 1 || rep.Crashes != 1 {
+		t.Fatalf("sim misclassified the failure history: %+v", rep)
+	}
+	if rep.Dead {
+		t.Fatalf("sim cluster died where the real one survived: %+v", rep)
+	}
+	if rep.RecoverySec <= 0 {
+		t.Fatalf("sim priced the recoveries at zero: %+v", rep)
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // streamID identifies an execution stream. Streams execute their tasks
@@ -21,11 +22,18 @@ const (
 )
 
 // taskKind buckets tasks for the paper's time-breakdown accounting.
+// kindEncode and kindDecode are the two halves of compression: both are
+// accounted under Compress, and additionally under their own phase so the
+// report can split the compression overhead into its encode (pre-wire) and
+// decode (post-wire) sides. kindCompress remains for compute that genuinely
+// has no side of the wire (and for hand-built test graphs).
 type taskKind int
 
 const (
 	kindFwdBwd taskKind = iota + 1
 	kindCompress
+	kindEncode
+	kindDecode
 	kindComm
 )
 
@@ -42,32 +50,83 @@ type task struct {
 	finish    float64
 }
 
+// taskBlockSize is the slab granularity: tasks are allocated out of
+// fixed-capacity blocks so pointers handed to callers stay valid while the
+// blocks themselves are reused across Simulate calls. 512 covers a full
+// BERT-Large WFBP graph in one block.
+const taskBlockSize = 512
+
 // engine is a processor-sharing discrete-event simulator over the three
 // in-order streams. The two compute streams contend for the GPU: when both
 // are busy each progresses at InterferenceRate < 1 (overlapping compression
 // with back-propagation is a net loss, §III-C); the network stream always
 // runs at full rate.
+//
+// Engines are pooled: the fleet engine prices one iteration per membership
+// change and the scenario suites run thousands of Simulate calls, so the
+// task graph is the hot allocation path. newEngine draws a recycled engine
+// whose task slab and stream queues keep their capacity; release returns it.
 type engine struct {
 	streams [numStreams][]*task
 	nextID  int
 	rate    float64 // interference rate
+
+	// task slab: blocks never move once allocated, so *task stays valid.
+	blocks [][]task
+	nblock int // block currently being filled
+	nused  int // tasks used in blocks[nblock]
 }
+
+var enginePool = sync.Pool{New: func() any { return new(engine) }}
 
 func newEngine(interferenceRate float64) *engine {
 	if interferenceRate <= 0 || interferenceRate > 1 {
 		interferenceRate = 0.35
 	}
-	return &engine{rate: interferenceRate}
+	e := enginePool.Get().(*engine)
+	e.reset(interferenceRate)
+	return e
+}
+
+// reset clears the engine for a new task graph while keeping every
+// allocation (stream queues, slab blocks, dep slices) for reuse.
+func (e *engine) reset(rate float64) {
+	for s := range e.streams {
+		e.streams[s] = e.streams[s][:0]
+	}
+	e.nextID = 0
+	e.rate = rate
+	e.nblock, e.nused = 0, 0
+}
+
+// release returns the engine to the pool. The caller must not hold any
+// *task from this engine afterwards.
+func (e *engine) release() { enginePool.Put(e) }
+
+// alloc hands out the next task slot from the slab.
+func (e *engine) alloc() *task {
+	if e.nblock == len(e.blocks) {
+		e.blocks = append(e.blocks, make([]task, taskBlockSize))
+	}
+	t := &e.blocks[e.nblock][e.nused]
+	e.nused++
+	if e.nused == taskBlockSize {
+		e.nblock++
+		e.nused = 0
+	}
+	return t
 }
 
 // add appends a task to a stream and returns it.
 func (e *engine) add(s streamID, kind taskKind, dur float64, deps ...*task) *task {
-	t := &task{
+	t := e.alloc()
+	reuse := t.deps[:0] // keep the recycled dep slice's capacity
+	*t = task{
 		id:        e.nextID,
 		stream:    s,
 		kind:      kind,
 		dur:       dur,
-		deps:      deps,
+		deps:      append(reuse, deps...),
 		remaining: dur,
 	}
 	e.nextID++
@@ -81,11 +140,19 @@ func (e *engine) add(s streamID, kind taskKind, dur float64, deps ...*task) *tas
 // evenly when both compute streams are busy) and communication only counts
 // when no compute stream is active, which is exactly the paper's
 // "non-overlapped overhead" metric (§III-A).
+//
+// Encode and Decode split Compress into its two wire sides (Encode + Decode
+// == Compress when every compression task declares a side); CommTotal is
+// the wall-clock the network stream spent busy, overlapped or not, so
+// CommTotal - CommNonOverlap is the communication the schedule hid.
 type accounting struct {
 	Total          float64
 	FFBP           float64
 	Compress       float64
+	Encode         float64
+	Decode         float64
 	CommNonOverlap float64
+	CommTotal      float64
 }
 
 // run executes all tasks to completion and returns the accounting.
@@ -165,12 +232,21 @@ func (e *engine) run() (accounting, error) {
 				switch active[s].kind {
 				case kindFwdBwd:
 					acct.FFBP += share
+				case kindEncode:
+					acct.Compress += share
+					acct.Encode += share
+				case kindDecode:
+					acct.Compress += share
+					acct.Decode += share
 				default:
 					acct.Compress += share
 				}
 			}
 		} else if active[netStream] != nil {
 			acct.CommNonOverlap += dt
+		}
+		if active[netStream] != nil {
+			acct.CommTotal += dt
 		}
 
 		now += dt

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file is the scenario engine's failure injector. Faults come from two
+// sources: seeded random distributions (per-node crash/transient hazards, a
+// per-step zone-outage hazard, and a cascade multiplier that raises every
+// hazard in the window after a failure — failures cluster in real fleets)
+// and a scripted list for exactly reproducible single events ("crash node 2
+// at step 6"), which is what the cross-validation suite uses to line the
+// simulator up against a real elastic train.Cluster run.
+
+// Fault kinds.
+const (
+	// FaultCrash permanently removes a node: its heartbeats stop, the epoch
+	// re-forms without it (the train.Cluster kill path).
+	FaultCrash = "crash"
+	// FaultTransient is a link fault on a node that keeps heartbeating: the
+	// epoch re-forms at the same size, paying one recovery.
+	FaultTransient = "transient"
+	// FaultZoneOutage crashes every surviving node in one zone at once.
+	FaultZoneOutage = "zone-outage"
+)
+
+// ScriptedFault is one exactly-placed failure.
+type ScriptedFault struct {
+	// Step is the 1-based training step the fault lands on.
+	Step int `json:"step"`
+	// Kind is FaultCrash, FaultTransient or FaultZoneOutage.
+	Kind string `json:"kind"`
+	// Node is the target node ID for crash/transient faults.
+	Node int `json:"node,omitempty"`
+	// Zone is the target zone for zone-outage faults.
+	Zone string `json:"zone,omitempty"`
+}
+
+// FaultSpec declares the failure distributions of a scenario. All rates are
+// expressed per 1000 steps so realistic values stay readable (0.02 = one
+// expected event per node per 50k steps).
+type FaultSpec struct {
+	// CrashPer1kSteps is each node's crash hazard per 1000 steps.
+	CrashPer1kSteps float64 `json:"crash_per_node_per_1k_steps,omitempty"`
+	// TransientPer1kSteps is each node's transient-link-fault hazard per
+	// 1000 steps.
+	TransientPer1kSteps float64 `json:"transient_per_node_per_1k_steps,omitempty"`
+	// ZoneOutagePer1kSteps is the fleet-wide hazard of losing one whole
+	// zone per 1000 steps (the zone is drawn uniformly from zones that
+	// still have survivors).
+	ZoneOutagePer1kSteps float64 `json:"zone_outage_per_1k_steps,omitempty"`
+	// CascadeFactor multiplies every hazard for CascadeWindow steps after a
+	// failure event (>= 1; 0 disables cascading).
+	CascadeFactor float64 `json:"cascade_factor,omitempty"`
+	// CascadeWindow is the cascade's reach in steps (default 10 when
+	// CascadeFactor is set).
+	CascadeWindow int `json:"cascade_window_steps,omitempty"`
+	// Scripted places exact faults at exact steps, independent of the
+	// random streams.
+	Scripted []ScriptedFault `json:"scripted,omitempty"`
+}
+
+func (f *FaultSpec) validate(fleet *FleetSpec, steps int) error {
+	if f.CrashPer1kSteps < 0 || f.TransientPer1kSteps < 0 || f.ZoneOutagePer1kSteps < 0 {
+		return fmt.Errorf("sim: fault rates must be >= 0")
+	}
+	if f.CascadeFactor < 0 || (f.CascadeFactor > 0 && f.CascadeFactor < 1) {
+		return fmt.Errorf("sim: cascade factor must be >= 1 (or 0 to disable), got %v", f.CascadeFactor)
+	}
+	if f.CascadeWindow < 0 {
+		return fmt.Errorf("sim: cascade window must be >= 0, got %d", f.CascadeWindow)
+	}
+	for i, s := range f.Scripted {
+		if s.Step < 1 || s.Step > steps {
+			return fmt.Errorf("sim: scripted fault %d at step %d outside [1, %d]", i, s.Step, steps)
+		}
+		switch s.Kind {
+		case FaultCrash, FaultTransient:
+			if s.Node < 0 || s.Node >= fleet.Nodes {
+				return fmt.Errorf("sim: scripted fault %d targets node %d outside the %d-node fleet", i, s.Node, fleet.Nodes)
+			}
+		case FaultZoneOutage:
+			if s.Zone == "" {
+				return fmt.Errorf("sim: scripted zone outage %d names no zone", i)
+			}
+			if len(fleet.Zones) == 0 {
+				if s.Zone != "default" {
+					return fmt.Errorf("sim: scripted zone outage %d targets %q but the fleet has only the implicit default zone", i, s.Zone)
+				}
+			} else if _, ok := fleet.Zones[s.Zone]; !ok {
+				return fmt.Errorf("sim: scripted zone outage %d targets undeclared zone %q", i, s.Zone)
+			}
+		default:
+			return fmt.Errorf("sim: scripted fault %d has unknown kind %q", i, s.Kind)
+		}
+	}
+	return nil
+}
+
+// faultEvent is one materialized failure.
+type faultEvent struct {
+	Kind string
+	Node int    // crash/transient target
+	Zone string // zone-outage target
+}
+
+// faultSampler draws each step's failures. All randomness comes from one
+// seeded stream consumed in a fixed order (scripted faults first, then
+// per-node crash draws in ID order, then per-node transient draws, then the
+// zone-outage draw), so a seed fully determines the failure history.
+type faultSampler struct {
+	spec         *FaultSpec
+	rng          *rand.Rand
+	scripted     map[int][]ScriptedFault
+	lastFailStep int // most recent step with any failure; 0 = none yet
+}
+
+func newFaultSampler(spec *FaultSpec, seed int64) *faultSampler {
+	s := &faultSampler{
+		spec:         spec,
+		rng:          rand.New(rand.NewSource(seed)),
+		scripted:     make(map[int][]ScriptedFault),
+		lastFailStep: -1 << 30,
+	}
+	for _, f := range spec.Scripted {
+		s.scripted[f.Step] = append(s.scripted[f.Step], f)
+	}
+	return s
+}
+
+// cascadeMul returns the hazard multiplier for the given step.
+func (s *faultSampler) cascadeMul(step int) float64 {
+	if s.spec.CascadeFactor <= 1 {
+		return 1
+	}
+	window := s.spec.CascadeWindow
+	if window == 0 {
+		window = 10
+	}
+	if step-s.lastFailStep <= window {
+		return s.spec.CascadeFactor
+	}
+	return 1
+}
+
+// sample returns the failures landing on the given step. alive reports
+// whether each node is still in the fleet; aliveZones lists zones with at
+// least one survivor in sorted order.
+func (s *faultSampler) sample(step int, fleet []Node, alive []bool, aliveZones []string) []faultEvent {
+	var events []faultEvent
+	for _, f := range s.scripted[step] {
+		switch f.Kind {
+		case FaultCrash, FaultTransient:
+			if alive[f.Node] {
+				events = append(events, faultEvent{Kind: f.Kind, Node: f.Node})
+			}
+		case FaultZoneOutage:
+			events = append(events, faultEvent{Kind: FaultZoneOutage, Zone: f.Zone})
+		}
+	}
+
+	mul := s.cascadeMul(step)
+	pCrash := s.spec.CrashPer1kSteps / 1000 * mul
+	pTransient := s.spec.TransientPer1kSteps / 1000 * mul
+	// Per-node draws happen in node-ID order for every alive node. Each
+	// node consumes a fixed number of draws per step regardless of outcome
+	// only when a rate is active; rates are scenario constants, so the
+	// stream layout is stable for a given spec.
+	if pCrash > 0 {
+		for _, n := range fleet {
+			if alive[n.ID] && s.rng.Float64() < pCrash {
+				events = append(events, faultEvent{Kind: FaultCrash, Node: n.ID})
+			}
+		}
+	}
+	if pTransient > 0 {
+		for _, n := range fleet {
+			if alive[n.ID] && s.rng.Float64() < pTransient {
+				events = append(events, faultEvent{Kind: FaultTransient, Node: n.ID})
+			}
+		}
+	}
+	if p := s.spec.ZoneOutagePer1kSteps / 1000 * mul; p > 0 && len(aliveZones) > 0 {
+		if s.rng.Float64() < p {
+			zone := aliveZones[s.rng.Intn(len(aliveZones))]
+			events = append(events, faultEvent{Kind: FaultZoneOutage, Zone: zone})
+		}
+	}
+
+	if len(events) > 0 {
+		s.lastFailStep = step
+	}
+	return events
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// This file generates heterogeneous fleets from weighted node templates —
+// the scenario engine's answer to "no real cluster can reproduce this
+// hardware mix deterministically". A FleetSpec declares a handful of
+// templates (GPU class, NIC, memory) with relative weights plus a zone
+// distribution; GenerateFleet expands it into a concrete, seeded fleet in
+// which node i's template and zone are pure functions of (spec, seed).
+
+// MaxFleetNodes bounds the fleet size a scenario may declare: large enough
+// for any plausible study, small enough that a hostile or fuzzed scenario
+// file cannot ask the generator for gigabytes of nodes.
+const MaxFleetNodes = 65536
+
+// NodeTemplate is one weighted hardware class in a fleet.
+type NodeTemplate struct {
+	// Name identifies the template in reports; must be unique in the fleet.
+	Name string `json:"name"`
+	// Weight is the template's relative share of the fleet (any positive
+	// scale; weights are normalized over the declared templates).
+	Weight float64 `json:"weight"`
+	// GPUClass is a free-form description ("rtx2080ti", "a100") carried
+	// into reports; it does not change the cost model.
+	GPUClass string `json:"gpu_class,omitempty"`
+	// ComputeScale multiplies the model's calibrated FF&BP time on nodes of
+	// this class: 1.0 is the paper's RTX 2080 Ti, 0.5 a GPU twice as fast,
+	// 2.0 one half as fast. 0 means 1.0.
+	ComputeScale float64 `json:"compute_scale,omitempty"`
+	// MemoryGB is the GPU memory capacity; 0 keeps the default GPU's 11GB.
+	MemoryGB float64 `json:"memory_gb,omitempty"`
+	// Network names a preset interconnect ("1gbe", "10gbe", "100gbib") for
+	// this class's NIC; empty inherits the scenario-level default.
+	Network string `json:"network,omitempty"`
+	// BandwidthGbps, when positive, overrides the preset's per-link
+	// bandwidth (alpha and all-gather efficiency keep the preset's values).
+	BandwidthGbps float64 `json:"bandwidth_gbps,omitempty"`
+}
+
+// FleetSpec declares a generated fleet.
+type FleetSpec struct {
+	// Nodes is the total fleet size.
+	Nodes int `json:"nodes"`
+	// Templates are the weighted hardware classes nodes are drawn from.
+	Templates []NodeTemplate `json:"templates"`
+	// Zones is the failure-domain distribution (zone name -> relative
+	// weight). Empty means a single implicit zone "default".
+	Zones map[string]float64 `json:"zones,omitempty"`
+}
+
+// Node is one generated fleet member.
+type Node struct {
+	ID           int
+	Template     string
+	Zone         string
+	ComputeScale float64
+	Net          Network
+	MemoryBytes  float64
+}
+
+// validate checks the spec against defaultNet-independent invariants.
+func (fs *FleetSpec) validate() error {
+	if fs.Nodes < 1 {
+		return fmt.Errorf("sim: fleet must have >= 1 node, got %d", fs.Nodes)
+	}
+	if fs.Nodes > MaxFleetNodes {
+		return fmt.Errorf("sim: fleet of %d nodes exceeds the %d-node cap", fs.Nodes, MaxFleetNodes)
+	}
+	if len(fs.Templates) == 0 {
+		return fmt.Errorf("sim: fleet declares no node templates")
+	}
+	seen := make(map[string]bool, len(fs.Templates))
+	total := 0.0
+	for i := range fs.Templates {
+		t := &fs.Templates[i]
+		if t.Name == "" {
+			return fmt.Errorf("sim: fleet template %d has no name", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("sim: duplicate fleet template %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Weight <= 0 {
+			return fmt.Errorf("sim: fleet template %q must have positive weight, got %v", t.Name, t.Weight)
+		}
+		if t.ComputeScale < 0 {
+			return fmt.Errorf("sim: fleet template %q has negative compute scale", t.Name)
+		}
+		if t.MemoryGB < 0 || t.BandwidthGbps < 0 {
+			return fmt.Errorf("sim: fleet template %q has negative capacity terms", t.Name)
+		}
+		if t.Network != "" {
+			if _, ok := NetByName(t.Network); !ok {
+				return fmt.Errorf("sim: fleet template %q names unknown network %q", t.Name, t.Network)
+			}
+		}
+		total += t.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("sim: fleet template weights sum to %v", total)
+	}
+	zTotal := 0.0
+	for name, w := range fs.Zones {
+		if name == "" {
+			return fmt.Errorf("sim: fleet declares an unnamed zone")
+		}
+		if w <= 0 {
+			return fmt.Errorf("sim: zone %q must have positive weight, got %v", name, w)
+		}
+		zTotal += w
+	}
+	if len(fs.Zones) > 0 && zTotal <= 0 {
+		return fmt.Errorf("sim: zone weights sum to %v", zTotal)
+	}
+	return nil
+}
+
+// zoneNames returns the declared zones in a deterministic (sorted) order;
+// map iteration order must never leak into generated fleets.
+func (fs *FleetSpec) zoneNames() []string {
+	if len(fs.Zones) == 0 {
+		return []string{"default"}
+	}
+	names := make([]string, 0, len(fs.Zones))
+	for name := range fs.Zones {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// weightedPick draws an index from cumulative weights cum (strictly
+// increasing, cum[len-1] == total).
+func weightedPick(rng *rand.Rand, cum []float64) int {
+	x := rng.Float64() * cum[len(cum)-1]
+	for i, c := range cum {
+		if x < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// GenerateFleet expands the spec into a concrete fleet. The same (spec,
+// defaultNet, seed) triple always yields the identical fleet: nodes are
+// generated in ID order, template and zone draws come from one seeded
+// stream, and zone names are iterated sorted.
+func GenerateFleet(fs FleetSpec, defaultNet Network, seed int64) ([]Node, error) {
+	if err := fs.validate(); err != nil {
+		return nil, err
+	}
+	tmplCum := make([]float64, len(fs.Templates))
+	sum := 0.0
+	for i := range fs.Templates {
+		sum += fs.Templates[i].Weight
+		tmplCum[i] = sum
+	}
+	zones := fs.zoneNames()
+	zoneCum := make([]float64, len(zones))
+	sum = 0.0
+	for i, name := range zones {
+		w := 1.0
+		if len(fs.Zones) > 0 {
+			w = fs.Zones[name]
+		}
+		sum += w
+		zoneCum[i] = sum
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	fleet := make([]Node, fs.Nodes)
+	for i := range fleet {
+		t := &fs.Templates[weightedPick(rng, tmplCum)]
+		zone := zones[weightedPick(rng, zoneCum)]
+
+		net := defaultNet
+		if t.Network != "" {
+			net, _ = NetByName(t.Network)
+		}
+		if t.BandwidthGbps > 0 {
+			net.Bandwidth = t.BandwidthGbps * 1e9 / 8
+		}
+		scale := t.ComputeScale
+		if scale == 0 {
+			scale = 1
+		}
+		mem := DefaultGPU().MemoryBytes
+		if t.MemoryGB > 0 {
+			mem = t.MemoryGB * 1e9
+		}
+		fleet[i] = Node{
+			ID:           i,
+			Template:     t.Name,
+			Zone:         zone,
+			ComputeScale: scale,
+			Net:          net,
+			MemoryBytes:  mem,
+		}
+	}
+	return fleet, nil
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func testFleetSpec() FleetSpec {
+	return FleetSpec{
+		Nodes: 1000,
+		Templates: []NodeTemplate{
+			{Name: "fast", Weight: 3, ComputeScale: 0.5, BandwidthGbps: 25, MemoryGB: 40},
+			{Name: "slow", Weight: 1, Network: "1gbe"},
+		},
+		Zones: map[string]float64{"a": 1, "b": 1},
+	}
+}
+
+func TestGenerateFleetDeterministic(t *testing.T) {
+	spec := testFleetSpec()
+	a, err := GenerateFleet(spec, Net10GbE(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFleet(spec, Net10GbE(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != spec.Nodes {
+		t.Fatalf("got %d nodes, want %d", len(a), spec.Nodes)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := GenerateFleet(spec, Net10GbE(), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Template != c[i].Template || a[i].Zone != c[i].Zone {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and 43 generated the identical fleet")
+	}
+}
+
+func TestGenerateFleetOnlyDeclaredTemplatesAndZones(t *testing.T) {
+	spec := testFleetSpec()
+	fleet, err := GenerateFleet(spec, Net10GbE(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpls := map[string]bool{"fast": true, "slow": true}
+	zones := map[string]bool{"a": true, "b": true}
+	for _, n := range fleet {
+		if !tmpls[n.Template] {
+			t.Fatalf("node %d drew undeclared template %q", n.ID, n.Template)
+		}
+		if !zones[n.Zone] {
+			t.Fatalf("node %d drew undeclared zone %q", n.ID, n.Zone)
+		}
+		if n.ID < 0 || n.ID >= spec.Nodes {
+			t.Fatalf("node ID %d out of range", n.ID)
+		}
+	}
+}
+
+func TestGenerateFleetImplicitDefaultZone(t *testing.T) {
+	spec := testFleetSpec()
+	spec.Zones = nil
+	fleet, err := GenerateFleet(spec, Net10GbE(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range fleet {
+		if n.Zone != "default" {
+			t.Fatalf("node %d in zone %q, want the implicit default", n.ID, n.Zone)
+		}
+	}
+}
+
+func TestGenerateFleetWeightRatios(t *testing.T) {
+	// 3:1 weights over 1000 nodes: the fast share must land near 75%.
+	fleet, err := GenerateFleet(testFleetSpec(), Net10GbE(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := 0
+	for _, n := range fleet {
+		if n.Template == "fast" {
+			fast++
+		}
+	}
+	if share := float64(fast) / float64(len(fleet)); math.Abs(share-0.75) > 0.05 {
+		t.Fatalf("fast share %.3f, want ~0.75 for 3:1 weights", share)
+	}
+}
+
+func TestGenerateFleetTemplateOverrides(t *testing.T) {
+	fleet, err := GenerateFleet(testFleetSpec(), Net10GbE(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneGbE := Net1GbE()
+	for _, n := range fleet {
+		switch n.Template {
+		case "fast":
+			// bandwidth_gbps overrides the default preset's link rate; alpha
+			// stays the preset's.
+			if n.Net.Bandwidth != 25*1e9/8 {
+				t.Fatalf("fast node bandwidth %v, want 25Gbps", n.Net.Bandwidth)
+			}
+			if n.Net.Alpha != Net10GbE().Alpha {
+				t.Fatalf("fast node alpha %v should inherit the default preset", n.Net.Alpha)
+			}
+			if n.ComputeScale != 0.5 || n.MemoryBytes != 40e9 {
+				t.Fatalf("fast node lost template overrides: %+v", n)
+			}
+		case "slow":
+			// network names a full preset; unset knobs take defaults.
+			if n.Net.Bandwidth != oneGbE.Bandwidth || n.Net.Alpha != oneGbE.Alpha {
+				t.Fatalf("slow node should be on the 1gbe preset: %+v", n.Net)
+			}
+			if n.ComputeScale != 1 || n.MemoryBytes != DefaultGPU().MemoryBytes {
+				t.Fatalf("slow node defaults wrong: %+v", n)
+			}
+		}
+	}
+}
+
+func TestFleetSpecValidation(t *testing.T) {
+	base := testFleetSpec()
+	cases := []struct {
+		name   string
+		mutate func(*FleetSpec)
+	}{
+		{"zero nodes", func(f *FleetSpec) { f.Nodes = 0 }},
+		{"over cap", func(f *FleetSpec) { f.Nodes = MaxFleetNodes + 1 }},
+		{"no templates", func(f *FleetSpec) { f.Templates = nil }},
+		{"unnamed template", func(f *FleetSpec) { f.Templates[0].Name = "" }},
+		{"duplicate template", func(f *FleetSpec) { f.Templates[1].Name = "fast" }},
+		{"zero weight", func(f *FleetSpec) { f.Templates[0].Weight = 0 }},
+		{"negative weight", func(f *FleetSpec) { f.Templates[0].Weight = -1 }},
+		{"negative compute scale", func(f *FleetSpec) { f.Templates[0].ComputeScale = -0.5 }},
+		{"negative memory", func(f *FleetSpec) { f.Templates[0].MemoryGB = -1 }},
+		{"unknown network", func(f *FleetSpec) { f.Templates[0].Network = "40gbe" }},
+		{"unnamed zone", func(f *FleetSpec) { f.Zones = map[string]float64{"": 1} }},
+		{"zero zone weight", func(f *FleetSpec) { f.Zones = map[string]float64{"a": 0} }},
+	}
+	for _, tc := range cases {
+		spec := base
+		spec.Templates = append([]NodeTemplate(nil), base.Templates...)
+		tc.mutate(&spec)
+		if _, err := GenerateFleet(spec, Net10GbE(), 1); err == nil {
+			t.Fatalf("%s: expected validation error", tc.name)
+		}
+	}
+}

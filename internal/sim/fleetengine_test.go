@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// chaosScenario is a small randomized-fault scenario for engine tests.
+func chaosScenario() *Scenario {
+	return &Scenario{
+		Name:   "engine-test",
+		Seed:   5,
+		Steps:  200,
+		Model:  "resnet50",
+		Method: "acp",
+		Fleet: FleetSpec{
+			Nodes: 16,
+			Templates: []NodeTemplate{
+				{Name: "fast", Weight: 3},
+				{Name: "slow", Weight: 1, ComputeScale: 1.5},
+			},
+			Zones: map[string]float64{"a": 1, "b": 1},
+		},
+		Faults: FaultSpec{
+			CrashPer1kSteps:     2,
+			TransientPer1kSteps: 4,
+			CascadeFactor:       2,
+		},
+		Recovery: RecoverySpec{MinNodes: 2},
+	}
+}
+
+// scriptedScenario builds a 4-node scenario with the given scripted faults.
+func scriptedScenario(faults ...ScriptedFault) *Scenario {
+	return &Scenario{
+		Name:   "scripted-test",
+		Seed:   1,
+		Steps:  10,
+		Model:  "resnet50",
+		Method: "ssgd",
+		Fleet: FleetSpec{
+			Nodes:     4,
+			Templates: []NodeTemplate{{Name: "gpu", Weight: 1}},
+			Zones:     map[string]float64{"east": 3, "west": 1},
+		},
+		Faults: FaultSpec{Scripted: faults},
+	}
+}
+
+func mustRun(t *testing.T, sc *Scenario) *FleetReport {
+	t.Helper()
+	rep, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRunScenarioByteDeterministic(t *testing.T) {
+	sc := chaosScenario()
+	a, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("identical runs produced different report bytes:\n%s\nvs\n%s", ab, bb)
+	}
+	c, err := RunScenarioSeed(sc, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ab, cb) {
+		t.Fatal("different seeds produced identical chaos reports")
+	}
+	if c.Seed != 6 {
+		t.Fatalf("report seed %d, want the override 6", c.Seed)
+	}
+}
+
+func TestRunScenarioFleetIndependentOfFaultSpec(t *testing.T) {
+	// The fleet and fault streams are split sub-seeds: cranking fault rates
+	// must not reshuffle the generated hardware.
+	quiet := chaosScenario()
+	quiet.Faults = FaultSpec{}
+	loud := chaosScenario()
+	loud.Faults.CrashPer1kSteps = 50
+	a := mustRun(t, quiet)
+	b := mustRun(t, loud)
+	for name, n := range a.Templates {
+		if b.Templates[name] != n {
+			t.Fatalf("template %q count changed with fault rates: %d vs %d", name, n, b.Templates[name])
+		}
+	}
+	for name, n := range a.Zones {
+		if b.Zones[name] != n {
+			t.Fatalf("zone %q count changed with fault rates: %d vs %d", name, n, b.Zones[name])
+		}
+	}
+}
+
+func TestRunScenarioScriptedCrashShrinks(t *testing.T) {
+	rep := mustRun(t, scriptedScenario(ScriptedFault{Step: 3, Kind: FaultCrash, Node: 2}))
+	if rep.Crashes != 1 || rep.Transients != 0 {
+		t.Fatalf("want exactly 1 crash: %+v", rep)
+	}
+	if rep.Recoveries != 1 || rep.RecoverySec <= 0 {
+		t.Fatalf("crash must cost one priced recovery: %+v", rep)
+	}
+	if rep.FinalSurvivors != 3 {
+		t.Fatalf("4-node fleet minus one crash should end at 3, got %d", rep.FinalSurvivors)
+	}
+	if rep.Steps != 10 || rep.Dead {
+		t.Fatalf("run should complete all steps: %+v", rep)
+	}
+}
+
+func TestRunScenarioTransientKeepsSize(t *testing.T) {
+	rep := mustRun(t, scriptedScenario(ScriptedFault{Step: 3, Kind: FaultTransient, Node: 2}))
+	if rep.Transients != 1 || rep.Crashes != 0 {
+		t.Fatalf("want exactly 1 transient: %+v", rep)
+	}
+	if rep.Recoveries != 1 || rep.RecoverySec <= 0 {
+		t.Fatalf("a transient re-form still costs a recovery: %+v", rep)
+	}
+	if rep.FinalSurvivors != 4 {
+		t.Fatalf("transient faults must not shrink the fleet, got %d survivors", rep.FinalSurvivors)
+	}
+}
+
+func TestRunScenarioTransientCheaperThanCrash(t *testing.T) {
+	// A transient re-forms at full size and replays nothing extra beyond the
+	// interval; a crash additionally loses a member. Both pay a recovery, but
+	// the crash's shrink makes later steps slower or equal — total time with
+	// the crash must be >= the transient run.
+	crash := mustRun(t, scriptedScenario(ScriptedFault{Step: 3, Kind: FaultCrash, Node: 2}))
+	transient := mustRun(t, scriptedScenario(ScriptedFault{Step: 3, Kind: FaultTransient, Node: 2}))
+	if crash.FinalSurvivors >= transient.FinalSurvivors {
+		t.Fatalf("crash should end smaller: %d vs %d", crash.FinalSurvivors, transient.FinalSurvivors)
+	}
+}
+
+func TestRunScenarioZoneOutage(t *testing.T) {
+	rep := mustRun(t, scriptedScenario(ScriptedFault{Step: 5, Kind: FaultZoneOutage, Zone: "west"}))
+	if rep.ZoneOutages != 1 {
+		t.Fatalf("want 1 zone outage: %+v", rep)
+	}
+	west := rep.Zones["west"]
+	if west < 1 {
+		t.Skip("seed placed no nodes in west; scenario too small")
+	}
+	if rep.FinalSurvivors != 4-west {
+		t.Fatalf("outage should remove all %d west nodes, survivors %d", west, rep.FinalSurvivors)
+	}
+	if rep.Crashes != west {
+		t.Fatalf("zone outage should count its %d node losses as crashes, got %d", west, rep.Crashes)
+	}
+	if rep.Recoveries != 1 {
+		t.Fatalf("one outage event is one mass recovery, got %d", rep.Recoveries)
+	}
+}
+
+func TestRunScenarioMinNodesDeath(t *testing.T) {
+	sc := scriptedScenario(
+		ScriptedFault{Step: 2, Kind: FaultCrash, Node: 0},
+		ScriptedFault{Step: 4, Kind: FaultCrash, Node: 1},
+	)
+	sc.Recovery.MinNodes = 3
+	rep := mustRun(t, sc)
+	if !rep.Dead {
+		t.Fatalf("dropping to 2 survivors under min_nodes=3 must kill the run: %+v", rep)
+	}
+	if rep.Steps >= sc.Steps {
+		t.Fatalf("dead run should stop early, completed %d/%d", rep.Steps, sc.Steps)
+	}
+	if rep.FinalSurvivors != 2 {
+		t.Fatalf("want 2 survivors at death, got %d", rep.FinalSurvivors)
+	}
+}
+
+func TestRunScenarioDeadFaultOnDeadNodeIgnored(t *testing.T) {
+	rep := mustRun(t, scriptedScenario(
+		ScriptedFault{Step: 2, Kind: FaultCrash, Node: 1},
+		ScriptedFault{Step: 5, Kind: FaultCrash, Node: 1}, // already dead
+	))
+	if rep.Crashes != 1 || rep.Recoveries != 1 {
+		t.Fatalf("re-crashing a dead node must be a no-op: %+v", rep)
+	}
+}
+
+func TestRunScenarioStragglersSetTheRing(t *testing.T) {
+	// A fleet with one 1GbE straggler template must be slower per step than
+	// the same fleet all on 10GbE: the bottleneck node paces everyone.
+	uniform := chaosScenario()
+	uniform.Faults = FaultSpec{}
+	uniform.Fleet.Templates = []NodeTemplate{{Name: "fast", Weight: 1}}
+	mixed := chaosScenario()
+	mixed.Faults = FaultSpec{}
+	mixed.Fleet.Templates = []NodeTemplate{
+		{Name: "fast", Weight: 3},
+		{Name: "slow-nic", Weight: 1, Network: "1gbe"},
+	}
+	u := mustRun(t, uniform)
+	m := mustRun(t, mixed)
+	if m.StepMeanSec <= u.StepMeanSec {
+		t.Fatalf("1GbE stragglers should slow the ring: mixed %.4fs vs uniform %.4fs", m.StepMeanSec, u.StepMeanSec)
+	}
+}
+
+func TestRunScenarioReportAccounting(t *testing.T) {
+	rep := mustRun(t, chaosScenario())
+	if rep.Steps != 200 {
+		t.Fatalf("want all 200 steps, got %d", rep.Steps)
+	}
+	if rep.StepP50Sec <= 0 || rep.StepP99Sec < rep.StepP50Sec || rep.StepMaxSec < rep.StepP99Sec || rep.StepMinSec > rep.StepP50Sec {
+		t.Fatalf("step distribution inconsistent: %+v", rep)
+	}
+	if rep.WireSec < rep.ExposedCommSec {
+		t.Fatalf("wire time cannot be below exposed comm: %v < %v", rep.WireSec, rep.ExposedCommSec)
+	}
+	if rep.WireBytes <= 0 || rep.FFBPSec <= 0 {
+		t.Fatalf("missing volume/compute accounting: %+v", rep)
+	}
+	if rep.TotalSec != rep.TrainSec+rep.RecoverySec {
+		t.Fatalf("total must be train+recovery: %+v", rep)
+	}
+	if rep.StepsPerSec <= 0 {
+		t.Fatalf("throughput missing: %+v", rep)
+	}
+	// The recovery count can never exceed failed steps, and every recovery
+	// must have been priced.
+	if rep.Recoveries > 0 && rep.RecoverySec <= 0 && !rep.Dead {
+		t.Fatalf("recoveries without recovery time: %+v", rep)
+	}
+}
+
+func TestRunScenarioValidatesFirst(t *testing.T) {
+	sc := chaosScenario()
+	sc.Model = "gpt5"
+	if _, err := RunScenario(sc); err == nil {
+		t.Fatal("invalid scenario must not run")
+	}
+}
+
+func TestRunScenarioOOMBottleneck(t *testing.T) {
+	// BERT-Large S-SGD does not fit an 11GB card even before compression;
+	// the engine must surface the OOM as an error rather than price garbage.
+	sc := chaosScenario()
+	sc.Model = "bert-large"
+	sc.Method = "sign"
+	sc.Faults = FaultSpec{}
+	if _, err := RunScenario(sc); err == nil {
+		t.Fatal("OOM fleet must fail loudly")
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden-scenario regression suite: every committed scenario under
+// scenarios/ runs with its pinned seed and must reproduce its committed
+// report under testdata/golden/ byte for byte. Any change to the cost
+// model, the fleet generator, the fault sampler or the report encoding
+// shows up here as a diff — regenerate deliberately with:
+//
+//	go test ./internal/sim -run TestGoldenScenarios -update
+
+var updateGolden = flag.Bool("update", false, "rewrite golden scenario reports")
+
+func TestGoldenScenarios(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no committed scenarios found")
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".json")
+		t.Run(name, func(t *testing.T) {
+			sc, err := LoadScenario(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rep.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Bit-reproducibility is the contract the goldens rest on:
+			// a second run must produce the same bytes before we compare
+			// against anything committed.
+			rep2, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := rep2.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, again) {
+				t.Fatalf("scenario %s is not run-to-run deterministic", name)
+			}
+
+			golden := filepath.Join("testdata", "golden", name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden report (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("report for %s drifted from its golden file.\nIf the cost model changed intentionally, regenerate with -update.\ngot:\n%s\nwant:\n%s",
+					name, got, want)
+			}
+		})
+	}
+}

@@ -64,14 +64,26 @@ type RecoveryResult struct {
 // training iteration described by cfg when one worker fails. The surviving
 // group has cfg.Workers-1 ranks; cfg must describe at least 2 workers.
 func EstimateRecovery(cfg Config, rc RecoveryConfig) (RecoveryResult, error) {
-	if err := rc.validate(); err != nil {
-		return RecoveryResult{}, err
-	}
 	if cfg.Workers < 2 {
 		return RecoveryResult{}, fmt.Errorf("sim: recovery needs >= 2 workers, got %d", cfg.Workers)
 	}
+	return EstimateRecoveryTo(cfg, rc, cfg.Workers-1)
+}
 
-	survivors := cfg.Workers - 1
+// EstimateRecoveryTo generalizes EstimateRecovery to an arbitrary surviving
+// group size: survivors == cfg.Workers prices a same-size re-form (a
+// transient link fault — the epoch rebuilds but nobody is expelled), while
+// survivors < cfg.Workers prices losing cfg.Workers-survivors ranks at once
+// (a multi-node or zone failure). The fleet scenario engine calls this for
+// every recovery event it injects.
+func EstimateRecoveryTo(cfg Config, rc RecoveryConfig, survivors int) (RecoveryResult, error) {
+	if err := rc.validate(); err != nil {
+		return RecoveryResult{}, err
+	}
+	if survivors < 1 || survivors > cfg.Workers {
+		return RecoveryResult{}, fmt.Errorf("sim: survivors must be in [1, %d], got %d", cfg.Workers, survivors)
+	}
+
 	after := cfg
 	after.Workers = survivors
 	res, err := Simulate(after)

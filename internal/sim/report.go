@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// FleetReport is the machine-readable result of one scenario run. Given the
+// same scenario and seed it is byte-for-byte reproducible: every field is a
+// pure function of the inputs (no timestamps, no host metadata), maps
+// marshal with sorted keys, and floats round-trip through Go's shortest
+// decimal representation. The golden-scenario regression suite asserts that
+// property directly against committed report files.
+type FleetReport struct {
+	Schema   int    `json:"schema"`
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+
+	// Fleet composition at generation time.
+	Nodes     int            `json:"nodes"`
+	Templates map[string]int `json:"templates"`
+	Zones     map[string]int `json:"zones"`
+
+	// Steps is the number of training steps completed; Dead reports that
+	// the run ended early because survivors dropped below min_nodes.
+	Steps int  `json:"steps"`
+	Dead  bool `json:"dead,omitempty"`
+
+	// Step-time distribution over completed steps (seconds).
+	StepMeanSec float64 `json:"step_mean_sec"`
+	StepP50Sec  float64 `json:"step_p50_sec"`
+	StepP99Sec  float64 `json:"step_p99_sec"`
+	StepMinSec  float64 `json:"step_min_sec"`
+	StepMaxSec  float64 `json:"step_max_sec"`
+
+	// Per-phase totals over all completed steps (seconds). Encode + Decode
+	// is the compression overhead; Wire is total network busy time and
+	// ExposedComm the part no compute hid.
+	FFBPSec        float64 `json:"ffbp_sec"`
+	EncodeSec      float64 `json:"encode_sec"`
+	DecodeSec      float64 `json:"decode_sec"`
+	WireSec        float64 `json:"wire_sec"`
+	ExposedCommSec float64 `json:"exposed_comm_sec"`
+
+	// WireBytes is the fleet-wide communicated volume (per-worker payload
+	// summed over every surviving worker, every step).
+	WireBytes float64 `json:"wire_bytes"`
+
+	// Chaos accounting.
+	Crashes        int     `json:"crashes"`
+	Transients     int     `json:"transients"`
+	ZoneOutages    int     `json:"zone_outages"`
+	Recoveries     int     `json:"recoveries"`
+	RecoverySec    float64 `json:"recovery_sec"`
+	FinalSurvivors int     `json:"final_survivors"`
+
+	// Wall-clock composition and effective throughput.
+	TrainSec    float64 `json:"train_sec"`
+	TotalSec    float64 `json:"total_sec"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+}
+
+// Encode renders the report in its canonical byte form — the exact bytes
+// `acpsim -scenario` prints and the golden suite commits.
+func (r *FleetReport) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// percentile returns the q-quantile (0 <= q <= 1) of sorted by the
+// nearest-rank method — deterministic, no interpolation artifacts.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// summarizeSteps fills the step-time distribution fields from the per-step
+// samples.
+func (r *FleetReport) summarizeSteps(stepSecs []float64) {
+	if len(stepSecs) == 0 {
+		return
+	}
+	sorted := append([]float64(nil), stepSecs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, s := range stepSecs {
+		sum += s
+	}
+	r.StepMeanSec = sum / float64(len(stepSecs))
+	r.StepP50Sec = percentile(sorted, 0.50)
+	r.StepP99Sec = percentile(sorted, 0.99)
+	r.StepMinSec = sorted[0]
+	r.StepMaxSec = sorted[len(sorted)-1]
+}

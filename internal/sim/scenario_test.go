@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testScenarioJSON is a small, fully valid scenario document used by the
+// parser tests and as the fuzz seed corpus.
+const testScenarioJSON = `{
+  "name": "unit",
+  "seed": 9,
+  "steps": 10,
+  "model": "resnet50",
+  "method": "acp",
+  "fleet": {
+    "nodes": 4,
+    "templates": [{"name": "gpu", "weight": 1}],
+    "zones": {"a": 1, "b": 1}
+  },
+  "faults": {
+    "scripted": [{"step": 3, "kind": "crash", "node": 2}]
+  },
+  "recovery": {"min_nodes": 2}
+}`
+
+func TestParseScenario(t *testing.T) {
+	sc, err := ParseScenario([]byte(testScenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "unit" || sc.Steps != 10 || sc.Fleet.Nodes != 4 {
+		t.Fatalf("parsed scenario wrong: %+v", sc)
+	}
+	if len(sc.Faults.Scripted) != 1 || sc.Faults.Scripted[0].Kind != FaultCrash {
+		t.Fatalf("scripted faults wrong: %+v", sc.Faults.Scripted)
+	}
+}
+
+func TestParseScenarioRejectsUnknownFields(t *testing.T) {
+	doc := strings.Replace(testScenarioJSON, `"seed": 9,`, `"seed": 9, "stepz": 10,`, 1)
+	if _, err := ParseScenario([]byte(doc)); err == nil {
+		t.Fatal("a typoed field must be an error, not a silent default")
+	}
+}
+
+func TestParseScenarioRejectsTrailingData(t *testing.T) {
+	if _, err := ParseScenario([]byte(testScenarioJSON + `{"name": "second"}`)); err == nil {
+		t.Fatal("trailing document must be rejected")
+	}
+}
+
+func TestParseScenarioRejectsGarbage(t *testing.T) {
+	for _, doc := range []string{"", "nope", "[]", `{"name":`} {
+		if _, err := ParseScenario([]byte(doc)); err == nil {
+			t.Fatalf("garbage %q accepted", doc)
+		}
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	mutate := func(f func(*Scenario)) *Scenario {
+		var sc Scenario
+		if err := json.Unmarshal([]byte(testScenarioJSON), &sc); err != nil {
+			t.Fatal(err)
+		}
+		f(&sc)
+		return &sc
+	}
+	cases := []struct {
+		name string
+		sc   *Scenario
+	}{
+		{"no name", mutate(func(s *Scenario) { s.Name = "" })},
+		{"zero steps", mutate(func(s *Scenario) { s.Steps = 0 })},
+		{"steps over cap", mutate(func(s *Scenario) { s.Steps = 1<<20 + 1 })},
+		{"unknown model", mutate(func(s *Scenario) { s.Model = "gpt5" })},
+		{"unsimulatable method", mutate(func(s *Scenario) { s.Method = "dgc" })},
+		{"unknown mode", mutate(func(s *Scenario) { s.Mode = "eager" })},
+		{"negative rank", mutate(func(s *Scenario) { s.Rank = -1 })},
+		{"topk ratio over 1", mutate(func(s *Scenario) { s.TopKRatio = 1.5 })},
+		{"unknown network", mutate(func(s *Scenario) { s.Network = "myrinet" })},
+		{"scripted step out of range", mutate(func(s *Scenario) { s.Faults.Scripted[0].Step = 11 })},
+		{"scripted node out of range", mutate(func(s *Scenario) { s.Faults.Scripted[0].Node = 4 })},
+		{"scripted unknown kind", mutate(func(s *Scenario) { s.Faults.Scripted[0].Kind = "brownout" })},
+		{"scripted undeclared zone", mutate(func(s *Scenario) {
+			s.Faults.Scripted[0] = ScriptedFault{Step: 1, Kind: FaultZoneOutage, Zone: "z"}
+		})},
+		{"negative fault rate", mutate(func(s *Scenario) { s.Faults.CrashPer1kSteps = -1 })},
+		{"cascade factor below 1", mutate(func(s *Scenario) { s.Faults.CascadeFactor = 0.5 })},
+		{"negative recovery knob", mutate(func(s *Scenario) { s.Recovery.BackoffSec = -1 })},
+		{"min nodes over fleet", mutate(func(s *Scenario) { s.Recovery.MinNodes = 5 })},
+	}
+	for _, tc := range cases {
+		if err := tc.sc.Validate(); err == nil {
+			t.Fatalf("%s: expected a validation error", tc.name)
+		}
+	}
+}
+
+func TestParseModeNames(t *testing.T) {
+	for s, want := range map[string]Mode{
+		"naive": ModeNaive, "wfbp": ModeWFBP, "wfbp+tf": ModeWFBPTF, "WFBPTF": ModeWFBPTF, "tf": ModeWFBPTF,
+	} {
+		got, ok := parseMode(s)
+		if !ok || got != want {
+			t.Fatalf("parseMode(%q) = %v, %v", s, got, ok)
+		}
+	}
+	if _, ok := parseMode("eager"); ok {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestCommittedScenariosParse keeps the shipped scenario library loadable:
+// every file under scenarios/ must parse, validate, and carry a seed so its
+// golden report is reproducible by name alone.
+func TestCommittedScenariosParse(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("expected the committed scenario library, found %d files", len(files))
+	}
+	for _, f := range files {
+		sc, err := LoadScenario(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if sc.Seed == 0 {
+			t.Fatalf("%s: committed scenarios must pin a seed", f)
+		}
+		if want := strings.TrimSuffix(filepath.Base(f), ".json"); sc.Name != want {
+			t.Fatalf("%s: scenario name %q should match its filename", f, sc.Name)
+		}
+	}
+}
+
+func TestLoadScenarioMissingFile(t *testing.T) {
+	if _, err := LoadScenario(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// FuzzParseScenario drives the strict parser with arbitrary documents: it
+// must never panic, and anything it accepts must be internally consistent
+// enough to validate and re-validate idempotently.
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(testScenarioJSON))
+	if data, err := os.ReadFile(filepath.Join("..", "..", "scenarios", "1000-node-chaos.json")); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","steps":1,"model":"resnet50","method":"ssgd","fleet":{"nodes":1,"templates":[{"name":"t","weight":1}]}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		// Accepted documents satisfy every invariant Validate checks, and
+		// stay valid when checked again.
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("accepted scenario fails re-validation: %v", err)
+		}
+		// The fleet generator must succeed on any validated spec.
+		if _, err := GenerateFleet(sc.Fleet, sc.defaultNet(), 1); err != nil {
+			t.Fatalf("validated fleet fails to generate: %v", err)
+		}
+	})
+}

@@ -116,10 +116,20 @@ type Config struct {
 
 // Result is one simulated iteration with the paper's breakdown metrics.
 type Result struct {
-	TotalSec       float64
-	FFBPSec        float64
-	CompressSec    float64
-	CommSec        float64 // non-overlapped communication
+	TotalSec    float64
+	FFBPSec     float64
+	CompressSec float64
+	CommSec     float64 // non-overlapped (exposed) communication
+	// EncodeSec and DecodeSec split CompressSec into its two wire sides:
+	// encode is every compression kernel that runs before the collective
+	// (pack, selection, low-rank factor compute, EF fold), decode everything
+	// after it (vote, scatter-add, P·Qᵀ reconstruction). They sum to
+	// CompressSec.
+	EncodeSec float64
+	DecodeSec float64
+	// WireSec is the total time the network was busy, overlapped or not;
+	// WireSec - CommSec is the communication the schedule hid under compute.
+	WireSec        float64
 	OOM            bool
 	MemoryBytes    float64
 	PayloadBytes   float64 // per-iteration communicated payload per worker
@@ -218,6 +228,9 @@ func Simulate(cfg Config) (Result, error) {
 			FFBPSec:      (a.FFBPSec + b.FFBPSec) / 2,
 			CompressSec:  (a.CompressSec + b.CompressSec) / 2,
 			CommSec:      (a.CommSec + b.CommSec) / 2,
+			EncodeSec:    (a.EncodeSec + b.EncodeSec) / 2,
+			DecodeSec:    (a.DecodeSec + b.DecodeSec) / 2,
+			WireSec:      (a.WireSec + b.WireSec) / 2,
 			PayloadBytes: (a.PayloadBytes + b.PayloadBytes) / 2,
 			MemoryBytes:  mem,
 		}
@@ -252,6 +265,8 @@ func simulateOnce(cfg *Config) (Result, error) {
 		b.deferCommAfterBackward()
 	}
 	acct, err := b.eng.run()
+	b.eng.release()
+	b.eng = nil
 	if err != nil {
 		return Result{}, err
 	}
@@ -260,6 +275,9 @@ func simulateOnce(cfg *Config) (Result, error) {
 		FFBPSec:      acct.FFBP,
 		CompressSec:  acct.Compress,
 		CommSec:      acct.CommNonOverlap,
+		EncodeSec:    acct.Encode,
+		DecodeSec:    acct.Decode,
+		WireSec:      acct.CommTotal,
 		PayloadBytes: b.payloadBytes,
 	}, nil
 }

@@ -437,6 +437,14 @@ func (c *Cluster) Size() int { return len(c.group().workers) }
 // disabled — the fixed group never changes membership).
 func (c *Cluster) Epoch() uint64 { return c.group().epoch }
 
+// Recoveries returns how many elastic recoveries (transient re-forms and
+// crash shrinks) the cluster has completed so far.
+func (c *Cluster) Recoveries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recoveries
+}
+
 // group snapshots the current epoch group pointer.
 func (c *Cluster) group() *epochGroup {
 	c.mu.Lock()
