@@ -17,10 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"acpsgd/internal/compress"
 	"acpsgd/internal/core"
+	"acpsgd/internal/train"
 )
 
 func main() {
@@ -49,8 +52,33 @@ func run(args []string) int {
 	ckptEvery := fs.Int("checkpoint-every", 8, "elastic snapshot interval in steps")
 	minWorkers := fs.Int("min-workers", 1, "smallest group elastic recovery may re-form")
 	ckptDir := fs.String("checkpoint-dir", "", "persist rank 0's elastic snapshot to this directory (checkpoint.gob)")
+	stepDeadline := fs.Duration("step-deadline", 0, "stuck-step watchdog: abort and recover any step exceeding this deadline (0 disables; elastic only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// With the elastic runtime on, SIGTERM/SIGINT drains the highest rank
+	// instead of killing the process: the cluster re-forms one worker
+	// smaller at the next step boundary, paying no recovery budget. Each
+	// further signal drains another rank; once the group is at min-workers
+	// the drain is refused and the signal falls through to the default
+	// handler on the next delivery.
+	onCluster := func(c *train.Cluster) {
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+		go func() {
+			for sig := range sigCh {
+				if err := c.DrainRank(c.Size() - 1); err != nil {
+					fmt.Fprintf(os.Stderr, "acptrain: %v on %v; next signal exits\n", err, sig)
+					signal.Stop(sigCh)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "acptrain: %v: draining one rank (now targeting %d workers)\n", sig, c.Size()-1)
+			}
+		}()
+	}
+	if !*elastic {
+		onCluster = nil
 	}
 
 	hist, err := core.Train(core.TrainConfig{
@@ -77,6 +105,8 @@ func run(args []string) int {
 		CheckpointEvery: *ckptEvery,
 		MinWorkers:      *minWorkers,
 		CheckpointDir:   *ckptDir,
+		StepDeadline:    *stepDeadline,
+		OnCluster:       onCluster,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acptrain: %v\n", err)

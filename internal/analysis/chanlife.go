@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -51,7 +52,8 @@ func runChanLife(pass *Pass) error {
 }
 
 // checkGoroutineBody looks for infinite loops in a goroutine body and flags
-// bare blocking channel operations inside them.
+// bare blocking channel operations inside them, then checks the straight-line
+// (one-shot) part of the body for undeadlined blocking receives.
 func checkGoroutineBody(pass *Pass, body *ast.BlockStmt) {
 	inspectShallow(body, func(n ast.Node) bool {
 		loop, ok := n.(*ast.ForStmt)
@@ -61,6 +63,82 @@ func checkGoroutineBody(pass *Pass, body *ast.BlockStmt) {
 		checkLoopBody(pass, loop.Body)
 		return false // checkLoopBody recurses into nested loops itself
 	})
+	checkOneShotRecvs(pass, body)
+}
+
+// checkOneShotRecvs flags bare statement-level channel receives in the parts
+// of a goroutine body outside its service loops — the watchdog/drain shape
+// where a helper goroutine parks on one channel and is silently abandoned if
+// the sender dies first. A blocking receive there must carry a deadline or
+// cancel alternative: a ≥2-case select, a default, a range over a closable
+// channel, or a channel the expression itself manufactures (<-time.After(d),
+// <-ctx.Done() — deadline/cancel sources that always resolve). Bare sends
+// stay loop-only: a one-shot send into a buffered channel is the normal
+// result-handoff idiom and blocking variants are already caught at the
+// receiver's end.
+func checkOneShotRecvs(pass *Pass, body *ast.BlockStmt) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if isInfiniteLoop(n) {
+				return false // the service-loop pass owns these
+			}
+		case *ast.RangeStmt:
+			// range over a channel exits when the channel closes: sanctioned.
+			ast.Inspect(n.Body, walk)
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if len(n.Body.List) < 2 && !hasDefault {
+				for _, c := range n.Body.List {
+					if cc := c.(*ast.CommClause); cc.Comm != nil {
+						pass.Reportf(cc.Comm.Pos(), "single-case select blocks this goroutine forever if the channel goes quiet; add a case on the shutdown channel")
+					}
+				}
+			}
+			for _, c := range n.Body.List {
+				for _, s := range c.(*ast.CommClause).Body {
+					ast.Inspect(s, walk)
+				}
+			}
+			return false
+		case *ast.ExprStmt:
+			if u := bareRecvExpr(pass.Info, n.X); u != nil {
+				pass.Reportf(u.Pos(), "blocking channel receive in a goroutine with no deadline or cancel case; select on a shutdown channel or a <-time.After deadline too")
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if u := bareRecvExpr(pass.Info, n.Rhs[0]); u != nil {
+					pass.Reportf(u.Pos(), "blocking channel receive in a goroutine with no deadline or cancel case; select on a shutdown channel or a <-time.After deadline too")
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// bareRecvExpr returns the receive operation if e is a bare statement-level
+// channel receive with no built-in resolution guarantee. Receives whose
+// operand is itself a call (<-time.After(d), <-ctx.Done()) draw from a
+// freshly manufactured deadline/cancel source and are sanctioned.
+func bareRecvExpr(info *types.Info, e ast.Expr) *ast.UnaryExpr {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW || !isChanExpr(info, u.X) {
+		return nil
+	}
+	if _, isCall := ast.Unparen(u.X).(*ast.CallExpr); isCall {
+		return nil
+	}
+	return u
 }
 
 // isInfiniteLoop reports whether the for statement can only be left by

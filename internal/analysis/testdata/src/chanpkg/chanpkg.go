@@ -3,6 +3,8 @@
 // to the sanctioned select-on-done and range-over-channel shapes.
 package chanpkg
 
+import "time"
+
 func spawnBareRecv(ch chan int) {
 	go func() {
 		for {
@@ -97,11 +99,79 @@ func notAGoroutine(ch chan int) {
 	}
 }
 
-// boundedLoop has a real condition and terminates.
+// --- one-shot receives (the watchdog/drain helper shape) ---
+
+// boundedLoop terminates, but each bare receive still parks the goroutine
+// forever if the sender dies first.
 func boundedLoop(ch chan int, n int) {
 	go func() {
 		for i := 0; i < n; i++ {
-			<-ch
+			<-ch // want `blocking channel receive in a goroutine with no deadline or cancel case`
+		}
+	}()
+}
+
+// oneShotRecv parks on a single receive with no way out.
+func oneShotRecv(ch chan int) {
+	go func() {
+		v := <-ch // want `blocking channel receive in a goroutine with no deadline or cancel case`
+		_ = v
+	}()
+}
+
+// oneShotRecvStmt discards the value; still a parked goroutine.
+func oneShotRecvStmt(ch chan struct{}, cleanup func()) {
+	go func() {
+		<-ch // want `blocking channel receive in a goroutine with no deadline or cancel case`
+		cleanup()
+	}()
+}
+
+// oneShotSingleSelect is the same trap in select clothing.
+func oneShotSingleSelect(ch chan int) {
+	go func() {
+		select {
+		case <-ch: // want `single-case select blocks this goroutine forever`
+		}
+	}()
+}
+
+// namedWaiter is launched by name below; one-shot bodies of named functions
+// are checked too.
+func namedWaiter(ch chan int) {
+	_ = <-ch // want `blocking channel receive in a goroutine with no deadline or cancel case`
+}
+
+func spawnNamedWaiter(ch chan int) { go namedWaiter(ch) }
+
+// --- sanctioned one-shot shapes ---
+
+// deadlineRecv manufactures its own resolution: time.After always fires.
+func deadlineRecv(d time.Duration, cleanup func()) {
+	go func() {
+		<-time.After(d)
+		cleanup()
+	}()
+}
+
+// recvWithTimeout pairs the receive with a deadline case.
+func recvWithTimeout(ch chan int, d time.Duration) {
+	go func() {
+		select {
+		case v := <-ch:
+			_ = v
+		case <-time.After(d):
+		}
+	}()
+}
+
+// recvWithCancel pairs the receive with a shutdown case.
+func recvWithCancel(ch chan int, done chan struct{}) {
+	go func() {
+		select {
+		case v := <-ch:
+			_ = v
+		case <-done:
 		}
 	}()
 }

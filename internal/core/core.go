@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
 	"acpsgd/internal/compress"
 	"acpsgd/internal/data"
@@ -81,6 +82,15 @@ type TrainConfig struct {
 	// snapshot to CheckpointDir/checkpoint.gob at every checkpoint. Only
 	// meaningful with Elastic.
 	CheckpointDir string
+	// StepDeadline arms the stuck-step watchdog: a step that has not
+	// completed within the deadline aborts the epoch, peers blame the
+	// wedged rank, and recovery expels it like a crash. 0 disables the
+	// watchdog. Only meaningful with Elastic.
+	StepDeadline time.Duration
+	// OnCluster, when set, receives the live cluster before the first
+	// step — the hook CLI drivers use to wire drain/cordon signal handling
+	// onto the elastic control surface. Only meaningful with Elastic.
+	OnCluster func(*train.Cluster)
 }
 
 func (c *TrainConfig) withDefaults() TrainConfig {
@@ -245,9 +255,11 @@ func Train(cfg TrainConfig) (*train.History, error) {
 			CheckpointEvery: c.CheckpointEvery,
 			MinWorkers:      c.MinWorkers,
 			Dir:             c.CheckpointDir,
+			StepDeadline:    c.StepDeadline,
 		},
-		Seed:   c.Seed,
-		UseTCP: c.UseTCP,
+		Seed:      c.Seed,
+		UseTCP:    c.UseTCP,
+		OnCluster: c.OnCluster,
 	}, build, trainSet, testSet)
 }
 

@@ -19,6 +19,26 @@
 // needs no cooperation to leave the group. ReportFailure expels a member
 // immediately when the failure is already attributed (a transport error
 // pinned to a rank), skipping the timeout.
+//
+// Beyond crash recovery, the coordinator supports three planned membership
+// moves:
+//
+//   - Scale-up: RequestJoin parks a newcomer in a pending set (heartbeating,
+//     but not yet in any epoch). The training loop admits every fresh
+//     pending joiner at its next step boundary with CommitReshape — k
+//     simultaneous joiners cost a single epoch bump and a single re-form.
+//   - Cordon: the member stays in its current epoch but is excluded from
+//     every epoch formed after the flag is set (CommitReshape and
+//     Stabilize both drop cordoned members).
+//   - Drain: cordon plus a request for a proactive re-form, with a deadline
+//     after which the monitor expels the member anyway — a drain that the
+//     consumer never honors degrades to the ordinary expel path.
+//
+// Identity is generation-scoped: every (re-)registration gets a fresh
+// generation, and a Member handle's heartbeats carry its generation, so an
+// expelled member's ID can rejoin (Rejoin, or RequestJoin + CommitReshape)
+// while any zombie heartbeat loop from the previous incarnation is rejected
+// instead of keeping the stale registration alive.
 package elastic
 
 import (
@@ -33,8 +53,8 @@ import (
 var ErrClosed = errors.New("elastic: coordinator closed")
 
 // ErrEvicted is returned by Heartbeat when the member has been expelled from
-// the group (heartbeat timeout or ReportFailure); the member should stop
-// beating and tear itself down.
+// the group (heartbeat timeout or ReportFailure) or its incarnation was
+// deposed by a rejoin; the member should stop beating and tear itself down.
 var ErrEvicted = errors.New("elastic: member evicted")
 
 // DefaultHeartbeatTimeout is the liveness window used when NewCoordinator is
@@ -63,7 +83,11 @@ func (e Epoch) Has(id string) bool {
 }
 
 type memberState struct {
-	last time.Time // last heartbeat
+	last     time.Time // last heartbeat
+	gen      uint64    // registration generation; a deposed incarnation's beats are rejected
+	cordoned bool      // excluded from the next epoch that forms
+	draining bool      // cordoned and asking for a proactive re-form
+	drainBy  time.Time // non-zero: expel if still registered past this instant
 }
 
 // Coordinator owns the membership epoch. All methods are safe for concurrent
@@ -74,7 +98,9 @@ type Coordinator struct {
 
 	mu      sync.Mutex
 	epoch   uint64
+	nextGen uint64
 	members map[string]*memberState
+	pending map[string]*memberState // join requests awaiting admission
 	closed  bool
 
 	done chan struct{}
@@ -91,6 +117,7 @@ func NewCoordinator(timeout time.Duration) *Coordinator {
 	c := &Coordinator{
 		timeout: timeout,
 		members: make(map[string]*memberState),
+		pending: make(map[string]*memberState),
 		done:    make(chan struct{}),
 	}
 	c.wg.Add(1)
@@ -128,13 +155,23 @@ func (c *Coordinator) tickEvery() time.Duration {
 }
 
 // expireLocked removes members whose last heartbeat is older than the
-// timeout. Caller holds mu.
+// timeout, and draining members whose drain deadline has passed — the
+// degrade path for a drain nobody honored. Stale pending joiners are dropped
+// silently (they were never in an epoch, so no epoch is declared for them).
+// Caller holds mu.
 func (c *Coordinator) expireLocked(now time.Time) {
 	changed := false
 	for id, m := range c.members {
-		if now.Sub(m.last) > c.timeout {
+		stale := now.Sub(m.last) > c.timeout
+		drainExpired := m.draining && !m.drainBy.IsZero() && now.After(m.drainBy)
+		if stale || drainExpired {
 			delete(c.members, id)
 			changed = true
+		}
+	}
+	for id, m := range c.pending {
+		if now.Sub(m.last) > c.timeout {
+			delete(c.pending, id)
 		}
 	}
 	if changed {
@@ -152,25 +189,107 @@ func (c *Coordinator) epochLocked() Epoch {
 	return Epoch{Num: c.epoch, Members: ids}
 }
 
+// newStateLocked allocates a member state with a fresh generation. Caller
+// holds mu.
+func (c *Coordinator) newStateLocked() *memberState {
+	c.nextGen++
+	return &memberState{last: time.Now(), gen: c.nextGen}
+}
+
 // Register adds a member and declares a new epoch containing it. Member IDs
-// must be unique among live members.
+// must be unique among live members; an ID that was expelled earlier may
+// register again (see also Rejoin, which additionally deposes a live
+// incarnation of the same ID).
 func (c *Coordinator) Register(id string) (Epoch, error) {
+	ep, _, err := c.register(id)
+	return ep, err
+}
+
+func (c *Coordinator) register(id string) (Epoch, uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return Epoch{}, ErrClosed
+		return Epoch{}, 0, ErrClosed
 	}
 	if _, dup := c.members[id]; dup {
-		return Epoch{}, fmt.Errorf("elastic: member %q already registered", id)
+		return Epoch{}, 0, fmt.Errorf("elastic: member %q already registered", id)
 	}
-	c.members[id] = &memberState{last: time.Now()}
+	if _, dup := c.pending[id]; dup {
+		return Epoch{}, 0, fmt.Errorf("elastic: member %q already pending join", id)
+	}
+	st := c.newStateLocked()
+	c.members[id] = st
 	c.epoch++
-	return c.epochLocked(), nil
+	return c.epochLocked(), st.gen, nil
 }
 
-// Heartbeat refreshes a member's liveness. An expelled member receives
-// ErrEvicted and must stop beating.
-func (c *Coordinator) Heartbeat(id string) error {
+// Rejoin registers id even if an incarnation of it is still live, deposing
+// the old one: the previous registration is replaced in a single epoch bump
+// and its heartbeats are rejected from now on. This is the restart path — a
+// rank that crashed and came back under the same identity must not be locked
+// out by its own zombie state (or, with a fast restart, by a registration
+// the monitor has not expired yet).
+func (c *Coordinator) Rejoin(id string) (Epoch, error) {
+	ep, _, err := c.rejoin(id)
+	return ep, err
+}
+
+func (c *Coordinator) rejoin(id string) (Epoch, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Epoch{}, 0, ErrClosed
+	}
+	delete(c.pending, id)
+	st := c.newStateLocked()
+	c.members[id] = st
+	c.epoch++
+	return c.epochLocked(), st.gen, nil
+}
+
+// RequestJoin parks id in the pending-join set: it is not part of any epoch
+// yet, but must heartbeat to stay admissible. The next CommitReshape admits
+// every fresh pending joiner at once, so a join storm of k ranks costs one
+// epoch bump and one re-form instead of k.
+func (c *Coordinator) RequestJoin(id string) error {
+	_, err := c.requestJoin(id)
+	return err
+}
+
+func (c *Coordinator) requestJoin(id string) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, ErrClosed
+	}
+	if _, dup := c.members[id]; dup {
+		return 0, fmt.Errorf("elastic: member %q already registered", id)
+	}
+	if _, dup := c.pending[id]; dup {
+		return 0, fmt.Errorf("elastic: member %q already pending join", id)
+	}
+	st := c.newStateLocked()
+	c.pending[id] = st
+	return st.gen, nil
+}
+
+// PendingJoins returns the sorted IDs currently awaiting admission.
+func (c *Coordinator) PendingJoins() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.pending))
+	for id := range c.pending {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Cordon marks a live member as excluded from every epoch formed after this
+// call: it keeps its place in the current epoch, but CommitReshape and
+// Stabilize both drop it. Cordoning does not itself request a re-form — it
+// is the lazy half of Drain.
+func (c *Coordinator) Cordon(id string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -180,15 +299,173 @@ func (c *Coordinator) Heartbeat(id string) error {
 	if !ok {
 		return ErrEvicted
 	}
+	m.cordoned = true
+	return nil
+}
+
+// Uncordon clears the cordon flag on a live member that is not draining.
+func (c *Coordinator) Uncordon(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	m, ok := c.members[id]
+	if !ok {
+		return ErrEvicted
+	}
+	if m.draining {
+		return fmt.Errorf("elastic: member %q is draining and cannot be uncordoned", id)
+	}
+	m.cordoned = false
+	return nil
+}
+
+// Drain cordons a live member and asks consumers for a proactive re-form
+// before it leaves: the training loop sees it via ReshapePending and retires
+// it at the next step boundary with CommitReshape, with no failed step and
+// no recovery. If grace is positive and the member is still registered once
+// it elapses, the monitor expels it — drain degrades to the normal expel
+// path instead of wedging the departure. grace <= 0 sets no deadline.
+func (c *Coordinator) Drain(id string, grace time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	m, ok := c.members[id]
+	if !ok {
+		return ErrEvicted
+	}
+	m.cordoned = true
+	m.draining = true
+	if grace > 0 {
+		m.drainBy = time.Now().Add(grace)
+	}
+	return nil
+}
+
+// Draining returns the sorted IDs of live members currently draining.
+func (c *Coordinator) Draining() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0)
+	for id, m := range c.members {
+		if m.draining {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ReshapePending is the training loop's cheap step-boundary probe: the fresh
+// pending joiners, the draining members, and the current epoch number. A
+// consumer re-forms when either list is non-empty or the epoch has drifted
+// past the one its group was built for.
+func (c *Coordinator) ReshapePending() (joins, drains []string, epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	for id, m := range c.pending {
+		if now.Sub(m.last) <= c.timeout {
+			joins = append(joins, id)
+		}
+	}
+	for id, m := range c.members {
+		if m.draining {
+			drains = append(drains, id)
+		}
+	}
+	sort.Strings(joins)
+	sort.Strings(drains)
+	return joins, drains, c.epoch
+}
+
+// CommitReshape applies every planned membership change in one epoch bump:
+// fresh pending joiners are admitted, stale ones dropped, and cordoned or
+// draining members are deregistered. It returns the resulting epoch plus the
+// sorted admitted and removed ID sets. Calling it with nothing to change is
+// a no-op that returns the current epoch.
+func (c *Coordinator) CommitReshape() (Epoch, []string, []string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Epoch{}, nil, nil, ErrClosed
+	}
+	now := time.Now()
+	var joined, removed []string
+	for id, m := range c.pending {
+		if now.Sub(m.last) > c.timeout {
+			delete(c.pending, id)
+			continue
+		}
+		c.members[id] = m
+		delete(c.pending, id)
+		joined = append(joined, id)
+	}
+	for id, m := range c.members {
+		if m.cordoned || m.draining {
+			delete(c.members, id)
+			removed = append(removed, id)
+		}
+	}
+	if len(joined) > 0 || len(removed) > 0 {
+		c.epoch++
+	}
+	sort.Strings(joined)
+	sort.Strings(removed)
+	return c.epochLocked(), joined, removed, nil
+}
+
+// heartbeatGen refreshes one incarnation's liveness: the beat counts only if
+// the generation still matches, so a deposed incarnation (same ID, rejoined)
+// is told to stop instead of keeping the new registration falsely alive.
+func (c *Coordinator) heartbeatGen(id string, gen uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	m, ok := c.members[id]
+	if !ok {
+		m, ok = c.pending[id]
+	}
+	if !ok || m.gen != gen {
+		return ErrEvicted
+	}
+	m.last = time.Now()
+	return nil
+}
+
+// Heartbeat refreshes a member's liveness. An expelled member receives
+// ErrEvicted and must stop beating. This refreshes whatever incarnation of
+// id is current — callers that manage restarts under a reused ID should hold
+// a Member handle, whose beats are generation-checked.
+func (c *Coordinator) Heartbeat(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	m, ok := c.members[id]
+	if !ok {
+		m, ok = c.pending[id]
+	}
+	if !ok {
+		return ErrEvicted
+	}
 	m.last = time.Now()
 	return nil
 }
 
 // Deregister removes a member gracefully (a drained rank), declaring a new
-// epoch. Unknown IDs are a no-op.
+// epoch. A pending joiner is dropped without an epoch change (it was never
+// in one). Unknown IDs are a no-op.
 func (c *Coordinator) Deregister(id string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	delete(c.pending, id)
 	if _, ok := c.members[id]; !ok {
 		return
 	}
@@ -215,7 +492,10 @@ func (c *Coordinator) Epoch() Epoch {
 // after a group abort the caller cannot tell a crashed rank from a transient
 // link fault, but any rank whose heartbeats stopped before Stabilize began
 // is guaranteed to be out of the returned epoch, while live ranks (still
-// beating) are guaranteed to be in it.
+// beating) are guaranteed to be in it. Cordoned and draining members are
+// dropped from the settled epoch too — recovery forms a new epoch, and they
+// take no new epochs — so a drain that overlaps a crash folds into the
+// crash's re-form for free.
 func (c *Coordinator) Stabilize() (Epoch, error) {
 	deadline := time.Now().Add(c.timeout + 2*c.tickEvery())
 	for {
@@ -236,6 +516,16 @@ func (c *Coordinator) Stabilize() (Epoch, error) {
 		return Epoch{}, ErrClosed
 	}
 	c.expireLocked(time.Now())
+	changed := false
+	for id, m := range c.members {
+		if m.cordoned || m.draining {
+			delete(c.members, id)
+			changed = true
+		}
+	}
+	if changed {
+		c.epoch++
+	}
 	return c.epochLocked(), nil
 }
 
@@ -254,10 +544,13 @@ func (c *Coordinator) Close() {
 }
 
 // Member is one worker's control-plane handle: it registers with the
-// coordinator and heartbeats on a background goroutine until killed.
+// coordinator and heartbeats on a background goroutine until killed. Its
+// beats carry the registration generation, so a handle from a deposed
+// incarnation stops itself instead of keeping a stale identity alive.
 type Member struct {
 	c    *Coordinator
 	id   string
+	gen  uint64
 	stop chan struct{}
 	once sync.Once
 	wg   sync.WaitGroup
@@ -267,16 +560,42 @@ type Member struct {
 // beating every `every` (non-positive defaults to a quarter of the
 // coordinator's timeout — comfortably inside the liveness window).
 func Join(c *Coordinator, id string, every time.Duration) (*Member, error) {
+	_, gen, err := c.register(id)
+	if err != nil {
+		return nil, err
+	}
+	return startMember(c, id, gen, every), nil
+}
+
+// Rejoin is Join for a restarted rank: it deposes any live incarnation of id
+// (see Coordinator.Rejoin) and starts a fresh heartbeat loop.
+func Rejoin(c *Coordinator, id string, every time.Duration) (*Member, error) {
+	_, gen, err := c.rejoin(id)
+	if err != nil {
+		return nil, err
+	}
+	return startMember(c, id, gen, every), nil
+}
+
+// JoinPending requests admission for id (RequestJoin) and starts the
+// heartbeat loop that keeps the request fresh until a CommitReshape admits
+// it. The same Member handle keeps beating across admission.
+func JoinPending(c *Coordinator, id string, every time.Duration) (*Member, error) {
+	gen, err := c.requestJoin(id)
+	if err != nil {
+		return nil, err
+	}
+	return startMember(c, id, gen, every), nil
+}
+
+func startMember(c *Coordinator, id string, gen uint64, every time.Duration) *Member {
 	if every <= 0 {
 		every = c.tickEvery()
 	}
-	if _, err := c.Register(id); err != nil {
-		return nil, err
-	}
-	m := &Member{c: c, id: id, stop: make(chan struct{})}
+	m := &Member{c: c, id: id, gen: gen, stop: make(chan struct{})}
 	m.wg.Add(1)
 	go m.beat(every)
-	return m, nil
+	return m
 }
 
 // beat heartbeats until stopped or evicted.
@@ -289,7 +608,7 @@ func (m *Member) beat(every time.Duration) {
 		case <-m.stop:
 			return
 		case <-tick.C:
-			if err := m.c.Heartbeat(m.id); err != nil {
+			if err := m.c.heartbeatGen(m.id, m.gen); err != nil {
 				return
 			}
 		}
@@ -298,6 +617,13 @@ func (m *Member) beat(every time.Duration) {
 
 // ID returns the member's identity.
 func (m *Member) ID() string { return m.id }
+
+// Cordon excludes the member from every epoch formed after this call.
+func (m *Member) Cordon() error { return m.c.Cordon(m.id) }
+
+// Drain cordons the member and requests a proactive re-form before it
+// leaves; past grace the coordinator expels it regardless.
+func (m *Member) Drain(grace time.Duration) error { return m.c.Drain(m.id, grace) }
 
 // Kill stops the heartbeat loop without telling the coordinator — a
 // simulated crash. The coordinator expels the member once its heartbeat

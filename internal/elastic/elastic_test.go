@@ -154,6 +154,235 @@ func TestCoordinatorClose(t *testing.T) {
 	m.Leave()
 }
 
+// TestExpelledIDRejoins: an expelled member's ID is not poisoned — Register
+// works again once the old incarnation is gone, and Rejoin works even while
+// it is still registered, deposing it in one epoch bump.
+func TestExpelledIDRejoins(t *testing.T) {
+	c := NewCoordinator(testTimeout)
+	defer c.Close()
+
+	m, err := Join(c, "w0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Kill()
+	c.ReportFailure("w0", errors.New("crashed"))
+	before := c.Epoch()
+	if before.Has("w0") {
+		t.Fatalf("expelled member still present: %v", before.Members)
+	}
+
+	m2, err := Join(c, "w0", 0)
+	if err != nil {
+		t.Fatalf("expelled ID could not rejoin: %v", err)
+	}
+	defer m2.Kill()
+	ep := c.Epoch()
+	if ep.Num <= before.Num || !ep.Has("w0") {
+		t.Fatalf("rejoin did not yield a fresh epoch containing w0: epoch %d members %v", ep.Num, ep.Members)
+	}
+}
+
+// TestRejoinDeposesZombie: a restarted rank rejoining under its old ID while
+// the previous incarnation's heartbeat loop is still running deposes it —
+// the zombie's generation-checked beats are rejected and its loop exits, and
+// the fresh incarnation stays registered.
+func TestRejoinDeposesZombie(t *testing.T) {
+	c := NewCoordinator(testTimeout)
+	defer c.Close()
+
+	zombie, err := Join(c, "w0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Rejoin(c, "w0", 0)
+	if err != nil {
+		t.Fatalf("rejoin over a live incarnation: %v", err)
+	}
+	defer fresh.Kill()
+
+	if err := c.heartbeatGen(zombie.id, zombie.gen); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("deposed incarnation's beat should be rejected, got %v", err)
+	}
+	zombie.Kill() // loop has seen ErrEvicted (or will); Kill must not hang
+
+	// The fresh incarnation must survive well past the heartbeat timeout —
+	// i.e. its own beats, not the zombie's, are keeping it alive.
+	time.Sleep(2 * testTimeout)
+	if ep := c.Epoch(); !ep.Has("w0") {
+		t.Fatalf("fresh incarnation expelled: %v", ep.Members)
+	}
+}
+
+// TestJoinStormAdmission: k simultaneous pending joiners are admitted by a
+// single CommitReshape — one epoch bump, all members present.
+func TestJoinStormAdmission(t *testing.T) {
+	c := NewCoordinator(testTimeout)
+	defer c.Close()
+
+	base, err := Join(c, "w0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Kill()
+	before := c.Epoch()
+
+	var joiners []*Member
+	for _, id := range []string{"w1", "w2", "w3"} {
+		m, err := JoinPending(c, id, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joiners = append(joiners, m)
+		defer m.Kill()
+	}
+	if ep := c.Epoch(); ep.Num != before.Num || ep.Size() != 1 {
+		t.Fatalf("pending joins must not change the epoch: %d -> %d members %v", before.Num, ep.Num, ep.Members)
+	}
+	joins, _, _ := c.ReshapePending()
+	if len(joins) != 3 {
+		t.Fatalf("expected 3 pending joins, got %v", joins)
+	}
+
+	ep, joined, removed, err := c.CommitReshape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joined) != 3 || len(removed) != 0 {
+		t.Fatalf("commit admitted %v removed %v", joined, removed)
+	}
+	if ep.Num != before.Num+1 || ep.Size() != 4 {
+		t.Fatalf("join storm should cost exactly one epoch bump: %d -> %d members %v", before.Num, ep.Num, ep.Members)
+	}
+
+	// The same heartbeat loops keep the admitted members alive.
+	time.Sleep(2 * testTimeout)
+	if ep := c.Epoch(); ep.Size() != 4 {
+		t.Fatalf("admitted joiners expired after admission: %v", ep.Members)
+	}
+}
+
+// TestCordonAndDrain: a cordoned member keeps its current epoch but is
+// dropped by the next reshape; a draining member shows up in ReshapePending
+// so consumers re-form proactively.
+func TestCordonAndDrain(t *testing.T) {
+	c := NewCoordinator(testTimeout)
+	defer c.Close()
+
+	var members []*Member
+	for _, id := range []string{"w0", "w1", "w2"} {
+		m, err := Join(c, id, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, m)
+		defer m.Kill()
+	}
+
+	if err := c.Cordon("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if ep := c.Epoch(); !ep.Has("w1") {
+		t.Fatalf("cordon must not remove the member from the current epoch: %v", ep.Members)
+	}
+	if _, drains, _ := c.ReshapePending(); len(drains) != 0 {
+		t.Fatalf("cordon alone must not request a re-form, got drains %v", drains)
+	}
+	if err := c.Uncordon("w1"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := members[2].Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Draining(); len(got) != 1 || got[0] != "w2" {
+		t.Fatalf("Draining() = %v", got)
+	}
+	if err := c.Uncordon("w2"); err == nil {
+		t.Fatal("uncordoning a draining member should fail")
+	}
+
+	ep, joined, removed, err := c.CommitReshape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joined) != 0 || len(removed) != 1 || removed[0] != "w2" {
+		t.Fatalf("commit joined %v removed %v", joined, removed)
+	}
+	if ep.Size() != 2 || ep.Has("w2") {
+		t.Fatalf("drained member survived reshape: %v", ep.Members)
+	}
+}
+
+// TestDrainDeadlineDegrades: a drain nobody commits is expelled by the
+// monitor once the grace window elapses — the degrade path.
+func TestDrainDeadlineDegrades(t *testing.T) {
+	c := NewCoordinator(testTimeout)
+	defer c.Close()
+
+	m, err := Join(c, "w0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Kill()
+	keep, err := Join(c, "w1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer keep.Kill()
+
+	if err := c.Drain("w0", testTimeout/2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * testTimeout)
+	for {
+		ep := c.Epoch()
+		if !ep.Has("w0") {
+			if !ep.Has("w1") {
+				t.Fatalf("healthy member expelled alongside drained one: %v", ep.Members)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drained member still registered %v after its deadline", ep.Members)
+		}
+		time.Sleep(testTimeout / 8)
+	}
+}
+
+// TestStabilizeDropsDraining: recovery's membership barrier excludes
+// draining members — a drain overlapping a crash folds into the crash's
+// re-form instead of needing its own.
+func TestStabilizeDropsDraining(t *testing.T) {
+	c := NewCoordinator(testTimeout)
+	defer c.Close()
+
+	var members []*Member
+	for _, id := range []string{"w0", "w1", "w2", "w3"} {
+		m, err := Join(c, id, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, m)
+		defer m.Kill()
+	}
+	members[2].Kill()                        // crash
+	if err := c.Drain("w1", 0); err != nil { // overlapping drain
+		t.Fatal(err)
+	}
+
+	ep, err := c.Stabilize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Has("w1") || ep.Has("w2") {
+		t.Fatalf("stabilize kept a draining or crashed member: %v", ep.Members)
+	}
+	if ep.Size() != 2 {
+		t.Fatalf("expected 2 survivors, got %v", ep.Members)
+	}
+}
+
 // TestMemberLeave: graceful leave deregisters immediately — no timeout wait.
 func TestMemberLeave(t *testing.T) {
 	c := NewCoordinator(time.Hour) // timeout never fires; only Leave can remove

@@ -13,7 +13,7 @@ import (
 // at step 6"), which is what the cross-validation suite uses to line the
 // simulator up against a real elastic train.Cluster run.
 
-// Fault kinds.
+// Fault and membership-event kinds.
 const (
 	// FaultCrash permanently removes a node: its heartbeats stop, the epoch
 	// re-forms without it (the train.Cluster kill path).
@@ -23,15 +23,29 @@ const (
 	FaultTransient = "transient"
 	// FaultZoneOutage crashes every surviving node in one zone at once.
 	FaultZoneOutage = "zone-outage"
+	// FaultHang wedges a node that keeps heartbeating: the stuck-step
+	// watchdog detects it (step_deadline_sec), peers blame it, and it is
+	// expelled — a recovery with the watchdog's detection window instead of
+	// the heartbeat one.
+	FaultHang = "hang"
+	// EventJoin admits a (currently dead) node back into the fleet at the
+	// next step boundary — a budget-free reshape, not a recovery.
+	EventJoin = "join"
+	// EventDrain retires a node gracefully at the next step boundary — a
+	// budget-free reshape, unless a failure lands the same step, in which
+	// case the drain folds into that recovery for free.
+	EventDrain = "drain"
 )
 
-// ScriptedFault is one exactly-placed failure.
+// ScriptedFault is one exactly-placed failure or membership event.
 type ScriptedFault struct {
-	// Step is the 1-based training step the fault lands on.
+	// Step is the 1-based training step the event lands on.
 	Step int `json:"step"`
-	// Kind is FaultCrash, FaultTransient or FaultZoneOutage.
+	// Kind is FaultCrash, FaultTransient, FaultZoneOutage, FaultHang,
+	// EventJoin or EventDrain.
 	Kind string `json:"kind"`
-	// Node is the target node ID for crash/transient faults.
+	// Node is the target node ID for node-scoped kinds (everything but
+	// zone-outage).
 	Node int `json:"node,omitempty"`
 	// Zone is the target zone for zone-outage faults.
 	Zone string `json:"zone,omitempty"`
@@ -46,6 +60,10 @@ type FaultSpec struct {
 	// TransientPer1kSteps is each node's transient-link-fault hazard per
 	// 1000 steps.
 	TransientPer1kSteps float64 `json:"transient_per_node_per_1k_steps,omitempty"`
+	// HangPer1kSteps is each node's stuck-step hazard per 1000 steps: the
+	// node keeps heartbeating but stops making progress, and only the
+	// watchdog (recovery.step_deadline_sec) catches it.
+	HangPer1kSteps float64 `json:"hang_per_node_per_1k_steps,omitempty"`
 	// ZoneOutagePer1kSteps is the fleet-wide hazard of losing one whole
 	// zone per 1000 steps (the zone is drawn uniformly from zones that
 	// still have survivors).
@@ -62,7 +80,7 @@ type FaultSpec struct {
 }
 
 func (f *FaultSpec) validate(fleet *FleetSpec, steps int) error {
-	if f.CrashPer1kSteps < 0 || f.TransientPer1kSteps < 0 || f.ZoneOutagePer1kSteps < 0 {
+	if f.CrashPer1kSteps < 0 || f.TransientPer1kSteps < 0 || f.ZoneOutagePer1kSteps < 0 || f.HangPer1kSteps < 0 {
 		return fmt.Errorf("sim: fault rates must be >= 0")
 	}
 	if f.CascadeFactor < 0 || (f.CascadeFactor > 0 && f.CascadeFactor < 1) {
@@ -76,7 +94,7 @@ func (f *FaultSpec) validate(fleet *FleetSpec, steps int) error {
 			return fmt.Errorf("sim: scripted fault %d at step %d outside [1, %d]", i, s.Step, steps)
 		}
 		switch s.Kind {
-		case FaultCrash, FaultTransient:
+		case FaultCrash, FaultTransient, FaultHang, EventJoin, EventDrain:
 			if s.Node < 0 || s.Node >= fleet.Nodes {
 				return fmt.Errorf("sim: scripted fault %d targets node %d outside the %d-node fleet", i, s.Node, fleet.Nodes)
 			}
@@ -107,8 +125,10 @@ type faultEvent struct {
 
 // faultSampler draws each step's failures. All randomness comes from one
 // seeded stream consumed in a fixed order (scripted faults first, then
-// per-node crash draws in ID order, then per-node transient draws, then the
-// zone-outage draw), so a seed fully determines the failure history.
+// per-node crash draws in ID order, then per-node transient draws, then
+// per-node hang draws, then the zone-outage draw), so a seed fully
+// determines the failure history. A zero hang rate consumes no draws, which
+// keeps the random streams of pre-hang scenarios byte-identical.
 type faultSampler struct {
 	spec         *FaultSpec
 	rng          *rand.Rand
@@ -151,9 +171,14 @@ func (s *faultSampler) sample(step int, fleet []Node, alive []bool, aliveZones [
 	var events []faultEvent
 	for _, f := range s.scripted[step] {
 		switch f.Kind {
-		case FaultCrash, FaultTransient:
+		case FaultCrash, FaultTransient, FaultHang, EventDrain:
 			if alive[f.Node] {
 				events = append(events, faultEvent{Kind: f.Kind, Node: f.Node})
+			}
+		case EventJoin:
+			// A join revives a departed node; joining a live one is a no-op.
+			if !alive[f.Node] {
+				events = append(events, faultEvent{Kind: EventJoin, Node: f.Node})
 			}
 		case FaultZoneOutage:
 			events = append(events, faultEvent{Kind: FaultZoneOutage, Zone: f.Zone})
@@ -163,6 +188,7 @@ func (s *faultSampler) sample(step int, fleet []Node, alive []bool, aliveZones [
 	mul := s.cascadeMul(step)
 	pCrash := s.spec.CrashPer1kSteps / 1000 * mul
 	pTransient := s.spec.TransientPer1kSteps / 1000 * mul
+	pHang := s.spec.HangPer1kSteps / 1000 * mul
 	// Per-node draws happen in node-ID order for every alive node. Each
 	// node consumes a fixed number of draws per step regardless of outcome
 	// only when a rate is active; rates are scenario constants, so the
@@ -181,6 +207,13 @@ func (s *faultSampler) sample(step int, fleet []Node, alive []bool, aliveZones [
 			}
 		}
 	}
+	if pHang > 0 {
+		for _, n := range fleet {
+			if alive[n.ID] && s.rng.Float64() < pHang {
+				events = append(events, faultEvent{Kind: FaultHang, Node: n.ID})
+			}
+		}
+	}
 	if p := s.spec.ZoneOutagePer1kSteps / 1000 * mul; p > 0 && len(aliveZones) > 0 {
 		if s.rng.Float64() < p {
 			zone := aliveZones[s.rng.Intn(len(aliveZones))]
@@ -188,8 +221,13 @@ func (s *faultSampler) sample(step int, fleet []Node, alive []bool, aliveZones [
 		}
 	}
 
-	if len(events) > 0 {
-		s.lastFailStep = step
+	for _, ev := range events {
+		// Only failures prime the cascade window — a planned join or drain
+		// does not make the fleet more fragile.
+		if ev.Kind != EventJoin && ev.Kind != EventDrain {
+			s.lastFailStep = step
+			break
+		}
 	}
 	return events
 }

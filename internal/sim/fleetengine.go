@@ -56,13 +56,21 @@ type fleetRun struct {
 	recCache  map[recoveryKey]RecoveryResult
 }
 
-// recoveryKey memoizes recovery pricing on the post-failure signature plus
-// the pre-failure head count (detection and re-form are priced at the old
-// size, replay and restore at the new).
+// recoveryKey memoizes transition pricing on the post-event signature plus
+// the pre-event head count (detection and re-form are priced at the old
+// size, replay and restore at the new) and the transition kind — a hang has
+// a different detection window than a crash, and a reshape has none.
 type recoveryKey struct {
 	after  bottleneck
 	before int
+	kind   int // transCrash, transHang or transReshape
 }
+
+const (
+	transCrash = iota
+	transHang
+	transReshape
+)
 
 // RunScenario executes the scenario with its embedded seed.
 func RunScenario(sc *Scenario) (*FleetReport, error) {
@@ -135,35 +143,80 @@ func RunScenarioSeed(sc *Scenario, seed int64) (*FleetReport, error) {
 		events := sampler.sample(step, r.fleet, r.alive, r.aliveZones)
 		if len(events) > 0 {
 			before := r.bottleneck()
+			failures, reshapes := 0, 0
+			hangsOnly := true
 			for _, ev := range events {
 				switch ev.Kind {
 				case FaultCrash:
 					if r.kill(ev.Node) {
 						rep.Crashes++
 					}
+					failures++
+					hangsOnly = false
 				case FaultTransient:
 					rep.Transients++
+					failures++
+					hangsOnly = false
 				case FaultZoneOutage:
 					if killed := r.killZone(ev.Zone); killed > 0 {
 						rep.ZoneOutages++
 						rep.Crashes += killed
 					}
+					failures++
+					hangsOnly = false
+				case FaultHang:
+					// A hung rank keeps heartbeating but is expelled by the
+					// watchdog, so it leaves the fleet like a crash — only
+					// the detection pricing differs.
+					if r.kill(ev.Node) {
+						rep.Hangs++
+					}
+					failures++
+				case EventJoin:
+					if r.revive(ev.Node) {
+						rep.Joins++
+						reshapes++
+					}
+				case EventDrain:
+					if r.kill(ev.Node) {
+						rep.Drains++
+						reshapes++
+					}
 				}
 			}
 			if r.aliveCount < minNodes {
 				rep.Dead = true
-				rep.Recoveries++ // the re-form attempt that found too few survivors
+				// The re-form attempt that found too few survivors.
+				if failures > 0 {
+					rep.Recoveries++
+				} else {
+					rep.Reshapes++
+				}
 				break
 			}
-			// One recovery covers everything the step lost, matching the
-			// runtime: a failed Step stabilizes membership once and
-			// re-forms once, however many ranks went missing.
-			rec, err := r.priceRecovery(before, rc)
-			if err != nil {
-				return nil, fmt.Errorf("sim: scenario %q step %d: %w", sc.Name, step, err)
+			switch {
+			case failures > 0:
+				// One recovery covers everything the step lost, matching the
+				// runtime: a failed Step stabilizes membership once and
+				// re-forms once, however many ranks went missing — and any
+				// join or drain pending the same step folds into that
+				// re-form for free.
+				rec, err := r.priceRecovery(before, rc, hangsOnly)
+				if err != nil {
+					return nil, fmt.Errorf("sim: scenario %q step %d: %w", sc.Name, step, err)
+				}
+				rep.Recoveries++
+				rep.RecoverySec += rec.TotalSec
+			case reshapes > 0:
+				// Joins and drains alone are one budget-free boundary
+				// reshape, however many landed this step.
+				rec, err := r.priceReshape(rc)
+				if err != nil {
+					return nil, fmt.Errorf("sim: scenario %q step %d: %w", sc.Name, step, err)
+				}
+				rep.Reshapes++
+				rep.ReshapeSec += rec.TotalSec
 			}
-			rep.Recoveries++
-			rep.RecoverySec += rec.TotalSec
 		}
 
 		res, err := r.priceStep()
@@ -183,7 +236,7 @@ func RunScenarioSeed(sc *Scenario, seed int64) (*FleetReport, error) {
 	rep.Steps = len(stepSecs)
 	rep.FinalSurvivors = r.aliveCount
 	rep.summarizeSteps(stepSecs)
-	rep.TotalSec = rep.TrainSec + rep.RecoverySec
+	rep.TotalSec = rep.TrainSec + rep.RecoverySec + rep.ReshapeSec
 	if rep.TotalSec > 0 {
 		rep.StepsPerSec = float64(rep.Steps) / rep.TotalSec
 	}
@@ -200,6 +253,22 @@ func (r *fleetRun) kill(id int) bool {
 	zone := r.fleet[id].Zone
 	r.zoneAlive[zone]--
 	if r.zoneAlive[zone] == 0 {
+		r.refreshAliveZones()
+	}
+	return true
+}
+
+// revive returns a dead node to the fleet (an elastic join); reports whether
+// it was actually dead.
+func (r *fleetRun) revive(id int) bool {
+	if r.alive[id] {
+		return false
+	}
+	r.alive[id] = true
+	r.aliveCount++
+	zone := r.fleet[id].Zone
+	r.zoneAlive[zone]++
+	if r.zoneAlive[zone] == 1 {
 		r.refreshAliveZones()
 	}
 	return true
@@ -315,22 +384,51 @@ func (r *fleetRun) priceStep() (Result, error) {
 }
 
 // priceRecovery prices one re-form from the pre-failure fleet to the
-// current survivors.
-func (r *fleetRun) priceRecovery(before bottleneck, rc RecoveryConfig) (RecoveryResult, error) {
+// current survivors. hangsOnly selects the watchdog detection window: when
+// every failure this step was a hang, detection is the step deadline rather
+// than the heartbeat timeout (a mixed step is dominated by the heartbeat
+// path — the crashed ranks must be expelled by it regardless).
+func (r *fleetRun) priceRecovery(before bottleneck, rc RecoveryConfig, hangsOnly bool) (RecoveryResult, error) {
 	after := r.bottleneck()
-	key := recoveryKey{after: after, before: before.workers}
+	kind := transCrash
+	if hangsOnly {
+		kind = transHang
+	}
+	key := recoveryKey{after: after, before: before.workers, kind: kind}
 	if rec, ok := r.recCache[key]; ok {
 		return rec, nil
 	}
 	// Price detection and re-form at the pre-failure size, replay and
-	// restore at the survivors': EstimateRecoveryTo takes the pre-failure
+	// restore at the survivors': the estimators take the pre-failure
 	// config and the survivor count. The survivor bottleneck may differ
 	// from the pre-failure one (the crashed node could have been the
 	// straggler), so build the config from the post-failure signature but
 	// keep the pre-failure head count.
 	cfg := r.config(after)
 	cfg.Workers = before.workers
-	rec, err := EstimateRecoveryTo(cfg, rc, after.workers)
+	var rec RecoveryResult
+	var err error
+	if hangsOnly {
+		rec, err = EstimateHangTo(cfg, rc, after.workers)
+	} else {
+		rec, err = EstimateRecoveryTo(cfg, rc, after.workers)
+	}
+	if err != nil {
+		return RecoveryResult{}, err
+	}
+	r.recCache[key] = rec
+	return rec, nil
+}
+
+// priceReshape prices one planned boundary re-form (joins/drains) at the
+// current fleet.
+func (r *fleetRun) priceReshape(rc RecoveryConfig) (RecoveryResult, error) {
+	after := r.bottleneck()
+	key := recoveryKey{after: after, before: after.workers, kind: transReshape}
+	if rec, ok := r.recCache[key]; ok {
+		return rec, nil
+	}
+	rec, err := EstimateReshapeTo(r.config(after), rc, after.workers)
 	if err != nil {
 		return RecoveryResult{}, err
 	}

@@ -268,3 +268,113 @@ func TestRunScenarioOOMBottleneck(t *testing.T) {
 		t.Fatal("OOM fleet must fail loudly")
 	}
 }
+
+// TestRunScenarioJoinGrows: a scripted join revives a departed node as one
+// budget-free reshape — no recovery, no replay charge.
+func TestRunScenarioJoinGrows(t *testing.T) {
+	rep := mustRun(t, scriptedScenario(
+		ScriptedFault{Step: 2, Kind: FaultCrash, Node: 1},
+		ScriptedFault{Step: 6, Kind: EventJoin, Node: 1},
+	))
+	if rep.FinalSurvivors != 4 {
+		t.Fatalf("join did not restore the fleet: %d survivors", rep.FinalSurvivors)
+	}
+	if rep.Joins != 1 || rep.Reshapes != 1 || rep.Recoveries != 1 {
+		t.Fatalf("accounting: joins=%d reshapes=%d recoveries=%d, want 1/1/1", rep.Joins, rep.Reshapes, rep.Recoveries)
+	}
+	if rep.ReshapeSec <= 0 {
+		t.Fatal("the join reshape was priced at zero")
+	}
+	// Joining a live node is a no-op.
+	rep2 := mustRun(t, scriptedScenario(ScriptedFault{Step: 3, Kind: EventJoin, Node: 0}))
+	if rep2.Joins != 0 || rep2.Reshapes != 0 {
+		t.Fatalf("join of a live node should be ignored: %+v", rep2)
+	}
+}
+
+// TestRunScenarioDrainIsBudgetFree: a drain shrinks the fleet without a
+// recovery, and is cheaper than the equivalent crash.
+func TestRunScenarioDrainIsBudgetFree(t *testing.T) {
+	drain := mustRun(t, scriptedScenario(ScriptedFault{Step: 5, Kind: EventDrain, Node: 2}))
+	if drain.FinalSurvivors != 3 || drain.Drains != 1 || drain.Reshapes != 1 {
+		t.Fatalf("drain accounting: %+v", drain)
+	}
+	if drain.Recoveries != 0 || drain.RecoverySec != 0 {
+		t.Fatalf("drain consumed recovery budget: %+v", drain)
+	}
+	crash := mustRun(t, scriptedScenario(ScriptedFault{Step: 5, Kind: FaultCrash, Node: 2}))
+	if drain.ReshapeSec >= crash.RecoverySec {
+		t.Fatalf("graceful drain (%gs) should be cheaper than a crash (%gs)", drain.ReshapeSec, crash.RecoverySec)
+	}
+}
+
+// TestRunScenarioDrainFoldsIntoRecovery: a drain landing the same step as a
+// crash folds into that recovery — one recovery, no separate reshape.
+func TestRunScenarioDrainFoldsIntoRecovery(t *testing.T) {
+	rep := mustRun(t, scriptedScenario(
+		ScriptedFault{Step: 5, Kind: EventDrain, Node: 2},
+		ScriptedFault{Step: 5, Kind: FaultCrash, Node: 1},
+	))
+	if rep.FinalSurvivors != 2 {
+		t.Fatalf("expected 2 survivors, got %d", rep.FinalSurvivors)
+	}
+	if rep.Recoveries != 1 || rep.Reshapes != 0 || rep.ReshapeSec != 0 {
+		t.Fatalf("drain should fold into the same-step recovery: %+v", rep)
+	}
+	if rep.Drains != 1 || rep.Crashes != 1 {
+		t.Fatalf("event classification: %+v", rep)
+	}
+}
+
+// TestRunScenarioHangDetection: a hang is a recovery whose detection window
+// is the watchdog deadline; with a tight deadline it beats the crash path,
+// and with none it falls back to it.
+func TestRunScenarioHangDetection(t *testing.T) {
+	base := scriptedScenario(ScriptedFault{Step: 5, Kind: FaultHang, Node: 2})
+	base.Recovery.StepDeadlineSec = 0.05
+	hang := mustRun(t, base)
+	if hang.Hangs != 1 || hang.Recoveries != 1 || hang.FinalSurvivors != 3 {
+		t.Fatalf("hang accounting: %+v", hang)
+	}
+	crash := mustRun(t, scriptedScenario(ScriptedFault{Step: 5, Kind: FaultCrash, Node: 2}))
+	if hang.RecoverySec >= crash.RecoverySec {
+		t.Fatalf("watchdog hang recovery (%gs) should beat heartbeat crash detection (%gs)", hang.RecoverySec, crash.RecoverySec)
+	}
+
+	noWatchdog := scriptedScenario(ScriptedFault{Step: 5, Kind: FaultHang, Node: 2})
+	fallback := mustRun(t, noWatchdog)
+	if fallback.RecoverySec != crash.RecoverySec {
+		t.Fatalf("watchdog-free hang (%gs) should price like a crash (%gs)", fallback.RecoverySec, crash.RecoverySec)
+	}
+}
+
+// TestRunScenarioHangHazard: the random hang hazard draws events and prices
+// them as recoveries, and a zero rate leaves pre-hang scenarios' random
+// streams untouched.
+func TestRunScenarioHangHazard(t *testing.T) {
+	sc := chaosScenario()
+	sc.Faults.HangPer1kSteps = 30
+	sc.Recovery.StepDeadlineSec = 0.5
+	rep := mustRun(t, sc)
+	if rep.Hangs == 0 {
+		t.Fatalf("a 30/1k hang hazard over %d steps x 16 nodes drew nothing", sc.Steps)
+	}
+	if rep.Recoveries == 0 {
+		t.Fatal("hangs were not priced as recoveries")
+	}
+
+	// Stream compatibility: rate 0 must reproduce the exact pre-hang report.
+	a, err := mustRun(t, chaosScenario()).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := chaosScenario()
+	zero.Faults.HangPer1kSteps = 0
+	b, err := mustRun(t, zero).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("a zero hang rate perturbed the existing random fault streams")
+	}
+}

@@ -25,13 +25,20 @@ type RecoveryConfig struct {
 	// state is restored (copy from the in-memory snapshot, or disk read for
 	// a process restart). 0 skips the restore term.
 	RestoreBandwidth float64
+	// StepDeadlineSec is the stuck-step watchdog deadline
+	// (train.ElasticConfig.StepDeadline). A hang is detected after one full
+	// deadline rather than a heartbeat window — the hung rank keeps
+	// heartbeating, so the watchdog is the only detector. 0 models a
+	// watchdog-free runtime, where a hang is only caught once the group
+	// abort makes the rank miss heartbeats (the crash detection window).
+	StepDeadlineSec float64
 }
 
 func (rc *RecoveryConfig) validate() error {
 	if rc.CheckpointEverySteps < 1 {
 		return fmt.Errorf("sim: recovery checkpoint interval must be >= 1, got %d", rc.CheckpointEverySteps)
 	}
-	if rc.HeartbeatTimeoutSec < 0 || rc.BackoffSec < 0 || rc.RestoreBandwidth < 0 {
+	if rc.HeartbeatTimeoutSec < 0 || rc.BackoffSec < 0 || rc.RestoreBandwidth < 0 || rc.StepDeadlineSec < 0 {
 		return fmt.Errorf("sim: recovery config has negative terms")
 	}
 	return nil
@@ -70,42 +77,79 @@ func EstimateRecovery(cfg Config, rc RecoveryConfig) (RecoveryResult, error) {
 	return EstimateRecoveryTo(cfg, rc, cfg.Workers-1)
 }
 
-// EstimateRecoveryTo generalizes EstimateRecovery to an arbitrary surviving
+// EstimateRecoveryTo generalizes EstimateRecovery to an arbitrary target
 // group size: survivors == cfg.Workers prices a same-size re-form (a
-// transient link fault — the epoch rebuilds but nobody is expelled), while
+// transient link fault — the epoch rebuilds but nobody is expelled),
 // survivors < cfg.Workers prices losing cfg.Workers-survivors ranks at once
-// (a multi-node or zone failure). The fleet scenario engine calls this for
-// every recovery event it injects.
+// (a multi-node or zone failure), and survivors > cfg.Workers prices a grow
+// transition (joiners admitted at a step boundary) — a planned re-form with
+// no detection window and no replayed work. The fleet scenario engine calls
+// this for every recovery event it injects.
 func EstimateRecoveryTo(cfg Config, rc RecoveryConfig, survivors int) (RecoveryResult, error) {
+	if survivors > cfg.Workers {
+		return EstimateReshapeTo(cfg, rc, survivors)
+	}
+	// Detection: the monitor expels a silent rank after at most one timeout
+	// plus a tick (timeout/4), and Stabilize then waits out one more full
+	// window as the membership barrier.
+	return estimateTransition(cfg, rc, survivors, rc.HeartbeatTimeoutSec*2.25, true, true)
+}
+
+// EstimateReshapeTo prices a planned membership change (join or graceful
+// drain) to the given group size. A reshape happens at a step boundary: no
+// failure to detect, no backoff, nothing replayed — the cost is the
+// transport-group rebuild plus the checkpoint restore at the new size.
+func EstimateReshapeTo(cfg Config, rc RecoveryConfig, to int) (RecoveryResult, error) {
+	return estimateTransition(cfg, rc, to, 0, false, false)
+}
+
+// EstimateHangTo prices recovering from a hung-but-heartbeating rank. The
+// heartbeat detector never fires — detection is the stuck-step watchdog
+// deadline, plus the membership barrier (one heartbeat window) during which
+// the blamed rank is expelled. With no watchdog configured
+// (StepDeadlineSec == 0) the estimate falls back to the crash window: the
+// group abort eventually makes the wedged rank miss heartbeats.
+func EstimateHangTo(cfg Config, rc RecoveryConfig, survivors int) (RecoveryResult, error) {
+	detect := rc.StepDeadlineSec + rc.HeartbeatTimeoutSec
+	if rc.StepDeadlineSec == 0 {
+		detect = rc.HeartbeatTimeoutSec * 2.25
+	}
+	return estimateTransition(cfg, rc, survivors, detect, true, true)
+}
+
+// estimateTransition is the shared core of the recovery, reshape and hang
+// estimators: price the step at the target size, then assemble the phase
+// breakdown from the detection window, the (optionally backed-off) re-form,
+// the restore, and the (optional) replay term.
+func estimateTransition(cfg Config, rc RecoveryConfig, to int, detectSec float64, backoff, replay bool) (RecoveryResult, error) {
 	if err := rc.validate(); err != nil {
 		return RecoveryResult{}, err
 	}
-	if survivors < 1 || survivors > cfg.Workers {
-		return RecoveryResult{}, fmt.Errorf("sim: survivors must be in [1, %d], got %d", cfg.Workers, survivors)
+	if to < 1 {
+		return RecoveryResult{}, fmt.Errorf("sim: target group size must be >= 1, got %d", to)
 	}
 
 	after := cfg
-	after.Workers = survivors
+	after.Workers = to
 	res, err := Simulate(after)
 	if err != nil {
 		return RecoveryResult{}, err
 	}
 	if res.OOM {
-		return RecoveryResult{}, fmt.Errorf("sim: surviving group of %d does not fit in GPU memory", survivors)
+		return RecoveryResult{}, fmt.Errorf("sim: group of %d does not fit in GPU memory", to)
 	}
 
-	r := RecoveryResult{StepSecAfter: res.TotalSec}
+	r := RecoveryResult{StepSecAfter: res.TotalSec, DetectSec: detectSec}
 
-	// Detection: the monitor expels a silent rank after at most one timeout
-	// plus a tick (timeout/4), and Stabilize then waits out one more full
-	// window as the membership barrier.
-	r.DetectSec = rc.HeartbeatTimeoutSec * 2.25
+	// Re-form: the backoff (failure paths only — a planned reshape happens at
+	// the boundary with no settle delay), then the transports reconnect —
+	// modeled as one alpha per ring hop around the new ring.
+	r.ReformSec = float64(to) * cfg.Net.Alpha
+	if backoff {
+		r.ReformSec += rc.BackoffSec
+	}
 
-	// Re-form: the backoff, then survivor transports reconnect — modeled as
-	// one alpha per ring hop around the new ring.
-	r.ReformSec = rc.BackoffSec + float64(survivors)*cfg.Net.Alpha
-
-	// Restore: each survivor copies its full training state back in. The
+	// Restore: each worker copies its full training state back in. The
 	// state is weights + momentum (2x raw fp64 tensor bytes) plus residual
 	// vectors on the same order as one more copy.
 	if rc.RestoreBandwidth > 0 {
@@ -114,9 +158,12 @@ func EstimateRecoveryTo(cfg Config, rc RecoveryConfig, survivors int) (RecoveryR
 	}
 
 	// Replay: work since the last checkpoint is lost; in expectation the
-	// failure lands mid-interval, so half the interval is re-run at the
-	// shrunk group's step time.
-	r.ReplaySec = 0.5 * float64(rc.CheckpointEverySteps) * res.TotalSec
+	// failure lands mid-interval, so half the interval is re-run at the new
+	// group's step time. A planned reshape checkpoints at the boundary and
+	// replays nothing.
+	if replay {
+		r.ReplaySec = 0.5 * float64(rc.CheckpointEverySteps) * res.TotalSec
+	}
 
 	r.TotalSec = r.DetectSec + r.ReformSec + r.RestoreSec + r.ReplaySec
 	return r, nil

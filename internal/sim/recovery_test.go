@@ -120,3 +120,85 @@ func TestEstimateRecoveryValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimateReshape: a planned membership change has no detection window,
+// no backoff and no replay — only the re-form and restore terms — whether it
+// grows or shrinks the group.
+func TestEstimateReshape(t *testing.T) {
+	cfg, rc := recoveryBase()
+	for _, to := range []int{cfg.Workers - 1, cfg.Workers + 4} {
+		r, err := EstimateReshapeTo(cfg, rc, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.DetectSec != 0 || r.ReplaySec != 0 {
+			t.Fatalf("reshape to %d charged detect %g / replay %g, want 0", to, r.DetectSec, r.ReplaySec)
+		}
+		if r.ReformSec != float64(to)*cfg.Net.Alpha {
+			t.Fatalf("reshape to %d re-form %g should be ring setup only (no backoff)", to, r.ReformSec)
+		}
+		if r.RestoreSec <= 0 {
+			t.Fatalf("reshape to %d skipped the restore term", to)
+		}
+		crash, err := EstimateRecoveryTo(cfg, rc, cfg.Workers-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TotalSec >= crash.TotalSec {
+			t.Fatalf("a planned reshape (%gs) should be cheaper than a crash recovery (%gs)", r.TotalSec, crash.TotalSec)
+		}
+	}
+}
+
+// TestEstimateRecoveryGrow: survivors above the starting size is a grow
+// transition and must price exactly like the planned reshape it is.
+func TestEstimateRecoveryGrow(t *testing.T) {
+	cfg, rc := recoveryBase()
+	grow, err := EstimateRecoveryTo(cfg, rc, cfg.Workers+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EstimateReshapeTo(cfg, rc, cfg.Workers+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grow != want {
+		t.Fatalf("grow pricing %+v differs from reshape pricing %+v", grow, want)
+	}
+}
+
+// TestEstimateHang: with a watchdog the detection window is the step
+// deadline plus one stabilize window; without one it degrades to the crash
+// window. Everything else matches a crash recovery.
+func TestEstimateHang(t *testing.T) {
+	cfg, rc := recoveryBase()
+	rc.StepDeadlineSec = 3
+	h, err := EstimateHangTo(cfg, rc, cfg.Workers-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rc.StepDeadlineSec + rc.HeartbeatTimeoutSec; h.DetectSec != want {
+		t.Fatalf("hang detect %g, want step deadline + stabilize = %g", h.DetectSec, want)
+	}
+	crash, err := EstimateRecoveryTo(cfg, rc, cfg.Workers-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ReformSec != crash.ReformSec || h.RestoreSec != crash.RestoreSec || h.ReplaySec != crash.ReplaySec {
+		t.Fatal("hang recovery should differ from a crash only in the detection window")
+	}
+
+	rc.StepDeadlineSec = 0
+	h0, err := EstimateHangTo(cfg, rc, cfg.Workers-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0.DetectSec != crash.DetectSec {
+		t.Fatalf("watchdog-free hang detect %g should fall back to the crash window %g", h0.DetectSec, crash.DetectSec)
+	}
+
+	rc.StepDeadlineSec = -1
+	if _, err := EstimateHangTo(cfg, rc, cfg.Workers-1); err == nil {
+		t.Fatal("negative step deadline should be rejected")
+	}
+}

@@ -46,12 +46,20 @@ type FleetReport struct {
 	// summed over every surviving worker, every step).
 	WireBytes float64 `json:"wire_bytes"`
 
-	// Chaos accounting.
+	// Chaos accounting. Hangs are watchdog-expelled stuck ranks; Joins and
+	// Drains are planned membership events, priced as budget-free Reshapes
+	// rather than Recoveries (the new fields are omitempty so reports from
+	// scenarios that never use them keep their historical byte form).
 	Crashes        int     `json:"crashes"`
 	Transients     int     `json:"transients"`
 	ZoneOutages    int     `json:"zone_outages"`
+	Hangs          int     `json:"hangs,omitempty"`
+	Joins          int     `json:"joins,omitempty"`
+	Drains         int     `json:"drains,omitempty"`
 	Recoveries     int     `json:"recoveries"`
 	RecoverySec    float64 `json:"recovery_sec"`
+	Reshapes       int     `json:"reshapes,omitempty"`
+	ReshapeSec     float64 `json:"reshape_sec,omitempty"`
 	FinalSurvivors int     `json:"final_survivors"`
 
 	// Wall-clock composition and effective throughput.

@@ -31,6 +31,10 @@ type RecoverySpec struct {
 	// RestoreGbps is the per-worker checkpoint-restore rate; 0 skips the
 	// restore term.
 	RestoreGbps float64 `json:"restore_gbps,omitempty"`
+	// StepDeadlineSec is the stuck-step watchdog deadline; it prices the
+	// detection window of "hang" faults. 0 models a watchdog-free runtime
+	// (hangs detected only through the heartbeat window).
+	StepDeadlineSec float64 `json:"step_deadline_sec,omitempty"`
 	// MinNodes is the smallest surviving fleet the run may continue with;
 	// dropping below it marks the scenario's cluster dead (default 1).
 	MinNodes int `json:"min_nodes,omitempty"`
@@ -40,7 +44,7 @@ func (r *RecoverySpec) validate() error {
 	if r.CheckpointEverySteps < 0 || r.MinNodes < 0 {
 		return fmt.Errorf("sim: recovery spec has negative step terms")
 	}
-	if r.HeartbeatTimeoutSec < 0 || r.BackoffSec < 0 || r.RestoreGbps < 0 {
+	if r.HeartbeatTimeoutSec < 0 || r.BackoffSec < 0 || r.RestoreGbps < 0 || r.StepDeadlineSec < 0 {
 		return fmt.Errorf("sim: recovery spec has negative time terms")
 	}
 	return nil
@@ -53,6 +57,7 @@ func (r *RecoverySpec) config() RecoveryConfig {
 		HeartbeatTimeoutSec:  r.HeartbeatTimeoutSec,
 		BackoffSec:           r.BackoffSec,
 		RestoreBandwidth:     r.RestoreGbps * 1e9 / 8,
+		StepDeadlineSec:      r.StepDeadlineSec,
 	}
 	if rc.CheckpointEverySteps == 0 {
 		rc.CheckpointEverySteps = 8

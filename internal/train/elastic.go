@@ -46,6 +46,20 @@ type ElasticConfig struct {
 	// HeartbeatTimeout is the liveness window after which a silent member
 	// is expelled (default elastic.DefaultHeartbeatTimeout).
 	HeartbeatTimeout time.Duration
+	// StepDeadline arms the stuck-step watchdog: a synchronized step that
+	// has not completed within it is aborted and recovered like a crash,
+	// catching the failure heartbeats cannot see — a rank that is alive but
+	// stopped communicating. On transports the cluster builds itself the
+	// same deadline is applied per operation (comm.WithDeadline), so peers'
+	// deadline errors name the hung rank and recovery expels it before
+	// re-forming. 0 disables the watchdog.
+	StepDeadline time.Duration
+	// DrainDeadline is the grace window a DrainRank gives the proactive
+	// re-form: if the drained rank is still in the group when it elapses,
+	// the rank departs unilaterally (heartbeats stop, transport closes) and
+	// the drain degrades to the normal crash/expel path (default 8x
+	// HeartbeatTimeout).
+	DrainDeadline time.Duration
 	// Dir, when non-empty, additionally persists rank 0's snapshot to
 	// Dir/checkpoint.gob at every checkpoint (atomic rename), so a restarted
 	// process can seed a new run from the survivors' last state.
@@ -75,6 +89,15 @@ func (e *ElasticConfig) validate(workers int) error {
 	}
 	if e.HeartbeatEvery == 0 {
 		e.HeartbeatEvery = e.HeartbeatTimeout / 4
+	}
+	if e.DrainDeadline == 0 {
+		e.DrainDeadline = 8 * e.HeartbeatTimeout
+	}
+	if e.StepDeadline < 0 {
+		return fmt.Errorf("train: elastic step deadline must be >= 0, got %v", e.StepDeadline)
+	}
+	if e.DrainDeadline < 0 {
+		return fmt.Errorf("train: elastic drain deadline must be >= 0, got %v", e.DrainDeadline)
 	}
 	if e.MinWorkers < 1 {
 		return fmt.Errorf("train: elastic min workers must be >= 1, got %d", e.MinWorkers)
@@ -170,14 +193,18 @@ func (c *Cluster) KillRank(r int) {
 // re-form the group at the surviving size with every worker restored from
 // the last checkpoint. Returns nil when the cluster is ready to retry the
 // step, or a terminal error wrapping ErrClusterDead.
-func (c *Cluster) recover(cause error) error {
+//
+// rankErrs is the failed step's per-rank error slice. Before membership
+// settles, ranks blamed by their peers' deadline errors are expelled
+// explicitly (ReportFailure): a hung-but-heartbeating rank would otherwise
+// survive Stabilize and wedge every retry.
+func (c *Cluster) recover(cause error, old *epochGroup, rankErrs []error) error {
 	c.mu.Lock()
 	if c.closed {
 		err := c.deadLocked()
 		c.mu.Unlock()
 		return err
 	}
-	old := c.grp
 	c.recoveries++
 	attempt := c.recoveries
 	budget := c.cfg.Elastic.MaxRecoveries
@@ -192,6 +219,15 @@ func (c *Cluster) recover(cause error) error {
 	// The failing rank already aborted the group's transports; shutdown is
 	// idempotent and additionally reaps the workers' comm goroutines.
 	old.shutdown()
+
+	// Expel ranks convicted of hanging before the membership barrier runs,
+	// so the settled epoch excludes them. Their member handles stay in
+	// c.members until the prune below; killing the handle is not enough on
+	// its own — the rank's process is "alive", only its collectives wedged —
+	// which is exactly why the conviction must go through ReportFailure.
+	for _, id := range blameHungRanks(old.memberIDs, rankErrs) {
+		c.coord.ReportFailure(id, cause)
+	}
 
 	// Exponential backoff between attempts, then the membership barrier:
 	// Stabilize blocks for a full heartbeat timeout, so every rank that had
@@ -211,13 +247,19 @@ func (c *Cluster) recover(cause error) error {
 		c.mu.Unlock()
 		return err
 	}
-	// Prune the control-plane handles and snapshots of expelled members.
+	// Prune the control-plane handles, snapshots and drain timers of
+	// expelled members (a drain that overlapped the crash folded into this
+	// re-form — Stabilize dropped the draining member from the epoch).
 	var reaped []*elastic.Member
 	for id, m := range c.members {
 		if !ep.Has(id) {
 			reaped = append(reaped, m)
 			delete(c.members, id)
 			delete(c.snaps, id)
+			if tm := c.drainTimers[id]; tm != nil {
+				tm.Stop()
+				delete(c.drainTimers, id)
+			}
 		}
 	}
 	snaps := make(map[string]*Checkpoint, len(ep.Members))
@@ -241,6 +283,7 @@ func (c *Cluster) recover(cause error) error {
 	}
 	c.grp = grp
 	c.sinceCkpt = 0
+	c.applyLRLocked(grp)
 	c.mu.Unlock()
 	return nil
 }
@@ -255,13 +298,35 @@ func (c *Cluster) die(cause error) error {
 }
 
 // backoffFor returns the re-form delay for the given 1-based attempt:
-// Backoff doubling per consecutive attempt, capped at 16x.
+// Backoff doubling per consecutive attempt, capped at 16x, with seeded
+// jitter spreading the result over [ceiling/2, ceiling] so simultaneously
+// recovering clusters (or ranks) don't re-register against the coordinator
+// in lockstep. The jitter is a pure function of (Seed, attempt) — no RNG
+// state — so a fixed seed reproduces the exact recovery timeline and a
+// restored run replays it.
 func (c *Cluster) backoffFor(attempt int) time.Duration {
 	d := c.cfg.Elastic.Backoff
 	for i := 1; i < attempt && i < 5; i++ {
 		d *= 2
 	}
-	return d
+	if d <= 1 {
+		return d
+	}
+	span := uint64(d / 2)
+	j := time.Duration(backoffMix(uint64(c.cfg.Seed), uint64(attempt)) % (span + 1))
+	return d/2 + j
+}
+
+// backoffMix is a splitmix64-style finalizer over (seed, attempt) — the same
+// construction compress.stepSeed uses for per-step RNG rebasing.
+func backoffMix(seed, attempt uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(attempt+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
 }
 
 // snapshot captures the worker's full training state — weights, optimizer

@@ -1,0 +1,283 @@
+package train
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"acpsgd/internal/comm"
+	"acpsgd/internal/elastic"
+)
+
+// This file is the planned-membership-change half of the elastic runtime:
+// scale-up (Join), graceful scale-down (CordonRank / DrainRank), and the
+// step-boundary reshape that serves both. Where recovery (elastic.go) reacts
+// to a failed step, a reshape is proactive — it happens between steps, costs
+// no failed step and no recovery budget, and batches every pending change
+// into one re-form.
+
+// Join admits a new worker into a running elastic cluster under the given
+// member ID. The newcomer is parked in the coordinator's pending set
+// (heartbeating, but in no epoch) until the next step boundary, where the
+// cluster checkpoints, tears the group down, re-forms at n+1, streams the
+// group checkpoint to the newcomer, and re-shards the data. k concurrent
+// Joins are admitted by a single re-form.
+func (c *Cluster) Join(id string) error {
+	if !c.cfg.Elastic.Enabled {
+		return errors.New("train: Join requires the elastic runtime")
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return c.errClosedLocked()
+	}
+	if _, dup := c.pendingJoin[id]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("train: member %q already joining", id)
+	}
+	c.mu.Unlock()
+
+	m, err := elastic.JoinPending(c.coord, id, c.cfg.Elastic.HeartbeatEvery)
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		m.Leave()
+		return c.errClosedLocked()
+	}
+	c.pendingJoin[id] = m
+	c.mu.Unlock()
+	return nil
+}
+
+// CordonRank excludes the member occupying rank r of the current epoch from
+// every epoch formed after this call: it keeps training now, but the next
+// re-form — whatever triggers it — leaves it out. Cordon alone does not
+// trigger one; DrainRank does.
+func (c *Cluster) CordonRank(r int) error {
+	id, err := c.rankMemberID(r)
+	if err != nil {
+		return err
+	}
+	if err := c.coord.Cordon(id); err != nil {
+		return fmt.Errorf("train: cordon %s: %w", id, err)
+	}
+	return nil
+}
+
+// DrainRank retires the member occupying rank r of the current epoch
+// gracefully: the next step boundary re-forms the group without it — no
+// failed step, no recovery-budget spend — after which the member is
+// deregistered and its handle stopped. If the re-form has not retired the
+// rank within ElasticConfig.DrainDeadline, the rank departs unilaterally
+// (heartbeats stop, its transport closes) and the drain degrades to the
+// normal crash/expel recovery path.
+func (c *Cluster) DrainRank(r int) error {
+	id, err := c.rankMemberID(r)
+	if err != nil {
+		return err
+	}
+	draining := len(c.coord.Draining())
+	if live := c.coord.Epoch().Size(); live-draining-1 < c.cfg.Elastic.MinWorkers {
+		return fmt.Errorf("train: draining %s would leave %d workers, below min %d", id, live-draining-1, c.cfg.Elastic.MinWorkers)
+	}
+	grace := c.cfg.Elastic.DrainDeadline
+	if err := c.coord.Drain(id, grace); err != nil {
+		return fmt.Errorf("train: drain %s: %w", id, err)
+	}
+	c.mu.Lock()
+	if !c.closed {
+		c.drainTimers[id] = time.AfterFunc(grace, func() { c.expelDrained(id) })
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Reshapes returns how many planned re-forms (joins and drains, batched per
+// step boundary) the cluster has completed. Unlike Recoveries, reshapes are
+// free: no failed step and no recovery budget.
+func (c *Cluster) Reshapes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reshapes
+}
+
+// rankMemberID resolves a current-epoch rank to its member ID.
+func (c *Cluster) rankMemberID(r int) (string, error) {
+	if !c.cfg.Elastic.Enabled {
+		return "", errors.New("train: rank verbs require the elastic runtime")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.grp == nil {
+		return "", c.errClosedLocked()
+	}
+	if r < 0 || r >= len(c.grp.memberIDs) {
+		return "", fmt.Errorf("train: rank %d out of range [0,%d)", r, len(c.grp.memberIDs))
+	}
+	return c.grp.memberIDs[r], nil
+}
+
+func (c *Cluster) errClosedLocked() error {
+	return fmt.Errorf("%w (closed)", ErrClusterDead)
+}
+
+// expelDrained is the drain degrade path, fired by the per-drain timer: the
+// rank was promised gone by the deadline, so it leaves unilaterally — its
+// heartbeats stop and its transport endpoint closes, making the departure
+// indistinguishable from a crash. The coordinator's own drain deadline
+// expels the registration; the in-flight step (if any) fails fast and the
+// normal recovery path re-forms without the rank.
+func (c *Cluster) expelDrained(id string) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.drainTimers, id)
+	m := c.members[id]
+	var t comm.Transport
+	if g := c.grp; g != nil {
+		for r, mid := range g.memberIDs {
+			if mid == id {
+				t = g.transports[r]
+			}
+		}
+	}
+	c.mu.Unlock()
+	if m != nil {
+		m.Kill()
+	}
+	if t != nil {
+		t.Close()
+	}
+}
+
+// maybeReshape is the step-boundary probe: when joiners are pending, members
+// are draining, or the coordinator's epoch has drifted past the group's
+// (e.g. a drain deadline degraded to expulsion between steps), it
+// checkpoints at the boundary, commits every pending change in one epoch
+// bump, and re-forms the group at the new size. Survivors restore their own
+// boundary snapshot and newcomers restore the group checkpoint (rank 0's
+// snapshot — replica weights and momentum are identical across ranks, and a
+// newcomer has no residual history of its own), so the post-reshape run is
+// bit-identical to a fresh cluster of the new size resumed from the same
+// checkpoint. The fast path — nothing pending — is two mutex hops and no
+// allocation beyond the probe's ID slices.
+func (c *Cluster) maybeReshape() error {
+	joins, drains, epoch := c.coord.ReshapePending()
+	c.mu.Lock()
+	g := c.grp
+	c.mu.Unlock()
+	if g == nil {
+		return fmt.Errorf("%w (no group)", ErrClusterDead)
+	}
+	if len(joins) == 0 && len(drains) == 0 && epoch == g.epoch {
+		return nil
+	}
+
+	// Snapshot at the boundary first: survivors resume exactly here and the
+	// newcomers restore the same state, so the reshape replays nothing.
+	if err := c.checkpointNow(); err != nil {
+		return err
+	}
+	ep, joined, _, err := c.coord.CommitReshape()
+	if err != nil {
+		return c.die(fmt.Errorf("reshape: %v", err))
+	}
+	if ep.Size() < c.cfg.Elastic.MinWorkers {
+		return c.die(fmt.Errorf("%d workers below min %d after reshape", ep.Size(), c.cfg.Elastic.MinWorkers))
+	}
+	g.shutdown()
+
+	c.mu.Lock()
+	if c.closed {
+		err := c.deadLocked()
+		c.mu.Unlock()
+		return err
+	}
+	// Promote admitted joiners to full members and seed them with the group
+	// checkpoint; reap everyone the new epoch dropped (drained, cordoned,
+	// or expelled by drift).
+	donor := c.snaps[g.memberIDs[0]]
+	for _, id := range joined {
+		if m := c.pendingJoin[id]; m != nil {
+			c.members[id] = m
+			delete(c.pendingJoin, id)
+		}
+		if c.snaps[id] == nil {
+			// Checkpoints are immutable after capture, so sharing the
+			// donor pointer is safe; restore copies out of it.
+			c.snaps[id] = donor
+		}
+	}
+	var reaped []*elastic.Member
+	for id, m := range c.members {
+		if !ep.Has(id) {
+			reaped = append(reaped, m)
+			delete(c.members, id)
+			delete(c.snaps, id)
+			if tm := c.drainTimers[id]; tm != nil {
+				tm.Stop()
+				delete(c.drainTimers, id)
+			}
+		}
+	}
+	snaps := make(map[string]*Checkpoint, len(ep.Members))
+	for _, id := range ep.Members {
+		snaps[id] = c.snaps[id]
+	}
+	c.mu.Unlock()
+	for _, m := range reaped {
+		m.Leave()
+	}
+
+	grp, err := newEpochGroup(&c.cfg, c.build, c.trainSet, ep.Num, ep.Members, snaps)
+	if err != nil {
+		return c.die(fmt.Errorf("reshape to %d workers: %v", ep.Size(), err))
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		grp.shutdown()
+		return fmt.Errorf("%w (closed during reshape)", ErrClusterDead)
+	}
+	c.grp = grp
+	c.reshapes++
+	c.sinceCkpt = 0
+	c.applyLRLocked(grp)
+	c.mu.Unlock()
+	return nil
+}
+
+// blameHungRanks convicts hung-but-heartbeating ranks from a failed step's
+// per-rank errors. A rank named by a peer's *comm.DeadlineError is a
+// suspect; a rank that produced a deadline error of its own demonstrably
+// made progress (its timer ran and returned) and is acquitted even if
+// blamed — in a ring every survivor blocks on its neighbor, so naive blame
+// would expel half the group. What remains is the set of ranks that were
+// waited on but never witnessed anything themselves: the wedged ones.
+func blameHungRanks(memberIDs []string, rankErrs []error) []string {
+	suspects := make(map[int]bool)
+	innocent := make(map[int]bool)
+	for r, err := range rankErrs {
+		var de *comm.DeadlineError
+		if errors.As(err, &de) {
+			innocent[r] = true
+			if de.Peer >= 0 && de.Peer < len(memberIDs) {
+				suspects[de.Peer] = true
+			}
+		}
+	}
+	var ids []string
+	for r := range suspects {
+		if !innocent[r] {
+			ids = append(ids, memberIDs[r])
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"strconv"
 	"sync"
+	"time"
 
 	"acpsgd/internal/comm"
 	"acpsgd/internal/compress"
@@ -114,6 +115,12 @@ type Config struct {
 	NewTransports func(workers int) ([]comm.Transport, error)
 	// EvalEvery evaluates test accuracy every EvalEvery epochs (default 1).
 	EvalEvery int
+	// OnCluster, when set, is called by Run with the live cluster right
+	// after construction and before the first step. It gives run-loop
+	// drivers (e.g. a CLI signal handler that drains ranks on SIGTERM) a
+	// handle to the elastic control surface — Join, DrainRank, CordonRank —
+	// without owning the training loop.
+	OnCluster func(*Cluster)
 
 	// Resolved by validate.
 	fac  compress.Factory
@@ -233,6 +240,13 @@ func (h *History) BestTestAcc() float64 {
 // with errors.Is instead of pattern-matching transport errors.
 var ErrClusterDead = errors.New("train: cluster dead")
 
+// ErrStepDeadline is wrapped by Step failures caused by the stuck-step
+// watchdog: the step exceeded ElasticConfig.StepDeadline and the group was
+// aborted. With Elastic enabled the failure feeds the normal recovery path
+// (and when peers' deadline errors blame a specific rank, that rank is
+// expelled before the group re-forms).
+var ErrStepDeadline = errors.New("train: step deadline exceeded")
+
 // epochGroup is one membership epoch's worth of runtime state: the worker
 // set, the transport group wiring them, and the abort machinery. Workers and
 // transports are epoch-scoped — on any membership change the cluster tears
@@ -270,11 +284,20 @@ type Cluster struct {
 	grp *epochGroup
 
 	// Elastic control plane (nil / empty when Elastic is disabled).
-	coord      *elastic.Coordinator
-	members    map[string]*elastic.Member
-	snaps      map[string]*Checkpoint // per-member state at the last checkpoint
-	recoveries int
-	sinceCkpt  int
+	coord       *elastic.Coordinator
+	members     map[string]*elastic.Member
+	pendingJoin map[string]*elastic.Member // joiners awaiting the next step boundary
+	drainTimers map[string]*time.Timer     // per-draining-member degrade timers
+	snaps       map[string]*Checkpoint     // per-member state at the last checkpoint
+	recoveries  int
+	reshapes    int // planned re-forms (joins/drains) — budget-free, not recoveries
+	sinceCkpt   int
+
+	// lr is the last SetLR value, re-applied to every re-formed group so a
+	// recovery or reshape cannot silently reset the learning rate (fresh
+	// workers start at 0).
+	lr    float64
+	lrSet bool
 
 	deadErr error // root cause once terminally dead
 	closed  bool
@@ -305,6 +328,15 @@ func newEpochGroup(cfg *Config, build func(rng *rand.Rand) *nn.Model, trainSet *
 	}
 	if err != nil {
 		return nil, fmt.Errorf("train: transport: %w", err)
+	}
+	// Arm per-operation idle deadlines on the transports the cluster builds
+	// itself, so a wedged peer is blamed by name instead of only tripping
+	// the group-level watchdog. Injected stacks (NewTransports) are left
+	// alone — tests and benchmarks compose their own decorator ordering.
+	if d := cfg.Elastic.StepDeadline; d > 0 && cfg.NewTransports == nil {
+		for i, t := range transports {
+			transports[i] = comm.WithDeadline(t, d)
+		}
 	}
 
 	g := &epochGroup{epoch: epoch, memberIDs: memberIDs, transports: transports}
@@ -337,7 +369,15 @@ func newEpochGroup(cfg *Config, build func(rng *rand.Rand) *nn.Model, trainSet *
 // returns worker 0's batch loss. A failing rank aborts the group so peers
 // blocked in collectives fail fast instead of deadlocking; the root cause is
 // preferred over the ErrClosed peers observe during teardown.
-func (g *epochGroup) step() (float64, error) {
+//
+// A positive deadline arms the stuck-step watchdog: if the step has not
+// completed by then the group is aborted, which closes the transports and
+// fails every in-flight collective — turning a silent wedge (a rank that
+// heartbeats but stopped communicating) into an ordinary failed step the
+// elastic recovery path can handle. The per-rank error slice is returned
+// alongside the step error so the recovery path can attribute blame (see
+// blameHungRanks).
+func (g *epochGroup) step(deadline time.Duration) (float64, []error, error) {
 	losses := make([]float64, len(g.workers))
 	errs := make([]error, len(g.workers))
 	var wg sync.WaitGroup
@@ -351,11 +391,37 @@ func (g *epochGroup) step() (float64, error) {
 			}
 		}(r, w)
 	}
-	wg.Wait()
-	if err := firstStepError(errs); err != nil {
-		return 0, err
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	timedOut := false
+	if deadline > 0 {
+		timer := time.NewTimer(deadline)
+		select {
+		case <-done:
+			timer.Stop()
+		case <-timer.C:
+			timedOut = true
+			g.abort()
+		}
 	}
-	return losses[0], nil
+	<-done
+	if timedOut {
+		err := firstStepError(errs)
+		if err == nil {
+			// Rare race: every rank finished between the timer firing and
+			// the abort landing. The transports are closed either way, so
+			// the step must still be treated as failed and retried.
+			err = errors.New("all ranks completed after the abort")
+		}
+		return 0, errs, fmt.Errorf("%w after %v: %v", ErrStepDeadline, deadline, err)
+	}
+	if err := firstStepError(errs); err != nil {
+		return 0, errs, err
+	}
+	return losses[0], errs, nil
 }
 
 // abort tears the epoch's transport group down so every rank's in-flight
@@ -398,6 +464,8 @@ func NewCluster(cfg Config, build func(rng *rand.Rand) *nn.Model, trainSet *data
 	if cfg.Elastic.Enabled {
 		c.coord = elastic.NewCoordinator(cfg.Elastic.HeartbeatTimeout)
 		c.members = make(map[string]*elastic.Member, cfg.Workers)
+		c.pendingJoin = make(map[string]*elastic.Member)
+		c.drainTimers = make(map[string]*time.Timer)
 		c.snaps = make(map[string]*Checkpoint, cfg.Workers)
 		for _, id := range memberIDs {
 			m, err := elastic.Join(c.coord, id, cfg.Elastic.HeartbeatEvery)
@@ -453,12 +521,28 @@ func (c *Cluster) group() *epochGroup {
 }
 
 // SetLR sets every worker's learning rate. The value sticks across
-// recoveries: restored workers inherit it from the checkpointed caller loop
-// calling SetLR again each epoch (Run does).
+// recoveries and reshapes: every re-formed group starts at the last SetLR,
+// so direct Step drivers don't silently train at LR 0 after a re-form.
 func (c *Cluster) SetLR(lr float64) {
-	g := c.group()
+	c.mu.Lock()
+	c.lr, c.lrSet = lr, true
+	g := c.grp
+	c.mu.Unlock()
+	if g != nil {
+		for _, w := range g.workers {
+			w.opt.SetLR(lr)
+		}
+	}
+}
+
+// applyLRLocked re-applies the sticky learning rate to a freshly built group.
+// Caller holds mu; the group is not stepping yet.
+func (c *Cluster) applyLRLocked(g *epochGroup) {
+	if !c.lrSet {
+		return
+	}
 	for _, w := range g.workers {
-		w.opt.SetLR(lr)
+		w.opt.SetLR(c.lr)
 	}
 }
 
@@ -481,6 +565,15 @@ func (c *Cluster) Model(rank int) *nn.Model { return c.group().workers[rank].mod
 // survivors drop below MinWorkers, or the group cannot re-form, Step returns
 // an error wrapping both the root cause and ErrClusterDead.
 func (c *Cluster) Step() (float64, error) {
+	// The group-level watchdog backstop sits a quarter past the per-op
+	// deadline so a wedged transport operation (which started even earlier
+	// in the step) always produces its blame-carrying DeadlineError first;
+	// the backstop only fires for hangs no transport op can witness (a
+	// compute wedge).
+	var watchdog time.Duration
+	if d := c.cfg.Elastic.StepDeadline; d > 0 {
+		watchdog = d + d/4
+	}
 	for {
 		c.mu.Lock()
 		if c.closed || c.deadErr != nil {
@@ -488,10 +581,19 @@ func (c *Cluster) Step() (float64, error) {
 			c.mu.Unlock()
 			return 0, err
 		}
-		g := c.grp
 		c.mu.Unlock()
 
-		loss, err := g.step()
+		if c.cfg.Elastic.Enabled {
+			if err := c.maybeReshape(); err != nil {
+				return 0, err
+			}
+		}
+		g := c.group()
+		if g == nil {
+			return 0, fmt.Errorf("%w (no group)", ErrClusterDead)
+		}
+
+		loss, rankErrs, err := g.step(watchdog)
 		if err == nil {
 			if cerr := c.noteStepDone(); cerr != nil {
 				return 0, cerr
@@ -504,7 +606,7 @@ func (c *Cluster) Step() (float64, error) {
 			c.mu.Unlock()
 			return 0, err
 		}
-		if rerr := c.recover(err); rerr != nil {
+		if rerr := c.recover(err, g, rankErrs); rerr != nil {
 			return 0, rerr
 		}
 	}
@@ -558,9 +660,15 @@ func (c *Cluster) Close() {
 	}
 	c.closed = true
 	g := c.grp
-	members := make([]*elastic.Member, 0, len(c.members))
+	members := make([]*elastic.Member, 0, len(c.members)+len(c.pendingJoin))
 	for _, m := range c.members {
 		members = append(members, m)
+	}
+	for _, m := range c.pendingJoin {
+		members = append(members, m)
+	}
+	for _, tm := range c.drainTimers {
+		tm.Stop()
 	}
 	c.mu.Unlock()
 
@@ -587,6 +695,9 @@ func Run(cfg Config, build func(rng *rand.Rand) *nn.Model, trainSet, testSet *da
 		return nil, err
 	}
 	defer c.Close()
+	if cfg.OnCluster != nil {
+		cfg.OnCluster(c)
+	}
 
 	hist := &History{}
 	lastAcc := 0.0
