@@ -70,6 +70,11 @@ func BenchmarkRingAllReduce8x64k(b *testing.B)     { suite(b, "RingAllReduce8x64
 func BenchmarkRingAllReduce4x1M(b *testing.B)      { suite(b, "RingAllReduce4x1M") }
 func BenchmarkRingAllReduceAsync4x1M(b *testing.B) { suite(b, "RingAllReduceAsync4x1M") }
 
+// BenchmarkTCPFrameCRC4x1M is the ring all-reduce over real loopback TCP,
+// pricing the CRC32C-trailed wire path end to end (framing + checksum on
+// send, verification on receive).
+func BenchmarkTCPFrameCRC4x1M(b *testing.B) { suite(b, "TCPFrameCRC4x1M") }
+
 // BenchmarkOverlapStep times one synchronized 2-worker training step on a
 // latency-injected transport with the two comm-launch schedules: overlap=on
 // (wait-free backprop) should beat overlap=off (launch after backward) by

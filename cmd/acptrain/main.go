@@ -51,7 +51,7 @@ func run(args []string) int {
 	elastic := fs.Bool("elastic", false, "elastic runtime: heartbeat membership, periodic checkpoints, recovery at the surviving size on rank failure")
 	ckptEvery := fs.Int("checkpoint-every", 8, "elastic snapshot interval in steps")
 	minWorkers := fs.Int("min-workers", 1, "smallest group elastic recovery may re-form")
-	ckptDir := fs.String("checkpoint-dir", "", "persist rank 0's elastic snapshot to this directory (checkpoint.gob)")
+	ckptDir := fs.String("checkpoint-dir", "", "persist rank 0's elastic snapshots to this directory (CRC-framed checkpoint-NNNNNN.gob generations, keep-3 ring)")
 	stepDeadline := fs.Duration("step-deadline", 0, "stuck-step watchdog: abort and recover any step exceeding this deadline (0 disables; elastic only)")
 	if err := fs.Parse(args); err != nil {
 		return 2

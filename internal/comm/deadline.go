@@ -177,12 +177,12 @@ func (t *tcpTransport) RecvTimeout(from int, d time.Duration) ([]byte, error) {
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
-	case msg := <-t.inbox[from]:
-		return msg, nil
+	case f := <-t.inbox[from]:
+		return f.buf, f.err
 	case <-t.closed:
 		select {
-		case msg := <-t.inbox[from]:
-			return msg, nil
+		case f := <-t.inbox[from]:
+			return f.buf, f.err
 		default:
 		}
 		return nil, ErrClosed

@@ -2,9 +2,57 @@ package comm
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 )
+
+// FuzzTCPFrame drives the TCP frame decoder with arbitrary byte streams:
+// random headers, lengths, payloads and trailers must either decode to a
+// frame whose re-encoding is bit-identical to the consumed prefix, or fail
+// cleanly — never panic, never over-read, and never leak a pooled buffer.
+// The cap passed to readFrame is small so a random 32-bit length cannot
+// demand a gigantic lease; the transport's real cap differs only in
+// magnitude, not in code path.
+func FuzzTCPFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(sealFrame([]byte{}))
+	f.Add(sealFrame([]byte("payload")))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // absurd length, no body
+	f.Add([]byte{0, 0, 0, 4, 1, 2, 3, 4, 0, 0, 0, 0})
+	long := sealFrame(bytes.Repeat([]byte{0x5a}, 300))
+	f.Add(long)
+	f.Add(long[:len(long)-1]) // truncated trailer
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const cap = 1 << 16
+		pool := newBufPool()
+		r := bytes.NewReader(raw)
+		buf, err := readFrame(r, pool, cap)
+		if err != nil {
+			if n := pool.outstanding(); n != 0 {
+				t.Fatalf("failed decode leaked %d buffers", n)
+			}
+			return
+		}
+		if len(buf) > cap {
+			t.Fatalf("decoded frame of %d bytes exceeds the %d cap", len(buf), cap)
+		}
+		// A frame that decoded must be exactly the consumed prefix re-sealed:
+		// the decoder read header+payload+trailer and nothing more.
+		consumed := len(raw) - r.Len()
+		if want := sealFrame(buf); !bytes.Equal(want, raw[:consumed]) {
+			t.Fatalf("decoded frame does not re-seal to the consumed %d bytes", consumed)
+		}
+		// The declared length must match what was delivered.
+		if n := binary.BigEndian.Uint32(raw[:4]); int(n) != len(buf) {
+			t.Fatalf("declared length %d, delivered %d", n, len(buf))
+		}
+		pool.release(buf)
+		if n := pool.outstanding(); n != 0 {
+			t.Fatalf("successful decode leaked %d buffers", n)
+		}
+	})
+}
 
 // FuzzChunkPartition drives the pipelined ring's segment partition with
 // arbitrary n/p/m: the p×m sub-ranges must tile [0, n) exactly — every

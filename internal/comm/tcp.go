@@ -2,6 +2,7 @@ package comm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -14,7 +15,13 @@ import (
 // writer goroutine draining a per-peer outbox, so Send never blocks on the
 // peer's Recv (the non-blocking guarantee collectives need).
 //
-// Frames are length-prefixed: 4-byte big-endian length followed by payload.
+// Frames are length-prefixed and integrity-checked: 4-byte big-endian
+// length, payload, then a 4-byte CRC32C trailer over header+payload. The
+// reader verifies the checksum before the pooled buffer is handed up; a
+// mismatch surfaces as a *CorruptError on the next Recv from that peer and
+// abandons the byte stream (after a bad checksum the framing itself can no
+// longer be trusted). The in-process transport has no frames and passes
+// payloads by reference, so it needs no checksum of its own.
 //
 // Each rank owns a buffer pool: writer goroutines release leased send
 // buffers back to it after the socket write, and reader goroutines lease
@@ -24,12 +31,19 @@ type tcpTransport struct {
 	rank, size int
 
 	conns   []net.Conn
-	inbox   []chan []byte
+	inbox   []chan tcpFrame
 	outbox  []chan []byte
 	pool    *bufPool
 	closeMu sync.Mutex
 	closed  chan struct{}
 	wg      sync.WaitGroup
+}
+
+// tcpFrame is one delivered frame: a verified payload, or the terminal
+// error (a checksum failure) that poisoned the link it arrived on.
+type tcpFrame struct {
+	buf []byte
+	err error
 }
 
 const tcpInboxDepth = 256
@@ -63,14 +77,14 @@ func NewTCPGroup(p int) ([]Transport, error) {
 			rank:   r,
 			size:   p,
 			conns:  make([]net.Conn, p),
-			inbox:  make([]chan []byte, p),
+			inbox:  make([]chan tcpFrame, p),
 			outbox: make([]chan []byte, p),
 			pool:   newBufPool(),
 			closed: make(chan struct{}),
 		}
 		for q := 0; q < p; q++ {
 			if q != r {
-				transports[r].inbox[q] = make(chan []byte, tcpInboxDepth)
+				transports[r].inbox[q] = make(chan tcpFrame, tcpInboxDepth)
 				transports[r].outbox[q] = make(chan []byte, tcpInboxDepth)
 			}
 		}
@@ -161,6 +175,7 @@ func (t *tcpTransport) startIO() {
 		if q == t.rank || t.conns[q] == nil {
 			continue
 		}
+		peer := q
 		conn := t.conns[q]
 		in := t.inbox[q]
 		out := t.outbox[q]
@@ -168,33 +183,40 @@ func (t *tcpTransport) startIO() {
 		go func() { // reader
 			defer t.wg.Done()
 			for {
-				var hdr [4]byte
-				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-					return
-				}
-				n := binary.BigEndian.Uint32(hdr[:])
-				buf := t.pool.lease(int(n))
-				if _, err := io.ReadFull(conn, buf); err != nil {
+				buf, err := readFrame(conn, t.pool, maxFrameLen)
+				if err != nil {
+					if errors.Is(err, ErrCorrupt) {
+						// Hand the poisoned link to the next Recv before
+						// giving up on the stream; the error precipitates
+						// a group abort, so nothing waits forever on the
+						// silenced peer.
+						select {
+						case in <- tcpFrame{err: &CorruptError{Op: "recv", Peer: peer}}:
+						case <-t.closed:
+						}
+					}
 					return
 				}
 				select {
-				case in <- buf:
+				case in <- tcpFrame{buf: buf}:
 				case <-t.closed:
+					t.pool.release(buf)
 					return
 				}
 			}
 		}()
 		go func() { // writer
 			defer t.wg.Done()
-			var hdr [4]byte
+			var hdr, tr [4]byte
+			var iov [3][]byte
 			for {
 				select {
 				case msg := <-out:
-					binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
-					if _, err := conn.Write(hdr[:]); err != nil {
-						return
-					}
-					if _, err := conn.Write(msg); err != nil {
+					frameSeal(&hdr, &tr, msg)
+					// One writev keeps the trailer from costing a third
+					// syscall per frame.
+					bufs := net.Buffers(append(iov[:0], hdr[:], msg, tr[:]))
+					if _, err := bufs.WriteTo(conn); err != nil {
 						return
 					}
 					// Leased send buffers recycle once on the wire;
@@ -255,12 +277,12 @@ func (t *tcpTransport) Recv(from int) ([]byte, error) {
 		return nil, fmt.Errorf("comm: bad peer %d", from)
 	}
 	select {
-	case msg := <-t.inbox[from]:
-		return msg, nil
+	case f := <-t.inbox[from]:
+		return f.buf, f.err
 	case <-t.closed:
 		select {
-		case msg := <-t.inbox[from]:
-			return msg, nil
+		case f := <-t.inbox[from]:
+			return f.buf, f.err
 		default:
 		}
 		return nil, ErrClosed

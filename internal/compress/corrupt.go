@@ -1,0 +1,86 @@
+package compress
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is the sentinel wrapped by every CorruptError; match it with
+// errors.Is when the offending rank's identity does not matter.
+var ErrCorrupt = errors.New("compress: payload corrupt")
+
+// CorruptError reports an encoded payload that failed structural validation
+// on decode: wrong length, an out-of-range code or index, or a non-finite
+// header word. It names the rank whose payload failed (in all-gather order,
+// blob index == sending rank), which lets the elastic trainer expel the
+// poisoned member instead of scatter-adding garbage into every survivor's
+// gradient. Extract with errors.As; Unwrap yields ErrCorrupt.
+type CorruptError struct {
+	Rank   int
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("compress: payload from rank %d corrupt: %s", e.Rank, e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// corruptf builds a *CorruptError blaming rank r.
+func corruptf(r int, format string, args ...any) error {
+	return &CorruptError{Rank: r, Reason: fmt.Sprintf(format, args...)}
+}
+
+// checkHeaderFinite rejects a non-finite scale/norm header word. One NaN
+// scale would otherwise poison the whole decoded buffer (every method folds
+// its header multiplicatively into every element), so catching it here is
+// what turns "all survivors see NaN aggregates" into "the poisoned rank is
+// named and expelled". v != v catches NaN; the subtraction catches ±Inf.
+func checkHeaderFinite(v float64, r int, what string) error {
+	if v-v != 0 {
+		return corruptf(r, "%s header %v is not finite", what, v)
+	}
+	return nil
+}
+
+// qsgdValidCodes reports whether every code byte's magnitude (low 7 bits)
+// is <= levels. Eight bytes are checked per step with a SWAR add: a byte's
+// magnitude overflows into bit 7 of mag+(127-levels) exactly when it
+// exceeds levels. levels is clamped to [1, 127] at construction, so the
+// per-byte add can never carry across lanes.
+func qsgdValidCodes(codes []byte, levels int) bool {
+	k := uint64(127-levels) * 0x0101010101010101
+	i := 0
+	for ; i+8 <= len(codes); i += 8 {
+		x := uint64(codes[i]) | uint64(codes[i+1])<<8 | uint64(codes[i+2])<<16 | uint64(codes[i+3])<<24 |
+			uint64(codes[i+4])<<32 | uint64(codes[i+5])<<40 | uint64(codes[i+6])<<48 | uint64(codes[i+7])<<56
+		if ((x&0x7f7f7f7f7f7f7f7f)+k)&0x8080808080808080 != 0 {
+			return false
+		}
+	}
+	for ; i < len(codes); i++ {
+		if int(codes[i]&0x7f) > levels {
+			return false
+		}
+	}
+	return true
+}
+
+// ternValidCodes reports whether no packed byte contains the invalid 2-bit
+// code 3 (both bits set): b & (b>>1) on the low bit of each 2-bit lane is
+// nonzero exactly for code 3. Unused tail slots are encoded as zero, so the
+// whole body is checked uniformly.
+func ternValidCodes(codes []byte) bool {
+	for _, b := range codes {
+		if b&(b>>1)&0x55 != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// finitePair rejects a non-finite sparse value. Shared by the fused
+// scatter-add decode paths: a rank that ships NaN/Inf values is poison
+// regardless of whether the bits flipped on the wire or came out of its
+// own arithmetic, and either way the decode names it.
+func finitePair(v float64) bool { return v-v == 0 }

@@ -2,7 +2,6 @@ package compress
 
 import (
 	"encoding/binary"
-	"fmt"
 	"math"
 	"math/bits"
 	"math/rand"
@@ -364,19 +363,26 @@ func voteSignTail(blobs [][]byte, grad []float64, mean float64, T int, lo, n int
 // payload scaled by `scale` in one fused pass — the multi-peer decode shared
 // by the sparse all-gather methods (the 1/p averaging folds into the adds,
 // saving the final full-vector scale sweep).
+// Validation failures are *CorruptError blaming the blob's rank: an odd
+// length, an out-of-range index (which would scatter outside the tensor),
+// or a non-finite value (which would poison it).
 func scatterAddPairs(blobs [][]byte, grad []float64, scale float64, what string) error {
 	clear(grad)
 	n := len(grad)
 	for r, b := range blobs {
 		if len(b)%topkPairBytes != 0 {
-			return fmt.Errorf("compress: %s payload %d has odd length %d", what, r, len(b))
+			return corruptf(r, "%s payload has odd length %d", what, len(b))
 		}
 		for off := 0; off+topkPairBytes <= len(b); off += topkPairBytes {
 			ix := int(binary.LittleEndian.Uint32(b[off:]))
 			if uint(ix) >= uint(n) {
-				return fmt.Errorf("compress: %s index %d out of range [0,%d)", what, ix, n)
+				return corruptf(r, "%s index %d out of range [0,%d)", what, ix, n)
 			}
-			grad[ix] += scale * math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:]))
+			v := math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:]))
+			if !finitePair(v) {
+				return corruptf(r, "%s value at index %d is not finite", what, ix)
+			}
+			grad[ix] += scale * v
 		}
 	}
 	return nil
@@ -391,14 +397,18 @@ func scatterAddPairsRange(blobs [][]byte, grad []float64, scale float64, lo, hi 
 	clear(grad[lo:hi])
 	for r, b := range blobs {
 		if len(b)%topkPairBytes != 0 {
-			return fmt.Errorf("compress: %s payload %d has odd length %d", what, r, len(b))
+			return corruptf(r, "%s payload has odd length %d", what, len(b))
 		}
 		for off := 0; off+topkPairBytes <= len(b); off += topkPairBytes {
 			ix := int(binary.LittleEndian.Uint32(b[off:]))
 			if ix < lo || ix >= hi {
-				return fmt.Errorf("compress: %s index %d outside chunk [%d,%d)", what, ix, lo, hi)
+				return corruptf(r, "%s index %d outside chunk [%d,%d)", what, ix, lo, hi)
 			}
-			grad[ix] += scale * math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:]))
+			v := math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:]))
+			if !finitePair(v) {
+				return corruptf(r, "%s value at index %d is not finite", what, ix)
+			}
+			grad[ix] += scale * v
 		}
 	}
 	return nil

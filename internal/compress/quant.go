@@ -167,9 +167,15 @@ func (q *QSGD) DecodeChunk(_ int, blobs [][]byte, grad []float64, bounds []int, 
 	q.luts = grownFloats(q.luts, p*256)
 	for r, b := range blobs {
 		if len(b) != want {
-			return fmt.Errorf("compress: QSGD.DecodeChunk payload %d has %d bytes, want %d", r, len(b), want)
+			return corruptf(r, "QSGD chunk %d payload has %d bytes, want %d", c, len(b), want)
 		}
 		norm := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		if err := checkHeaderFinite(norm, r, "QSGD norm"); err != nil {
+			return err
+		}
+		if !qsgdValidCodes(b[8:], q.levels) {
+			return corruptf(r, "QSGD code exceeds %d levels", q.levels)
+		}
 		f := norm / s * inv
 		lut := q.luts[r*256 : (r+1)*256]
 		for code := 0; code < 128; code++ {
@@ -208,9 +214,15 @@ func (q *QSGD) Decode(_ int, blobs [][]byte, grad []float64) error {
 	q.luts = grownFloats(q.luts, p*256)
 	for r, b := range blobs {
 		if len(b) != want {
-			return fmt.Errorf("compress: QSGD.Decode payload %d has %d bytes, want %d", r, len(b), want)
+			return corruptf(r, "QSGD payload has %d bytes, want %d", len(b), want)
 		}
 		norm := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		if err := checkHeaderFinite(norm, r, "QSGD norm"); err != nil {
+			return err
+		}
+		if !qsgdValidCodes(b[8:], q.levels) {
+			return corruptf(r, "QSGD code exceeds %d levels", q.levels)
+		}
 		f := norm / s * inv
 		lut := q.luts[r*256 : (r+1)*256]
 		for c := 0; c < 128; c++ {
@@ -365,9 +377,16 @@ func (t *TernGrad) Decode(_ int, blobs [][]byte, grad []float64) error {
 	t.scales = grownFloats(t.scales, p)
 	for r, b := range blobs {
 		if len(b) != want {
-			return fmt.Errorf("compress: TernGrad.Decode payload %d has %d bytes, want %d", r, len(b), want)
+			return corruptf(r, "TernGrad payload has %d bytes, want %d", len(b), want)
 		}
-		t.scales[r] = math.Float64frombits(binary.LittleEndian.Uint64(b)) * inv
+		scale := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		if err := checkHeaderFinite(scale, r, "TernGrad scale"); err != nil {
+			return err
+		}
+		if !ternValidCodes(b[8:]) {
+			return corruptf(r, "TernGrad payload contains the invalid ternary code 3")
+		}
+		t.scales[r] = scale * inv
 	}
 	scales := t.scales
 	full := t.n / 4

@@ -136,9 +136,13 @@ func (s *Sign) Decode(_ int, blobs [][]byte, grad []float64) error {
 	var meanScale float64
 	for r, b := range blobs {
 		if len(b) != want {
-			return fmt.Errorf("compress: Sign.Decode payload %d has %d bytes, want %d", r, len(b), want)
+			return corruptf(r, "Sign payload has %d bytes, want %d", len(b), want)
 		}
-		meanScale += math.Float64frombits(binary.LittleEndian.Uint64(b))
+		scale := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		if err := checkHeaderFinite(scale, r, "Sign scale"); err != nil {
+			return err
+		}
+		meanScale += scale
 	}
 	meanScale /= float64(p)
 	// Majority threshold: 2*votes >= p <=> votes >= ceil(p/2).
@@ -223,9 +227,13 @@ func (s *Sign) DecodeChunk(_ int, blobs [][]byte, grad []float64, bounds []int, 
 	var meanScale float64
 	for r, b := range blobs {
 		if len(b) != want {
-			return fmt.Errorf("compress: Sign.DecodeChunk payload %d has %d bytes, want %d", r, len(b), want)
+			return corruptf(r, "Sign chunk %d payload has %d bytes, want %d", c, len(b), want)
 		}
-		meanScale += math.Float64frombits(binary.LittleEndian.Uint64(b))
+		scale := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		if err := checkHeaderFinite(scale, r, "Sign scale"); err != nil {
+			return err
+		}
+		meanScale += scale
 	}
 	meanScale /= float64(p)
 	voteRange(blobs, grad[lo:hi], meanScale, (p+1)/2)

@@ -79,8 +79,9 @@ type TrainConfig struct {
 	// meaningful with Elastic.
 	MinWorkers int
 	// CheckpointDir, when non-empty, additionally persists rank 0's
-	// snapshot to CheckpointDir/checkpoint.gob at every checkpoint. Only
-	// meaningful with Elastic.
+	// snapshot to disk at every checkpoint as CRC-framed, generation-
+	// numbered files (checkpoint-NNNNNN.gob, keep-3 ring). Only meaningful
+	// with Elastic.
 	CheckpointDir string
 	// StepDeadline arms the stuck-step watchdog: a step that has not
 	// completed within the deadline aborts the epoch, peers blame the

@@ -149,6 +149,115 @@ func TestScenarioCrossValidatesElasticRuntime(t *testing.T) {
 	}
 }
 
+// TestScenarioCrossValidatesCorruptionExpulsion lines the corruption fault
+// model up against the real numeric-health guard. A 4-rank elastic cluster
+// runs with CheckNumerics on; after two clean steps rank 1 starts emitting
+// NaN gradients (PoisonRank), its local scan self-reports, the cluster
+// blames and expels it, and training rides through one recovery to 3
+// survivors. The scripted scenario injects one corrupt fault at the same
+// step and must agree on the recovery count, the survivor count, and the
+// corruption classification.
+func TestScenarioCrossValidatesCorruptionExpulsion(t *testing.T) {
+	const (
+		workers      = 4
+		poisonedRank = 1
+		cleanSteps   = 2
+	)
+
+	// --- real side: a numeric-guarded elastic cluster with one rank poisoned.
+	cfg := train.Config{
+		Spec:           compress.MustSpec("ssgd"),
+		Workers:        workers,
+		BatchPerWorker: 16,
+		Epochs:         1,
+		Momentum:       0.9,
+		Schedule:       train.Schedule{BaseLR: 0.05},
+		Overlap:        train.OverlapOn,
+		Seed:           7,
+		CheckNumerics:  true,
+		Elastic: train.ElasticConfig{
+			Enabled:          true,
+			CheckpointEvery:  2,
+			MaxRecoveries:    4,
+			Backoff:          5 * time.Millisecond,
+			HeartbeatTimeout: 200 * time.Millisecond,
+		},
+	}
+	build := func(rng *rand.Rand) *nn.Model {
+		return nn.NewModel(
+			nn.NewDense("fc1", 16, 16, rng),
+			nn.NewReLU("act"),
+			nn.NewDense("head", 16, 4, rng),
+		)
+	}
+	trainSet := data.GaussianMixture(1001, 256, 16, 4, 1.0)
+	c, err := train.NewCluster(cfg, build, trainSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetLR(0.05)
+
+	for i := 0; i < cleanSteps; i++ {
+		if _, err := c.Step(); err != nil {
+			t.Fatalf("clean step %d: %v", i+1, err)
+		}
+	}
+	c.PoisonRank(poisonedRank)
+	// The next step hits the numeric guard and rides through the expulsion
+	// recovery inside the call.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Step(); err != nil {
+			t.Fatalf("post-poison step %d: %v", i+1, err)
+		}
+	}
+
+	realRecoveries, realSurvivors := c.Recoveries(), c.Size()
+	if realRecoveries != 1 {
+		t.Fatalf("real run: %d recoveries, want 1 (the poisoned-rank expulsion)", realRecoveries)
+	}
+	if realSurvivors != workers-1 {
+		t.Fatalf("real run: %d survivors, want %d", realSurvivors, workers-1)
+	}
+
+	// --- simulated side: the same history as one scripted corrupt fault.
+	sc := &Scenario{
+		Name:   "crossval-corrupt",
+		Seed:   42,
+		Steps:  cleanSteps + 3,
+		Model:  "resnet50",
+		Method: "ssgd",
+		Fleet: FleetSpec{
+			Nodes:     workers,
+			Templates: []NodeTemplate{{Name: "gpu", Weight: 1}},
+		},
+		Faults: FaultSpec{Scripted: []ScriptedFault{
+			{Step: cleanSteps + 1, Kind: FaultCorrupt, Node: poisonedRank},
+		}},
+		Recovery: RecoverySpec{CheckpointEverySteps: 2},
+	}
+	rep, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Recoveries != realRecoveries {
+		t.Fatalf("recovery count disagrees: sim %d vs real %d", rep.Recoveries, realRecoveries)
+	}
+	if rep.FinalSurvivors != realSurvivors {
+		t.Fatalf("survivor count disagrees: sim %d vs real %d", rep.FinalSurvivors, realSurvivors)
+	}
+	if rep.Corruptions != 1 || rep.Crashes != 0 || rep.Hangs != 0 {
+		t.Fatalf("sim misclassified the failure history: %+v", rep)
+	}
+	if rep.Dead {
+		t.Fatalf("sim cluster died where the real one survived: %+v", rep)
+	}
+	if rep.RecoverySec <= 0 {
+		t.Fatalf("sim priced the expulsion at zero: %+v", rep)
+	}
+}
+
 // TestScenarioCrossValidatesReshapeAndWatchdog extends the cross-validation
 // to the full production recovery loop: a crash, an expelled member
 // rejoining under its old ID (scale-up through the pending-join path), a

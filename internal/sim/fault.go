@@ -28,6 +28,13 @@ const (
 	// expelled — a recovery with the watchdog's detection window instead of
 	// the heartbeat one.
 	FaultHang = "hang"
+	// FaultCorrupt poisons a node's output — flipped wire bits or non-finite
+	// gradients. Integrity checks (frame CRCs, decode validation, the
+	// numeric-health guard) catch it inside the same collective, peers blame
+	// the sender directly, and it is expelled: a recovery whose detection
+	// window is just the membership barrier, with no heartbeat or watchdog
+	// wait.
+	FaultCorrupt = "corrupt"
 	// EventJoin admits a (currently dead) node back into the fleet at the
 	// next step boundary — a budget-free reshape, not a recovery.
 	EventJoin = "join"
@@ -42,7 +49,7 @@ type ScriptedFault struct {
 	// Step is the 1-based training step the event lands on.
 	Step int `json:"step"`
 	// Kind is FaultCrash, FaultTransient, FaultZoneOutage, FaultHang,
-	// EventJoin or EventDrain.
+	// FaultCorrupt, EventJoin or EventDrain.
 	Kind string `json:"kind"`
 	// Node is the target node ID for node-scoped kinds (everything but
 	// zone-outage).
@@ -64,6 +71,11 @@ type FaultSpec struct {
 	// node keeps heartbeating but stops making progress, and only the
 	// watchdog (recovery.step_deadline_sec) catches it.
 	HangPer1kSteps float64 `json:"hang_per_node_per_1k_steps,omitempty"`
+	// CorruptPer1kSteps is each node's silent-corruption hazard per 1000
+	// steps: the node emits poisoned data (flipped bits, NaN gradients) that
+	// the integrity checks catch in-collective, so it is blamed and expelled
+	// with only the membership barrier as the detection window.
+	CorruptPer1kSteps float64 `json:"corrupt_per_node_per_1k_steps,omitempty"`
 	// ZoneOutagePer1kSteps is the fleet-wide hazard of losing one whole
 	// zone per 1000 steps (the zone is drawn uniformly from zones that
 	// still have survivors).
@@ -80,7 +92,7 @@ type FaultSpec struct {
 }
 
 func (f *FaultSpec) validate(fleet *FleetSpec, steps int) error {
-	if f.CrashPer1kSteps < 0 || f.TransientPer1kSteps < 0 || f.ZoneOutagePer1kSteps < 0 || f.HangPer1kSteps < 0 {
+	if f.CrashPer1kSteps < 0 || f.TransientPer1kSteps < 0 || f.ZoneOutagePer1kSteps < 0 || f.HangPer1kSteps < 0 || f.CorruptPer1kSteps < 0 {
 		return fmt.Errorf("sim: fault rates must be >= 0")
 	}
 	if f.CascadeFactor < 0 || (f.CascadeFactor > 0 && f.CascadeFactor < 1) {
@@ -94,7 +106,7 @@ func (f *FaultSpec) validate(fleet *FleetSpec, steps int) error {
 			return fmt.Errorf("sim: scripted fault %d at step %d outside [1, %d]", i, s.Step, steps)
 		}
 		switch s.Kind {
-		case FaultCrash, FaultTransient, FaultHang, EventJoin, EventDrain:
+		case FaultCrash, FaultTransient, FaultHang, FaultCorrupt, EventJoin, EventDrain:
 			if s.Node < 0 || s.Node >= fleet.Nodes {
 				return fmt.Errorf("sim: scripted fault %d targets node %d outside the %d-node fleet", i, s.Node, fleet.Nodes)
 			}
@@ -126,9 +138,10 @@ type faultEvent struct {
 // faultSampler draws each step's failures. All randomness comes from one
 // seeded stream consumed in a fixed order (scripted faults first, then
 // per-node crash draws in ID order, then per-node transient draws, then
-// per-node hang draws, then the zone-outage draw), so a seed fully
-// determines the failure history. A zero hang rate consumes no draws, which
-// keeps the random streams of pre-hang scenarios byte-identical.
+// per-node hang draws, then per-node corrupt draws, then the zone-outage
+// draw), so a seed fully determines the failure history. A zero rate
+// consumes no draws, which keeps the random streams of scenarios predating
+// the hang and corrupt hazards byte-identical.
 type faultSampler struct {
 	spec         *FaultSpec
 	rng          *rand.Rand
@@ -171,7 +184,7 @@ func (s *faultSampler) sample(step int, fleet []Node, alive []bool, aliveZones [
 	var events []faultEvent
 	for _, f := range s.scripted[step] {
 		switch f.Kind {
-		case FaultCrash, FaultTransient, FaultHang, EventDrain:
+		case FaultCrash, FaultTransient, FaultHang, FaultCorrupt, EventDrain:
 			if alive[f.Node] {
 				events = append(events, faultEvent{Kind: f.Kind, Node: f.Node})
 			}
@@ -189,6 +202,7 @@ func (s *faultSampler) sample(step int, fleet []Node, alive []bool, aliveZones [
 	pCrash := s.spec.CrashPer1kSteps / 1000 * mul
 	pTransient := s.spec.TransientPer1kSteps / 1000 * mul
 	pHang := s.spec.HangPer1kSteps / 1000 * mul
+	pCorrupt := s.spec.CorruptPer1kSteps / 1000 * mul
 	// Per-node draws happen in node-ID order for every alive node. Each
 	// node consumes a fixed number of draws per step regardless of outcome
 	// only when a rate is active; rates are scenario constants, so the
@@ -211,6 +225,13 @@ func (s *faultSampler) sample(step int, fleet []Node, alive []bool, aliveZones [
 		for _, n := range fleet {
 			if alive[n.ID] && s.rng.Float64() < pHang {
 				events = append(events, faultEvent{Kind: FaultHang, Node: n.ID})
+			}
+		}
+	}
+	if pCorrupt > 0 {
+		for _, n := range fleet {
+			if alive[n.ID] && s.rng.Float64() < pCorrupt {
+				events = append(events, faultEvent{Kind: FaultCorrupt, Node: n.ID})
 			}
 		}
 	}

@@ -58,17 +58,19 @@ type fleetRun struct {
 
 // recoveryKey memoizes transition pricing on the post-event signature plus
 // the pre-event head count (detection and re-form are priced at the old
-// size, replay and restore at the new) and the transition kind — a hang has
-// a different detection window than a crash, and a reshape has none.
+// size, replay and restore at the new) and the transition kind — a hang and
+// a caught corruption each have a different detection window than a crash,
+// and a reshape has none.
 type recoveryKey struct {
 	after  bottleneck
 	before int
-	kind   int // transCrash, transHang or transReshape
+	kind   int // transCrash, transHang, transCorrupt or transReshape
 }
 
 const (
 	transCrash = iota
 	transHang
+	transCorrupt
 	transReshape
 )
 
@@ -144,7 +146,7 @@ func RunScenarioSeed(sc *Scenario, seed int64) (*FleetReport, error) {
 		if len(events) > 0 {
 			before := r.bottleneck()
 			failures, reshapes := 0, 0
-			hangsOnly := true
+			sawCrash, sawHang, sawCorrupt := false, false, false
 			for _, ev := range events {
 				switch ev.Kind {
 				case FaultCrash:
@@ -152,18 +154,18 @@ func RunScenarioSeed(sc *Scenario, seed int64) (*FleetReport, error) {
 						rep.Crashes++
 					}
 					failures++
-					hangsOnly = false
+					sawCrash = true
 				case FaultTransient:
 					rep.Transients++
 					failures++
-					hangsOnly = false
+					sawCrash = true
 				case FaultZoneOutage:
 					if killed := r.killZone(ev.Zone); killed > 0 {
 						rep.ZoneOutages++
 						rep.Crashes += killed
 					}
 					failures++
-					hangsOnly = false
+					sawCrash = true
 				case FaultHang:
 					// A hung rank keeps heartbeating but is expelled by the
 					// watchdog, so it leaves the fleet like a crash — only
@@ -172,6 +174,16 @@ func RunScenarioSeed(sc *Scenario, seed int64) (*FleetReport, error) {
 						rep.Hangs++
 					}
 					failures++
+					sawHang = true
+				case FaultCorrupt:
+					// A corrupting rank is caught in-collective by the
+					// integrity checks and expelled like a crash, but with
+					// only the membership barrier as its detection window.
+					if r.kill(ev.Node) {
+						rep.Corruptions++
+					}
+					failures++
+					sawCorrupt = true
 				case EventJoin:
 					if r.revive(ev.Node) {
 						rep.Joins++
@@ -200,8 +212,19 @@ func RunScenarioSeed(sc *Scenario, seed int64) (*FleetReport, error) {
 				// runtime: a failed Step stabilizes membership once and
 				// re-forms once, however many ranks went missing — and any
 				// join or drain pending the same step folds into that
-				// re-form for free.
-				rec, err := r.priceRecovery(before, rc, hangsOnly)
+				// re-form for free. The detection window is the slowest one
+				// any failure this step needs: a crash-class fault must wait
+				// out heartbeat expiry regardless of what else happened, a
+				// hang the watchdog deadline, and a caught corruption only
+				// the membership barrier.
+				kind := transCorrupt
+				switch {
+				case sawCrash || !sawHang && !sawCorrupt:
+					kind = transCrash
+				case sawHang:
+					kind = transHang
+				}
+				rec, err := r.priceRecovery(before, rc, kind)
 				if err != nil {
 					return nil, fmt.Errorf("sim: scenario %q step %d: %w", sc.Name, step, err)
 				}
@@ -384,16 +407,14 @@ func (r *fleetRun) priceStep() (Result, error) {
 }
 
 // priceRecovery prices one re-form from the pre-failure fleet to the
-// current survivors. hangsOnly selects the watchdog detection window: when
-// every failure this step was a hang, detection is the step deadline rather
-// than the heartbeat timeout (a mixed step is dominated by the heartbeat
-// path — the crashed ranks must be expelled by it regardless).
-func (r *fleetRun) priceRecovery(before bottleneck, rc RecoveryConfig, hangsOnly bool) (RecoveryResult, error) {
+// current survivors. kind selects the detection window — the heartbeat
+// timeout for crash-class failures (transCrash), the stuck-step watchdog
+// deadline when every failure this step was a hang (transHang), and just
+// the membership barrier when the step only caught corruption (transCorrupt:
+// integrity checks fail inside the collective, so there is nothing to wait
+// for beyond Stabilize).
+func (r *fleetRun) priceRecovery(before bottleneck, rc RecoveryConfig, kind int) (RecoveryResult, error) {
 	after := r.bottleneck()
-	kind := transCrash
-	if hangsOnly {
-		kind = transHang
-	}
 	key := recoveryKey{after: after, before: before.workers, kind: kind}
 	if rec, ok := r.recCache[key]; ok {
 		return rec, nil
@@ -408,9 +429,12 @@ func (r *fleetRun) priceRecovery(before bottleneck, rc RecoveryConfig, hangsOnly
 	cfg.Workers = before.workers
 	var rec RecoveryResult
 	var err error
-	if hangsOnly {
+	switch kind {
+	case transHang:
 		rec, err = EstimateHangTo(cfg, rc, after.workers)
-	} else {
+	case transCorrupt:
+		rec, err = EstimateCorruptTo(cfg, rc, after.workers)
+	default:
 		rec, err = EstimateRecoveryTo(cfg, rc, after.workers)
 	}
 	if err != nil {

@@ -117,8 +117,19 @@ func EstimateHangTo(cfg Config, rc RecoveryConfig, survivors int) (RecoveryResul
 	return estimateTransition(cfg, rc, survivors, detect, true, true)
 }
 
-// estimateTransition is the shared core of the recovery, reshape and hang
-// estimators: price the step at the target size, then assemble the phase
+// EstimateCorruptTo prices expelling a rank caught emitting corrupt data
+// (frame CRC mismatch, structurally invalid compressed payload, or a
+// non-finite gradient). Detection is immediate — the integrity check fails
+// inside the collective that carried the damage and the peers blame the
+// sender directly — so the only detection-side wait is the membership
+// barrier: one heartbeat window of Stabilize before the survivors re-form.
+// Backoff, restore and replay are paid exactly as for a crash.
+func EstimateCorruptTo(cfg Config, rc RecoveryConfig, survivors int) (RecoveryResult, error) {
+	return estimateTransition(cfg, rc, survivors, rc.HeartbeatTimeoutSec, true, true)
+}
+
+// estimateTransition is the shared core of the recovery, reshape, hang and
+// corrupt estimators: price the step at the target size, then assemble the phase
 // breakdown from the detection window, the (optionally backed-off) re-form,
 // the restore, and the (optional) replay term.
 func estimateTransition(cfg Config, rc RecoveryConfig, to int, detectSec float64, backoff, replay bool) (RecoveryResult, error) {

@@ -202,3 +202,33 @@ func TestEstimateHang(t *testing.T) {
 		t.Fatal("negative step deadline should be rejected")
 	}
 }
+
+// TestEstimateCorrupt: a caught corruption is detected inside the collective,
+// so its detection window is just the stabilize barrier — strictly shorter
+// than a crash's heartbeat expiry or a hang's watchdog deadline — while the
+// re-form, restore and replay terms match a crash recovery exactly.
+func TestEstimateCorrupt(t *testing.T) {
+	cfg, rc := recoveryBase()
+	rc.StepDeadlineSec = 3
+	c, err := EstimateCorruptTo(cfg, rc, cfg.Workers-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DetectSec != rc.HeartbeatTimeoutSec {
+		t.Fatalf("corrupt detect %g, want one stabilize window %g", c.DetectSec, rc.HeartbeatTimeoutSec)
+	}
+	crash, err := EstimateRecoveryTo(cfg, rc, cfg.Workers-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hang, err := EstimateHangTo(cfg, rc, cfg.Workers-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DetectSec >= crash.DetectSec || c.DetectSec >= hang.DetectSec {
+		t.Fatalf("corrupt detection (%g) should undercut crash (%g) and hang (%g)", c.DetectSec, crash.DetectSec, hang.DetectSec)
+	}
+	if c.ReformSec != crash.ReformSec || c.RestoreSec != crash.RestoreSec || c.ReplaySec != crash.ReplaySec {
+		t.Fatal("corrupt recovery should differ from a crash only in the detection window")
+	}
+}

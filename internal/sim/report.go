@@ -46,14 +46,17 @@ type FleetReport struct {
 	// summed over every surviving worker, every step).
 	WireBytes float64 `json:"wire_bytes"`
 
-	// Chaos accounting. Hangs are watchdog-expelled stuck ranks; Joins and
-	// Drains are planned membership events, priced as budget-free Reshapes
-	// rather than Recoveries (the new fields are omitempty so reports from
-	// scenarios that never use them keep their historical byte form).
+	// Chaos accounting. Hangs are watchdog-expelled stuck ranks; Corruptions
+	// are ranks expelled after an integrity check (frame CRC, decode
+	// validation, numeric guard) caught their output; Joins and Drains are
+	// planned membership events, priced as budget-free Reshapes rather than
+	// Recoveries (the new fields are omitempty so reports from scenarios
+	// that never use them keep their historical byte form).
 	Crashes        int     `json:"crashes"`
 	Transients     int     `json:"transients"`
 	ZoneOutages    int     `json:"zone_outages"`
 	Hangs          int     `json:"hangs,omitempty"`
+	Corruptions    int     `json:"corruptions,omitempty"`
 	Joins          int     `json:"joins,omitempty"`
 	Drains         int     `json:"drains,omitempty"`
 	Recoveries     int     `json:"recoveries"`

@@ -117,10 +117,13 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	return &ck, nil
 }
 
-// WriteFile atomically persists the checkpoint at path (write to a
-// temporary file in the same directory, then rename), so a crash mid-write
-// never clobbers the previous checkpoint. The directory is created if
-// missing.
+// WriteFile atomically and durably persists the checkpoint at path: write
+// to a temporary file in the same directory, fsync it, rename over the
+// target, then fsync the directory — so a crash (or power cut) at any point
+// leaves either the old file or the complete new one, never a torn mix, and
+// the rename itself survives the cache. The directory is created if missing.
+// New code should prefer the CRC-framed generational store (WriteGeneration
+// / RestoreLatest), which can additionally detect bit rot on read.
 func (ck *Checkpoint) WriteFile(path string) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -135,6 +138,11 @@ func (ck *Checkpoint) WriteFile(path string) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("train: checkpoint fsync: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("train: checkpoint close: %w", err)
@@ -143,7 +151,7 @@ func (ck *Checkpoint) WriteFile(path string) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("train: checkpoint rename: %w", err)
 	}
-	return nil
+	return fsyncDir(dir)
 }
 
 // SaveCheckpoint writes the model's weights to w (gob encoding). It remains

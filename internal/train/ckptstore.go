@@ -1,0 +1,200 @@
+package train
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Generational on-disk checkpoint store. Each snapshot lands in its own
+// generation-numbered file ("checkpoint-000042.gob") prefixed by a magic
+// string and a CRC32C of the gob body, so restore can tell a good snapshot
+// from a torn, truncated or bit-rotted one instead of gob-decoding garbage
+// into half a model. Writes are atomic (temp file + rename) and durable
+// (file fsynced before the rename, directory fsynced after), and the store
+// keeps a ring of the newest generations — a corrupt latest file degrades
+// restore to the previous generation, not to nothing.
+
+// ckptMagic identifies a CRC-framed generational checkpoint file. Legacy
+// files written by Checkpoint.WriteFile are bare gob (no magic, no CRC);
+// RestoreLatest still reads them as a last resort.
+const ckptMagic = "ACPCKPT1"
+
+// ckptHeaderLen is the framed header: 8 magic bytes + 4-byte big-endian
+// CRC32C of everything after the header.
+const ckptHeaderLen = len(ckptMagic) + 4
+
+// ckptCRCTable is the Castagnoli polynomial — hardware-accelerated on
+// amd64/arm64, and the same polynomial the comm layer's frame trailer uses.
+var ckptCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// GenerationPath returns the file path of checkpoint generation gen in dir.
+func GenerationPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%06d.gob", gen))
+}
+
+// WriteGeneration durably persists ck as generation gen in dir and prunes
+// the ring down to the keep newest generations (keep <= 0 keeps everything).
+// The newly written file is never pruned. Write order is what makes a crash
+// at any point harmless: the body reaches the temp file, the temp file is
+// fsynced, the rename publishes it, and the directory fsync makes the
+// publication durable — a reader never observes a partially written
+// generation under its final name.
+func WriteGeneration(dir string, gen uint64, ck *Checkpoint, keep int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("train: checkpoint dir: %w", err)
+	}
+	var body bytes.Buffer
+	body.WriteString(ckptMagic)
+	body.Write([]byte{0, 0, 0, 0}) // CRC placeholder
+	if err := ck.Write(&body); err != nil {
+		return err
+	}
+	raw := body.Bytes()
+	binary.BigEndian.PutUint32(raw[len(ckptMagic):], crc32.Checksum(raw[ckptHeaderLen:], ckptCRCTable))
+
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("train: checkpoint temp file: %w", err)
+	}
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		return cleanup(fmt.Errorf("train: checkpoint write: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("train: checkpoint fsync: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("train: checkpoint close: %w", err)
+	}
+	path := GenerationPath(dir, gen)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("train: checkpoint rename: %w", err)
+	}
+	if err := fsyncDir(dir); err != nil {
+		return err
+	}
+	pruneGenerations(dir, gen, keep)
+	return nil
+}
+
+// pruneGenerations removes generation files beyond the keep newest. The
+// just-written generation (justWrote) survives unconditionally — even a
+// misconfigured keep must never delete the only verified-fresh snapshot.
+// Prune failures are ignored: stale ring files cost disk, not correctness.
+func pruneGenerations(dir string, justWrote uint64, keep int) {
+	if keep <= 0 {
+		return
+	}
+	gens := listGenerations(dir)
+	for i, g := range gens {
+		if i < keep || g == justWrote {
+			continue
+		}
+		os.Remove(GenerationPath(dir, g))
+	}
+}
+
+// listGenerations returns the generation numbers present in dir, newest
+// first. Files that do not parse as checkpoint-NNNNNN.gob are ignored.
+func listGenerations(dir string) []uint64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var gens []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "checkpoint-") || !strings.HasSuffix(name, ".gob") {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, "checkpoint-"), ".gob")
+		g, err := strconv.ParseUint(num, 10, 64)
+		if err != nil {
+			continue
+		}
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	return gens
+}
+
+// ReadGeneration reads and verifies one generation file: magic, CRC32C over
+// the gob body, then the decode itself. Any mismatch — truncation, a flipped
+// bit, a foreign file — fails before a single byte reaches a model.
+func ReadGeneration(path string) (*Checkpoint, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < ckptHeaderLen || string(raw[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("train: %s is not a framed checkpoint", path)
+	}
+	want := binary.BigEndian.Uint32(raw[len(ckptMagic):])
+	if got := crc32.Checksum(raw[ckptHeaderLen:], ckptCRCTable); got != want {
+		return nil, fmt.Errorf("train: %s checksum mismatch (%08x != %08x)", path, got, want)
+	}
+	return ReadCheckpoint(bytes.NewReader(raw[ckptHeaderLen:]))
+}
+
+// RestoreLatest returns the newest generation in dir that passes
+// verification, walking backward generation by generation past corrupt or
+// torn files, and finally falling back to a legacy unframed checkpoint.gob.
+// The returned generation number is 0 for the legacy fallback. When nothing
+// restorable exists the error wraps os.ErrNotExist.
+func RestoreLatest(dir string) (*Checkpoint, uint64, error) {
+	var firstErr error
+	for _, g := range listGenerations(dir) {
+		ck, err := ReadGeneration(GenerationPath(dir, g))
+		if err == nil {
+			return ck, g, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if f, err := os.Open(filepath.Join(dir, "checkpoint.gob")); err == nil {
+		defer f.Close()
+		ck, err := ReadCheckpoint(f)
+		if err == nil {
+			return ck, 0, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, 0, fmt.Errorf("train: no verifiable checkpoint in %s (newest failure: %v): %w", dir, firstErr, os.ErrNotExist)
+	}
+	return nil, 0, fmt.Errorf("train: no checkpoint in %s: %w", dir, os.ErrNotExist)
+}
+
+// fsyncDir fsyncs a directory, making a just-renamed file's directory entry
+// durable. POSIX renames are atomic in the namespace but not durable until
+// the directory itself reaches the disk.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("train: open dir for fsync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("train: dir fsync: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package train
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// storeCheckpoint builds a distinguishable full-state checkpoint for store
+// tests; step seeds the contents so generations differ byte for byte.
+func storeCheckpoint(step int) *Checkpoint {
+	return &Checkpoint{
+		Params: map[string]checkpointTensor{
+			"fc1.weight": {Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, float64(step)}},
+		},
+		Momentum: map[string]checkpointTensor{
+			"fc1.weight": {Rows: 2, Cols: 3, Data: []float64{0.1, 0.2, 0.3, 0.4, 0.5, float64(step) / 2}},
+		},
+		Residuals: map[string][]float64{
+			"b:0/err": {0.5, float64(step) * 0.25},
+		},
+		Step: step,
+	}
+}
+
+func TestGenerationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := storeCheckpoint(17)
+	if err := WriteGeneration(dir, 1, want, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGeneration(GenerationPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mutated the checkpoint:\n got %+v\nwant %+v", got, want)
+	}
+	ck, gen, err := RestoreLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 || !reflect.DeepEqual(ck, want) {
+		t.Fatalf("RestoreLatest returned generation %d", gen)
+	}
+}
+
+// TestRestoreFallsBackPastCorruptLatest is the torn-checkpoint recovery
+// matrix: whatever happened to the newest generation — truncated mid-write,
+// one flipped bit, or deleted outright — RestoreLatest must return the
+// previous generation bit-identically rather than failing or, worse,
+// decoding the damaged file.
+func TestRestoreFallsBackPastCorruptLatest(t *testing.T) {
+	prev := storeCheckpoint(10)
+	damage := []struct {
+		name    string
+		mutilat func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped-bit", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)-7] ^= 0x10
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"missing", func(t *testing.T, path string) {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range damage {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := WriteGeneration(dir, 4, prev, 3); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteGeneration(dir, 5, storeCheckpoint(20), 3); err != nil {
+				t.Fatal(err)
+			}
+			tc.mutilat(t, GenerationPath(dir, 5))
+			ck, gen, err := RestoreLatest(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen != 4 {
+				t.Fatalf("restored generation %d, want the fallback 4", gen)
+			}
+			if !reflect.DeepEqual(ck, prev) {
+				t.Fatal("fallback generation is not bit-identical to what was written")
+			}
+		})
+	}
+}
+
+// TestKeepNPruning: the ring holds exactly keep generations, newest first,
+// and the generation just written survives even a keep-1 ring.
+func TestKeepNPruning(t *testing.T) {
+	dir := t.TempDir()
+	for gen := uint64(1); gen <= 5; gen++ {
+		if err := WriteGeneration(dir, gen, storeCheckpoint(int(gen)), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens := listGenerations(dir)
+	if len(gens) != 2 || gens[0] != 5 || gens[1] != 4 {
+		t.Fatalf("ring holds %v, want [5 4]", gens)
+	}
+	if err := WriteGeneration(dir, 6, storeCheckpoint(6), 1); err != nil {
+		t.Fatal(err)
+	}
+	gens = listGenerations(dir)
+	if len(gens) != 1 || gens[0] != 6 {
+		t.Fatalf("keep-1 ring holds %v, want [6]", gens)
+	}
+	// The newest verified snapshot survives pruning even when a stale file
+	// with a higher generation number lingers (e.g. after a botched manual
+	// restore): pruning may drop older files but never the one just written.
+	if err := os.WriteFile(GenerationPath(dir, 9), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGeneration(dir, 7, storeCheckpoint(7), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGeneration(GenerationPath(dir, 7)); err != nil {
+		t.Fatalf("freshly written generation was pruned: %v", err)
+	}
+	ck, gen, err := RestoreLatest(dir)
+	if err != nil || gen != 7 || ck.Step != 7 {
+		t.Fatalf("RestoreLatest skipped the junk file wrong: gen %d err %v", gen, err)
+	}
+}
+
+// TestRestoreLegacyFallback: a directory holding only a legacy unframed
+// checkpoint.gob (pre-generational WriteFile output) still restores, with
+// generation 0 signalling the legacy path.
+func TestRestoreLegacyFallback(t *testing.T) {
+	dir := t.TempDir()
+	want := storeCheckpoint(33)
+	if err := want.WriteFile(filepath.Join(dir, "checkpoint.gob")); err != nil {
+		t.Fatal(err)
+	}
+	ck, gen, err := RestoreLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 0 {
+		t.Fatalf("legacy fallback reported generation %d", gen)
+	}
+	if !reflect.DeepEqual(ck, want) {
+		t.Fatal("legacy checkpoint did not round-trip")
+	}
+	// A framed generation outranks the legacy file once one exists.
+	if err := WriteGeneration(dir, 1, storeCheckpoint(44), 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, gen, err = RestoreLatest(dir); err != nil || gen != 1 {
+		t.Fatalf("framed generation not preferred: gen %d err %v", gen, err)
+	}
+}
+
+func TestRestoreLatestEmptyDir(t *testing.T) {
+	_, _, err := RestoreLatest(t.TempDir())
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("empty dir error %v does not wrap os.ErrNotExist", err)
+	}
+	_, _, err = RestoreLatest(filepath.Join(t.TempDir(), "nope"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing dir error %v does not wrap os.ErrNotExist", err)
+	}
+}
+
+// TestReadGenerationRejectsForeignFile: a file without the magic prefix is
+// refused before any gob decoding happens.
+func TestReadGenerationRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	path := GenerationPath(dir, 1)
+	if err := os.WriteFile(path, []byte("GIBBERISH-NOT-A-CHECKPOINT"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadGeneration(path)
+	if err == nil || !strings.Contains(err.Error(), "not a framed checkpoint") {
+		t.Fatalf("foreign file error: %v", err)
+	}
+}

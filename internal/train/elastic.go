@@ -2,7 +2,6 @@ package train
 
 import (
 	"fmt"
-	"path/filepath"
 	"strconv"
 	"time"
 
@@ -60,10 +59,18 @@ type ElasticConfig struct {
 	// the drain degrades to the normal crash/expel path (default 8x
 	// HeartbeatTimeout).
 	DrainDeadline time.Duration
-	// Dir, when non-empty, additionally persists rank 0's snapshot to
-	// Dir/checkpoint.gob at every checkpoint (atomic rename), so a restarted
-	// process can seed a new run from the survivors' last state.
+	// Dir, when non-empty, additionally persists rank 0's snapshot to disk
+	// at every checkpoint as a CRC-framed, generation-numbered file
+	// (Dir/checkpoint-NNNNNN.gob; atomic rename, fsynced file and
+	// directory), so a restarted process can seed a new run from the
+	// survivors' last state. Restore walks generations newest-first past any
+	// torn or bit-rotted file (see RestoreLatest); legacy unframed
+	// checkpoint.gob files remain readable as the final fallback.
 	Dir string
+	// KeepCheckpoints bounds the on-disk generation ring: after each write
+	// the store prunes down to this many newest generations (default 3).
+	// The generation just written is never pruned.
+	KeepCheckpoints int
 }
 
 // validate applies defaults and checks bounds against the starting worker
@@ -92,6 +99,12 @@ func (e *ElasticConfig) validate(workers int) error {
 	}
 	if e.DrainDeadline == 0 {
 		e.DrainDeadline = 8 * e.HeartbeatTimeout
+	}
+	if e.KeepCheckpoints == 0 {
+		e.KeepCheckpoints = 3
+	}
+	if e.KeepCheckpoints < 1 {
+		return fmt.Errorf("train: elastic checkpoint ring must keep >= 1 generations, got %d", e.KeepCheckpoints)
 	}
 	if e.StepDeadline < 0 {
 		return fmt.Errorf("train: elastic step deadline must be >= 0, got %v", e.StepDeadline)
@@ -155,8 +168,9 @@ func (c *Cluster) checkpointNow() error {
 	}
 	c.sinceCkpt = 0
 	if dir := c.cfg.Elastic.Dir; dir != "" {
+		c.ckptGen++
 		ck := fresh[g.memberIDs[0]]
-		if err := ck.WriteFile(filepath.Join(dir, "checkpoint.gob")); err != nil {
+		if err := WriteGeneration(dir, c.ckptGen, ck, c.cfg.Elastic.KeepCheckpoints); err != nil {
 			return err
 		}
 	}
@@ -228,6 +242,15 @@ func (c *Cluster) recover(cause error, old *epochGroup, rankErrs []error) error 
 	for _, id := range blameHungRanks(old.memberIDs, rankErrs) {
 		c.coord.ReportFailure(id, cause)
 	}
+	// Likewise expel ranks convicted by corruption evidence: checksum
+	// failures naming the sending peer, payloads that failed structural
+	// validation naming the encoding rank, and numeric-guard self-reports.
+	// These members heartbeat fine — their bytes or arithmetic are what is
+	// broken — so without the conviction they would survive Stabilize and
+	// poison every retry.
+	for _, id := range blameCorruptRanks(old.memberIDs, rankErrs) {
+		c.coord.ReportFailure(id, cause)
+	}
 
 	// Exponential backoff between attempts, then the membership barrier:
 	// Stabilize blocks for a full heartbeat timeout, so every rank that had
@@ -256,6 +279,7 @@ func (c *Cluster) recover(cause error, old *epochGroup, rankErrs []error) error 
 			reaped = append(reaped, m)
 			delete(c.members, id)
 			delete(c.snaps, id)
+			delete(c.poisoned, id)
 			if tm := c.drainTimers[id]; tm != nil {
 				tm.Stop()
 				delete(c.drainTimers, id)
@@ -284,6 +308,7 @@ func (c *Cluster) recover(cause error, old *epochGroup, rankErrs []error) error 
 	c.grp = grp
 	c.sinceCkpt = 0
 	c.applyLRLocked(grp)
+	c.applyPoisonLocked(grp)
 	c.mu.Unlock()
 	return nil
 }

@@ -336,13 +336,15 @@ func TestElasticCloseDuringRecovery(t *testing.T) {
 	}
 }
 
-// TestElasticDiskCheckpoint: with Dir set, rank 0's snapshot lands on disk at
-// every checkpoint (atomic rename) and round-trips through ReadCheckpoint
-// with the full state — momentum, compressor residuals, step counter.
+// TestElasticDiskCheckpoint: with Dir set, rank 0's snapshot lands on disk
+// as a CRC-framed generation at every checkpoint, the ring prunes to
+// KeepCheckpoints files, and RestoreLatest round-trips the full state —
+// momentum, compressor residuals, step counter.
 func TestElasticDiskCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	cfg := elasticSmokeConfig("topk:ratio=0.05", OverlapOn)
 	cfg.Elastic.CheckpointEvery = 2
+	cfg.Elastic.KeepCheckpoints = 2
 	cfg.Elastic.Dir = dir
 	trainSet := data.GaussianMixture(1001, 256, 16, 4, 1.0)
 	build := buildMLP(16, 16, 4)
@@ -352,16 +354,14 @@ func TestElasticDiskCheckpoint(t *testing.T) {
 	}
 	defer c.Close()
 	c.SetLR(0.05)
-	stepLosses(t, c, 4)
+	stepLosses(t, c, 8) // construction ckpt + 4 periodic ones: generations 1..5
 
-	f, err := os.Open(filepath.Join(dir, "checkpoint.gob"))
+	ck, gen, err := RestoreLatest(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	ck, err := ReadCheckpoint(f)
-	if err != nil {
-		t.Fatal(err)
+	if gen < 3 {
+		t.Fatalf("expected several generations written, newest is %d", gen)
 	}
 	if ck.Step == 0 {
 		t.Fatal("disk checkpoint has zero step counter")
@@ -372,13 +372,22 @@ func TestElasticDiskCheckpoint(t *testing.T) {
 	if len(ck.Residuals) == 0 {
 		t.Fatal("disk checkpoint is missing compressor residuals")
 	}
-	// No temp-file droppings from the atomic write path.
+	// The ring pruned to KeepCheckpoints generations, and the atomic write
+	// path left no temp-file droppings.
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0].Name() != "checkpoint.gob" {
-		t.Fatalf("unexpected checkpoint dir contents: %v", entries)
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	want := []string{
+		filepath.Base(GenerationPath(dir, gen-1)),
+		filepath.Base(GenerationPath(dir, gen)),
+	}
+	if len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("unexpected checkpoint dir contents: %v, want %v", names, want)
 	}
 }
 

@@ -1,0 +1,150 @@
+package train
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"acpsgd/internal/comm"
+	"acpsgd/internal/compress"
+	"acpsgd/internal/nn"
+	"acpsgd/internal/tensor"
+)
+
+// ErrPoisoned is the sentinel wrapped by every NumericError; match it with
+// errors.Is when the offending rank's identity does not matter.
+var ErrPoisoned = errors.New("train: gradient not finite")
+
+// NumericError reports a NaN/Inf found by the numeric-health guard
+// (Config.CheckNumerics). Rank is the rank the poison is attributed to: the
+// scanning rank itself for a local-gradient hit (the poison is provably ours
+// — it predates any communication), or -1 when an aggregate turned non-finite
+// without any rank-attributable decode failure (additive all-reduce mixes
+// every contribution, so the aggregate alone cannot name the poisoner). The
+// elastic recovery path expels attributed ranks through the coordinator; see
+// blameCorruptRanks. Unwrap yields ErrPoisoned.
+type NumericError struct {
+	Rank int
+	What string
+}
+
+func (e *NumericError) Error() string {
+	if e.Rank < 0 {
+		return fmt.Sprintf("train: %s is not finite", e.What)
+	}
+	return fmt.Sprintf("train: rank %d %s is not finite", e.Rank, e.What)
+}
+
+func (e *NumericError) Unwrap() error { return ErrPoisoned }
+
+// scanNonFinite returns the index of the first non-finite element, or -1.
+// Word-parallel: large tensors shard over the tensor worker pool, each shard
+// folding its elements through the branch-free v-v accumulator (NaN and ±Inf
+// both make v-v ≠ 0, and any non-finite summand makes the whole fold
+// non-finite); only shards whose fold trips rescan for the index.
+func scanNonFinite(data []float64) int {
+	n := len(data)
+	shards := tensor.ShardCount(n, n)
+	if shards <= 1 {
+		return scanNonFiniteRange(data, 0, n)
+	}
+	hits := make([]int, shards)
+	tensor.RunShards(n, shards, func(sh, lo, hi int) {
+		hits[sh] = scanNonFiniteRange(data, lo, hi)
+	})
+	for _, ix := range hits {
+		if ix >= 0 {
+			return ix
+		}
+	}
+	return -1
+}
+
+// scanNonFiniteRange is the per-shard kernel: a fold pass that touches no
+// branch per element, then a rescan only when the fold detected poison.
+func scanNonFiniteRange(data []float64, lo, hi int) int {
+	var acc float64
+	for _, v := range data[lo:hi] {
+		acc += v - v
+	}
+	if acc == 0 {
+		return -1
+	}
+	for i := lo; i < hi; i++ {
+		v := data[i]
+		if v-v != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// scanParams runs the numeric scan over every parameter gradient, returning
+// a NumericError attributed to rank (or -1) naming the poisoned parameter.
+func scanParams(params []*nn.Param, rank int, when string) error {
+	for _, p := range params {
+		if ix := scanNonFinite(p.Grad.Data); ix >= 0 {
+			return &NumericError{Rank: rank, What: fmt.Sprintf("%s gradient %s[%d]", when, p.Name, ix)}
+		}
+	}
+	return nil
+}
+
+// checkLocalGrads scans the worker's own backward-pass gradients. A hit is a
+// self-report: the poison exists before any payload was decoded, so it came
+// from this rank's forward/backward (or its poisoned inputs) and the guard
+// attributes it to w.rank — which is what lets recovery expel the poisoned
+// member even when the compressed payload would smuggle the NaN past
+// structural validation (e.g. sign bits of NaN look like any other bits).
+func (w *worker) checkLocalGrads() error {
+	return scanParams(w.model.Params(), w.rank, "local")
+}
+
+// checkAggregates scans the decoded aggregate gradients right before the
+// optimizer step — the last line of defense. Reaching here non-finite means
+// every rank's payload decoded as structurally valid, so no single rank can
+// be blamed from this rank's vantage point: the error carries Rank -1 and
+// recovery relies on the poisoned rank's own self-report for attribution.
+func (w *worker) checkAggregates() error {
+	return scanParams(w.model.Params(), -1, "aggregate")
+}
+
+// blameCorruptRanks convicts ranks from a failed step's per-rank errors when
+// the evidence names them directly: a *comm.CorruptError carries the peer
+// whose frame failed its checksum, a *compress.CorruptError the rank whose
+// payload failed structural validation, and a self-reported *NumericError the
+// rank whose own backward produced the poison. Unlike blameHungRanks there is
+// no acquittal pass — corruption evidence is direct (the named rank's bytes
+// or arithmetic were bad), not circumstantial like "my neighbor kept me
+// waiting", so a rank reporting corruption does not exonerate itself.
+func blameCorruptRanks(memberIDs []string, rankErrs []error) []string {
+	guilty := make(map[int]bool)
+	blame := func(r int) {
+		if r >= 0 && r < len(memberIDs) {
+			guilty[r] = true
+		}
+	}
+	for _, err := range rankErrs {
+		if err == nil {
+			continue
+		}
+		var we *comm.CorruptError
+		if errors.As(err, &we) {
+			blame(we.Peer)
+		}
+		var pe *compress.CorruptError
+		if errors.As(err, &pe) {
+			blame(pe.Rank)
+		}
+		var ne *NumericError
+		if errors.As(err, &ne) {
+			blame(ne.Rank)
+		}
+	}
+	ids := make([]string, 0, len(guilty))
+	for r := range guilty {
+		ids = append(ids, memberIDs[r])
+	}
+	sort.Strings(ids)
+	return ids
+}

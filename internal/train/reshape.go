@@ -249,6 +249,7 @@ func (c *Cluster) maybeReshape() error {
 	c.reshapes++
 	c.sinceCkpt = 0
 	c.applyLRLocked(grp)
+	c.applyPoisonLocked(grp)
 	c.mu.Unlock()
 	return nil
 }

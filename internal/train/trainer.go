@@ -96,6 +96,16 @@ type Config struct {
 	// the unpipelined path is the replay baseline, asserted in tests.
 	PipelineChunks int
 
+	// CheckNumerics arms the numeric-health guard: every step each worker
+	// scans its local backward-pass gradients (self-reporting poison it
+	// produced) and the decoded aggregates (the last line before the
+	// optimizer step) for NaN/Inf. A hit fails the step with a NumericError;
+	// with Elastic enabled, self-reported poison convicts the offending rank
+	// and recovery expels it before re-forming (see blameCorruptRanks), so
+	// one diverging replica cannot silently poison every survivor's weights.
+	// Off by default: the scans cost one extra read pass over the gradients.
+	CheckNumerics bool
+
 	// Elastic enables the elastic cluster runtime: coordinator-managed
 	// membership epochs with heartbeats, periodic full-state checkpoints,
 	// and checkpoint-based recovery on rank failure instead of group death.
@@ -289,9 +299,11 @@ type Cluster struct {
 	pendingJoin map[string]*elastic.Member // joiners awaiting the next step boundary
 	drainTimers map[string]*time.Timer     // per-draining-member degrade timers
 	snaps       map[string]*Checkpoint     // per-member state at the last checkpoint
+	poisoned    map[string]bool            // PoisonRank chaos: members with NaN-poisoned backward
 	recoveries  int
 	reshapes    int // planned re-forms (joins/drains) — budget-free, not recoveries
 	sinceCkpt   int
+	ckptGen     uint64 // last on-disk checkpoint generation written (Elastic.Dir)
 
 	// lr is the last SetLR value, re-applied to every re-formed group so a
 	// recovery or reshape cannot silently reset the learning rate (fresh
@@ -544,6 +556,43 @@ func (c *Cluster) applyLRLocked(g *epochGroup) {
 	for _, w := range g.workers {
 		w.opt.SetLR(c.lr)
 	}
+}
+
+// applyPoisonLocked re-arms the PoisonRank chaos flag on a freshly built
+// group, so a poisoned member that survives a re-form (e.g. a recovery
+// triggered by an unrelated fault) stays poisoned — the chaos models a
+// replica with broken arithmetic, which a group rebuild does not repair.
+// Caller holds mu; the group is not stepping yet.
+func (c *Cluster) applyPoisonLocked(g *epochGroup) {
+	if len(c.poisoned) == 0 {
+		return
+	}
+	for r, id := range g.memberIDs {
+		if c.poisoned[id] {
+			g.workers[r].poison.Store(true)
+		}
+	}
+}
+
+// PoisonRank is the numeric-chaos hook mirroring KillRank: from the next
+// step on, the worker occupying rank r injects a NaN into its loss gradient
+// before backward, simulating silent arithmetic divergence (bad ALU, bit
+// rot in activations) rather than a crash. With Config.CheckNumerics the
+// guard self-reports the poison, recovery convicts the member, and the
+// cluster re-forms without it. The poison sticks to the member, not the
+// rank slot, across re-forms. Safe to call while a Step is in flight.
+func (c *Cluster) PoisonRank(r int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.grp
+	if g == nil || r < 0 || r >= len(g.workers) {
+		return
+	}
+	if c.poisoned == nil {
+		c.poisoned = make(map[string]bool)
+	}
+	c.poisoned[g.memberIDs[r]] = true
+	g.workers[r].poison.Store(true)
 }
 
 // Model returns the given rank's model (live; the next Step mutates it, and

@@ -2,7 +2,9 @@ package train
 
 import (
 	"fmt"
+	"math"
 	"strconv"
+	"sync/atomic"
 
 	"acpsgd/internal/comm"
 	"acpsgd/internal/compress"
@@ -72,6 +74,11 @@ type worker struct {
 	// compressor (per-buffer compressors are created lazily on first seal;
 	// see worker.restore and applyState). Nil outside recovery.
 	resid map[string][]float64
+
+	// poison is the numeric-chaos hook (Cluster.PoisonRank): when set, every
+	// step injects a NaN into the loss gradient before backward, simulating a
+	// replica whose arithmetic has silently diverged.
+	poison atomic.Bool
 
 	step int
 }
@@ -393,6 +400,9 @@ func (w *worker) runStep() (float64, error) {
 	w.model.ZeroGrads()
 	logits := w.model.Forward(x)
 	lossVal, dlogits := w.loss.Forward(logits, labels)
+	if w.poison.Load() && len(dlogits.Data) > 0 {
+		dlogits.Data[0] = math.NaN()
+	}
 
 	w.prepareStep()
 	hook := w.hook()
@@ -413,11 +423,28 @@ func (w *worker) runStep() (float64, error) {
 		launch() // Overlap off: replay the bucket launches in seal order
 	}
 
+	// The local numeric scan overlaps the in-flight collectives, but its
+	// verdict is deferred until after drain: bailing out before draining
+	// would leave peers wedged in collectives this rank already joined and
+	// buffers holding unobserved pending handles.
+	var numErr error
+	if w.cfg.CheckNumerics {
+		numErr = w.checkLocalGrads()
+	}
+
 	// Stage 2: drain in-flight collectives, then run any blocking
 	// compress+aggregate chain (it must not interleave with queued
-	// collectives or ranks would disagree on operation order).
-	if err := w.drain(); err != nil {
-		return 0, err
+	// collectives or ranks would disagree on operation order). The numeric
+	// self-report outranks a drain failure: a peer that already spotted the
+	// poison in its aggregate aborts the group, which fails this rank's
+	// drain with the teardown error — surfacing that instead would erase the
+	// only rank-attributable evidence the recovery blame pass gets.
+	derr := w.drain()
+	if numErr != nil {
+		return 0, numErr
+	}
+	if derr != nil {
+		return 0, derr
 	}
 	switch w.cfg.info.Pattern {
 	case compress.PatternBlocking:
@@ -441,6 +468,11 @@ func (w *worker) runStep() (float64, error) {
 
 	if err := w.finalize(); err != nil {
 		return 0, err
+	}
+	if w.cfg.CheckNumerics {
+		if err := w.checkAggregates(); err != nil {
+			return 0, err
+		}
 	}
 	if err := w.opt.Step(w.model.Params()); err != nil {
 		return 0, err
